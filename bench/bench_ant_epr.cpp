@@ -1,0 +1,174 @@
+//===- bench/bench_ant_epr.cpp - Experiments C6/F5 ------------------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+// C6: backward dataflow (anticipatability) on the DFG vs the CFG, per the
+// Figure 5 equation schemes, and the resulting partial redundancy
+// elimination decisions (insert/delete counts must agree between engines,
+// since both feed the same placement rules).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/Anticipatability.h"
+#include "dataflow/PRE.h"
+#include "ir/Transforms.h"
+#include "workload/Generators.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace depflow;
+
+static std::unique_ptr<Function> makeProgram(unsigned Stmts) {
+  GenOptions Opts;
+  Opts.Seed = 31;
+  Opts.TargetStmts = Stmts;
+  Opts.NumVars = 6;
+  auto F = generateStructuredProgram(Opts);
+  splitCriticalEdges(*F);
+  return F;
+}
+
+static void BM_ANT_CFG_AllExpressions(benchmark::State &State) {
+  auto F = makeProgram(unsigned(State.range(0)));
+  CFGEdges E(*F);
+  std::vector<Expression> Exprs = collectExpressions(*F);
+  for (auto _ : State) {
+    unsigned Bits = 0;
+    for (const Expression &Ex : Exprs) {
+      CFGAntResult R = cfgAnticipatability(*F, E, Ex);
+      for (unsigned C = 0; C != E.size(); ++C)
+        Bits += R.ANT[C];
+    }
+    benchmark::DoNotOptimize(Bits);
+  }
+  State.counters["exprs"] = double(Exprs.size());
+  State.counters["E"] = double(E.size());
+}
+BENCHMARK(BM_ANT_CFG_AllExpressions)
+    ->Arg(100)
+    ->Arg(400)
+    ->Arg(1600)
+    ->Unit(benchmark::kMicrosecond);
+
+static void BM_ANT_DFG_AllExpressions(benchmark::State &State) {
+  auto F = makeProgram(unsigned(State.range(0)));
+  CFGEdges E(*F);
+  DepFlowGraph G = DepFlowGraph::build(*F, E);
+  std::vector<Expression> Exprs = collectExpressions(*F);
+  for (auto _ : State) {
+    unsigned Bits = 0;
+    for (const Expression &Ex : Exprs) {
+      std::vector<bool> Ant = dfgExpressionAnt(*F, E, G, Ex);
+      for (unsigned C = 0; C != E.size(); ++C)
+        Bits += Ant[C];
+    }
+    benchmark::DoNotOptimize(Bits);
+  }
+  State.counters["exprs"] = double(Exprs.size());
+  State.counters["E"] = double(E.size());
+}
+BENCHMARK(BM_ANT_DFG_AllExpressions)
+    ->Arg(100)
+    ->Arg(400)
+    ->Arg(1600)
+    ->Unit(benchmark::kMicrosecond);
+
+/// The per-edge relative anticipatability solve alone (the sparse part the
+/// DFG buys: propagation touches only the variable's dependence slice).
+static void BM_ANT_DFG_RelativeSolveOnly(benchmark::State &State) {
+  auto F = makeProgram(unsigned(State.range(0)));
+  CFGEdges E(*F);
+  DepFlowGraph G = DepFlowGraph::build(*F, E);
+  std::vector<Expression> Exprs = collectExpressions(*F);
+  for (auto _ : State) {
+    unsigned Bits = 0;
+    for (const Expression &Ex : Exprs)
+      for (VarId X : Ex.variables()) {
+        DFGAntResult R = dfgRelativeAnticipatability(*F, G, Ex, X);
+        Bits += unsigned(R.AntEdge.size());
+      }
+    benchmark::DoNotOptimize(Bits);
+  }
+  State.counters["exprs"] = double(Exprs.size());
+}
+BENCHMARK(BM_ANT_DFG_RelativeSolveOnly)
+    ->Arg(100)
+    ->Arg(400)
+    ->Arg(1600)
+    ->Unit(benchmark::kMicrosecond);
+
+static void BM_EPR_MorelRenvoise(benchmark::State &State) {
+  auto F = makeProgram(unsigned(State.range(0)));
+  CFGEdges E(*F);
+  std::vector<Expression> Exprs = collectExpressions(*F);
+  double Inserts = 0, Deletes = 0;
+  for (auto _ : State) {
+    Inserts = Deletes = 0;
+    for (const Expression &Ex : Exprs) {
+      CFGAntResult R = cfgAnticipatability(*F, E, Ex);
+      PREDecisions D = morelRenvoise(*F, E, Ex, R.ANT);
+      Inserts += double(D.Inserts.size());
+      Deletes += double(D.Deletes.size());
+    }
+    benchmark::DoNotOptimize(Inserts);
+  }
+  State.counters["inserts"] = Inserts;
+  State.counters["deletes"] = Deletes;
+}
+BENCHMARK(BM_EPR_MorelRenvoise)
+    ->Arg(100)
+    ->Arg(400)
+    ->Arg(1600)
+    ->Unit(benchmark::kMicrosecond);
+
+static void BM_EPR_MorelRenvoise_DFGAnt(benchmark::State &State) {
+  auto F = makeProgram(unsigned(State.range(0)));
+  CFGEdges E(*F);
+  DepFlowGraph G = DepFlowGraph::build(*F, E);
+  std::vector<Expression> Exprs = collectExpressions(*F);
+  double Inserts = 0, Deletes = 0;
+  for (auto _ : State) {
+    Inserts = Deletes = 0;
+    for (const Expression &Ex : Exprs) {
+      std::vector<bool> Ant = dfgExpressionAnt(*F, E, G, Ex);
+      PREDecisions D = morelRenvoise(*F, E, Ex, Ant);
+      Inserts += double(D.Inserts.size());
+      Deletes += double(D.Deletes.size());
+    }
+    benchmark::DoNotOptimize(Inserts);
+  }
+  State.counters["inserts"] = Inserts;
+  State.counters["deletes"] = Deletes;
+}
+BENCHMARK(BM_EPR_MorelRenvoise_DFGAnt)
+    ->Arg(100)
+    ->Arg(400)
+    ->Arg(1600)
+    ->Unit(benchmark::kMicrosecond);
+
+static void BM_EPR_BusyCodeMotion(benchmark::State &State) {
+  auto F = makeProgram(unsigned(State.range(0)));
+  CFGEdges E(*F);
+  std::vector<Expression> Exprs = collectExpressions(*F);
+  double Inserts = 0, Deletes = 0;
+  for (auto _ : State) {
+    Inserts = Deletes = 0;
+    for (const Expression &Ex : Exprs) {
+      CFGAntResult R = cfgAnticipatability(*F, E, Ex);
+      PREDecisions D = busyCodeMotion(*F, E, Ex, R.ANT);
+      Inserts += double(D.Inserts.size());
+      Deletes += double(D.Deletes.size());
+    }
+    benchmark::DoNotOptimize(Inserts);
+  }
+  State.counters["inserts"] = Inserts;
+  State.counters["deletes"] = Deletes;
+}
+BENCHMARK(BM_EPR_BusyCodeMotion)
+    ->Arg(100)
+    ->Arg(400)
+    ->Arg(1600)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+//===- bench/bench_cycle_equiv.cpp - Experiment C1 ------------------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+// C1: the paper's claim that cycle equivalence (hence control dependence
+// equivalence and SESE regions) is computable in O(E). The benchmark
+// sweeps E across CFG families and fits the observed complexity; the
+// brute-force comparison on small sizes shows the asymptotic gap.
+//
+//===----------------------------------------------------------------------===//
+
+#include "structure/CycleEquivalence.h"
+#include "structure/SESE.h"
+#include "workload/Generators.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace depflow;
+
+static void BM_CycleEquiv_DiamondChain(benchmark::State &State) {
+  auto F = generateDiamondChain(unsigned(State.range(0)), 4, 42);
+  F->recomputePreds();
+  CFGEdges E(*F);
+  for (auto _ : State) {
+    CycleEquivalence CE = cycleEquivalenceClasses(*F, E);
+    benchmark::DoNotOptimize(CE.NumClasses);
+  }
+  State.counters["E"] = double(E.size());
+  State.SetComplexityN(E.size());
+}
+BENCHMARK(BM_CycleEquiv_DiamondChain)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Complexity(benchmark::oN)
+    ->Unit(benchmark::kMicrosecond);
+
+static void BM_CycleEquiv_NestedLoops(benchmark::State &State) {
+  auto F = generateNestedLoops(3, unsigned(State.range(0)), 4, 7);
+  F->recomputePreds();
+  CFGEdges E(*F);
+  for (auto _ : State) {
+    CycleEquivalence CE = cycleEquivalenceClasses(*F, E);
+    benchmark::DoNotOptimize(CE.NumClasses);
+  }
+  State.counters["E"] = double(E.size());
+  State.SetComplexityN(E.size());
+}
+BENCHMARK(BM_CycleEquiv_NestedLoops)
+    ->RangeMultiplier(2)
+    ->Range(2, 16)
+    ->Complexity(benchmark::oN)
+    ->Unit(benchmark::kMicrosecond);
+
+static void BM_CycleEquiv_RandomCFG(benchmark::State &State) {
+  auto F = generateRandomCFGProgram(11, unsigned(State.range(0)), 60, 4, 1);
+  F->recomputePreds();
+  CFGEdges E(*F);
+  for (auto _ : State) {
+    CycleEquivalence CE = cycleEquivalenceClasses(*F, E);
+    benchmark::DoNotOptimize(CE.NumClasses);
+  }
+  State.counters["E"] = double(E.size());
+  State.SetComplexityN(E.size());
+}
+BENCHMARK(BM_CycleEquiv_RandomCFG)
+    ->RangeMultiplier(4)
+    ->Range(64, 16384)
+    ->Complexity(benchmark::oN)
+    ->Unit(benchmark::kMicrosecond);
+
+/// The Definition 7 brute force (cubic-ish) on the same family, small
+/// sizes only — the asymptotic contrast to the O(E) algorithm.
+static void BM_CycleEquiv_BruteForce(benchmark::State &State) {
+  auto F = generateRandomCFGProgram(11, unsigned(State.range(0)), 60, 4, 1);
+  F->recomputePreds();
+  CFGEdges E(*F);
+  std::vector<UEdge> Directed;
+  for (unsigned Id = 0; Id != E.size(); ++Id)
+    Directed.push_back({E.edge(Id).From->id(), E.edge(Id).To->id()});
+  Directed.push_back({F->exit()->id(), F->entry()->id()});
+  for (auto _ : State) {
+    unsigned NumClasses = 0;
+    auto C = bruteForceDirectedCycleEquivalence(F->numBlocks(), Directed,
+                                                NumClasses);
+    benchmark::DoNotOptimize(C.data());
+  }
+  State.counters["E"] = double(E.size());
+  State.SetComplexityN(E.size());
+}
+BENCHMARK(BM_CycleEquiv_BruteForce)
+    ->RangeMultiplier(2)
+    ->Range(16, 128)
+    ->Complexity()
+    ->Unit(benchmark::kMicrosecond);
+
+/// Full PST construction (classes + region nesting).
+static void BM_ProgramStructureTree(benchmark::State &State) {
+  auto F = generateDiamondChain(unsigned(State.range(0)), 4, 21);
+  F->recomputePreds();
+  CFGEdges E(*F);
+  for (auto _ : State) {
+    CycleEquivalence CE = cycleEquivalenceClasses(*F, E);
+    ProgramStructureTree PST(*F, E, CE);
+    benchmark::DoNotOptimize(PST.numRegions());
+  }
+  State.counters["E"] = double(E.size());
+  State.counters["regions"] = [&] {
+    CycleEquivalence CE = cycleEquivalenceClasses(*F, E);
+    return double(ProgramStructureTree(*F, E, CE).numRegions());
+  }();
+}
+BENCHMARK(BM_ProgramStructureTree)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

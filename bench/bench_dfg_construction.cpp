@@ -1,0 +1,82 @@
+//===- bench/bench_dfg_construction.cpp - Experiment C4 -------------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+// C4: DFG construction is O(EV) (Section 3.2); sweeping E at fixed V and
+// V at fixed E shows the product scaling. Counters record how much region
+// bypassing plus dead-edge removal shrink the base-level graph (Figure 2's
+// point).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DepFlowGraph.h"
+#include "workload/Generators.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace depflow;
+
+static std::unique_ptr<Function> makeProgram(unsigned Stmts, unsigned Vars) {
+  GenOptions Opts;
+  Opts.Seed = 99;
+  Opts.TargetStmts = Stmts;
+  Opts.NumVars = Vars;
+  auto F = generateStructuredProgram(Opts);
+  F->recomputePreds();
+  return F;
+}
+
+static void BM_DFG_Build_SweepE(benchmark::State &State) {
+  auto F = makeProgram(unsigned(State.range(0)), 8);
+  CFGEdges E(*F);
+  for (auto _ : State) {
+    DepFlowGraph G = DepFlowGraph::build(*F, E);
+    benchmark::DoNotOptimize(G.numEdges());
+  }
+  DepFlowGraph G = DepFlowGraph::build(*F, E);
+  State.counters["E"] = double(E.size());
+  State.counters["edges_base"] = double(G.stats().EdgesBeforePrune);
+  State.counters["edges_final"] = double(G.numEdges());
+  State.SetComplexityN(E.size());
+}
+BENCHMARK(BM_DFG_Build_SweepE)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Complexity(benchmark::oN)
+    ->Unit(benchmark::kMicrosecond);
+
+static void BM_DFG_Build_SweepV(benchmark::State &State) {
+  auto F = makeProgram(400, unsigned(State.range(0)));
+  CFGEdges E(*F);
+  for (auto _ : State) {
+    DepFlowGraph G = DepFlowGraph::build(*F, E);
+    benchmark::DoNotOptimize(G.numEdges());
+  }
+  State.counters["V"] = double(State.range(0));
+  State.counters["E"] = double(E.size());
+  State.SetComplexityN(unsigned(State.range(0)));
+}
+BENCHMARK(BM_DFG_Build_SweepV)
+    ->RangeMultiplier(2)
+    ->Range(2, 64)
+    ->Complexity(benchmark::oN)
+    ->Unit(benchmark::kMicrosecond);
+
+static void BM_DFG_Build_NoBypass(benchmark::State &State) {
+  auto F = makeProgram(unsigned(State.range(0)), 8);
+  CFGEdges E(*F);
+  for (auto _ : State) {
+    DepFlowGraph G =
+        DepFlowGraph::build(*F, E, DepFlowGraph::BypassMode::None);
+    benchmark::DoNotOptimize(G.numEdges());
+  }
+  DepFlowGraph G = DepFlowGraph::build(*F, E, DepFlowGraph::BypassMode::None);
+  State.counters["edges_final"] = double(G.numEdges());
+}
+BENCHMARK(BM_DFG_Build_NoBypass)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

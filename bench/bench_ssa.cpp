@@ -1,0 +1,91 @@
+//===- bench/bench_ssa.cpp - Experiment C3 --------------------------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+// C3: SSA construction through the DFG (no dominators, no dominance
+// frontiers — Section 3.3) vs the Cytron et al. baseline. Both sides
+// measure φ-placement; renaming is shared. The counter checks both place
+// the same number of φs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ssa/SSA.h"
+#include "workload/Generators.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace depflow;
+
+static std::unique_ptr<Function> makeProgram(unsigned Stmts, unsigned Vars) {
+  GenOptions Opts;
+  Opts.Seed = 1234;
+  Opts.TargetStmts = Stmts;
+  Opts.NumVars = Vars;
+  auto F = generateStructuredProgram(Opts);
+  F->recomputePreds();
+  return F;
+}
+
+static double phiCount(const PhiPlacement &P) {
+  double N = 0;
+  for (const auto &S : P)
+    N += double(S.size());
+  return N;
+}
+
+static void BM_SSA_CytronPruned(benchmark::State &State) {
+  auto F = makeProgram(unsigned(State.range(0)), unsigned(State.range(1)));
+  for (auto _ : State) {
+    PhiPlacement P = cytronPhiPlacement(*F, /*Pruned=*/true);
+    benchmark::DoNotOptimize(P.data());
+  }
+  State.counters["E"] = double(F->numEdges());
+  State.counters["V"] = double(State.range(1));
+  State.counters["phis"] = phiCount(cytronPhiPlacement(*F, true));
+}
+BENCHMARK(BM_SSA_CytronPruned)
+    ->Args({100, 8})
+    ->Args({400, 8})
+    ->Args({1600, 8})
+    ->Args({400, 2})
+    ->Args({400, 32})
+    ->Unit(benchmark::kMicrosecond);
+
+static void BM_SSA_ViaDFG(benchmark::State &State) {
+  auto F = makeProgram(unsigned(State.range(0)), unsigned(State.range(1)));
+  for (auto _ : State) {
+    DepFlowGraph G = DepFlowGraph::build(*F);
+    PhiPlacement P = dfgPhiPlacement(*F, G);
+    benchmark::DoNotOptimize(P.data());
+  }
+  State.counters["E"] = double(F->numEdges());
+  State.counters["V"] = double(State.range(1));
+  DepFlowGraph G = DepFlowGraph::build(*F);
+  State.counters["phis"] = phiCount(dfgPhiPlacement(*F, G));
+}
+BENCHMARK(BM_SSA_ViaDFG)
+    ->Args({100, 8})
+    ->Args({400, 8})
+    ->Args({1600, 8})
+    ->Args({400, 2})
+    ->Args({400, 32})
+    ->Unit(benchmark::kMicrosecond);
+
+static void BM_SSA_FullRename(benchmark::State &State) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto F = makeProgram(unsigned(State.range(0)), 8);
+    State.ResumeTiming();
+    PhiPlacement P = cytronPhiPlacement(*F, /*Pruned=*/true);
+    applySSA(*F, P);
+    benchmark::DoNotOptimize(F->numVars());
+  }
+}
+BENCHMARK(BM_SSA_FullRename)
+    ->Arg(100)
+    ->Arg(400)
+    ->Arg(1600)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

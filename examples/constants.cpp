@@ -1,0 +1,96 @@
+//===- examples/constants.cpp - Figure 3: three constant propagators ------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+// Runs the def-use chain, CFG, and DFG constant propagation algorithms on
+// the paper's Figure 3 programs, showing all-paths vs possible-paths
+// constants, and the SSA route (SCCP) for comparison.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/ConstantPropagation.h"
+#include "dataflow/DefUse.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ssa/SCCP.h"
+#include "ssa/SSA.h"
+
+#include <cstdio>
+
+using namespace depflow;
+
+static void report(Function &F, const char *Name,
+                   const ConstPropResult &CP) {
+  std::printf("  %-22s constants at variable uses: %u\n", Name,
+              CP.numConstantVarUses());
+  for (const auto &BB : F.blocks()) {
+    for (const auto &I : BB->instructions()) {
+      for (unsigned Idx = 0; Idx != I->numOperands(); ++Idx) {
+        if (!I->operand(Idx).isVar())
+          continue;
+        std::printf("    %-24s operand %u: %s\n",
+                    printInstruction(F, *I).c_str(), Idx,
+                    CP.useValue(I.get(), Idx).str().c_str());
+      }
+    }
+  }
+}
+
+static void analyze(const char *Title, const char *Src) {
+  std::printf("=== %s ===\n", Title);
+  auto F = parseFunctionOrDie(Src);
+  std::printf("%s\n", printFunction(*F).c_str());
+
+  ReachingDefs RD(*F);
+  report(*F, "def-use chains:", defUseConstantPropagation(*F, RD));
+  report(*F, "CFG (Figure 4a):", cfgConstantPropagation(*F));
+  DepFlowGraph G = DepFlowGraph::build(*F);
+  report(*F, "DFG (Figure 4b):", dfgConstantPropagation(*F, G));
+
+  auto SSAFn = parseFunctionOrDie(printFunction(*F));
+  std::vector<VarId> OrigOf =
+      applySSA(*SSAFn, cytronPhiPlacement(*SSAFn, /*Pruned=*/true));
+  ConstPropResult SC = sccp(*SSAFn, OrigOf);
+  std::printf("  %-22s constants at variable uses: %u\n",
+              "SCCP (on SSA):", SC.numConstantVarUses());
+  std::printf("\n");
+}
+
+int main() {
+  analyze("Figure 3(a): all-paths constants", R"(
+func fig3a(p) {
+entry:
+  if p goto thn else els
+thn:
+  z = 1
+  x = z + 2
+  goto join
+els:
+  z = 2
+  x = z + 1
+  goto join
+join:
+  y = x
+  ret y
+}
+)");
+
+  analyze("Figure 3(b): possible-paths constants", R"(
+func fig3b() {
+entry:
+  p = 1
+  if p goto thn else els
+thn:
+  x = 1
+  goto join
+els:
+  x = 2
+  goto join
+join:
+  y = x
+  ret y
+}
+)");
+  return 0;
+}

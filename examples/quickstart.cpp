@@ -1,0 +1,70 @@
+//===- examples/quickstart.cpp - First steps with depflow -----------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+// Parses a small program, builds its dependence flow graph, runs DFG-based
+// constant propagation, applies the result, and executes both versions to
+// show they agree.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/ConstantPropagation.h"
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+
+#include <cstdio>
+
+using namespace depflow;
+
+int main() {
+  const char *Src = R"(
+func quickstart(n) {
+entry:
+  p = 1
+  if p goto fast else slow
+fast:
+  step = 2
+  goto head
+slow:
+  step = 3
+  goto head
+head:
+  t = n > 0
+  if t goto body else out
+body:
+  s = s + step
+  n = n - step
+  goto head
+out:
+  ret s
+}
+)";
+  auto F = parseFunctionOrDie(Src);
+  std::printf("--- input ---\n%s\n", printFunction(*F).c_str());
+
+  // The dependence flow graph, with SESE region bypassing.
+  DepFlowGraph G = DepFlowGraph::build(*F);
+  std::printf("DFG: %u nodes, %u edges (base level had %u edges; "
+              "%u bypass redirects)\n\n",
+              G.numNodes(), G.numEdges(), G.stats().EdgesBeforePrune,
+              G.stats().BypassRedirects);
+
+  // Forward dataflow on the DFG: conditional constant propagation. The
+  // branch on p is decidable, so 'slow' is dead and step is the constant 2.
+  ConstPropResult CP = dfgConstantPropagation(*F, G);
+  std::printf("constant uses found: %u (of them variable uses: %u)\n",
+              CP.numConstantUses(), CP.numConstantVarUses());
+
+  ExecResult Before = runFunction(*F, {10});
+  applyConstantsAndDCE(*F, CP);
+  std::printf("\n--- optimized ---\n%s\n", printFunction(*F).c_str());
+  ExecResult After = runFunction(*F, {10});
+
+  std::printf("outputs before: %lld, after: %lld (steps %llu -> %llu)\n",
+              (long long)Before.Outputs[0], (long long)After.Outputs[0],
+              (unsigned long long)Before.Steps,
+              (unsigned long long)After.Steps);
+  return Before.Outputs == After.Outputs ? 0 : 1;
+}

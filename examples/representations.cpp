@@ -1,0 +1,84 @@
+//===- examples/representations.cpp - Figure 1 side by side ---------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+// Reproduces Figure 1: the same program under def-use chains, SSA form,
+// and the dependence flow graph, showing how the DFG lets x's dependence
+// bypass the conditional while y's is intercepted by a switch and a merge.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DepFlowGraph.h"
+#include "dataflow/DefUse.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Transforms.h"
+#include "ssa/SSA.h"
+
+#include <cstdio>
+
+using namespace depflow;
+
+int main() {
+  auto F = parseFunctionOrDie(R"(
+func fig1(p) {
+entry:
+  x = 1
+  if p goto thn else els
+thn:
+  y = 2
+  goto join
+els:
+  y = 3
+  goto join
+join:
+  y = y + 1
+  z = x + y
+  ret z
+}
+)");
+  std::printf("--- program (Figure 1) ---\n%s\n",
+              printFunction(*F).c_str());
+
+  // (a) def-use chains.
+  ReachingDefs RD(*F);
+  std::printf("--- def-use chains: %zu chains ---\n", RD.numChains());
+  for (const ReachingDefs::Use &U : RD.uses()) {
+    std::printf("  use of %-3s in '%s' reached by:",
+                F->varName(U.Var).c_str(),
+                printInstruction(*F, *U.I).c_str());
+    for (const Instruction *D : RD.defsReaching(U.I, U.OpIdx)) {
+      if (D)
+        std::printf("  [%s]", printInstruction(*F, *D).c_str());
+      else
+        std::printf("  [entry]");
+    }
+    std::printf("\n");
+  }
+
+  // (b) SSA form (on a clone).
+  auto SSAFn = parseFunctionOrDie(printFunction(*F));
+  PhiPlacement P = cytronPhiPlacement(*SSAFn, /*Pruned=*/true);
+  applySSA(*SSAFn, P);
+  std::printf("\n--- SSA form (one phi, for y at the join) ---\n%s\n",
+              printFunction(*SSAFn).c_str());
+
+  // (c) the dependence flow graph. After separating computation from
+  // control (the paper's node model), x's dependence jumps the diamond.
+  separateComputation(*F);
+  DepFlowGraph G = DepFlowGraph::build(*F);
+  std::printf("--- dependence flow graph ---\n");
+  std::printf("%s\n", G.toDot(*F).c_str());
+  std::printf("x has %s switch/merge nodes; y goes through merge at the "
+              "join.\n",
+              [&] {
+                VarId X = unsigned(F->lookupVar("x"));
+                for (const auto &BB : F->blocks())
+                  if (G.switchNode(BB.get(), X) >= 0 ||
+                      G.mergeNode(BB.get(), X) >= 0)
+                    return "SOME (unexpected!)";
+                return "no";
+              }());
+  return 0;
+}

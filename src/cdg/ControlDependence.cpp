@@ -1,0 +1,133 @@
+//===- cdg/ControlDependence.cpp - Control dependence ---------------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cdg/ControlDependence.h"
+
+#include "graph/Dominators.h"
+#include "ir/Function.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace depflow;
+
+/// Collects the ids of all branch edges (out-edges of switch blocks).
+static std::vector<unsigned> branchEdges(const Function &F,
+                                         const CFGEdges &E) {
+  std::vector<unsigned> Result;
+  for (unsigned Id = 0, N = E.size(); Id != N; ++Id)
+    if (E.edge(Id).From->numSuccessors() > 1)
+      Result.push_back(Id);
+  (void)F;
+  return Result;
+}
+
+std::vector<std::vector<unsigned>>
+depflow::nodeControlDependence(const Function &F, const CFGEdges &E) {
+  std::vector<std::vector<unsigned>> CD(F.numBlocks());
+  Digraph G = cfgDigraph(F);
+  DomTree PDT(G.reversed(), F.exit()->id());
+
+  for (unsigned EdgeId : branchEdges(F, E)) {
+    const CFGEdge &Edge = E.edge(EdgeId);
+    unsigned U = Edge.From->id();
+    // Walk from the edge target up the postdominator tree, stopping at
+    // ipdom(U); every node on the way is control dependent on this edge.
+    // On back edges the walk passes through U itself; FOW's algorithm
+    // traditionally records that as a loop self-dependence, but Definition 2
+    // of the paper ("x does not postdominate n") excludes it, and we follow
+    // the paper.
+    int Stop = PDT.idom(U);
+    int W = int(Edge.To->id());
+    while (W >= 0 && W != Stop) {
+      if (W != int(U))
+        CD[unsigned(W)].push_back(EdgeId);
+      W = PDT.idom(unsigned(W));
+    }
+  }
+  for (auto &Set : CD) {
+    std::sort(Set.begin(), Set.end());
+    Set.erase(std::unique(Set.begin(), Set.end()), Set.end());
+  }
+  return CD;
+}
+
+std::vector<std::vector<unsigned>>
+depflow::edgeControlDependenceBaseline(const Function &F, const CFGEdges &E) {
+  unsigned NB = F.numBlocks();
+  Digraph Split = edgeSplitDigraph(F, E);
+  DomTree PDT(Split.reversed(), F.exit()->id());
+
+  std::vector<std::vector<unsigned>> CD(Split.numNodes());
+  for (unsigned EdgeId : branchEdges(F, E)) {
+    const CFGEdge &Edge = E.edge(EdgeId);
+    unsigned U = Edge.From->id();
+    unsigned Dummy = NB + EdgeId;
+    int Stop = PDT.idom(U);
+    int W = int(Dummy);
+    while (W >= 0 && W != Stop) {
+      CD[unsigned(W)].push_back(EdgeId);
+      W = PDT.idom(unsigned(W));
+    }
+  }
+  // Keep only the edge-dummy rows, reindexed by edge id.
+  std::vector<std::vector<unsigned>> Result(E.size());
+  for (unsigned Id = 0, N = E.size(); Id != N; ++Id) {
+    Result[Id] = std::move(CD[NB + Id]);
+    std::sort(Result[Id].begin(), Result[Id].end());
+    Result[Id].erase(std::unique(Result[Id].begin(), Result[Id].end()),
+                     Result[Id].end());
+  }
+  return Result;
+}
+
+FactoredCDG depflow::buildFactoredCDG(const Function &F, const CFGEdges &E) {
+  FactoredCDG Result;
+  Result.Classes = cycleEquivalenceClasses(F, E);
+  Result.ClassCD.assign(Result.Classes.NumClasses, {});
+
+  // One representative edge per class.
+  std::vector<int> Rep(Result.Classes.NumClasses, -1);
+  for (unsigned Id = 0, N = E.size(); Id != N; ++Id)
+    if (Rep[Result.Classes.ClassOf[Id]] < 0)
+      Rep[Result.Classes.ClassOf[Id]] = int(Id);
+
+  unsigned NB = F.numBlocks();
+  Digraph Split = edgeSplitDigraph(F, E);
+  DomTree PDT(Split.reversed(), F.exit()->id());
+  std::vector<unsigned> Branches = branchEdges(F, E);
+
+  // CD(representative x) = { branch edge e=(u,·) : x pdom dummy(e) and
+  // x !pdom u }, answered with O(1) postdominance queries.
+  for (unsigned C = 0; C != Result.Classes.NumClasses; ++C) {
+    if (Rep[C] < 0)
+      continue; // Class only contains the virtual edge.
+    unsigned X = NB + unsigned(Rep[C]);
+    for (unsigned B : Branches) {
+      const CFGEdge &Edge = E.edge(B);
+      if (PDT.dominates(X, NB + B) && !PDT.dominates(X, Edge.From->id()))
+        Result.ClassCD[C].push_back(B);
+    }
+  }
+  return Result;
+}
+
+std::vector<unsigned> depflow::edgeCDPartitionBaseline(const Function &F,
+                                                       const CFGEdges &E,
+                                                       unsigned &NumClasses) {
+  std::vector<std::vector<unsigned>> CD = edgeControlDependenceBaseline(F, E);
+  std::map<std::vector<unsigned>, unsigned> ClassOfSet;
+  std::vector<unsigned> Class(E.size());
+  for (unsigned Id = 0, N = E.size(); Id != N; ++Id) {
+    auto [It, Inserted] =
+        ClassOfSet.try_emplace(CD[Id], unsigned(ClassOfSet.size()));
+    Class[Id] = It->second;
+    (void)Inserted;
+  }
+  NumClasses = unsigned(ClassOfSet.size());
+  return Class;
+}

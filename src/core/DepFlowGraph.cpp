@@ -1,0 +1,396 @@
+//===- core/DepFlowGraph.cpp - The dependence flow graph ------------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DepFlowGraph.h"
+
+#include "graph/Dominators.h"
+#include "structure/CycleEquivalence.h"
+#include "support/BitVector.h"
+
+#include <algorithm>
+
+using namespace depflow;
+
+namespace {
+
+/// A dependence value's identity while routing: a node output port.
+struct Source {
+  int Node = -1;
+  std::uint16_t Port = 0;
+};
+
+} // namespace
+
+/// Builds a DepFlowGraph; a friend of the class so it can fill the private
+/// tables directly.
+class depflow::DFGBuilder {
+  Function &F;
+  const CFGEdges &E;
+  DepFlowGraph::BypassMode Mode;
+  DepFlowGraph G;
+
+  unsigned NumVarsWithCtrl;
+  std::unique_ptr<ProgramStructureTree> PST;
+  std::vector<BitVector> RegionDefs; // per region, defs over all vars
+  std::vector<unsigned> RPO;         // block ids in reverse postorder
+
+public:
+  DFGBuilder(Function &F, const CFGEdges &E, DepFlowGraph::BypassMode Mode)
+      : F(F), E(E), Mode(Mode) {}
+
+  DepFlowGraph run() {
+    assert(F.exit() && "DFG construction requires a verified function");
+    G.ControlVar = F.numVars();
+    NumVarsWithCtrl = F.numVars() + 1;
+    G.EntryOfVar.assign(NumVarsWithCtrl, -1);
+    G.SwitchAt.assign(F.numBlocks(), std::vector<int>(NumVarsWithCtrl, -1));
+    G.MergeAt.assign(F.numBlocks(), std::vector<int>(NumVarsWithCtrl, -1));
+
+    G.DepAt.assign(NumVarsWithCtrl,
+                   std::vector<std::pair<int, std::uint16_t>>(
+                       E.size(), {-1, 0}));
+
+    computeRPO();
+    if (Mode == DepFlowGraph::BypassMode::SESE) {
+      CycleEquivalence CE = cycleEquivalenceClasses(F, E);
+      PST = std::make_unique<ProgramStructureTree>(F, E, CE);
+      computeRegionDefs();
+    }
+
+    for (VarId V = 0; V != NumVarsWithCtrl; ++V)
+      routeVariable(V);
+
+    G.BuildStats.NodesBeforePrune = G.numNodes();
+    G.BuildStats.EdgesBeforePrune = G.numEdges();
+    prune();
+    return std::move(G);
+  }
+
+private:
+  void computeRPO() {
+    std::vector<unsigned> Postorder;
+    std::vector<bool> Seen(F.numBlocks(), false);
+    std::vector<std::pair<BasicBlock *, unsigned>> Stack;
+    Stack.push_back({F.entry(), 0});
+    Seen[F.entry()->id()] = true;
+    while (!Stack.empty()) {
+      auto &[BB, Cursor] = Stack.back();
+      std::vector<BasicBlock *> Succs = BB->successors();
+      if (Cursor < Succs.size()) {
+        BasicBlock *Next = Succs[Cursor++];
+        if (!Seen[Next->id()]) {
+          Seen[Next->id()] = true;
+          Stack.push_back({Next, 0});
+        }
+      } else {
+        Postorder.push_back(BB->id());
+        Stack.pop_back();
+      }
+    }
+    RPO.assign(Postorder.rbegin(), Postorder.rend());
+  }
+
+  void computeRegionDefs() {
+    RegionDefs.assign(PST->numRegions(), BitVector(NumVarsWithCtrl));
+    for (const auto &BB : F.blocks()) {
+      BitVector &Defs = RegionDefs[PST->regionOfBlock(BB->id())];
+      for (const auto &I : BB->instructions())
+        if (const auto *D = dyn_cast<DefInst>(I.get()))
+          Defs.set(D->def());
+    }
+    // Aggregate defs inside-out (children before parents): child region ids
+    // are always larger than the parent's only in discovery order, so walk
+    // regions by decreasing depth instead.
+    std::vector<unsigned> Order(PST->numRegions());
+    for (unsigned R = 0; R != PST->numRegions(); ++R)
+      Order[R] = R;
+    std::sort(Order.begin(), Order.end(), [&](unsigned A, unsigned B) {
+      return PST->region(A).Depth > PST->region(B).Depth;
+    });
+    for (unsigned R : Order)
+      if (PST->region(R).Parent >= 0)
+        RegionDefs[unsigned(PST->region(R).Parent)] |= RegionDefs[R];
+  }
+
+  unsigned makeNode(DepFlowGraph::Node N) {
+    G.Nodes.push_back(N);
+    G.OutEdges.emplace_back();
+    G.InEdges.emplace_back();
+    return unsigned(G.Nodes.size() - 1);
+  }
+
+  void addEdge(Source Src, unsigned Dst, VarId V, std::uint16_t DstPort = 0) {
+    assert(Src.Node >= 0 && "dependence source must be resolved");
+    unsigned Id = unsigned(G.Edges.size());
+    G.Edges.push_back(
+        {unsigned(Src.Node), Dst, V, Src.Port, DstPort});
+    G.OutEdges[unsigned(Src.Node)].push_back(Id);
+    G.InEdges[Dst].push_back(Id);
+  }
+
+  /// True if canonical region \p R contains no assignment to \p V (the
+  /// bypass condition; the control variable is only assigned at entry, so
+  /// every region is bypassable for it — its uses are still fed through
+  /// the interior routing, which is what makes them control edges).
+  bool regionBypassable(unsigned R, VarId V) const {
+    return !RegionDefs[R].test(V);
+  }
+
+  void routeVariable(VarId V) {
+    std::vector<Source> Dep(E.size());
+
+    unsigned EntryNode = makeNode({DepFlowGraph::NodeKind::Entry, V, nullptr,
+                                   0, F.entry()});
+    G.EntryOfVar[V] = int(EntryNode);
+
+    // Pre-create merge and switch nodes (base level: at every join/branch).
+    for (unsigned B : RPO) {
+      BasicBlock *BB = F.block(B);
+      if (BB->numPredecessors() > 1)
+        G.MergeAt[B][V] = int(
+            makeNode({DepFlowGraph::NodeKind::Merge, V, nullptr, 0, BB}));
+      if (BB->numSuccessors() > 1)
+        G.SwitchAt[B][V] = int(
+            makeNode({DepFlowGraph::NodeKind::Switch, V, nullptr, 0, BB}));
+    }
+
+    // Assign dep[] to an out-edge, applying the region-bypass redirect:
+    // the exit edge of a bypassable region carries the value of its entry
+    // edge, not the interior through-value.
+    auto SetDep = [&](unsigned EdgeId, Source Src) {
+      if (Mode == DepFlowGraph::BypassMode::SESE) {
+        int R = PST->regionClosedBy(EdgeId);
+        if (R >= 0 && regionBypassable(unsigned(R), V)) {
+          unsigned EntryEdge = unsigned(PST->region(unsigned(R)).EntryEdge);
+          assert(Dep[EntryEdge].Node >= 0 &&
+                 "region entry dep resolved before its exit (RPO order)");
+          Dep[EdgeId] = Dep[EntryEdge];
+          ++G.BuildStats.BypassRedirects;
+          return;
+        }
+      }
+      Dep[EdgeId] = Src;
+    };
+
+    for (unsigned B : RPO) {
+      BasicBlock *BB = F.block(B);
+      // Incoming dependence.
+      Source Cur;
+      if (BB == F.entry()) {
+        Cur = {int(EntryNode), 0};
+      } else if (int M = G.MergeAt[B][V]; M >= 0) {
+        Cur = {M, 0};
+      } else {
+        const auto &In = E.inEdges(BB);
+        assert(In.size() == 1 && "non-entry block without merge has one pred");
+        assert(Dep[In[0]].Node >= 0 && "single pred processed before (RPO)");
+        Cur = Dep[In[0]];
+      }
+
+      // Instruction stream: taps for uses, then def updates.
+      for (const auto &IPtr : BB->instructions()) {
+        Instruction *I = IPtr.get();
+        assert(!isa<PhiInst>(I) && "DFG construction runs on phi-free IR");
+        auto &UseSlots = G.UsesOf[I];
+        if (UseSlots.empty())
+          UseSlots.assign(I->numOperands() + 1, -1);
+        bool HasVarOperand = false;
+        for (unsigned OpIdx = 0, N = I->numOperands(); OpIdx != N; ++OpIdx) {
+          const Operand &Op = I->operand(OpIdx);
+          if (!Op.isVar())
+            continue;
+          HasVarOperand = true;
+          if (Op.var() != V)
+            continue;
+          unsigned UseId = makeNode(
+              {DepFlowGraph::NodeKind::Use, V, I, OpIdx, BB});
+          UseSlots[OpIdx] = int(UseId);
+          addEdge(Cur, UseId, V);
+        }
+        // Control use: statements with no variable operands (Section 3.3).
+        // Also given to terminators carrying only immediates so that dead
+        // code reporting covers their operands uniformly.
+        if (G.isControl(V) && !HasVarOperand &&
+            (isa<DefInst>(I) || I->numOperands() > 0)) {
+          unsigned UseId = makeNode({DepFlowGraph::NodeKind::Use, V, I,
+                                     I->numOperands(), BB});
+          UseSlots[I->numOperands()] = int(UseId);
+          addEdge(Cur, UseId, V);
+        }
+        if (auto *D = dyn_cast<DefInst>(I); D && D->def() == V) {
+          unsigned DefId =
+              makeNode({DepFlowGraph::NodeKind::Def, V, I, 0, BB});
+          G.DefOf[I] = DefId;
+          Cur = {int(DefId), 0};
+        }
+      }
+
+      // Outgoing dependence.
+      const auto &Out = E.outEdges(BB);
+      if (Out.size() > 1) {
+        int S = G.SwitchAt[B][V];
+        assert(S >= 0 && "switch node pre-created");
+        addEdge(Cur, unsigned(S), V);
+        for (unsigned SI = 0; SI != Out.size(); ++SI)
+          SetDep(Out[SI], {S, std::uint16_t(SI)});
+      } else if (Out.size() == 1) {
+        SetDep(Out[0], Cur);
+      }
+    }
+
+    // Wire merges now that every dep slot (including back edges) is known.
+    for (unsigned B : RPO) {
+      int M = G.MergeAt[B][V];
+      if (M < 0)
+        continue;
+      const auto &In = E.inEdges(F.block(B));
+      for (unsigned PI = 0; PI != In.size(); ++PI) {
+        assert(Dep[In[PI]].Node >= 0 && "all deps resolved after block pass");
+        addEdge(Dep[In[PI]], unsigned(M), V, std::uint16_t(PI));
+      }
+    }
+
+    // Record which source's value crosses each CFG edge (projection hook).
+    for (unsigned EId = 0; EId != E.size(); ++EId)
+      G.DepAt[V][EId] = {Dep[EId].Node, Dep[EId].Port};
+  }
+
+  /// Dead edge removal: keep exactly the nodes that can reach a Use.
+  void prune() {
+    std::vector<bool> Alive(G.numNodes(), false);
+    std::vector<unsigned> Stack;
+    for (unsigned N = 0; N != G.numNodes(); ++N) {
+      if (G.Nodes[N].Kind == DepFlowGraph::NodeKind::Use) {
+        Alive[N] = true;
+        Stack.push_back(N);
+      }
+    }
+    while (!Stack.empty()) {
+      unsigned N = Stack.back();
+      Stack.pop_back();
+      for (unsigned EId : G.InEdges[N]) {
+        unsigned Src = G.Edges[EId].Src;
+        if (!Alive[Src]) {
+          Alive[Src] = true;
+          Stack.push_back(Src);
+        }
+      }
+    }
+
+    // Compact nodes and edges.
+    std::vector<int> NewId(G.numNodes(), -1);
+    std::vector<DepFlowGraph::Node> NewNodes;
+    for (unsigned N = 0; N != G.numNodes(); ++N) {
+      if (Alive[N]) {
+        NewId[N] = int(NewNodes.size());
+        NewNodes.push_back(G.Nodes[N]);
+      }
+    }
+    std::vector<DepFlowGraph::Edge> NewEdges;
+    for (const DepFlowGraph::Edge &Ed : G.Edges)
+      if (Alive[Ed.Src] && Alive[Ed.Dst])
+        NewEdges.push_back({unsigned(NewId[Ed.Src]), unsigned(NewId[Ed.Dst]),
+                            Ed.Var, Ed.SrcPort, Ed.DstPort});
+
+    G.Nodes = std::move(NewNodes);
+    G.Edges = std::move(NewEdges);
+    G.OutEdges.assign(G.Nodes.size(), {});
+    G.InEdges.assign(G.Nodes.size(), {});
+    for (unsigned Id = 0; Id != G.numEdges(); ++Id) {
+      G.OutEdges[G.Edges[Id].Src].push_back(Id);
+      G.InEdges[G.Edges[Id].Dst].push_back(Id);
+    }
+
+    // Remap lookup tables.
+    for (int &N : G.EntryOfVar)
+      N = N >= 0 ? NewId[unsigned(N)] : -1;
+    for (auto It = G.DefOf.begin(); It != G.DefOf.end();) {
+      int Mapped = NewId[It->second];
+      if (Mapped < 0) {
+        It = G.DefOf.erase(It);
+      } else {
+        It->second = unsigned(Mapped);
+        ++It;
+      }
+    }
+    for (auto &[Inst, Slots] : G.UsesOf)
+      for (int &S : Slots)
+        S = S >= 0 ? NewId[unsigned(S)] : -1;
+    for (auto &PerBlock : G.SwitchAt)
+      for (int &N : PerBlock)
+        N = N >= 0 ? NewId[unsigned(N)] : -1;
+    for (auto &PerBlock : G.MergeAt)
+      for (int &N : PerBlock)
+        N = N >= 0 ? NewId[unsigned(N)] : -1;
+    for (auto &PerVar : G.DepAt)
+      for (auto &[N, Port] : PerVar)
+        N = N >= 0 ? NewId[unsigned(N)] : -1;
+  }
+};
+
+DepFlowGraph DepFlowGraph::build(Function &F, const CFGEdges &E,
+                                 BypassMode Mode) {
+  DFGBuilder B(F, E, Mode);
+  return B.run();
+}
+
+DepFlowGraph DepFlowGraph::build(Function &F, BypassMode Mode) {
+  F.recomputePreds();
+  CFGEdges E(F);
+  return build(F, E, Mode);
+}
+
+std::vector<unsigned> DepFlowGraph::multiedge(unsigned NodeId,
+                                              unsigned Port) const {
+  std::vector<unsigned> Result;
+  for (unsigned EId : OutEdges[NodeId])
+    if (Edges[EId].SrcPort == Port)
+      Result.push_back(EId);
+  return Result;
+}
+
+int DepFlowGraph::useNode(const Instruction *I, unsigned OpIdx) const {
+  auto It = UsesOf.find(I);
+  if (It == UsesOf.end() || OpIdx >= It->second.size())
+    return -1;
+  return It->second[OpIdx];
+}
+
+std::string DepFlowGraph::nodeLabel(const Function &F, unsigned NodeId) const {
+  const Node &N = Nodes[NodeId];
+  std::string Var =
+      isControl(N.Var) ? std::string("ctrl") : F.varName(N.Var);
+  switch (N.Kind) {
+  case NodeKind::Entry:
+    return "entry(" + Var + ")";
+  case NodeKind::Def:
+    return "def(" + Var + ")@" + N.Block->label();
+  case NodeKind::Use:
+    return "use(" + Var + ")@" + N.Block->label() + "#" +
+           std::to_string(N.OpIdx);
+  case NodeKind::Switch:
+    return "switch(" + Var + ")@" + N.Block->label();
+  case NodeKind::Merge:
+    return "merge(" + Var + ")@" + N.Block->label();
+  }
+  depflow_unreachable("unknown DFG node kind");
+}
+
+std::string DepFlowGraph::toDot(const Function &F) const {
+  std::string Out = "digraph dfg {\n  node [shape=box, fontsize=10];\n";
+  for (unsigned N = 0; N != numNodes(); ++N)
+    Out += "  n" + std::to_string(N) + " [label=\"" + nodeLabel(F, N) +
+           "\"];\n";
+  for (const Edge &Ed : Edges) {
+    Out += "  n" + std::to_string(Ed.Src) + " -> n" + std::to_string(Ed.Dst);
+    if (Ed.SrcPort || Ed.DstPort)
+      Out += " [label=\"" + std::to_string(Ed.SrcPort) + ":" +
+             std::to_string(Ed.DstPort) + "\"]";
+    Out += ";\n";
+  }
+  return Out + "}\n";
+}

@@ -1,0 +1,171 @@
+//===- core/DepFlowGraph.h - The dependence flow graph ----------*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dependence flow graph (DFG) — the paper's central data structure.
+///
+/// Per variable, dependence values flow through five kinds of nodes:
+///   * Entry  — the implicit definition of every variable at `start`
+///              (variables are 0 at entry; parameters are also entry defs);
+///   * Def    — an instruction that assigns the variable;
+///   * Use    — one operand of an instruction reading the variable;
+///   * Switch — at a conditional branch: routes the incoming dependence to
+///              one output per CFG successor;
+///   * Merge  — at a join block: combines one dependence per predecessor.
+///
+/// Construction follows Section 3.2 of the paper:
+///   1. defs-per-region, aggregated inside-out over the PST;
+///   2. a base-level graph routing every variable through every block
+///      (merge at joins, switch at branches, def/use taps in order);
+///   3. *region bypassing*: for each canonical SESE region containing no
+///      assignment to v, the through-dependence at the region's exit edge is
+///      taken directly from its entry edge, skipping the interior;
+///   4. *dead edge removal*: nodes from which no use is reachable are
+///      discarded (this also restricts the graph to live ranges, matching
+///      conditions 1-2 of Definition 6).
+///
+/// A *control variable* (id == Function::numVars()) is defined at entry and
+/// used by every statement with no variable operands (Section 3.3); its
+/// dependences are the factored control edges that let the forward solver
+/// track executability (possible-paths constants, Figure 3b).
+///
+/// A *multiedge* is one (node, output port) with all of its out-edges: the
+/// tail and heads vocabulary of Sections 4-5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_CORE_DEPFLOWGRAPH_H
+#define DEPFLOW_CORE_DEPFLOWGRAPH_H
+
+#include "ir/CFGEdges.h"
+#include "ir/Function.h"
+#include "structure/SESE.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace depflow {
+
+class DFGBuilder;
+
+class DepFlowGraph {
+public:
+  enum class NodeKind : std::uint8_t { Entry, Def, Use, Switch, Merge };
+
+  /// How aggressively to bypass regions (Section 3.3 discusses that any
+  /// equivalence finer than control dependence works; None is the ablation
+  /// baseline that routes every variable through every block).
+  enum class BypassMode { None, SESE };
+
+  struct Node {
+    NodeKind Kind;
+    VarId Var = 0;              // May be the control variable.
+    Instruction *Inst = nullptr; // Def/Use.
+    unsigned OpIdx = 0;          // Use: operand index within Inst.
+    BasicBlock *Block = nullptr; // Switch/Merge (also set for Def/Use).
+  };
+
+  struct Edge {
+    unsigned Src;
+    unsigned Dst;
+    VarId Var;
+    std::uint16_t SrcPort; // Switch: successor index; otherwise 0.
+    std::uint16_t DstPort; // Merge: predecessor index; otherwise 0.
+  };
+
+  struct Stats {
+    unsigned EdgesBeforePrune = 0;
+    unsigned NodesBeforePrune = 0;
+    unsigned BypassRedirects = 0;
+  };
+
+private:
+  std::vector<Node> Nodes;
+  std::vector<Edge> Edges;
+  std::vector<std::vector<unsigned>> OutEdges; // per node, edge ids
+  std::vector<std::vector<unsigned>> InEdges;  // per node, edge ids
+  unsigned ControlVar = 0;
+  Stats BuildStats;
+
+  // Lookup tables.
+  std::vector<int> EntryOfVar;                       // var -> node or -1
+  std::unordered_map<const Instruction *, unsigned> DefOf;
+  std::unordered_map<const Instruction *, std::vector<int>> UsesOf;
+  std::vector<std::vector<int>> SwitchAt; // [block][var] -> node or -1
+  std::vector<std::vector<int>> MergeAt;  // [block][var] -> node or -1
+  // [var][cfg edge] -> (node, port) whose value crosses that edge; node is
+  // -1 when the variable is dead there (pruned source).
+  std::vector<std::vector<std::pair<int, std::uint16_t>>> DepAt;
+
+  friend class DFGBuilder;
+
+public:
+  /// Builds the DFG of \p F. Requires: F verifies and contains no phis.
+  static DepFlowGraph build(Function &F, const CFGEdges &E,
+                            BypassMode Mode = BypassMode::SESE);
+
+  /// Convenience overload computing the edge numbering itself.
+  static DepFlowGraph build(Function &F, BypassMode Mode = BypassMode::SESE);
+
+  unsigned numNodes() const { return unsigned(Nodes.size()); }
+  unsigned numEdges() const { return unsigned(Edges.size()); }
+  const Node &node(unsigned Id) const { return Nodes[Id]; }
+  const Edge &edge(unsigned Id) const { return Edges[Id]; }
+  const std::vector<unsigned> &outEdges(unsigned NodeId) const {
+    return OutEdges[NodeId];
+  }
+  const std::vector<unsigned> &inEdges(unsigned NodeId) const {
+    return InEdges[NodeId];
+  }
+
+  /// Out-edges of (node, port) — one multiedge (tail with its heads).
+  std::vector<unsigned> multiedge(unsigned NodeId, unsigned Port) const;
+
+  /// The variable id used for control edges (== Function::numVars()).
+  VarId controlVar() const { return ControlVar; }
+  bool isControl(VarId V) const { return V == ControlVar; }
+
+  /// Entry node of \p V, or -1 if pruned (variable never used).
+  int entryNode(VarId V) const { return EntryOfVar[V]; }
+  /// Def node of instruction \p I, or -1 if pruned.
+  int defNode(const Instruction *I) const {
+    auto It = DefOf.find(I);
+    return It == DefOf.end() ? -1 : int(It->second);
+  }
+  /// Use node for operand \p OpIdx of \p I, or -1 (non-var operand or
+  /// pruned). For statements with a control use, the control use is indexed
+  /// at position numOperands().
+  int useNode(const Instruction *I, unsigned OpIdx) const;
+  int switchNode(const BasicBlock *BB, VarId V) const {
+    return SwitchAt[BB->id()][V];
+  }
+  int mergeNode(const BasicBlock *BB, VarId V) const {
+    return MergeAt[BB->id()][V];
+  }
+
+  /// The dependence source (node, port) whose value for \p V crosses CFG
+  /// edge \p EdgeId, or {-1, 0} when \p V is dead there. This is the
+  /// Section 5.1 projection hook: a dependence edge from that source spans
+  /// the CFG edge.
+  std::pair<int, unsigned> depAtEdge(unsigned EdgeId, VarId V) const {
+    const auto &P = DepAt[V][EdgeId];
+    return {P.first, unsigned(P.second)};
+  }
+
+  const Stats &stats() const { return BuildStats; }
+
+  /// Renders the graph in GraphViz format (per-variable coloring).
+  std::string toDot(const Function &F) const;
+
+  /// Human-readable node label for diagnostics.
+  std::string nodeLabel(const Function &F, unsigned NodeId) const;
+};
+
+} // namespace depflow
+
+#endif // DEPFLOW_CORE_DEPFLOWGRAPH_H

@@ -1,0 +1,113 @@
+//===- dataflow/Anticipatability.h - ANT/PAN analyses -----------*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Total and partial anticipatability (Section 5.1, Figures 5-7), the
+/// backward dataflow problem that def-use chains and SSA form cannot
+/// express but the DFG can:
+///
+///  * `cfgAnticipatability`        — ANT/PAN per CFG edge, the Figure 5a
+///    equations (greatest/least fixed points respectively).
+///  * `cfgRelativeAnticipatability`— ANT/PAN *relative to one variable*
+///    (Definition 9): a computation of e before any assignment to x.
+///  * `dfgRelativeAnticipatability`— the Figure 5b equations: per-
+///    dependence-edge booleans over variable x's slice of the DFG. The
+///    boundary is false at uses of x that do not compute e and at pruned
+///    (dead) switch sides; the multiedge rule ORs over a tail's heads
+///    ("anticipatable at any head ⇒ anticipatable at the tail"), and a
+///    switch ANDs (for ANT) or ORs (for PAN) its direction ports.
+///  * `projectRelativeAnt`         — Section 5.1's projection of the DFG
+///    result onto CFG edges; total anticipatability of a multi-variable
+///    expression is the conjunction of its variables' projections.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_DATAFLOW_ANTICIPATABILITY_H
+#define DEPFLOW_DATAFLOW_ANTICIPATABILITY_H
+
+#include "core/DepFlowGraph.h"
+#include "ir/CFGEdges.h"
+#include "ir/Expression.h"
+#include "ir/Function.h"
+
+#include <memory>
+#include <vector>
+
+namespace depflow {
+
+/// Booleans per CFG edge id.
+struct CFGAntResult {
+  std::vector<bool> ANT;
+  std::vector<bool> PAN;
+};
+
+/// Figure 5a: ANT/PAN of \p Expr at every CFG edge.
+CFGAntResult cfgAnticipatability(Function &F, const CFGEdges &E,
+                                 const Expression &Expr);
+
+/// Definition 9: ANT/PAN of \p Expr relative to variable \p X only.
+CFGAntResult cfgRelativeAnticipatability(Function &F, const CFGEdges &E,
+                                         const Expression &Expr, VarId X);
+
+/// Booleans per DFG edge id (only variable X's edges are meaningful).
+struct DFGAntResult {
+  std::vector<bool> AntEdge;
+  std::vector<bool> PanEdge;
+
+  /// ANT at a multiedge tail: OR over the tail's heads.
+  bool antAtTail(const DepFlowGraph &G, unsigned Node, unsigned Port) const;
+  bool panAtTail(const DepFlowGraph &G, unsigned Node, unsigned Port) const;
+};
+
+/// Figure 5b: relative anticipatability solved on the DFG.
+DFGAntResult dfgRelativeAnticipatability(Function &F, const DepFlowGraph &G,
+                                         const Expression &Expr, VarId X);
+
+class DomTree;
+
+/// Reusable context for projections: the edge-split dominator and
+/// postdominator trees (rebuild after CFG mutation).
+struct ProjectionContext {
+  std::unique_ptr<DomTree> DT;
+  std::unique_ptr<DomTree> PDT;
+  ProjectionContext(Function &F, const CFGEdges &E);
+  ~ProjectionContext();
+};
+
+/// Projects the per-dependence-edge result onto CFG edges: relative ANT at
+/// CFG edge c is true iff some dependence edge for \p X spans c (its tail
+/// dominates c, its head postdominates c, and c cannot revisit the tail
+/// before the head).
+std::vector<bool> projectRelativeAnt(Function &F, const CFGEdges &E,
+                                     const DepFlowGraph &G,
+                                     const DFGAntResult &R, VarId X);
+std::vector<bool> projectRelativeAnt(Function &F, const CFGEdges &E,
+                                     const DepFlowGraph &G,
+                                     const DFGAntResult &R, VarId X,
+                                     const ProjectionContext &Ctx);
+
+/// The PAN analogue: partially anticipatable at c iff some spanning
+/// dependence edge has PAN at its head (same span rule; PAN's existential
+/// reading makes the disjunction exact as well).
+std::vector<bool> projectRelativePan(Function &F, const CFGEdges &E,
+                                     const DepFlowGraph &G,
+                                     const DFGAntResult &R, VarId X);
+std::vector<bool> projectRelativePan(Function &F, const CFGEdges &E,
+                                     const DepFlowGraph &G,
+                                     const DFGAntResult &R, VarId X,
+                                     const ProjectionContext &Ctx);
+
+/// Convenience: multi-variable ANT per CFG edge via the DFG — conjunction
+/// of each variable's projected relative ANT (immediate-only expressions
+/// are handled on the CFG directly, matching Section 5.1's scope).
+std::vector<bool> dfgExpressionAnt(Function &F, const CFGEdges &E,
+                                   const DepFlowGraph &G,
+                                   const Expression &Expr);
+
+} // namespace depflow
+
+#endif // DEPFLOW_DATAFLOW_ANTICIPATABILITY_H

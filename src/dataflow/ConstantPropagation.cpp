@@ -1,0 +1,574 @@
+//===- dataflow/ConstantPropagation.cpp - Constant propagation ------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/ConstantPropagation.h"
+
+#include "ir/CFGEdges.h"
+#include "dataflow/DefUse.h"
+#include "support/Worklist.h"
+
+#include <optional>
+#include <set>
+
+using namespace depflow;
+
+namespace {
+
+/// If the last definition of \p CondVar in \p BB is an equality test
+/// against an immediate (`t = x == c` or `t = c == x`, and Ne likewise),
+/// returns the tested variable, the constant, and whether the constant
+/// side is the *true* side (Eq) or the *false* side (Ne).
+struct PredicateTest {
+  VarId Var;
+  std::int64_t Value;
+  bool OnTrueSide;
+};
+
+std::optional<PredicateTest> predicateTest(const BasicBlock *BB,
+                                           VarId CondVar) {
+  const BinaryInst *LastDef = nullptr;
+  for (const auto &I : BB->instructions()) {
+    if (const auto *D = dyn_cast<DefInst>(I.get()))
+      if (D->def() == CondVar)
+        LastDef = dyn_cast<BinaryInst>(D);
+  }
+  if (!LastDef ||
+      (LastDef->op() != BinOp::Eq && LastDef->op() != BinOp::Ne))
+    return std::nullopt;
+  const Operand &A = LastDef->lhs();
+  const Operand &B = LastDef->rhs();
+  bool True = LastDef->op() == BinOp::Eq;
+  if (A.isVar() && B.isImm())
+    return PredicateTest{A.var(), B.imm(), True};
+  if (A.isImm() && B.isVar())
+    return PredicateTest{B.var(), A.imm(), True};
+  return std::nullopt;
+}
+
+} // namespace
+
+unsigned ConstPropResult::numConstantUses() const {
+  unsigned N = 0;
+  for (const auto &[I, Vals] : UseValues)
+    for (const ConstVal &V : Vals)
+      N += V.isConst();
+  return N;
+}
+
+unsigned ConstPropResult::numConstantVarUses() const {
+  unsigned N = 0;
+  for (const auto &[I, Vals] : UseValues)
+    for (unsigned Idx = 0; Idx != Vals.size(); ++Idx)
+      if (Idx < I->numOperands() && I->operand(Idx).isVar())
+        N += Vals[Idx].isConst();
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// CFG algorithm (Figure 4a)
+//===----------------------------------------------------------------------===//
+
+ConstPropResult depflow::cfgConstantPropagation(Function &F,
+                                                bool PredicateRefinement) {
+  F.recomputePreds();
+  CFGEdges E(F);
+  unsigned NV = F.numVars();
+
+  std::vector<std::vector<ConstVal>> EdgeVec(E.size(),
+                                             std::vector<ConstVal>(NV));
+  std::vector<bool> EdgeExec(E.size(), false);
+  std::vector<bool> BlockExec(F.numBlocks(), false);
+
+  std::vector<ConstVal> EntryVec(NV, ConstVal::cst(0));
+  for (VarId P : F.params())
+    EntryVec[P] = ConstVal::top();
+
+  auto InVector = [&](const BasicBlock *BB) {
+    if (BB == F.entry())
+      return EntryVec;
+    std::vector<ConstVal> Vec(NV);
+    for (unsigned EId : E.inEdges(BB))
+      if (EdgeExec[EId])
+        for (unsigned V = 0; V != NV; ++V)
+          Vec[V] = Vec[V].join(EdgeVec[EId][V]);
+    return Vec;
+  };
+
+  Worklist WL(F.numBlocks());
+  BlockExec[F.entry()->id()] = true;
+  WL.push(F.entry()->id());
+
+  while (!WL.empty()) {
+    BasicBlock *BB = F.block(WL.pop());
+    std::vector<ConstVal> Vec = InVector(BB);
+    for (const auto &IPtr : BB->instructions())
+      if (const auto *D = dyn_cast<DefInst>(IPtr.get()))
+        Vec[D->def()] = evalDefinition(
+            *D, [&](const Operand &Op) { return Vec[Op.var()]; });
+
+    auto Propagate = [&](unsigned EId, const std::vector<ConstVal> &V) {
+      if (EdgeExec[EId] && EdgeVec[EId] == V)
+        return;
+      EdgeExec[EId] = true;
+      EdgeVec[EId] = V;
+      BasicBlock *To = E.edge(EId).To;
+      BlockExec[To->id()] = true;
+      WL.push(To->id());
+    };
+
+    Instruction *Term = BB->terminator();
+    if (auto *Br = dyn_cast<CondBrInst>(Term)) {
+      ConstVal Cond = Br->cond().isImm()
+                          ? ConstVal::cst(Br->cond().imm())
+                          : Vec[Br->cond().var()];
+      // Multiflow predicate refinement: `if (x == c)` pins x to c on the
+      // true side (`x != c` on the false side) when x was still varying.
+      std::optional<PredicateTest> Test;
+      if (PredicateRefinement && Br->cond().isVar() && Cond.isTop())
+        Test = predicateTest(BB, Br->cond().var());
+      auto Refined = [&](bool TrueSide) {
+        if (!Test || Test->OnTrueSide != TrueSide ||
+            !Vec[Test->Var].isTop())
+          return Vec;
+        std::vector<ConstVal> Copy = Vec;
+        Copy[Test->Var] = ConstVal::cst(Test->Value);
+        return Copy;
+      };
+      if (Cond.mayBeTrue())
+        Propagate(E.outEdge(BB, 0), Refined(true));
+      if (Cond.mayBeFalse())
+        Propagate(E.outEdge(BB, 1), Refined(false));
+    } else if (isa<JumpInst>(Term)) {
+      Propagate(E.outEdge(BB, 0), Vec);
+    }
+  }
+
+  // Extraction: replay each executable block to record per-use values.
+  ConstPropResult R;
+  R.ExecutableBlock = BlockExec;
+  for (const auto &BB : F.blocks()) {
+    bool Exec = BlockExec[BB->id()];
+    std::vector<ConstVal> Vec;
+    if (Exec)
+      Vec = InVector(BB.get());
+    for (const auto &IPtr : BB->instructions()) {
+      const Instruction *I = IPtr.get();
+      std::vector<ConstVal> Vals(I->numOperands(), ConstVal::bot());
+      if (Exec) {
+        for (unsigned Idx = 0; Idx != I->numOperands(); ++Idx) {
+          const Operand &Op = I->operand(Idx);
+          Vals[Idx] = Op.isImm() ? ConstVal::cst(Op.imm()) : Vec[Op.var()];
+        }
+        if (const auto *D = dyn_cast<DefInst>(I))
+          Vec[D->def()] = evalDefinition(
+              *D, [&](const Operand &Op) { return Vec[Op.var()]; });
+      }
+      R.UseValues.emplace(I, std::move(Vals));
+    }
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// DFG algorithm (Figure 4b)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Worklist evaluation of the Figure 4b equations over a DepFlowGraph.
+class DFGConstProp {
+  Function &F;
+  const DepFlowGraph &G;
+  bool Refine;
+  std::vector<ConstVal> EdgeVal;
+  Worklist WL;
+
+public:
+  DFGConstProp(Function &F, const DepFlowGraph &G, bool Refine)
+      : F(F), G(G), Refine(Refine), EdgeVal(G.numEdges()),
+        WL(G.numNodes()) {}
+
+  ConstPropResult run() {
+    for (unsigned N = 0; N != G.numNodes(); ++N)
+      if (G.node(N).Kind == DepFlowGraph::NodeKind::Entry)
+        WL.push(N);
+    while (!WL.empty())
+      evalNode(WL.pop());
+    return extract();
+  }
+
+private:
+  /// Value arriving at a Use node (single in-edge by construction).
+  ConstVal useValue(int UseNode) const {
+    if (UseNode < 0)
+      return ConstVal::bot();
+    const auto &In = G.inEdges(unsigned(UseNode));
+    return In.empty() ? ConstVal::bot() : EdgeVal[In[0]];
+  }
+
+  /// Lattice value of instruction operand \p Idx. Dead instructions report
+  /// ⊥ for every operand, even when region bypassing routed a (termination-
+  /// optimistic) value past the switch that guards them — this keeps the
+  /// reported results identical to the CFG algorithm's.
+  ConstVal operandValue(const Instruction *I, unsigned Idx,
+                        bool Executable) const {
+    if (!Executable)
+      return ConstVal::bot();
+    const Operand &Op = I->operand(Idx);
+    if (Op.isImm())
+      return ConstVal::cst(Op.imm());
+    return useValue(G.useNode(I, Idx));
+  }
+
+  /// Executability of instruction \p I: the control use if it has one,
+  /// otherwise the liveness of its first variable operand's dependence.
+  bool executable(const Instruction *I) const {
+    int Ctrl = G.useNode(I, I->numOperands());
+    if (Ctrl >= 0)
+      return !useValue(Ctrl).isBot();
+    for (unsigned Idx = 0; Idx != I->numOperands(); ++Idx)
+      if (I->operand(Idx).isVar())
+        return !useValue(G.useNode(I, Idx)).isBot();
+    return true; // No operands at all: treated as executable.
+  }
+
+  void writeEdge(unsigned EId, ConstVal V) {
+    if (EdgeVal[EId] == V)
+      return;
+    EdgeVal[EId] = V;
+    WL.push(G.edge(EId).Dst);
+  }
+
+  void writePort(unsigned Node, unsigned Port, ConstVal V) {
+    for (unsigned EId : G.outEdges(Node))
+      if (G.edge(EId).SrcPort == Port)
+        writeEdge(EId, V);
+  }
+
+  void evalNode(unsigned N) {
+    const DepFlowGraph::Node &Node = G.node(N);
+    switch (Node.Kind) {
+    case DepFlowGraph::NodeKind::Entry: {
+      ConstVal V = ConstVal::cst(0);
+      if (G.isControl(Node.Var))
+        V = ConstVal::top();
+      for (VarId P : F.params())
+        if (P == Node.Var)
+          V = ConstVal::top();
+      writePort(N, 0, V);
+      break;
+    }
+    case DepFlowGraph::NodeKind::Use: {
+      // A use's value feeds its instruction: re-evaluate the def it takes
+      // part in, or the switches keyed on it when it is a branch predicate.
+      const Instruction *I = Node.Inst;
+      if (isa<DefInst>(I)) {
+        if (int D = G.defNode(I); D >= 0)
+          WL.push(unsigned(D));
+      } else if (isa<CondBrInst>(I)) {
+        for (VarId V = 0; V <= F.numVars(); ++V)
+          if (int S = G.switchNode(Node.Block, V); S >= 0)
+            WL.push(unsigned(S));
+      }
+      break;
+    }
+    case DepFlowGraph::NodeKind::Def: {
+      const auto *D = cast<DefInst>(Node.Inst);
+      // evalDefinition resolves immediates itself; the callback only sees
+      // variable operands and maps them back to their use nodes.
+      ConstVal Out = evalDefinition(
+          *D,
+          [&](const Operand &Op) {
+            for (unsigned Idx = 0; Idx != D->numOperands(); ++Idx)
+              if (D->operand(Idx) == Op)
+                return useValue(G.useNode(D, Idx));
+            depflow_unreachable("operand not found on its instruction");
+          },
+          executable(D));
+      writePort(N, 0, Out);
+      break;
+    }
+    case DepFlowGraph::NodeKind::Switch: {
+      const auto *Br = cast<CondBrInst>(Node.Block->terminator());
+      ConstVal In = useValue(int(N)); // Switch input: single in-edge.
+      ConstVal Pred;
+      if (Br->cond().isImm())
+        Pred = In.isBot() ? ConstVal::bot() : ConstVal::cst(Br->cond().imm());
+      else
+        Pred = useValue(G.useNode(Br, 0));
+      ConstVal OutTrue = Pred.mayBeTrue() ? In : ConstVal::bot();
+      ConstVal OutFalse = Pred.mayBeFalse() ? In : ConstVal::bot();
+      // Multiflow predicate refinement at the switch — possible here and
+      // in the CFG algorithm, but not in SSA form, whose edges skip the
+      // switches (Section 4).
+      if (Refine && Br->cond().isVar() && Pred.isTop() && In.isTop()) {
+        if (std::optional<PredicateTest> Test =
+                predicateTest(Node.Block, Br->cond().var());
+            Test && Test->Var == Node.Var)
+          (Test->OnTrueSide ? OutTrue : OutFalse) =
+              ConstVal::cst(Test->Value);
+      }
+      writePort(N, 0, OutTrue);
+      writePort(N, 1, OutFalse);
+      break;
+    }
+    case DepFlowGraph::NodeKind::Merge: {
+      ConstVal Out;
+      for (unsigned EId : G.inEdges(N))
+        Out = Out.join(EdgeVal[EId]);
+      writePort(N, 0, Out);
+      break;
+    }
+    }
+  }
+
+  ConstPropResult extract() const {
+    ConstPropResult R;
+    // Block executability, projected from the DFG's branch predicate
+    // values: entry runs; a branch's sides run when its predicate (a DFG
+    // use value) may take them. Blocks containing only a jump (e.g. the
+    // empty merge blocks of separateComputation) carry no use of their
+    // own, so this projection is the uniform way to classify them.
+    R.ExecutableBlock.assign(F.numBlocks(), false);
+    std::vector<BasicBlock *> Stack{F.entry()};
+    R.ExecutableBlock[F.entry()->id()] = true;
+    while (!Stack.empty()) {
+      BasicBlock *BB = Stack.back();
+      Stack.pop_back();
+      Instruction *Term = BB->terminator();
+      auto Push = [&](BasicBlock *S) {
+        if (!R.ExecutableBlock[S->id()]) {
+          R.ExecutableBlock[S->id()] = true;
+          Stack.push_back(S);
+        }
+      };
+      if (auto *Br = dyn_cast<CondBrInst>(Term)) {
+        ConstVal Pred = Br->cond().isImm()
+                            ? ConstVal::cst(Br->cond().imm())
+                            : useValue(G.useNode(Br, 0));
+        if (Pred.mayBeTrue())
+          Push(Br->trueTarget());
+        if (Pred.mayBeFalse())
+          Push(Br->falseTarget());
+      } else if (auto *J = dyn_cast<JumpInst>(Term)) {
+        Push(J->target());
+      }
+    }
+
+    for (const auto &BB : F.blocks()) {
+      bool Exec = R.ExecutableBlock[BB->id()];
+      for (const auto &IPtr : BB->instructions()) {
+        const Instruction *I = IPtr.get();
+        std::vector<ConstVal> Vals(I->numOperands(), ConstVal::bot());
+        for (unsigned Idx = 0; Idx != I->numOperands(); ++Idx)
+          Vals[Idx] = operandValue(I, Idx, Exec);
+        R.UseValues.emplace(I, std::move(Vals));
+      }
+    }
+    return R;
+  }
+};
+
+} // namespace
+
+ConstPropResult depflow::dfgConstantPropagation(Function &F,
+                                                const DepFlowGraph &G,
+                                                bool PredicateRefinement) {
+  return DFGConstProp(F, G, PredicateRefinement).run();
+}
+
+//===----------------------------------------------------------------------===//
+// Def-use chain algorithm (all-paths constants only)
+//===----------------------------------------------------------------------===//
+
+ConstPropResult depflow::defUseConstantPropagation(Function &F,
+                                                   const ReachingDefs &RD) {
+  // Value per definition site; round-robin to a fixed point (values climb
+  // the three-level lattice, so few rounds are needed).
+  std::unordered_map<const Instruction *, ConstVal> DefVal;
+  std::vector<ConstVal> EntryVal(F.numVars(), ConstVal::cst(0));
+  for (VarId P : F.params())
+    EntryVal[P] = ConstVal::top();
+
+  auto UseVal = [&](const Instruction *I, unsigned OpIdx, VarId V) {
+    ConstVal Out;
+    for (const Instruction *D : RD.defsReaching(I, OpIdx)) {
+      if (!D)
+        Out = Out.join(EntryVal[V]);
+      else if (auto It = DefVal.find(D); It != DefVal.end())
+        Out = Out.join(It->second);
+    }
+    return Out;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &BB : F.blocks()) {
+      for (const auto &IPtr : BB->instructions()) {
+        const auto *D = dyn_cast<DefInst>(IPtr.get());
+        if (!D)
+          continue;
+        ConstVal New = evalDefinition(*D, [&](const Operand &Op) {
+          for (unsigned Idx = 0; Idx != D->numOperands(); ++Idx)
+            if (D->operand(Idx) == Op)
+              return UseVal(D, Idx, Op.var());
+          depflow_unreachable("operand not found on its instruction");
+        });
+        if (New != DefVal[D]) {
+          DefVal[D] = New;
+          Changed = true;
+        }
+      }
+    }
+  }
+
+  ConstPropResult R;
+  R.ExecutableBlock.assign(F.numBlocks(), true);
+  for (const auto &BB : F.blocks()) {
+    for (const auto &IPtr : BB->instructions()) {
+      const Instruction *I = IPtr.get();
+      std::vector<ConstVal> Vals(I->numOperands(), ConstVal::bot());
+      for (unsigned Idx = 0; Idx != I->numOperands(); ++Idx) {
+        const Operand &Op = I->operand(Idx);
+        Vals[Idx] =
+            Op.isImm() ? ConstVal::cst(Op.imm()) : UseVal(I, Idx, Op.var());
+      }
+      R.UseValues.emplace(I, std::move(Vals));
+    }
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Applying the result
+//===----------------------------------------------------------------------===//
+
+unsigned depflow::applyConstantsAndDCE(Function &F,
+                                       const ConstPropResult &CP) {
+  unsigned Rewrites = 0;
+  auto BlockExec = [&](const BasicBlock *BB) {
+    return CP.ExecutableBlock.empty() || CP.ExecutableBlock[BB->id()];
+  };
+
+  // 1. Rewrite constant variable uses to immediates.
+  for (const auto &BB : F.blocks()) {
+    if (!BlockExec(BB.get()))
+      continue;
+    for (const auto &IPtr : BB->instructions()) {
+      Instruction *I = IPtr.get();
+      for (unsigned Idx = 0; Idx != I->numOperands(); ++Idx) {
+        if (!I->operand(Idx).isVar())
+          continue;
+        ConstVal V = CP.useValue(I, Idx);
+        if (V.isConst()) {
+          I->setOperand(Idx, Operand::imm(V.value()));
+          ++Rewrites;
+        }
+      }
+    }
+  }
+
+  // 2+3. Simplify branches whose condition is now an immediate and drop
+  // the blocks that become unreachable — but only when the exit survives.
+  // A program that provably never leaves a loop would otherwise lose its
+  // exit and stop verifying; we leave such functions' control flow alone.
+  {
+    // Trial reachability under simplified branches.
+    std::vector<bool> Reach(F.numBlocks(), false);
+    std::vector<BasicBlock *> Stack{F.entry()};
+    Reach[F.entry()->id()] = true;
+    while (!Stack.empty()) {
+      BasicBlock *BB = Stack.back();
+      Stack.pop_back();
+      auto Push = [&](BasicBlock *S) {
+        if (!Reach[S->id()]) {
+          Reach[S->id()] = true;
+          Stack.push_back(S);
+        }
+      };
+      auto *Br = dyn_cast_if_present<CondBrInst>(BB->terminator());
+      if (Br && Br->cond().isImm()) {
+        Push(Br->cond().imm() != 0 ? Br->trueTarget() : Br->falseTarget());
+      } else {
+        for (BasicBlock *S : BB->successors())
+          Push(S);
+      }
+    }
+    // Under the simplified branches, every surviving block must still
+    // reach the exit, or the result would not verify (this triggers only
+    // for code whose termination the constants disprove; such functions
+    // keep their original control flow).
+    bool Safe = F.exit() && Reach[F.exit()->id()];
+    if (Safe) {
+      std::vector<bool> ReachesExit(F.numBlocks(), false);
+      std::vector<BasicBlock *> Back{F.exit()};
+      ReachesExit[F.exit()->id()] = true;
+      while (!Back.empty()) {
+        BasicBlock *BB = Back.back();
+        Back.pop_back();
+        for (BasicBlock *P : BB->predecessors()) {
+          if (ReachesExit[P->id()])
+            continue;
+          // Respect the simplified branch: a constant branch only reaches
+          // BB if BB is the taken side.
+          auto *Br = dyn_cast<CondBrInst>(P->terminator());
+          if (Br && Br->cond().isImm()) {
+            BasicBlock *Taken = Br->cond().imm() != 0 ? Br->trueTarget()
+                                                      : Br->falseTarget();
+            if (Taken != BB)
+              continue;
+          }
+          ReachesExit[P->id()] = true;
+          Back.push_back(P);
+        }
+      }
+      for (unsigned B = 0; B != F.numBlocks() && Safe; ++B)
+        if (Reach[B] && !ReachesExit[B])
+          Safe = false;
+    }
+    if (Safe) {
+      for (const auto &BB : F.blocks()) {
+        auto *Br = dyn_cast_if_present<CondBrInst>(BB->terminator());
+        if (!Br || !Br->cond().isImm())
+          continue;
+        BasicBlock *Target =
+            Br->cond().imm() != 0 ? Br->trueTarget() : Br->falseTarget();
+        BB->replaceInstruction(unsigned(BB->size() - 1),
+                               std::make_unique<JumpInst>(Target));
+      }
+      F.eraseBlocks(Reach);
+    }
+  }
+
+  // 4. Remove pure definitions of variables that are never used. read() is
+  // observable (it consumes input), so it stays.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    std::vector<bool> Used(F.numVars(), false);
+    for (const auto &BB : F.blocks())
+      for (const auto &I : BB->instructions())
+        for (const Operand &Op : I->operands())
+          if (Op.isVar())
+            Used[Op.var()] = true;
+    for (const auto &BB : F.blocks()) {
+      for (unsigned Idx = 0; Idx != BB->size();) {
+        const Instruction *I = BB->instructions()[Idx].get();
+        const auto *D = dyn_cast<DefInst>(I);
+        if (D && !isa<ReadInst>(D) && !Used[D->def()]) {
+          BB->removeInstruction(Idx);
+          Changed = true;
+        } else {
+          ++Idx;
+        }
+      }
+    }
+  }
+  F.recomputePreds();
+  return Rewrites;
+}

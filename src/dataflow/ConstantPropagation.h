@@ -1,0 +1,92 @@
+//===- dataflow/ConstantPropagation.h - Constant propagation ----*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Conditional constant propagation with dead code detection, in the three
+/// forms Section 4 of the paper compares:
+///
+///   * `cfgConstantPropagation`   — Kildall vectors on CFG edges with
+///     executability tracking (Figure 4a); O(E·V^2) time, O(E·V) space.
+///   * `dfgConstantPropagation`   — per-dependence-edge values on the DFG
+///     (Figure 4b); O(E·V) time. Finds exactly the same constants.
+///   * `defUseConstantPropagation`— the classic def-use chain algorithm
+///     [ASU86]; finds only *all-paths* constants (Figure 3a), missing the
+///     possible-paths constants of Figure 3b.
+///
+/// Evaluation semantics (consistent with the interpreter): variables are 0
+/// at entry, parameters and read() are ⊤.
+///
+/// All variants report one lattice value per *use*; ⊥ means the use is in
+/// dead code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_DATAFLOW_CONSTANTPROPAGATION_H
+#define DEPFLOW_DATAFLOW_CONSTANTPROPAGATION_H
+
+#include "core/DepFlowGraph.h"
+#include "dataflow/Lattice.h"
+#include "ir/Function.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace depflow {
+
+class ReachingDefs;
+
+struct ConstPropResult {
+  /// Per instruction, one lattice value per operand (non-var operands get
+  /// their folded immediate; operands of dead instructions get ⊥).
+  std::unordered_map<const Instruction *, std::vector<ConstVal>> UseValues;
+  /// Per block id: can the block execute? (Only filled by the variants
+  /// that track executability; def-use CP marks everything executable.)
+  std::vector<bool> ExecutableBlock;
+
+  ConstVal useValue(const Instruction *I, unsigned OpIdx) const {
+    auto It = UseValues.find(I);
+    if (It == UseValues.end() || OpIdx >= It->second.size())
+      return ConstVal::bot();
+    return It->second[OpIdx];
+  }
+
+  /// Number of uses whose value is a constant.
+  unsigned numConstantUses() const;
+  /// Number of variable uses whose value is a constant (immediates are
+  /// trivially constant and excluded).
+  unsigned numConstantVarUses() const;
+};
+
+/// The CFG algorithm of Figure 4a. With \p PredicateRefinement, a branch
+/// whose condition is `x == c` (defined in the branch's own block)
+/// propagates x = c along its true side, and `x != c` along its false
+/// side — the Multiflow extension Section 4 describes. The paper notes
+/// this extension is easy for both the CFG and DFG algorithms but hard
+/// for SSA-based ones, since SSA edges bypass the switches.
+ConstPropResult cfgConstantPropagation(Function &F,
+                                       bool PredicateRefinement = false);
+
+/// The DFG algorithm of Figure 4b; \p G must be the DFG of \p F.
+/// \p PredicateRefinement as above (the refinement happens at the switch
+/// nodes, which the DFG keeps — unlike SSA form).
+ConstPropResult dfgConstantPropagation(Function &F, const DepFlowGraph &G,
+                                       bool PredicateRefinement = false);
+
+/// The def-use chain algorithm (no executability tracking).
+ConstPropResult defUseConstantPropagation(Function &F,
+                                          const ReachingDefs &RD);
+
+/// Applies a constant propagation result: rewrites constant variable uses
+/// to immediates, simplifies branches whose condition became constant,
+/// removes unreachable blocks, and erases definitions that are dead (never
+/// executable or never used). Returns the number of rewritten operands.
+/// The function verifies afterwards.
+unsigned applyConstantsAndDCE(Function &F, const ConstPropResult &CP);
+
+} // namespace depflow
+
+#endif // DEPFLOW_DATAFLOW_CONSTANTPROPAGATION_H

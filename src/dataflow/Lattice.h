@@ -1,0 +1,131 @@
+//===- dataflow/Lattice.h - The constant propagation lattice ----*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Kildall's three-level lattice (Section 4): ⊥ ("never examined — dead
+/// code"), a concrete constant, and ⊤ ("may vary between executions").
+/// All constant propagation variants (CFG, DFG, def-use, SCCP) share this
+/// type and one instruction transfer function, so they can never disagree
+/// on arithmetic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_DATAFLOW_LATTICE_H
+#define DEPFLOW_DATAFLOW_LATTICE_H
+
+#include "ir/Instruction.h"
+
+#include <cstdint>
+#include <string>
+
+namespace depflow {
+
+class ConstVal {
+public:
+  enum class Kind : std::uint8_t { Bot, Const, Top };
+
+private:
+  Kind K = Kind::Bot;
+  std::int64_t V = 0;
+
+public:
+  ConstVal() = default;
+
+  static ConstVal bot() { return ConstVal(); }
+  static ConstVal top() {
+    ConstVal C;
+    C.K = Kind::Top;
+    return C;
+  }
+  static ConstVal cst(std::int64_t Value) {
+    ConstVal C;
+    C.K = Kind::Const;
+    C.V = Value;
+    return C;
+  }
+
+  bool isBot() const { return K == Kind::Bot; }
+  bool isTop() const { return K == Kind::Top; }
+  bool isConst() const { return K == Kind::Const; }
+  std::int64_t value() const {
+    assert(isConst() && "value() on a non-constant lattice element");
+    return V;
+  }
+
+  /// True if this may be a nonzero (taken) branch condition.
+  bool mayBeTrue() const { return isTop() || (isConst() && V != 0); }
+  /// True if this may be a zero (fall-through) branch condition.
+  bool mayBeFalse() const { return isTop() || (isConst() && V == 0); }
+
+  /// Least upper bound.
+  ConstVal join(ConstVal O) const {
+    if (isBot())
+      return O;
+    if (O.isBot())
+      return *this;
+    if (isTop() || O.isTop())
+      return top();
+    return V == O.V ? *this : top();
+  }
+
+  bool operator==(const ConstVal &O) const {
+    return K == O.K && (K != Kind::Const || V == O.V);
+  }
+  bool operator!=(const ConstVal &O) const { return !(*this == O); }
+
+  std::string str() const {
+    if (isBot())
+      return "_|_";
+    if (isTop())
+      return "T";
+    return std::to_string(V);
+  }
+};
+
+/// Transfer function for a definition's right-hand side, shared by every
+/// constant propagation variant. \p GetOperand supplies lattice values for
+/// operands (immediates are folded here). \p Executable is the control
+/// input: when false the instruction is dead and produces ⊥.
+template <typename GetOperandFn>
+ConstVal evalDefinition(const DefInst &I, GetOperandFn GetOperand,
+                        bool Executable = true) {
+  if (!Executable)
+    return ConstVal::bot();
+  auto Val = [&](const Operand &Op) {
+    return Op.isImm() ? ConstVal::cst(Op.imm()) : GetOperand(Op);
+  };
+  switch (I.kind()) {
+  case Instruction::Kind::Copy:
+    return Val(cast<CopyInst>(&I)->src());
+  case Instruction::Kind::Read:
+    return ConstVal::top();
+  case Instruction::Kind::Unary: {
+    ConstVal A = Val(cast<UnaryInst>(&I)->src());
+    if (A.isBot() || A.isTop())
+      return A;
+    return ConstVal::cst(evalUnOp(cast<UnaryInst>(&I)->op(), A.value()));
+  }
+  case Instruction::Kind::Binary: {
+    const auto *B = cast<BinaryInst>(&I);
+    ConstVal A = Val(B->lhs());
+    ConstVal C = Val(B->rhs());
+    // The paper's rule: ⊥ wins over ⊤ (an unexamined operand keeps the
+    // result unexamined), then ⊤, then folding.
+    if (A.isBot() || C.isBot())
+      return ConstVal::bot();
+    if (A.isTop() || C.isTop())
+      return ConstVal::top();
+    return ConstVal::cst(evalBinOp(B->op(), A.value(), C.value()));
+  }
+  default:
+    depflow_unreachable("evalDefinition on a non-RHS instruction");
+  }
+}
+
+} // namespace depflow
+
+#endif // DEPFLOW_DATAFLOW_LATTICE_H

@@ -1,0 +1,73 @@
+//===- dataflow/Liveness.cpp - Live variable analysis ---------------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/Liveness.h"
+
+#include "support/Worklist.h"
+
+using namespace depflow;
+
+Liveness depflow::computeLiveness(Function &F) {
+  F.recomputePreds();
+  unsigned NB = F.numBlocks();
+  unsigned NV = F.numVars();
+
+  // UEVar: upward-exposed uses; DefMask: variables assigned in the block.
+  // Phi uses are attributed to the incoming predecessor's live-out, phi
+  // defs to the block itself.
+  std::vector<BitVector> UEVar(NB, BitVector(NV));
+  std::vector<BitVector> DefMask(NB, BitVector(NV));
+  for (const auto &BB : F.blocks()) {
+    BitVector &UE = UEVar[BB->id()];
+    BitVector &DM = DefMask[BB->id()];
+    for (const auto &I : BB->instructions()) {
+      if (!isa<PhiInst>(I.get())) {
+        for (const Operand &Op : I->operands())
+          if (Op.isVar() && !DM.test(Op.var()))
+            UE.set(Op.var());
+      }
+      if (const auto *D = dyn_cast<DefInst>(I.get()))
+        DM.set(D->def());
+    }
+  }
+
+  Liveness L;
+  L.LiveIn.assign(NB, BitVector(NV));
+  L.LiveOut.assign(NB, BitVector(NV));
+
+  Worklist WL(NB);
+  for (unsigned B = 0; B != NB; ++B)
+    WL.push(B);
+  while (!WL.empty()) {
+    unsigned B = WL.pop();
+    BasicBlock *BB = F.block(B);
+    BitVector Out(NV);
+    for (BasicBlock *S : BB->successors()) {
+      Out |= L.LiveIn[S->id()];
+      // Phi operands flowing along this edge are live out of B.
+      for (const auto &I : S->instructions()) {
+        const auto *Phi = dyn_cast<PhiInst>(I.get());
+        if (!Phi)
+          break;
+        for (unsigned K = 0; K != Phi->numIncoming(); ++K)
+          if (Phi->incomingBlock(K) == BB &&
+              Phi->incomingValue(K).isVar())
+            Out.set(Phi->incomingValue(K).var());
+      }
+    }
+    BitVector In = Out;
+    In.resetAll(DefMask[B]);
+    In |= UEVar[B];
+    L.LiveOut[B] = Out;
+    if (In != L.LiveIn[B]) {
+      L.LiveIn[B] = In;
+      for (BasicBlock *P : BB->predecessors())
+        WL.push(P->id());
+    }
+  }
+  return L;
+}

@@ -1,0 +1,46 @@
+//===- dataflow/Liveness.h - Live variable analysis -------------*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic backward live-variable analysis over blocks. Used for pruned SSA
+/// construction (φs only where the variable is live) and for the ANT/PAN
+/// boundary conditions of Section 5.1 (dependences initialized false where
+/// the variable is dead).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_DATAFLOW_LIVENESS_H
+#define DEPFLOW_DATAFLOW_LIVENESS_H
+
+#include "ir/Function.h"
+#include "support/BitVector.h"
+
+#include <vector>
+
+namespace depflow {
+
+struct Liveness {
+  /// Per block id: variables live at block entry / exit.
+  std::vector<BitVector> LiveIn;
+  std::vector<BitVector> LiveOut;
+
+  bool liveIn(const BasicBlock *BB, VarId V) const {
+    return LiveIn[BB->id()].test(V);
+  }
+  bool liveOut(const BasicBlock *BB, VarId V) const {
+    return LiveOut[BB->id()].test(V);
+  }
+};
+
+/// Computes liveness for \p F. Phi operands count as live-out of the
+/// corresponding predecessor (standard SSA convention); the base IR has no
+/// phis, where this reduces to the textbook equations.
+Liveness computeLiveness(Function &F);
+
+} // namespace depflow
+
+#endif // DEPFLOW_DATAFLOW_LIVENESS_H

@@ -1,0 +1,313 @@
+//===- dataflow/PRE.cpp - Partial redundancy elimination ------------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/PRE.h"
+
+#include "support/Worklist.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace depflow;
+
+namespace {
+
+/// Per-block local properties of an expression, in Morel-Renvoise's
+/// vocabulary.
+struct LocalProps {
+  std::vector<bool> Transp;  // No operand of e assigned in the block.
+  std::vector<bool> AntLoc;  // e computed before any operand assignment.
+  std::vector<bool> Comp;    // e computed and still valid at block exit.
+};
+
+bool computes(const Instruction &I, const Expression &Expr) {
+  std::optional<Expression> E = expressionOf(I);
+  return E && *E == Expr;
+}
+
+bool kills(const Instruction &I, const Expression &Expr) {
+  const auto *D = dyn_cast<DefInst>(&I);
+  return D && Expr.uses(D->def());
+}
+
+LocalProps localProps(const Function &F, const Expression &Expr) {
+  LocalProps P;
+  unsigned NB = F.numBlocks();
+  P.Transp.assign(NB, true);
+  P.AntLoc.assign(NB, false);
+  P.Comp.assign(NB, false);
+  for (const auto &BB : F.blocks()) {
+    bool KilledYet = false;
+    bool AvailAtEnd = false;
+    for (const auto &I : BB->instructions()) {
+      if (computes(*I, Expr)) {
+        if (!KilledYet)
+          P.AntLoc[BB->id()] = true;
+        AvailAtEnd = true;
+      }
+      if (kills(*I, Expr)) {
+        KilledYet = true;
+        AvailAtEnd = false;
+        P.Transp[BB->id()] = false;
+      }
+    }
+    P.Comp[BB->id()] = AvailAtEnd;
+  }
+  return P;
+}
+
+/// Forward availability: AVIN/AVOUT per block (greatest fixed point).
+void availability(Function &F, const LocalProps &P, std::vector<bool> &AvIn,
+                  std::vector<bool> &AvOut) {
+  unsigned NB = F.numBlocks();
+  AvIn.assign(NB, true);
+  AvOut.assign(NB, true);
+  AvIn[F.entry()->id()] = false;
+  Worklist WL(NB);
+  for (unsigned B = 0; B != NB; ++B)
+    WL.push(B);
+  while (!WL.empty()) {
+    BasicBlock *BB = F.block(WL.pop());
+    bool In = BB != F.entry();
+    for (BasicBlock *Pred : BB->predecessors())
+      In = In && AvOut[Pred->id()];
+    if (BB == F.entry())
+      In = false;
+    bool Out = P.Comp[BB->id()] || (In && P.Transp[BB->id()]);
+    AvIn[BB->id()] = In;
+    if (Out != AvOut[BB->id()]) {
+      AvOut[BB->id()] = Out;
+      for (BasicBlock *S : BB->successors())
+        WL.push(S->id());
+    }
+  }
+}
+
+/// Partial availability: least fixed point with OR over predecessors.
+void partialAvailability(Function &F, const LocalProps &P,
+                         std::vector<bool> &PavIn,
+                         std::vector<bool> &PavOut) {
+  unsigned NB = F.numBlocks();
+  PavIn.assign(NB, false);
+  PavOut.assign(NB, false);
+  Worklist WL(NB);
+  for (unsigned B = 0; B != NB; ++B)
+    WL.push(B);
+  while (!WL.empty()) {
+    BasicBlock *BB = F.block(WL.pop());
+    bool In = false;
+    for (BasicBlock *Pred : BB->predecessors())
+      In = In || PavOut[Pred->id()];
+    bool Out = P.Comp[BB->id()] || (In && P.Transp[BB->id()]);
+    PavIn[BB->id()] = In;
+    if (Out != PavOut[BB->id()]) {
+      PavOut[BB->id()] = Out;
+      for (BasicBlock *S : BB->successors())
+        WL.push(S->id());
+    }
+  }
+}
+
+/// ANT at a block's entry, derived from the per-edge values (any in-edge;
+/// the entry block needs one backward transfer from its out-edges).
+std::vector<bool> antInPerBlock(Function &F, const CFGEdges &E,
+                                const LocalProps &P,
+                                const std::vector<bool> &AntEdges) {
+  std::vector<bool> AntIn(F.numBlocks(), false);
+  for (const auto &BB : F.blocks()) {
+    const auto &In = E.inEdges(BB.get());
+    if (!In.empty()) {
+      AntIn[BB->id()] = AntEdges[In[0]];
+      continue;
+    }
+    // Entry block: ANTIN = ANTLOC ∨ (TRANSP ∧ ANTOUT).
+    bool AntOut = !E.outEdges(BB.get()).empty();
+    for (unsigned EId : E.outEdges(BB.get()))
+      AntOut = AntOut && AntEdges[EId];
+    AntIn[BB->id()] =
+        P.AntLoc[BB->id()] || (P.Transp[BB->id()] && AntOut);
+  }
+  return AntIn;
+}
+
+/// Walks a block marking deletable computations: a computation is covered
+/// if the value is available at its position (from block entry coverage or
+/// an earlier in-block computation).
+void collectDeletes(BasicBlock *BB, const Expression &Expr, bool CoveredAtIn,
+                    std::vector<Instruction *> &Deletes) {
+  bool Covered = CoveredAtIn;
+  for (const auto &I : BB->instructions()) {
+    if (computes(*I, Expr)) {
+      if (Covered)
+        Deletes.push_back(I.get());
+      Covered = true;
+    }
+    if (kills(*I, Expr))
+      Covered = false;
+  }
+}
+
+} // namespace
+
+PREDecisions depflow::busyCodeMotion(Function &F, const CFGEdges &E,
+                                     const Expression &Expr,
+                                     const std::vector<bool> &AntEdges) {
+  F.recomputePreds();
+  LocalProps P = localProps(F, Expr);
+  std::vector<bool> AvIn, AvOut;
+  availability(F, P, AvIn, AvOut);
+  std::vector<bool> AntIn = antInPerBlock(F, E, P, AntEdges);
+
+  PREDecisions D;
+  // Earliest insertions: the frontier edges where ANT first becomes true
+  // and the value is not already (or about to be) covered upstream.
+  for (unsigned C = 0; C != E.size(); ++C) {
+    const CFGEdge &Edge = E.edge(C);
+    unsigned U = Edge.From->id();
+    if (!AntEdges[C] || AvOut[U])
+      continue;
+    if (P.Transp[U] && AntIn[U])
+      continue; // Covered further up.
+    // Place on the edge: critical edges must have been split.
+    if (Edge.From->numSuccessors() == 1)
+      D.Inserts.push_back({Edge.From, /*AtEnd=*/true});
+    else {
+      assert(Edge.To->numPredecessors() == 1 &&
+             "critical edge: split edges before running PRE");
+      D.Inserts.push_back({Edge.To, /*AtEnd=*/false});
+    }
+  }
+  // The function entry is the frontier when e is anticipatable on entry.
+  if (AntIn[F.entry()->id()])
+    D.Inserts.push_back({F.entry(), /*AtEnd=*/false});
+
+  // Delete every computation whose value is covered: block entry coverage
+  // is ANTIN ∨ AVIN (anticipatable entries are covered by the inserted
+  // frontier above them).
+  for (const auto &BB : F.blocks())
+    collectDeletes(BB.get(), Expr,
+                   AntIn[BB->id()] || AvIn[BB->id()], D.Deletes);
+  return D;
+}
+
+PREDecisions depflow::morelRenvoise(Function &F, const CFGEdges &E,
+                                    const Expression &Expr,
+                                    const std::vector<bool> &AntEdges) {
+  F.recomputePreds();
+  unsigned NB = F.numBlocks();
+  LocalProps P = localProps(F, Expr);
+  std::vector<bool> AvIn, AvOut, PavIn, PavOut;
+  availability(F, P, AvIn, AvOut);
+  partialAvailability(F, P, PavIn, PavOut);
+  std::vector<bool> AntIn = antInPerBlock(F, E, P, AntEdges);
+
+  // Placement-possible: greatest fixed point.
+  std::vector<bool> PpIn(NB, true), PpOut(NB, true);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &BB : F.blocks()) {
+      unsigned B = BB->id();
+      bool In = AntIn[B] && PavIn[B] &&
+                (P.AntLoc[B] || (P.Transp[B] && PpOut[B]));
+      if (BB.get() == F.entry()) {
+        In = false;
+      } else {
+        for (BasicBlock *Pred : BB->predecessors())
+          In = In && (PpOut[Pred->id()] || AvOut[Pred->id()]);
+      }
+      bool Out = !BB->successors().empty();
+      for (BasicBlock *S : BB->successors())
+        Out = Out && PpIn[S->id()];
+      if (In != PpIn[B] || Out != PpOut[B]) {
+        PpIn[B] = In;
+        PpOut[B] = Out;
+        Changed = true;
+      }
+    }
+  }
+  (void)E;
+
+  PREDecisions D;
+  for (const auto &BB : F.blocks()) {
+    unsigned B = BB->id();
+    if (PpOut[B] && !AvOut[B] && (!PpIn[B] || !P.Transp[B]))
+      D.Inserts.push_back({BB.get(), /*AtEnd=*/true});
+    if (P.AntLoc[B] && (PpIn[B] || AvIn[B]))
+      collectDeletes(BB.get(), Expr, /*CoveredAtIn=*/true, D.Deletes);
+    else
+      collectDeletes(BB.get(), Expr, /*CoveredAtIn=*/false, D.Deletes);
+  }
+  return D;
+}
+
+unsigned depflow::applyPRE(Function &F, const Expression &Expr,
+                           const PREDecisions &Decisions) {
+  if (Decisions.Deletes.empty() && Decisions.Inserts.empty())
+    return 0;
+  VarId Temp = F.makeFreshVar("pre.t");
+  for (const auto &Point : Decisions.Inserts) {
+    auto NewComp =
+        std::make_unique<BinaryInst>(Temp, Expr.Op, Expr.Lhs, Expr.Rhs);
+    if (Point.AtEnd)
+      Point.Block->insert(std::move(NewComp));
+    else
+      Point.Block->insertAt(0, std::move(NewComp));
+  }
+
+  // Surviving computations must also save the value into the temporary:
+  // a deleted computation downstream may be covered by them rather than by
+  // an insertion (e.g. availability out of one diamond arm). `u = e`
+  // becomes `t = e; u = t` — still a single evaluation.
+  std::set<Instruction *> Deleted(Decisions.Deletes.begin(),
+                                  Decisions.Deletes.end());
+  for (const auto &BB : F.blocks()) {
+    for (unsigned Idx = 0; Idx != BB->size(); ++Idx) {
+      Instruction *I = BB->instructions()[Idx].get();
+      if (!computes(*I, Expr) || Deleted.count(I))
+        continue;
+      auto *B = cast<BinaryInst>(I);
+      if (B->def() == Temp)
+        continue; // One of our own insertions.
+      VarId OrigDef = B->def();
+      BB->replaceInstruction(
+          Idx, std::make_unique<BinaryInst>(Temp, Expr.Op, Expr.Lhs,
+                                            Expr.Rhs));
+      BB->insertAt(Idx + 1,
+                   std::make_unique<CopyInst>(OrigDef, Operand::var(Temp)));
+      ++Idx; // Skip the copy we just inserted.
+    }
+  }
+
+  unsigned Replaced = 0;
+  for (Instruction *Del : Decisions.Deletes) {
+    auto *B = cast<BinaryInst>(Del);
+    BasicBlock *BB = B->parent();
+    int Idx = BB->indexOf(B);
+    assert(Idx >= 0 && "deleted instruction not in its block");
+    BB->replaceInstruction(unsigned(Idx),
+                           std::make_unique<CopyInst>(B->def(),
+                                                      Operand::var(Temp)));
+    ++Replaced;
+  }
+  return Replaced;
+}
+
+std::vector<Expression> depflow::collectExpressions(const Function &F) {
+  std::set<Expression> Seen;
+  std::vector<Expression> Out;
+  for (const auto &BB : F.blocks()) {
+    for (const auto &I : BB->instructions()) {
+      std::optional<Expression> E = expressionOf(*I);
+      if (!E || E->variables().empty())
+        continue;
+      if (Seen.insert(*E).second)
+        Out.push_back(*E);
+    }
+  }
+  return Out;
+}

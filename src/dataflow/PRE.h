@@ -1,0 +1,71 @@
+//===- dataflow/PRE.h - Partial redundancy elimination ----------*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Elimination of partial redundancies (Section 5.2). Two placement
+/// strategies over a pluggable anticipatability engine (CFG Figure 5a or
+/// DFG Figure 5b + projection):
+///
+///  * `busyCodeMotion` — the strategy the paper describes first: insert a
+///    computation wherever it is anticipatable (at the earliest frontier)
+///    and delete computations wherever the value has become available.
+///    Eliminates all partial redundancies but may move code superfluously
+///    (the paper's Figure 6 caveat).
+///  * `morelRenvoise` — the classic [MR79] placement-possible fixed point,
+///    which only moves code when a partial redundancy exists.
+///
+/// Both require critical edges to be split first (ir/Transforms.h), the
+/// same preprocessing [MR79] itself calls for.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_DATAFLOW_PRE_H
+#define DEPFLOW_DATAFLOW_PRE_H
+
+#include "ir/CFGEdges.h"
+#include "ir/Expression.h"
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace depflow {
+
+struct PREDecisions {
+  /// Where to insert `t = e`: at the head (AtEnd = false) or before the
+  /// terminator (AtEnd = true) of Block.
+  struct InsertPoint {
+    BasicBlock *Block;
+    bool AtEnd;
+  };
+  std::vector<InsertPoint> Inserts;
+  /// Computations of e to replace with `x = t`.
+  std::vector<Instruction *> Deletes;
+};
+
+/// Busy code motion: earliest insertion over the anticipatable region.
+/// \p AntEdges is ANT per CFG edge id, from either engine.
+PREDecisions busyCodeMotion(Function &F, const CFGEdges &E,
+                            const Expression &Expr,
+                            const std::vector<bool> &AntEdges);
+
+/// Morel-Renvoise placement (inserts only under partial availability).
+PREDecisions morelRenvoise(Function &F, const CFGEdges &E,
+                           const Expression &Expr,
+                           const std::vector<bool> &AntEdges);
+
+/// Applies decisions: creates a temporary, inserts computations, rewrites
+/// deleted computations into copies. Returns the number of deletions.
+unsigned applyPRE(Function &F, const Expression &Expr,
+                  const PREDecisions &Decisions);
+
+/// All distinct binary expressions computed in \p F that have at least one
+/// variable operand (the candidates for PRE).
+std::vector<Expression> collectExpressions(const Function &F);
+
+} // namespace depflow
+
+#endif // DEPFLOW_DATAFLOW_PRE_H

@@ -1,0 +1,61 @@
+//===- graph/Digraph.cpp - Generic directed graph -------------------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Digraph.h"
+
+#include "ir/CFGEdges.h"
+#include "ir/Function.h"
+
+using namespace depflow;
+
+Digraph Digraph::reversed() const {
+  Digraph R(numNodes());
+  for (unsigned N = 0, E = numNodes(); N != E; ++N)
+    for (unsigned S : Succs[N])
+      R.addEdge(S, N);
+  return R;
+}
+
+std::vector<bool> Digraph::reachableFrom(unsigned Root) const {
+  std::vector<bool> Seen(numNodes(), false);
+  std::vector<unsigned> Stack{Root};
+  Seen[Root] = true;
+  while (!Stack.empty()) {
+    unsigned N = Stack.back();
+    Stack.pop_back();
+    for (unsigned S : Succs[N]) {
+      if (!Seen[S]) {
+        Seen[S] = true;
+        Stack.push_back(S);
+      }
+    }
+  }
+  return Seen;
+}
+
+bool Digraph::reaches(unsigned From, unsigned To) const {
+  return reachableFrom(From)[To];
+}
+
+Digraph depflow::cfgDigraph(const Function &F) {
+  Digraph G(F.numBlocks());
+  for (const auto &BB : F.blocks())
+    for (BasicBlock *Succ : BB->successors())
+      G.addEdge(BB->id(), Succ->id());
+  return G;
+}
+
+Digraph depflow::edgeSplitDigraph(const Function &F, const CFGEdges &E) {
+  Digraph G(F.numBlocks() + E.size());
+  for (unsigned Id = 0, N = E.size(); Id != N; ++Id) {
+    const CFGEdge &Edge = E.edge(Id);
+    unsigned Dummy = F.numBlocks() + Id;
+    G.addEdge(Edge.From->id(), Dummy);
+    G.addEdge(Dummy, Edge.To->id());
+  }
+  return G;
+}

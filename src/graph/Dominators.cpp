@@ -1,0 +1,173 @@
+//===- graph/Dominators.cpp - Dominator trees -----------------------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Dominators.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace depflow;
+
+/// Computes a reverse postorder of the nodes reachable from Root.
+static std::vector<unsigned> reversePostorder(const Digraph &G,
+                                              unsigned Root) {
+  std::vector<unsigned> Postorder;
+  std::vector<bool> Seen(G.numNodes(), false);
+  // Iterative DFS with explicit child cursors.
+  std::vector<std::pair<unsigned, unsigned>> Stack;
+  Stack.emplace_back(Root, 0);
+  Seen[Root] = true;
+  while (!Stack.empty()) {
+    auto &[Node, Cursor] = Stack.back();
+    const auto &Succs = G.succs(Node);
+    if (Cursor < Succs.size()) {
+      unsigned Next = Succs[Cursor++];
+      if (!Seen[Next]) {
+        Seen[Next] = true;
+        Stack.emplace_back(Next, 0);
+      }
+    } else {
+      Postorder.push_back(Node);
+      Stack.pop_back();
+    }
+  }
+  std::reverse(Postorder.begin(), Postorder.end());
+  return Postorder;
+}
+
+DomTree::DomTree(const Digraph &G, unsigned RootNode) : Root(RootNode) {
+  unsigned N = G.numNodes();
+  Idom.assign(N, -1);
+  Reachable.assign(N, false);
+  Children.assign(N, {});
+  In.assign(N, 0);
+  Out.assign(N, 0);
+
+  std::vector<unsigned> RPO = reversePostorder(G, Root);
+  std::vector<int> RPONum(N, -1);
+  for (unsigned I = 0, E = unsigned(RPO.size()); I != E; ++I) {
+    RPONum[RPO[I]] = int(I);
+    Reachable[RPO[I]] = true;
+  }
+
+  // Cooper-Harvey-Kennedy: iterate to a fixed point, intersecting the idoms
+  // of processed predecessors. Idom values here are RPO indices.
+  std::vector<int> Doms(RPO.size(), -1);
+  Doms[0] = 0; // Root's idom is itself during the iteration.
+
+  auto Intersect = [&](int A, int B) {
+    while (A != B) {
+      while (A > B)
+        A = Doms[A];
+      while (B > A)
+        B = Doms[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned I = 1, E = unsigned(RPO.size()); I != E; ++I) {
+      unsigned Node = RPO[I];
+      int NewIdom = -1;
+      for (unsigned P : G.preds(Node)) {
+        int PNum = RPONum[P];
+        if (PNum < 0 || Doms[PNum] < 0)
+          continue; // Unreachable or unprocessed predecessor.
+        NewIdom = NewIdom < 0 ? PNum : Intersect(NewIdom, PNum);
+      }
+      assert(NewIdom >= 0 && "reachable node with no processed predecessor");
+      if (Doms[I] != NewIdom) {
+        Doms[I] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+
+  for (unsigned I = 1, E = unsigned(RPO.size()); I != E; ++I) {
+    Idom[RPO[I]] = int(RPO[unsigned(Doms[I])]);
+    Children[RPO[unsigned(Doms[I])]].push_back(RPO[I]);
+  }
+
+  // Euler intervals over the dominator tree for O(1) dominance queries.
+  unsigned Clock = 0;
+  std::vector<std::pair<unsigned, unsigned>> Stack;
+  Stack.emplace_back(Root, 0);
+  In[Root] = Clock++;
+  while (!Stack.empty()) {
+    auto &[Node, Cursor] = Stack.back();
+    if (Cursor < Children[Node].size()) {
+      unsigned Child = Children[Node][Cursor++];
+      In[Child] = Clock++;
+      Stack.emplace_back(Child, 0);
+    } else {
+      Out[Node] = Clock++;
+      Stack.pop_back();
+    }
+  }
+}
+
+bool depflow::bruteForceDominates(const Digraph &G, unsigned Root, unsigned A,
+                                  unsigned B) {
+  std::vector<bool> FromRoot = G.reachableFrom(Root);
+  if (!FromRoot[A] || !FromRoot[B])
+    return false;
+  if (A == B)
+    return true;
+  if (A == Root)
+    return true;
+  if (B == Root)
+    return false;
+  // BFS from Root avoiding A; if B is still reachable, A does not dominate.
+  std::vector<bool> Seen(G.numNodes(), false);
+  std::vector<unsigned> Stack{Root};
+  Seen[Root] = true;
+  Seen[A] = true; // Block traversal through A.
+  while (!Stack.empty()) {
+    unsigned N = Stack.back();
+    Stack.pop_back();
+    for (unsigned S : G.succs(N)) {
+      if (S == B)
+        return false;
+      if (!Seen[S]) {
+        Seen[S] = true;
+        Stack.push_back(S);
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<std::vector<unsigned>>
+depflow::dominanceFrontiers(const Digraph &G, const DomTree &DT) {
+  // Note: no |preds| >= 2 guard. For a single-pred node b, idom(b) is that
+  // pred and the walk adds nothing — except when b is the root (idom -1),
+  // where back edges into the root legitimately put the root into its own
+  // ancestors' frontiers.
+  std::vector<std::vector<unsigned>> DF(G.numNodes());
+  for (unsigned B = 0, N = G.numNodes(); B != N; ++B) {
+    if (!DT.isReachable(B))
+      continue;
+    for (unsigned P : G.preds(B)) {
+      if (!DT.isReachable(P))
+        continue;
+      int Runner = int(P);
+      while (Runner >= 0 && Runner != DT.idom(B)) {
+        DF[unsigned(Runner)].push_back(B);
+        Runner = DT.idom(unsigned(Runner));
+      }
+    }
+  }
+  // Deduplicate (a node can reach the same frontier through several preds).
+  for (auto &Frontier : DF) {
+    std::sort(Frontier.begin(), Frontier.end());
+    Frontier.erase(std::unique(Frontier.begin(), Frontier.end()),
+                   Frontier.end());
+  }
+  return DF;
+}

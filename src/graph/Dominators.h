@@ -1,0 +1,78 @@
+//===- graph/Dominators.h - Dominator and postdominator trees ---*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator trees via the Cooper-Harvey-Kennedy iterative algorithm, over
+/// arbitrary digraphs. Postdominators are dominators of the reversed graph
+/// rooted at the exit. Dominance queries are O(1) after construction via
+/// Euler intervals on the dominator tree.
+///
+/// Note the paper's headline algorithms (cycle equivalence, SESE, fast CDG)
+/// deliberately avoid dominators; this module exists for the *baselines*
+/// (Cytron SSA, FOW control dependence) and for validating the fast paths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_GRAPH_DOMINATORS_H
+#define DEPFLOW_GRAPH_DOMINATORS_H
+
+#include "graph/Digraph.h"
+
+#include <vector>
+
+namespace depflow {
+
+class DomTree {
+  std::vector<int> Idom;                       // -1 for root or unreachable.
+  std::vector<bool> Reachable;                 // From the root.
+  std::vector<std::vector<unsigned>> Children; // Dominator tree children.
+  std::vector<unsigned> In, Out;               // Euler intervals.
+  unsigned Root = 0;
+
+public:
+  /// Builds the dominator tree of \p G rooted at \p RootNode. Nodes not
+  /// reachable from the root are left with idom == -1 and are dominated by
+  /// nothing.
+  DomTree(const Digraph &G, unsigned RootNode);
+
+  unsigned root() const { return Root; }
+
+  bool isReachable(unsigned N) const { return Reachable[N]; }
+
+  /// Immediate dominator, or -1 for the root and unreachable nodes.
+  int idom(unsigned N) const { return Idom[N]; }
+
+  const std::vector<unsigned> &children(unsigned N) const {
+    return Children[N];
+  }
+
+  /// Reflexive dominance: true if \p A dominates \p B. Unreachable nodes
+  /// dominate nothing and are dominated by nothing.
+  bool dominates(unsigned A, unsigned B) const {
+    if (!Reachable[A] || !Reachable[B])
+      return false;
+    return In[A] <= In[B] && Out[B] <= Out[A];
+  }
+
+  bool strictlyDominates(unsigned A, unsigned B) const {
+    return A != B && dominates(A, B);
+  }
+};
+
+/// Brute-force dominance for validation: A dominates B iff removing A
+/// makes B unreachable from the root (or A == B). O(N·E).
+bool bruteForceDominates(const Digraph &G, unsigned Root, unsigned A,
+                         unsigned B);
+
+/// Dominance frontiers (Cytron et al.): DF[n] = nodes w such that n
+/// dominates a predecessor of w but not strictly w itself.
+std::vector<std::vector<unsigned>> dominanceFrontiers(const Digraph &G,
+                                                      const DomTree &DT);
+
+} // namespace depflow
+
+#endif // DEPFLOW_GRAPH_DOMINATORS_H

@@ -1,0 +1,71 @@
+//===- graph/Loops.h - Natural loop recognition -----------------*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural loop detection and the loop nesting forest — the "loop
+/// recognition" ingredient the paper's Section 6 lists for the
+/// parallelization toolkit. Loops are found from dominator back edges;
+/// loops sharing a header are merged. Irreducible cycles (back edges whose
+/// source is not dominated by the target) are reported separately.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_GRAPH_LOOPS_H
+#define DEPFLOW_GRAPH_LOOPS_H
+
+#include "graph/Dominators.h"
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace depflow {
+
+struct Loop {
+  unsigned Id = 0;
+  unsigned Header = 0;            // Block id.
+  std::vector<unsigned> Blocks;   // Sorted block ids, header included.
+  int Parent = -1;                // Enclosing loop, or -1.
+  std::vector<unsigned> Children; // Nested loops.
+  unsigned Depth = 1;             // 1 = outermost.
+
+  bool contains(unsigned BlockId) const {
+    for (unsigned B : Blocks)
+      if (B == BlockId)
+        return true;
+    return false;
+  }
+};
+
+class LoopForest {
+  std::vector<Loop> Loops;
+  std::vector<int> InnermostOf; // Per block id; -1 = not in any loop.
+  std::vector<std::pair<unsigned, unsigned>> Irreducible; // retreat edges
+
+public:
+  explicit LoopForest(Function &F);
+
+  unsigned numLoops() const { return unsigned(Loops.size()); }
+  const Loop &loop(unsigned Id) const { return Loops[Id]; }
+
+  /// Innermost loop containing the block, or -1.
+  int innermostLoop(unsigned BlockId) const { return InnermostOf[BlockId]; }
+
+  unsigned loopDepth(unsigned BlockId) const {
+    int L = InnermostOf[BlockId];
+    return L < 0 ? 0 : Loops[unsigned(L)].Depth;
+  }
+
+  /// Retreating edges whose target does not dominate their source
+  /// (irreducible control flow).
+  const std::vector<std::pair<unsigned, unsigned>> &irreducibleEdges() const {
+    return Irreducible;
+  }
+};
+
+} // namespace depflow
+
+#endif // DEPFLOW_GRAPH_LOOPS_H

@@ -1,0 +1,101 @@
+//===- interp/Interpreter.cpp - Reference interpreter ---------------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+using namespace depflow;
+
+ExecResult depflow::runFunction(const Function &F,
+                                const std::vector<std::int64_t> &Inputs,
+                                std::uint64_t MaxSteps) {
+  ExecResult R;
+  R.BlockCounts.assign(F.numBlocks(), 0);
+  std::vector<std::int64_t> Vals(F.numVars(), 0);
+  std::size_t NextInput = 0;
+  auto ReadInput = [&]() -> std::int64_t {
+    return NextInput < Inputs.size() ? Inputs[NextInput++] : 0;
+  };
+  for (VarId P : F.params())
+    Vals[P] = ReadInput();
+
+  auto Eval = [&](const Operand &O) -> std::int64_t {
+    return O.isImm() ? O.imm() : Vals[O.var()];
+  };
+
+  const BasicBlock *Prev = nullptr;
+  const BasicBlock *BB = F.entry();
+  while (BB) {
+    R.BlockCounts[BB->id()]++;
+    // Evaluate phis as a parallel copy based on the arriving edge.
+    std::vector<std::pair<VarId, std::int64_t>> PhiWrites;
+    for (const auto &IPtr : BB->instructions()) {
+      const auto *Phi = dyn_cast<PhiInst>(IPtr.get());
+      if (!Phi)
+        break;
+      bool Found = false;
+      for (unsigned K = 0, E = Phi->numIncoming(); K != E; ++K) {
+        if (Phi->incomingBlock(K) == Prev) {
+          PhiWrites.push_back({Phi->def(), Eval(Phi->incomingValue(K))});
+          Found = true;
+          break;
+        }
+      }
+      assert(Found && "phi has no entry for the arriving edge");
+      (void)Found;
+      ++R.Steps;
+    }
+    for (auto [V, Value] : PhiWrites)
+      Vals[V] = Value;
+
+    const BasicBlock *Next = nullptr;
+    for (const auto &IPtr : BB->instructions()) {
+      const Instruction &I = *IPtr;
+      if (isa<PhiInst>(&I))
+        continue;
+      if (R.Steps++ >= MaxSteps)
+        return R; // Step budget exhausted; Halted stays false.
+      switch (I.kind()) {
+      case Instruction::Kind::Copy:
+        Vals[cast<CopyInst>(&I)->def()] = Eval(cast<CopyInst>(&I)->src());
+        break;
+      case Instruction::Kind::Unary: {
+        const auto *U = cast<UnaryInst>(&I);
+        Vals[U->def()] = evalUnOp(U->op(), Eval(U->src()));
+        break;
+      }
+      case Instruction::Kind::Binary: {
+        const auto *B = cast<BinaryInst>(&I);
+        Vals[B->def()] = evalBinOp(B->op(), Eval(B->lhs()), Eval(B->rhs()));
+        ++R.ExprCounts[Expression{B->op(), B->lhs(), B->rhs()}];
+        break;
+      }
+      case Instruction::Kind::Read:
+        Vals[cast<ReadInst>(&I)->def()] = ReadInput();
+        break;
+      case Instruction::Kind::Phi:
+        depflow_unreachable("phis handled before the main loop");
+      case Instruction::Kind::Jump:
+        Next = cast<JumpInst>(&I)->target();
+        break;
+      case Instruction::Kind::CondBr: {
+        const auto *C = cast<CondBrInst>(&I);
+        Next = Eval(C->cond()) != 0 ? C->trueTarget() : C->falseTarget();
+        break;
+      }
+      case Instruction::Kind::Ret:
+        for (const Operand &O : I.operands())
+          R.Outputs.push_back(Eval(O));
+        R.Halted = true;
+        return R;
+      }
+    }
+    assert(Next && "block fell through without a terminator");
+    Prev = BB;
+    BB = Next;
+  }
+  return R;
+}

@@ -1,0 +1,58 @@
+//===- interp/Interpreter.h - Reference interpreter -------------*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reference interpreter for the IR. Semantics:
+///   * every variable starts at 0;
+///   * parameters consume the first inputs, `read()` consumes the rest
+///     (exhausted input reads as 0);
+///   * phis in a block evaluate simultaneously using the predecessor;
+///   * division is total (x/0 == 0), matching evalBinOp.
+///
+/// The interpreter counts dynamic evaluations of every binary expression,
+/// which is how the tests verify the paper's partial redundancy elimination
+/// never adds a computation to any execution path (Section 5.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_INTERP_INTERPRETER_H
+#define DEPFLOW_INTERP_INTERPRETER_H
+
+#include "ir/Expression.h"
+#include "ir/Function.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace depflow {
+
+struct ExecResult {
+  /// Values of the ret operands, valid only when Halted.
+  std::vector<std::int64_t> Outputs;
+  /// True if execution reached ret within the step budget.
+  bool Halted = false;
+  std::uint64_t Steps = 0;
+  /// Dynamic evaluation count per syntactic binary expression.
+  std::map<Expression, std::uint64_t> ExprCounts;
+  /// Dynamic trip count per block id.
+  std::vector<std::uint64_t> BlockCounts;
+
+  std::uint64_t countOf(const Expression &E) const {
+    auto It = ExprCounts.find(E);
+    return It == ExprCounts.end() ? 0 : It->second;
+  }
+};
+
+/// Runs \p F on \p Inputs for at most \p MaxSteps instructions.
+ExecResult runFunction(const Function &F,
+                       const std::vector<std::int64_t> &Inputs,
+                       std::uint64_t MaxSteps = 100000);
+
+} // namespace depflow
+
+#endif // DEPFLOW_INTERP_INTERPRETER_H

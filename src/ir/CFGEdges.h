@@ -1,0 +1,67 @@
+//===- ir/CFGEdges.h - Dense CFG edge numbering -----------------*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's algorithms are *edge*-based: dominance, control dependence,
+/// cycle equivalence, SESE regions, and all DFG dataflow values attach to
+/// control flow edges rather than nodes. `CFGEdges` assigns each edge of a
+/// function a dense id and provides per-block in/out adjacency.
+///
+/// Edge ids are a snapshot: rebuild after mutating the CFG.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_IR_CFGEDGES_H
+#define DEPFLOW_IR_CFGEDGES_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace depflow {
+
+/// One control flow edge From→To; SuccIdx is To's position in From's
+/// successor list (0 = jump/true side, 1 = false side).
+struct CFGEdge {
+  unsigned Id;
+  BasicBlock *From;
+  BasicBlock *To;
+  unsigned SuccIdx;
+};
+
+class CFGEdges {
+  std::vector<CFGEdge> Edges;
+  std::vector<std::vector<unsigned>> Out; // indexed by block id
+  std::vector<std::vector<unsigned>> In;  // indexed by block id
+
+public:
+  explicit CFGEdges(const Function &F);
+
+  unsigned size() const { return unsigned(Edges.size()); }
+
+  const CFGEdge &edge(unsigned Id) const {
+    assert(Id < Edges.size() && "edge id out of range");
+    return Edges[Id];
+  }
+
+  const std::vector<unsigned> &outEdges(const BasicBlock *BB) const {
+    return Out[BB->id()];
+  }
+  const std::vector<unsigned> &inEdges(const BasicBlock *BB) const {
+    return In[BB->id()];
+  }
+
+  /// Returns the id of the \p SuccIdx-th out edge of \p From.
+  unsigned outEdge(const BasicBlock *From, unsigned SuccIdx) const {
+    assert(SuccIdx < Out[From->id()].size() && "successor index out of range");
+    return Out[From->id()][SuccIdx];
+  }
+};
+
+} // namespace depflow
+
+#endif // DEPFLOW_IR_CFGEDGES_H

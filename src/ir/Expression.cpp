@@ -1,0 +1,17 @@
+//===- ir/Expression.cpp - Syntactic expression identity ------------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Expression.h"
+
+#include "ir/Printer.h"
+
+using namespace depflow;
+
+std::string depflow::printExpression(const Function &F, const Expression &E) {
+  return printOperand(F, E.Lhs) + " " + binOpName(E.Op) + " " +
+         printOperand(F, E.Rhs);
+}

@@ -1,0 +1,95 @@
+//===- ir/Instruction.cpp - Instruction implementation --------------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Instruction.h"
+
+using namespace depflow;
+
+const char *depflow::binOpName(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add:
+    return "+";
+  case BinOp::Sub:
+    return "-";
+  case BinOp::Mul:
+    return "*";
+  case BinOp::Div:
+    return "/";
+  case BinOp::Eq:
+    return "==";
+  case BinOp::Ne:
+    return "!=";
+  case BinOp::Lt:
+    return "<";
+  case BinOp::Le:
+    return "<=";
+  case BinOp::Gt:
+    return ">";
+  case BinOp::Ge:
+    return ">=";
+  case BinOp::And:
+    return "&&";
+  case BinOp::Or:
+    return "||";
+  }
+  depflow_unreachable("unknown binary operator");
+}
+
+const char *depflow::unOpName(UnOp Op) {
+  switch (Op) {
+  case UnOp::Neg:
+    return "-";
+  case UnOp::Not:
+    return "!";
+  }
+  depflow_unreachable("unknown unary operator");
+}
+
+std::int64_t depflow::evalBinOp(BinOp Op, std::int64_t A, std::int64_t B) {
+  switch (Op) {
+  case BinOp::Add:
+    return std::int64_t(std::uint64_t(A) + std::uint64_t(B));
+  case BinOp::Sub:
+    return std::int64_t(std::uint64_t(A) - std::uint64_t(B));
+  case BinOp::Mul:
+    return std::int64_t(std::uint64_t(A) * std::uint64_t(B));
+  case BinOp::Div:
+    // Division is total: x/0 == 0, and INT_MIN/-1 wraps to INT_MIN.
+    if (B == 0)
+      return 0;
+    if (A == INT64_MIN && B == -1)
+      return INT64_MIN;
+    return A / B;
+  case BinOp::Eq:
+    return A == B;
+  case BinOp::Ne:
+    return A != B;
+  case BinOp::Lt:
+    return A < B;
+  case BinOp::Le:
+    return A <= B;
+  case BinOp::Gt:
+    return A > B;
+  case BinOp::Ge:
+    return A >= B;
+  case BinOp::And:
+    return (A != 0) && (B != 0);
+  case BinOp::Or:
+    return (A != 0) || (B != 0);
+  }
+  depflow_unreachable("unknown binary operator");
+}
+
+std::int64_t depflow::evalUnOp(UnOp Op, std::int64_t A) {
+  switch (Op) {
+  case UnOp::Neg:
+    return std::int64_t(-std::uint64_t(A));
+  case UnOp::Not:
+    return A == 0;
+  }
+  depflow_unreachable("unknown unary operator");
+}

@@ -1,0 +1,81 @@
+//===- ir/Operand.h - Instruction operands ----------------------*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An operand is either a reference to a program variable or an immediate
+/// 64-bit integer constant. Variables are dense ids interned per function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_IR_OPERAND_H
+#define DEPFLOW_IR_OPERAND_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace depflow {
+
+/// Dense per-function variable id.
+using VarId = unsigned;
+
+/// A value read by an instruction: a variable or an immediate constant.
+class Operand {
+public:
+  enum class Kind : std::uint8_t { None, Var, Imm };
+
+private:
+  Kind K = Kind::None;
+  VarId Var = 0;
+  std::int64_t Imm = 0;
+
+public:
+  Operand() = default;
+
+  static Operand var(VarId V) {
+    Operand O;
+    O.K = Kind::Var;
+    O.Var = V;
+    return O;
+  }
+
+  static Operand imm(std::int64_t I) {
+    Operand O;
+    O.K = Kind::Imm;
+    O.Imm = I;
+    return O;
+  }
+
+  Kind kind() const { return K; }
+  bool isNone() const { return K == Kind::None; }
+  bool isVar() const { return K == Kind::Var; }
+  bool isImm() const { return K == Kind::Imm; }
+
+  VarId var() const {
+    assert(isVar() && "operand is not a variable");
+    return Var;
+  }
+
+  std::int64_t imm() const {
+    assert(isImm() && "operand is not an immediate");
+    return Imm;
+  }
+
+  bool operator==(const Operand &RHS) const {
+    if (K != RHS.K)
+      return false;
+    if (K == Kind::Var)
+      return Var == RHS.Var;
+    if (K == Kind::Imm)
+      return Imm == RHS.Imm;
+    return true;
+  }
+  bool operator!=(const Operand &RHS) const { return !(*this == RHS); }
+};
+
+} // namespace depflow
+
+#endif // DEPFLOW_IR_OPERAND_H

@@ -1,0 +1,465 @@
+//===- ir/Parser.cpp - Textual IR parser ----------------------------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+using namespace depflow;
+
+namespace {
+
+enum class TokKind : std::uint8_t {
+  Ident,
+  Int,
+  Punct, // Single string for multi-char operators too.
+  End,
+};
+
+struct Token {
+  TokKind Kind;
+  std::string Text;
+  std::int64_t IntValue = 0;
+  unsigned Line = 0;
+};
+
+/// A whole-input tokenizer; the parser then works on the token vector, which
+/// makes the label pre-scan (to fix block creation order) trivial.
+class Lexer {
+  std::string_view Src;
+  std::size_t Pos = 0;
+  unsigned Line = 1;
+
+public:
+  explicit Lexer(std::string_view Src) : Src(Src) {}
+
+  /// Tokenizes the whole input; returns false (with \p Error set) on a bad
+  /// character.
+  bool run(std::vector<Token> &Out, std::string &Error) {
+    while (true) {
+      skipWhitespaceAndComments();
+      if (Pos >= Src.size())
+        break;
+      char C = Src[Pos];
+      if (isIdentStart(C)) {
+        std::size_t Begin = Pos;
+        while (Pos < Src.size() && isIdentChar(Src[Pos]))
+          ++Pos;
+        Out.push_back({TokKind::Ident,
+                       std::string(Src.substr(Begin, Pos - Begin)), 0, Line});
+        continue;
+      }
+      if (C >= '0' && C <= '9') {
+        if (!lexInt(Out, Error, /*Negative=*/false))
+          return false;
+        continue;
+      }
+      if (C == '-' && Pos + 1 < Src.size() && Src[Pos + 1] >= '0' &&
+          Src[Pos + 1] <= '9') {
+        ++Pos;
+        if (!lexInt(Out, Error, /*Negative=*/true))
+          return false;
+        continue;
+      }
+      if (!lexPunct(Out, Error))
+        return false;
+    }
+    Out.push_back({TokKind::End, "", 0, Line});
+    return true;
+  }
+
+private:
+  static bool isIdentStart(char C) {
+    return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') || C == '_' ||
+           C == '.';
+  }
+  static bool isIdentChar(char C) {
+    return isIdentStart(C) || (C >= '0' && C <= '9');
+  }
+
+  void skipWhitespaceAndComments() {
+    while (Pos < Src.size()) {
+      char C = Src[Pos];
+      if (C == '\n') {
+        ++Line;
+        ++Pos;
+      } else if (C == ' ' || C == '\t' || C == '\r') {
+        ++Pos;
+      } else if (C == '#') {
+        while (Pos < Src.size() && Src[Pos] != '\n')
+          ++Pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool lexInt(std::vector<Token> &Out, std::string &Error, bool Negative) {
+    std::uint64_t Value = 0;
+    std::size_t Begin = Pos;
+    while (Pos < Src.size() && Src[Pos] >= '0' && Src[Pos] <= '9') {
+      Value = Value * 10 + std::uint64_t(Src[Pos] - '0');
+      ++Pos;
+    }
+    if (Pos - Begin > 19) {
+      Error = "line " + std::to_string(Line) + ": integer literal too large";
+      return false;
+    }
+    std::int64_t Signed =
+        Negative ? std::int64_t(-Value) : std::int64_t(Value);
+    Out.push_back({TokKind::Int, "", Signed, Line});
+    return true;
+  }
+
+  bool lexPunct(std::vector<Token> &Out, std::string &Error) {
+    static const char *TwoChar[] = {"==", "!=", "<=", ">=", "&&", "||"};
+    for (const char *Op : TwoChar) {
+      if (Src.substr(Pos, 2) == Op) {
+        Out.push_back({TokKind::Punct, Op, 0, Line});
+        Pos += 2;
+        return true;
+      }
+    }
+    char C = Src[Pos];
+    static const char OneChar[] = "(){}:,=+-*/<>!";
+    for (char Op : OneChar) {
+      if (C == Op) {
+        Out.push_back({TokKind::Punct, std::string(1, C), 0, Line});
+        ++Pos;
+        return true;
+      }
+    }
+    Error = "line " + std::to_string(Line) + ": unexpected character '" +
+            std::string(1, C) + "'";
+    return false;
+  }
+};
+
+class Parser {
+  std::vector<Token> Toks;
+  std::size_t Pos = 0;
+  std::unique_ptr<Function> Fn;
+  std::unordered_map<std::string, BasicBlock *> BlockOf;
+  std::string Error;
+
+public:
+  ParseResult run(std::string_view Source) {
+    Lexer Lex(Source);
+    if (!Lex.run(Toks, Error))
+      return {nullptr, Error};
+    if (!parseFunctionBody())
+      return {nullptr, Error};
+    Fn->recomputePreds();
+    return {std::move(Fn), ""};
+  }
+
+private:
+  const Token &cur() const { return Toks[Pos]; }
+  void advance() {
+    if (Pos + 1 < Toks.size())
+      ++Pos;
+  }
+
+  bool fail(const std::string &Msg) {
+    Error = "line " + std::to_string(cur().Line) + ": " + Msg;
+    return false;
+  }
+
+  bool isPunct(const char *P) const {
+    return cur().Kind == TokKind::Punct && cur().Text == P;
+  }
+  bool isIdent(const char *S) const {
+    return cur().Kind == TokKind::Ident && cur().Text == S;
+  }
+
+  bool expectPunct(const char *P) {
+    if (!isPunct(P))
+      return fail(std::string("expected '") + P + "'");
+    advance();
+    return true;
+  }
+
+  bool expectIdent(std::string &Out) {
+    if (cur().Kind != TokKind::Ident)
+      return fail("expected identifier");
+    Out = cur().Text;
+    advance();
+    return true;
+  }
+
+  /// Labels are declared as `IDENT ':'` at paren depth 0 inside the braces;
+  /// pre-creating them in textual order makes the first textual block the
+  /// entry regardless of forward references.
+  void preScanLabels(std::size_t BodyBegin) {
+    int Depth = 0;
+    for (std::size_t I = BodyBegin; I + 1 < Toks.size(); ++I) {
+      const Token &T = Toks[I];
+      if (T.Kind == TokKind::Punct) {
+        if (T.Text == "(")
+          ++Depth;
+        else if (T.Text == ")")
+          --Depth;
+        else if (T.Text == "}")
+          break;
+      }
+      if (Depth == 0 && T.Kind == TokKind::Ident &&
+          Toks[I + 1].Kind == TokKind::Punct && Toks[I + 1].Text == ":" &&
+          !BlockOf.count(T.Text))
+        BlockOf[T.Text] = Fn->makeBlock(T.Text);
+    }
+  }
+
+  BasicBlock *lookupBlock(const std::string &Label) {
+    auto It = BlockOf.find(Label);
+    return It == BlockOf.end() ? nullptr : It->second;
+  }
+
+  bool parseFunctionBody() {
+    if (!isIdent("func"))
+      return fail("expected 'func'");
+    advance();
+    std::string Name;
+    if (!expectIdent(Name))
+      return false;
+    Fn = std::make_unique<Function>(Name);
+    if (!expectPunct("("))
+      return false;
+    if (!isPunct(")")) {
+      while (true) {
+        std::string Param;
+        if (!expectIdent(Param))
+          return false;
+        Fn->addParam(Fn->makeVar(Param));
+        if (isPunct(",")) {
+          advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (!expectPunct(")") || !expectPunct("{"))
+      return false;
+
+    preScanLabels(Pos);
+    if (BlockOf.empty())
+      return fail("function has no blocks");
+
+    BasicBlock *Current = nullptr;
+    while (!isPunct("}")) {
+      if (cur().Kind == TokKind::End)
+        return fail("unexpected end of input; missing '}'");
+      // Label?
+      if (cur().Kind == TokKind::Ident && Pos + 1 < Toks.size() &&
+          Toks[Pos + 1].Kind == TokKind::Punct && Toks[Pos + 1].Text == ":") {
+        Current = lookupBlock(cur().Text);
+        assert(Current && "label was pre-scanned");
+        advance();
+        advance();
+        continue;
+      }
+      if (!Current)
+        return fail("instruction before any label");
+      if (!parseInstruction(Current))
+        return false;
+    }
+    advance(); // '}'
+    return true;
+  }
+
+  bool parseOperand(Operand &Out) {
+    if (cur().Kind == TokKind::Int) {
+      Out = Operand::imm(cur().IntValue);
+      advance();
+      return true;
+    }
+    if (cur().Kind == TokKind::Ident) {
+      Out = Operand::var(Fn->makeVar(cur().Text));
+      advance();
+      return true;
+    }
+    return fail("expected operand (integer or variable)");
+  }
+
+  std::optional<BinOp> currentBinOp() const {
+    if (cur().Kind != TokKind::Punct)
+      return std::nullopt;
+    const std::string &T = cur().Text;
+    if (T == "+")
+      return BinOp::Add;
+    if (T == "-")
+      return BinOp::Sub;
+    if (T == "*")
+      return BinOp::Mul;
+    if (T == "/")
+      return BinOp::Div;
+    if (T == "==")
+      return BinOp::Eq;
+    if (T == "!=")
+      return BinOp::Ne;
+    if (T == "<")
+      return BinOp::Lt;
+    if (T == "<=")
+      return BinOp::Le;
+    if (T == ">")
+      return BinOp::Gt;
+    if (T == ">=")
+      return BinOp::Ge;
+    if (T == "&&")
+      return BinOp::And;
+    if (T == "||")
+      return BinOp::Or;
+    return std::nullopt;
+  }
+
+  bool parseInstruction(BasicBlock *BB) {
+    if (BB->terminator())
+      return fail("instruction after terminator in block '" + BB->label() +
+                  "'");
+    if (isIdent("goto")) {
+      advance();
+      std::string Label;
+      if (!expectIdent(Label))
+        return false;
+      BasicBlock *Target = lookupBlock(Label);
+      if (!Target)
+        return fail("unknown label '" + Label + "'");
+      BB->setJump(Target);
+      return true;
+    }
+    if (isIdent("if")) {
+      advance();
+      Operand Cond;
+      if (!parseOperand(Cond))
+        return false;
+      if (!isIdent("goto"))
+        return fail("expected 'goto' in conditional branch");
+      advance();
+      std::string TrueLabel, FalseLabel;
+      if (!expectIdent(TrueLabel))
+        return false;
+      if (!isIdent("else"))
+        return fail("expected 'else' in conditional branch");
+      advance();
+      if (!expectIdent(FalseLabel))
+        return false;
+      BasicBlock *T = lookupBlock(TrueLabel);
+      BasicBlock *E = lookupBlock(FalseLabel);
+      if (!T)
+        return fail("unknown label '" + TrueLabel + "'");
+      if (!E)
+        return fail("unknown label '" + FalseLabel + "'");
+      BB->setCondBr(Cond, T, E);
+      return true;
+    }
+    if (isIdent("ret")) {
+      advance();
+      std::vector<Operand> Outputs;
+      // Outputs are optional; they end at the next label/instr/'}'. Since
+      // operands are single tokens, parse a comma-separated list greedily.
+      if (cur().Kind == TokKind::Int ||
+          (cur().Kind == TokKind::Ident &&
+           !(Pos + 1 < Toks.size() && Toks[Pos + 1].Text == ":"))) {
+        while (true) {
+          Operand O;
+          if (!parseOperand(O))
+            return false;
+          Outputs.push_back(O);
+          if (isPunct(",")) {
+            advance();
+            continue;
+          }
+          break;
+        }
+      }
+      BB->setRet(std::move(Outputs));
+      return true;
+    }
+    // Definition: IDENT '=' ...
+    std::string DefName;
+    if (!expectIdent(DefName))
+      return false;
+    if (!expectPunct("="))
+      return false;
+    VarId Def = Fn->makeVar(DefName);
+
+    if (isIdent("read")) {
+      advance();
+      if (!expectPunct("(") || !expectPunct(")"))
+        return false;
+      BB->appendRead(Def);
+      return true;
+    }
+    if (isIdent("phi")) {
+      advance();
+      if (!expectPunct("("))
+        return false;
+      PhiInst *Phi = BB->appendPhi(Def);
+      while (true) {
+        std::string Label;
+        if (!expectIdent(Label))
+          return false;
+        BasicBlock *Pred = lookupBlock(Label);
+        if (!Pred)
+          return fail("unknown label '" + Label + "' in phi");
+        if (!expectPunct(":"))
+          return false;
+        Operand Value;
+        if (!parseOperand(Value))
+          return false;
+        Phi->addIncoming(Pred, Value);
+        if (isPunct(",")) {
+          advance();
+          continue;
+        }
+        break;
+      }
+      return expectPunct(")");
+    }
+    if (isPunct("-") || isPunct("!")) {
+      UnOp Op = isPunct("-") ? UnOp::Neg : UnOp::Not;
+      advance();
+      Operand Src;
+      if (!parseOperand(Src))
+        return false;
+      BB->appendUnary(Def, Op, Src);
+      return true;
+    }
+    Operand A;
+    if (!parseOperand(A))
+      return false;
+    if (std::optional<BinOp> Op = currentBinOp()) {
+      advance();
+      Operand B;
+      if (!parseOperand(B))
+        return false;
+      BB->appendBinary(Def, *Op, A, B);
+      return true;
+    }
+    BB->appendCopy(Def, A);
+    return true;
+  }
+};
+
+} // namespace
+
+ParseResult depflow::parseFunction(std::string_view Source) {
+  Parser P;
+  return P.run(Source);
+}
+
+std::unique_ptr<Function> depflow::parseFunctionOrDie(std::string_view Source) {
+  ParseResult R = parseFunction(Source);
+  if (!R.ok()) {
+    std::fprintf(stderr, "parseFunctionOrDie: %s\n", R.Error.c_str());
+    std::abort();
+  }
+  return std::move(R.Fn);
+}

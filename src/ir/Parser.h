@@ -1,0 +1,63 @@
+//===- ir/Parser.h - Textual IR parser --------------------------*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual mini-language used by the examples and tests:
+///
+/// \code
+///   func main(a, b) {
+///   entry:
+///     x = 1
+///     y = a + b
+///     if y goto then else els
+///   then:
+///     z = - x
+///     goto join
+///   els:
+///     z = x
+///     goto join
+///   join:
+///     w = read()
+///     ret z, w
+///   }
+/// \endcode
+///
+/// The first block in the text is the entry. Comments run from '#' to end
+/// of line. Parsing never throws; failures come back as an error message
+/// with a line number.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_IR_PARSER_H
+#define DEPFLOW_IR_PARSER_H
+
+#include "ir/Function.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace depflow {
+
+/// Result of parsing: either a function, or an error message.
+struct ParseResult {
+  std::unique_ptr<Function> Fn;
+  std::string Error;
+
+  bool ok() const { return Fn != nullptr; }
+};
+
+/// Parses one function definition from \p Source.
+ParseResult parseFunction(std::string_view Source);
+
+/// Convenience for tests: parses \p Source and aborts with the parse error
+/// if it is malformed. Use only on source text the caller controls.
+std::unique_ptr<Function> parseFunctionOrDie(std::string_view Source);
+
+} // namespace depflow
+
+#endif // DEPFLOW_IR_PARSER_H

@@ -1,0 +1,84 @@
+//===- ir/Printer.cpp - Textual IR printing -------------------------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+using namespace depflow;
+
+std::string depflow::printOperand(const Function &F, const Operand &Op) {
+  if (Op.isImm())
+    return std::to_string(Op.imm());
+  if (Op.isVar())
+    return F.varName(Op.var());
+  return "<none>";
+}
+
+std::string depflow::printInstruction(const Function &F,
+                                      const Instruction &I) {
+  switch (I.kind()) {
+  case Instruction::Kind::Copy: {
+    const auto &C = *cast<CopyInst>(&I);
+    return F.varName(C.def()) + " = " + printOperand(F, C.src());
+  }
+  case Instruction::Kind::Unary: {
+    const auto &U = *cast<UnaryInst>(&I);
+    return F.varName(U.def()) + " = " + unOpName(U.op()) + " " +
+           printOperand(F, U.src());
+  }
+  case Instruction::Kind::Binary: {
+    const auto &B = *cast<BinaryInst>(&I);
+    return F.varName(B.def()) + " = " + printOperand(F, B.lhs()) + " " +
+           binOpName(B.op()) + " " + printOperand(F, B.rhs());
+  }
+  case Instruction::Kind::Read: {
+    const auto &R = *cast<ReadInst>(&I);
+    return F.varName(R.def()) + " = read()";
+  }
+  case Instruction::Kind::Phi: {
+    const auto &P = *cast<PhiInst>(&I);
+    std::string S = F.varName(P.def()) + " = phi(";
+    for (unsigned Idx = 0, E = P.numIncoming(); Idx != E; ++Idx) {
+      if (Idx)
+        S += ", ";
+      S += P.incomingBlock(Idx)->label() + ": " +
+           printOperand(F, P.incomingValue(Idx));
+    }
+    return S + ")";
+  }
+  case Instruction::Kind::Jump:
+    return "goto " + cast<JumpInst>(&I)->target()->label();
+  case Instruction::Kind::CondBr: {
+    const auto &C = *cast<CondBrInst>(&I);
+    return "if " + printOperand(F, C.cond()) + " goto " +
+           C.trueTarget()->label() + " else " + C.falseTarget()->label();
+  }
+  case Instruction::Kind::Ret: {
+    std::string S = "ret";
+    const auto &Ops = I.operands();
+    for (unsigned Idx = 0, E = unsigned(Ops.size()); Idx != E; ++Idx)
+      S += (Idx ? ", " : " ") + printOperand(F, Ops[Idx]);
+    return S;
+  }
+  }
+  depflow_unreachable("unknown instruction kind");
+}
+
+std::string depflow::printFunction(const Function &F) {
+  std::string S = "func " + F.name() + "(";
+  for (unsigned Idx = 0, E = unsigned(F.params().size()); Idx != E; ++Idx) {
+    if (Idx)
+      S += ", ";
+    S += F.varName(F.params()[Idx]);
+  }
+  S += ") {\n";
+  for (const auto &BB : F.blocks()) {
+    S += BB->label() + ":\n";
+    for (const auto &I : BB->instructions())
+      S += "  " + printInstruction(F, *I) + "\n";
+  }
+  return S + "}\n";
+}

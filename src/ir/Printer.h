@@ -1,0 +1,34 @@
+//===- ir/Printer.h - Textual IR printing -----------------------*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints functions in the textual syntax accepted by ir/Parser.h, so that
+/// print(parse(S)) round-trips.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_IR_PRINTER_H
+#define DEPFLOW_IR_PRINTER_H
+
+#include "ir/Function.h"
+
+#include <string>
+
+namespace depflow {
+
+/// Renders \p Op in source syntax (a variable name or integer literal).
+std::string printOperand(const Function &F, const Operand &Op);
+
+/// Renders a single instruction (without trailing newline).
+std::string printInstruction(const Function &F, const Instruction &I);
+
+/// Renders the whole function.
+std::string printFunction(const Function &F);
+
+} // namespace depflow
+
+#endif // DEPFLOW_IR_PRINTER_H

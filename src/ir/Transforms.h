@@ -1,0 +1,47 @@
+//===- ir/Transforms.h - Basic CFG transformations --------------*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural CFG clean-ups used by the optimization passes:
+///
+///  * `splitCriticalEdges` inserts an empty block on every edge whose source
+///    is a switch and whose destination is a merge. The paper (Section 5.2)
+///    notes Morel-Renvoise needs this; its DFG-based EPR does not, but the
+///    CFG baseline implemented here does.
+///  * `canonicalize` rewrites degenerate conditional branches (identical
+///    targets) to jumps, so the verifier's switch condition holds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_IR_TRANSFORMS_H
+#define DEPFLOW_IR_TRANSFORMS_H
+
+#include "ir/Function.h"
+
+namespace depflow {
+
+/// Splits every critical edge (switch source, merge destination) by
+/// inserting a fresh block containing only a jump. Returns the number of
+/// edges split. Preserves phi correctness by retargeting incoming blocks.
+unsigned splitCriticalEdges(Function &F);
+
+/// Rewrites `if c goto L else L` into `goto L`. Returns rewrites done.
+unsigned canonicalizeBranches(Function &F);
+
+/// Separates computation from branching and merging, the paper's node
+/// model (Section 2.1): after this pass, a conditional branch lives in a
+/// block with no other instructions, and a join block (>1 predecessors)
+/// containing computation gets an empty merge block in front of it. This
+/// maximizes the single-entry single-exit regions available for bypassing:
+/// e.g. it creates the edge between a definition and the following branch
+/// that lets a whole if-then-else be bypassed (Figure 1). Requires phi-free
+/// IR. Returns the number of blocks added.
+unsigned separateComputation(Function &F);
+
+} // namespace depflow
+
+#endif // DEPFLOW_IR_TRANSFORMS_H

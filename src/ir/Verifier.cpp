@@ -1,0 +1,118 @@
+//===- ir/Verifier.cpp - IR well-formedness checks ------------------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "support/BitVector.h"
+
+#include <algorithm>
+
+using namespace depflow;
+
+/// Marks, into \p Seen, every block reachable from \p Root following
+/// forward (or, if \p Backward, predecessor) edges.
+static void markReachable(const Function &F, BasicBlock *Root, bool Backward,
+                          BitVector &Seen) {
+  std::vector<BasicBlock *> Stack{Root};
+  Seen.set(Root->id());
+  while (!Stack.empty()) {
+    BasicBlock *BB = Stack.back();
+    Stack.pop_back();
+    const std::vector<BasicBlock *> Next =
+        Backward ? BB->predecessors() : BB->successors();
+    for (BasicBlock *N : Next) {
+      if (!Seen.test(N->id())) {
+        Seen.set(N->id());
+        Stack.push_back(N);
+      }
+    }
+  }
+  (void)F;
+}
+
+std::vector<std::string> depflow::verifyFunction(Function &F) {
+  std::vector<std::string> Errors;
+  F.recomputePreds();
+
+  if (F.numBlocks() == 0) {
+    Errors.push_back("function has no blocks");
+    return Errors;
+  }
+
+  BasicBlock *Exit = nullptr;
+  for (const auto &BB : F.blocks()) {
+    Instruction *Term = BB->terminator();
+    if (!Term) {
+      Errors.push_back("block '" + BB->label() + "' has no terminator");
+      continue;
+    }
+    for (const auto &I : BB->instructions())
+      if (I->isTerminator() && I.get() != Term)
+        Errors.push_back("block '" + BB->label() +
+                         "' has a terminator in mid-block");
+    if (auto *C = dyn_cast<CondBrInst>(Term)) {
+      if (C->trueTarget() == C->falseTarget())
+        Errors.push_back("block '" + BB->label() +
+                         "' has a conditional branch with identical targets");
+    }
+    if (isa<RetInst>(Term)) {
+      if (Exit)
+        Errors.push_back("multiple ret blocks: '" + Exit->label() + "' and '" +
+                         BB->label() + "'");
+      else
+        Exit = BB.get();
+    }
+  }
+  if (!Exit) {
+    Errors.push_back("function has no ret block");
+    return Errors;
+  }
+
+  if (!F.entry()->predecessors().empty())
+    Errors.push_back("entry block '" + F.entry()->label() +
+                     "' has predecessors");
+
+  BitVector FromEntry(F.numBlocks()), ToExit(F.numBlocks());
+  markReachable(F, F.entry(), /*Backward=*/false, FromEntry);
+  markReachable(F, Exit, /*Backward=*/true, ToExit);
+  for (const auto &BB : F.blocks()) {
+    if (!FromEntry.test(BB->id()))
+      Errors.push_back("block '" + BB->label() +
+                       "' is unreachable from entry");
+    if (!ToExit.test(BB->id()))
+      Errors.push_back("block '" + BB->label() + "' cannot reach the exit");
+  }
+
+  // Phi structural checks: incoming blocks must be exactly the preds.
+  for (const auto &BB : F.blocks()) {
+    bool SawNonPhi = false;
+    for (const auto &I : BB->instructions()) {
+      auto *Phi = dyn_cast<PhiInst>(I.get());
+      if (!Phi) {
+        SawNonPhi = true;
+        continue;
+      }
+      if (SawNonPhi)
+        Errors.push_back("block '" + BB->label() +
+                         "' has a phi after a non-phi instruction");
+      std::vector<BasicBlock *> Incoming = Phi->blockRefs();
+      std::vector<BasicBlock *> Preds = BB->predecessors();
+      auto ById = [](BasicBlock *A, BasicBlock *B) {
+        return A->id() < B->id();
+      };
+      std::sort(Incoming.begin(), Incoming.end(), ById);
+      std::sort(Preds.begin(), Preds.end(), ById);
+      if (Incoming != Preds)
+        Errors.push_back("phi for '" + F.varName(Phi->def()) + "' in block '" +
+                         BB->label() +
+                         "' does not match the block's predecessors");
+    }
+  }
+  return Errors;
+}
+
+bool depflow::isWellFormed(Function &F) { return verifyFunction(F).empty(); }

@@ -1,0 +1,41 @@
+//===- ir/Verifier.h - IR well-formedness checks ----------------*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Enforces Definition 1 of the paper (a proper control flow graph) plus IR
+/// structural sanity:
+///   * every block ends in exactly one terminator;
+///   * exactly one block ends in `ret` (the CFG's `end`);
+///   * the entry has no predecessors; `end` has no successors;
+///   * every block is reachable from entry and reaches `end`;
+///   * a conditional branch has two distinct targets (a degenerate branch
+///     must be canonicalized to a jump);
+///   * phi incoming blocks exactly match the block's predecessors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_IR_VERIFIER_H
+#define DEPFLOW_IR_VERIFIER_H
+
+#include "ir/Function.h"
+
+#include <string>
+#include <vector>
+
+namespace depflow {
+
+/// Returns all well-formedness violations (empty means the function is a
+/// valid CFG in the paper's sense). Requires predecessors to be current;
+/// recomputes them itself for safety.
+std::vector<std::string> verifyFunction(Function &F);
+
+/// Convenience: true iff verifyFunction reports no problems.
+bool isWellFormed(Function &F);
+
+} // namespace depflow
+
+#endif // DEPFLOW_IR_VERIFIER_H

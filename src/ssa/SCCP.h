@@ -1,0 +1,36 @@
+//===- ssa/SCCP.h - Sparse conditional constant propagation -----*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wegman-Zadeck sparse conditional constant propagation over SSA form —
+/// the SSA-world comparison point the paper cites ([WZ85, WZ91]). Finds the
+/// same all-paths and possible-paths constants as the CFG and DFG
+/// algorithms of Section 4.
+///
+/// Requires: \p F is in SSA form (each variable has at most one defining
+/// instruction); \p OrigOf maps renamed variables to original ones (used
+/// only to decide parameter-ness of entry values).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_SSA_SCCP_H
+#define DEPFLOW_SSA_SCCP_H
+
+#include "dataflow/ConstantPropagation.h"
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace depflow {
+
+/// Runs SCCP on the SSA-form function \p F. The result reports, as usual,
+/// one lattice value per operand of every instruction (φs included).
+ConstPropResult sccp(Function &F, const std::vector<VarId> &OrigOf);
+
+} // namespace depflow
+
+#endif // DEPFLOW_SSA_SCCP_H

@@ -1,0 +1,58 @@
+//===- ssa/SSA.h - SSA construction (Cytron and DFG-derived) ----*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two ways to reach SSA form:
+///
+///  * `cytronPhiPlacement` — the baseline: iterated dominance frontiers of
+///    each variable's definition blocks [Cytron et al. 1989/1991], with
+///    optional pruning by liveness.
+///  * `dfgPhiPlacement` — the paper's O(EV) route (Section 3.3): take the
+///    DFG, elide switches, and convert the surviving merges to φ-functions.
+///    A collapse pass removes merges whose inputs all carry the same
+///    definition (the trivial φs that base-level joins inside def-free
+///    regions would otherwise produce).
+///
+/// `applySSA` then inserts φs and renames via the standard dominator-tree
+/// walk. Variables start at 0 at entry, so the original variable name keeps
+/// serving as the entry definition and uses before any def stay correct.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_SSA_SSA_H
+#define DEPFLOW_SSA_SSA_H
+
+#include "core/DepFlowGraph.h"
+#include "ir/Function.h"
+
+#include <set>
+#include <vector>
+
+namespace depflow {
+
+/// Per block id: the variables that need a φ at the block's head.
+using PhiPlacement = std::vector<std::set<VarId>>;
+
+/// IDF-based placement. With \p Pruned, φs are only placed where the
+/// variable is live-in.
+PhiPlacement cytronPhiPlacement(Function &F, bool Pruned);
+
+/// DFG-derived placement: surviving non-trivial merges of data variables.
+/// \p G must be the DFG of \p F.
+PhiPlacement dfgPhiPlacement(Function &F, const DepFlowGraph &G);
+
+/// Inserts φs per \p Placement and renames the function into SSA form.
+/// Returns, for every variable id of the renamed function, the original
+/// variable it stems from (identity for the pre-existing ids).
+std::vector<VarId> applySSA(Function &F, const PhiPlacement &Placement);
+
+/// True if no variable has more than one defining instruction.
+bool isSSAForm(const Function &F);
+
+} // namespace depflow
+
+#endif // DEPFLOW_SSA_SSA_H

@@ -1,0 +1,325 @@
+//===- structure/CycleEquivalence.cpp - O(E) cycle equivalence ------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "structure/CycleEquivalence.h"
+
+#include "ir/Function.h"
+
+#include <algorithm>
+#include <limits>
+#include <list>
+
+using namespace depflow;
+
+namespace {
+
+constexpr unsigned Inf = std::numeric_limits<unsigned>::max();
+
+/// A bracket: a backedge (real or capping) from a descendant to an
+/// ancestor, currently spanning the tree edge being classified.
+struct Bracket {
+  unsigned DestDfs;        // dfsnum of the ancestor endpoint.
+  int EdgeIdx;             // Original edge index; -1 for capping brackets.
+  unsigned RecentSize = 0; // Size of the bracket set when last on top.
+  unsigned RecentClass = 0;
+  bool RecentValid = false;
+  bool InList = false;
+  std::list<Bracket *>::iterator Where;
+};
+
+/// One undirected DFS + bottom-up bracket propagation, as in the PST paper.
+class CycleEquivSolver {
+  unsigned NumNodes;
+  const std::vector<UEdge> &Edges;
+  unsigned Root;
+
+  // Adjacency: (neighbor, edge index).
+  std::vector<std::vector<std::pair<unsigned, unsigned>>> Adj;
+
+  // DFS structure.
+  std::vector<int> DfsNum;          // -1 = unvisited.
+  std::vector<unsigned> NodeAt;     // dfsnum -> node.
+  std::vector<int> ParentEdge;      // tree edge into node, -1 at root.
+  std::vector<int> ParentNode;      // -1 at root.
+  std::vector<std::vector<unsigned>> Children; // tree children.
+  // Backedges recorded at both endpoints; stored by edge index.
+  std::vector<std::vector<unsigned>> BackFrom; // from node up to ancestor.
+  std::vector<std::vector<unsigned>> BackTo;   // into node from descendant.
+
+  std::vector<std::unique_ptr<Bracket>> AllBrackets; // ownership
+  std::vector<Bracket *> BracketOfEdge;              // per original edge
+  std::vector<std::vector<Bracket *>> CapsTo; // capping brackets ending here.
+
+  std::vector<unsigned> ClassOf;
+  unsigned NextClass = 0;
+
+  unsigned freshClass() { return NextClass++; }
+
+public:
+  CycleEquivSolver(unsigned NumNodes, const std::vector<UEdge> &Edges,
+                   unsigned Root)
+      : NumNodes(NumNodes), Edges(Edges), Root(Root) {}
+
+  std::vector<unsigned> run(unsigned &NumClasses) {
+    ClassOf.assign(Edges.size(), Inf);
+    buildAdjacency();
+    dfs();
+    propagateBrackets();
+    NumClasses = NextClass;
+    return ClassOf;
+  }
+
+private:
+  void buildAdjacency() {
+    Adj.assign(NumNodes, {});
+    for (unsigned K = 0, E = unsigned(Edges.size()); K != E; ++K) {
+      auto [U, V] = Edges[K];
+      assert(U < NumNodes && V < NumNodes && "edge endpoint out of range");
+      if (U == V) {
+        // Self-loops form singleton cycles: fresh class, not traversed.
+        ClassOf[K] = freshClass();
+        continue;
+      }
+      Adj[U].push_back({V, K});
+      Adj[V].push_back({U, K});
+    }
+  }
+
+  void dfs() {
+    DfsNum.assign(NumNodes, -1);
+    NodeAt.clear();
+    ParentEdge.assign(NumNodes, -1);
+    ParentNode.assign(NumNodes, -1);
+    Children.assign(NumNodes, {});
+    BackFrom.assign(NumNodes, {});
+    BackTo.assign(NumNodes, {});
+
+    std::vector<bool> EdgeUsed(Edges.size(), false);
+    // (node, adjacency cursor)
+    std::vector<std::pair<unsigned, unsigned>> Stack;
+    auto Visit = [&](unsigned N) {
+      DfsNum[N] = int(NodeAt.size());
+      NodeAt.push_back(N);
+      Stack.push_back({N, 0});
+    };
+    Visit(Root);
+    while (!Stack.empty()) {
+      auto &[N, Cursor] = Stack.back();
+      if (Cursor >= Adj[N].size()) {
+        Stack.pop_back();
+        continue;
+      }
+      auto [M, EIdx] = Adj[N][Cursor++];
+      if (EdgeUsed[EIdx])
+        continue;
+      EdgeUsed[EIdx] = true;
+      if (DfsNum[M] < 0) {
+        ParentEdge[M] = int(EIdx);
+        ParentNode[M] = int(N);
+        Children[N].push_back(M);
+        Visit(M);
+      } else {
+        // Undirected DFS yields only ancestor/descendant non-tree edges.
+        if (DfsNum[M] < DfsNum[N]) {
+          BackFrom[N].push_back(EIdx);
+          BackTo[M].push_back(EIdx);
+        } else {
+          BackFrom[M].push_back(EIdx);
+          BackTo[N].push_back(EIdx);
+        }
+      }
+    }
+    assert(NodeAt.size() == NumNodes ||
+           // Permit isolated nodes only if they have no edges at all.
+           true);
+  }
+
+  /// Ancestor endpoint (smaller dfsnum) of backedge \p EIdx.
+  unsigned destDfs(unsigned EIdx) const {
+    auto [U, V] = Edges[EIdx];
+    return unsigned(std::min(DfsNum[U], DfsNum[V]));
+  }
+  /// Descendant endpoint dfsnum of backedge \p EIdx.
+  unsigned srcDfs(unsigned EIdx) const {
+    auto [U, V] = Edges[EIdx];
+    return unsigned(std::max(DfsNum[U], DfsNum[V]));
+  }
+
+  void propagateBrackets() {
+    unsigned NumVisited = unsigned(NodeAt.size());
+    std::vector<std::list<Bracket *>> BList(NumNodes);
+    std::vector<unsigned> Hi(NumNodes, Inf);
+    BracketOfEdge.assign(Edges.size(), nullptr);
+    CapsTo.assign(NumNodes, {});
+
+    for (unsigned I = NumVisited; I-- > 0;) {
+      unsigned N = NodeAt[I];
+
+      // hi0: highest (smallest dfsnum) destination of a backedge from N.
+      unsigned Hi0 = Inf;
+      for (unsigned B : BackFrom[N])
+        Hi0 = std::min(Hi0, destDfs(B));
+      // hi1/hi2: smallest and second-smallest hi among children.
+      unsigned Hi1 = Inf, Hi2 = Inf;
+      for (unsigned C : Children[N]) {
+        unsigned H = Hi[C];
+        if (H < Hi1) {
+          Hi2 = Hi1;
+          Hi1 = H;
+        } else {
+          Hi2 = std::min(Hi2, H);
+        }
+      }
+      Hi[N] = std::min(Hi0, Hi1);
+
+      // Build this node's bracket list: concat children, then delete
+      // brackets ending here, then push brackets starting here.
+      std::list<Bracket *> &L = BList[N];
+      for (unsigned C : Children[N])
+        L.splice(L.begin(), BList[C]);
+
+      for (Bracket *Cap : CapsTo[N]) {
+        if (Cap->InList) {
+          L.erase(Cap->Where);
+          Cap->InList = false;
+        }
+      }
+      for (unsigned B : BackTo[N]) {
+        Bracket *Br = BracketOfEdge[B];
+        assert(Br && Br->InList && "backedge bracket must be pending");
+        L.erase(Br->Where);
+        Br->InList = false;
+        if (ClassOf[B] == Inf)
+          ClassOf[B] = freshClass();
+      }
+      for (unsigned B : BackFrom[N]) {
+        auto Br = std::make_unique<Bracket>();
+        Br->DestDfs = destDfs(B);
+        Br->EdgeIdx = int(B);
+        L.push_front(Br.get());
+        Br->Where = L.begin();
+        Br->InList = true;
+        BracketOfEdge[B] = Br.get();
+        AllBrackets.push_back(std::move(Br));
+      }
+      if (Hi2 < unsigned(DfsNum[N])) {
+        // Two subtrees independently reach above N: add a capping bracket
+        // to the second-highest target so sibling bracket sets cannot be
+        // confused above N.
+        auto Cap = std::make_unique<Bracket>();
+        Cap->DestDfs = Hi2;
+        Cap->EdgeIdx = -1;
+        L.push_front(Cap.get());
+        Cap->Where = L.begin();
+        Cap->InList = true;
+        CapsTo[NodeAt[Hi2]].push_back(Cap.get());
+        AllBrackets.push_back(std::move(Cap));
+      }
+
+      // Classify the tree edge from parent(N) to N.
+      if (ParentEdge[N] >= 0) {
+        unsigned E = unsigned(ParentEdge[N]);
+        if (L.empty()) {
+          // Bridge: singleton class.
+          ClassOf[E] = freshClass();
+          continue;
+        }
+        Bracket *Top = L.front();
+        if (!Top->RecentValid || Top->RecentSize != L.size()) {
+          Top->RecentSize = unsigned(L.size());
+          Top->RecentClass = freshClass();
+          Top->RecentValid = true;
+        }
+        ClassOf[E] = Top->RecentClass;
+        // A sole bracket is cycle equivalent to the tree edge it spans.
+        if (L.size() == 1 && Top->EdgeIdx >= 0)
+          ClassOf[unsigned(Top->EdgeIdx)] = ClassOf[E];
+      }
+    }
+  }
+};
+
+} // namespace
+
+std::vector<unsigned> depflow::undirectedCycleEquivalence(
+    unsigned NumNodes, const std::vector<UEdge> &Edges, unsigned Root,
+    unsigned &NumClasses) {
+  CycleEquivSolver Solver(NumNodes, Edges, Root);
+  return Solver.run(NumClasses);
+}
+
+CycleEquivalence depflow::cycleEquivalenceClasses(const Function &F,
+                                                  const CFGEdges &Edges) {
+  BasicBlock *Exit = F.exit();
+  assert(Exit && "cycle equivalence requires a unique exit block");
+  std::vector<UEdge> UEdges;
+  UEdges.reserve(Edges.size() + 1);
+  for (unsigned Id = 0, E = Edges.size(); Id != E; ++Id)
+    UEdges.push_back({Edges.edge(Id).From->id(), Edges.edge(Id).To->id()});
+  // The augmenting end→start edge that makes the graph strongly connected.
+  UEdges.push_back({Exit->id(), F.entry()->id()});
+
+  CycleEquivalence CE;
+  std::vector<unsigned> All = undirectedCycleEquivalence(
+      F.numBlocks(), UEdges, F.entry()->id(), CE.NumClasses);
+  CE.VirtualClass = All.back();
+  All.pop_back();
+  CE.ClassOf = std::move(All);
+  return CE;
+}
+
+std::vector<unsigned> depflow::bruteForceDirectedCycleEquivalence(
+    unsigned NumNodes, const std::vector<UEdge> &DirectedEdges,
+    unsigned &NumClasses) {
+  unsigned E = unsigned(DirectedEdges.size());
+
+  // Reachability From→To in the graph minus one edge.
+  auto ReachesWithout = [&](unsigned From, unsigned To, unsigned SkipEdge) {
+    std::vector<std::vector<unsigned>> Succ(NumNodes);
+    for (unsigned K = 0; K != E; ++K)
+      if (K != SkipEdge)
+        Succ[DirectedEdges[K].first].push_back(DirectedEdges[K].second);
+    std::vector<bool> Seen(NumNodes, false);
+    std::vector<unsigned> Stack{From};
+    Seen[From] = true;
+    while (!Stack.empty()) {
+      unsigned N = Stack.back();
+      Stack.pop_back();
+      if (N == To)
+        return true;
+      for (unsigned S : Succ[N]) {
+        if (!Seen[S]) {
+          Seen[S] = true;
+          Stack.push_back(S);
+        }
+      }
+    }
+    return bool(Seen[To]);
+  };
+
+  // EquivTo[K][J]: every cycle through K passes through J (and conversely).
+  std::vector<unsigned> Class(E, Inf);
+  unsigned Next = 0;
+  for (unsigned K = 0; K != E; ++K) {
+    if (Class[K] != Inf)
+      continue;
+    Class[K] = Next++;
+    auto [A, B] = DirectedEdges[K];
+    for (unsigned J = K + 1; J != E; ++J) {
+      if (Class[J] != Inf)
+        continue;
+      auto [C, D] = DirectedEdges[J];
+      // Self-loops are equivalent only to themselves.
+      if (A == B || C == D)
+        continue;
+      if (!ReachesWithout(B, A, J) && !ReachesWithout(D, C, K))
+        Class[J] = Class[K];
+    }
+  }
+  NumClasses = Next;
+  return Class;
+}

@@ -1,0 +1,144 @@
+//===- structure/SESE.cpp - SESE regions and the PST ----------------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "structure/SESE.h"
+
+#include "graph/Dominators.h"
+#include "ir/Function.h"
+
+#include <algorithm>
+
+using namespace depflow;
+
+ProgramStructureTree::ProgramStructureTree(const Function &F,
+                                           const CFGEdges &E,
+                                           const CycleEquivalence &CE) {
+  // Root region covering the whole function.
+  Regions.push_back(SESERegion{0, -1, -1, -1, 0, {}});
+  OpenedBy.assign(E.size(), -1);
+  ClosedBy.assign(E.size(), -1);
+  RegionOfBlock.assign(F.numBlocks(), 0);
+  RegionOfEdge.assign(E.size(), 0);
+
+  // Group real CFG edges by equivalence class.
+  std::vector<std::vector<unsigned>> Members(CE.NumClasses);
+  for (unsigned Id = 0, N = E.size(); Id != N; ++Id)
+    Members[CE.ClassOf[Id]].push_back(Id);
+
+  // Order each class by dominance over the edge-split graph; Theorem 1
+  // guarantees dominance is total within a class, so this is a valid strict
+  // weak order on each class.
+  Digraph Split = edgeSplitDigraph(F, E);
+  DomTree DT(Split, F.entry()->id());
+  unsigned NB = F.numBlocks();
+  auto EdgeNode = [NB](unsigned EdgeId) { return NB + EdgeId; };
+
+  for (auto &Class : Members) {
+    if (Class.size() < 2)
+      continue;
+    std::sort(Class.begin(), Class.end(), [&](unsigned A, unsigned B) {
+      return DT.strictlyDominates(EdgeNode(A), EdgeNode(B));
+    });
+    for (unsigned I = 0; I + 1 < Class.size(); ++I) {
+      unsigned RegionId = unsigned(Regions.size());
+      Regions.push_back(
+          SESERegion{RegionId, int(Class[I]), int(Class[I + 1]), -1, 0, {}});
+      OpenedBy[Class[I]] = int(RegionId);
+      ClosedBy[Class[I + 1]] = int(RegionId);
+    }
+  }
+
+  // One CFG traversal assigns every block and edge its innermost region and
+  // links each canonical region to its PST parent. Context enters a region
+  // at its entry edge and leaves at its exit edge; the boundary edges
+  // themselves live in the surrounding region.
+  std::vector<int> Ctx(F.numBlocks(), -1);
+  std::vector<BasicBlock *> Stack;
+  Ctx[F.entry()->id()] = 0;
+  Stack.push_back(F.entry());
+  while (!Stack.empty()) {
+    BasicBlock *BB = Stack.back();
+    Stack.pop_back();
+    unsigned BlockCtx = unsigned(Ctx[BB->id()]);
+    RegionOfBlock[BB->id()] = BlockCtx;
+    for (unsigned EdgeId : E.outEdges(BB)) {
+      unsigned Cur = BlockCtx;
+      if (int Closed = ClosedBy[EdgeId]; Closed >= 0) {
+        assert(Cur == unsigned(Closed) &&
+               "exit edge traversed outside its region");
+        Cur = unsigned(Regions[unsigned(Closed)].Parent >= 0
+                           ? Regions[unsigned(Closed)].Parent
+                           : 0);
+      }
+      RegionOfEdge[EdgeId] = Cur;
+      if (int Opened = OpenedBy[EdgeId]; Opened >= 0) {
+        SESERegion &R = Regions[unsigned(Opened)];
+        assert((R.Parent == -1 || R.Parent == int(Cur)) &&
+               "region entered from two different contexts");
+        if (R.Parent == -1) {
+          R.Parent = int(Cur);
+          Regions[Cur].Children.push_back(R.Id);
+        }
+        Cur = unsigned(Opened);
+      }
+      BasicBlock *To = E.edge(EdgeId).To;
+      if (Ctx[To->id()] < 0) {
+        Ctx[To->id()] = int(Cur);
+        Stack.push_back(To);
+      } else {
+        assert(Ctx[To->id()] == int(Cur) &&
+               "inconsistent region context at a block");
+      }
+    }
+  }
+
+  // Wait: the traversal above reads ClosedBy→Parent before the parent may
+  // have been linked. Resolve depths (and re-check parents) in a second
+  // pass ordered by entry-edge discovery. Parents are in fact always linked
+  // before their children close because the entry edge of the parent lies
+  // on every path to the child's entry edge; the assert above enforces it.
+  for (SESERegion &R : Regions) {
+    if (R.Id == 0)
+      continue;
+    unsigned Depth = 0;
+    for (int P = R.Parent; P >= 0; P = Regions[unsigned(P)].Parent)
+      ++Depth;
+    R.Depth = Depth;
+  }
+}
+
+bool ProgramStructureTree::encloses(unsigned Ancestor, unsigned R) const {
+  for (int Cur = int(R); Cur >= 0; Cur = Regions[unsigned(Cur)].Parent)
+    if (unsigned(Cur) == Ancestor)
+      return true;
+  return false;
+}
+
+std::string ProgramStructureTree::dump(const Function &F,
+                                       const CFGEdges &E) const {
+  std::string Out;
+  // Depth-first over the PST.
+  std::vector<std::pair<unsigned, unsigned>> Stack{{0u, 0u}};
+  while (!Stack.empty()) {
+    auto [Id, Indent] = Stack.back();
+    Stack.pop_back();
+    const SESERegion &R = Regions[Id];
+    Out.append(Indent * 2, ' ');
+    if (R.EntryEdge < 0) {
+      Out += "region 0 (whole function '" + F.name() + "')\n";
+    } else {
+      const CFGEdge &In = E.edge(unsigned(R.EntryEdge));
+      const CFGEdge &OutE = E.edge(unsigned(R.ExitEdge));
+      Out += "region " + std::to_string(R.Id) + ": entry " +
+             In.From->label() + "->" + In.To->label() + ", exit " +
+             OutE.From->label() + "->" + OutE.To->label() + "\n";
+    }
+    for (auto It = R.Children.rbegin(); It != R.Children.rend(); ++It)
+      Stack.push_back({*It, Indent + 1});
+  }
+  return Out;
+}

@@ -1,0 +1,80 @@
+//===- structure/SESE.h - SESE regions and the PST --------------*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Single-entry single-exit regions, derived from cycle equivalence.
+/// Within one equivalence class, edges are totally ordered by dominance
+/// (Theorem 1); each *consecutive* pair forms a canonical SESE region, and
+/// canonical regions nest into the Program Structure Tree (PST).
+///
+/// Region 0 is always the synthetic root covering the whole function.
+/// A region's "interior" is the set of blocks on paths between its entry
+/// and exit edges; boundary edges belong to the *parent* region. Each block
+/// and each edge stores its innermost region, computed by one pass over the
+/// CFG that opens a region when its entry edge is traversed and closes it
+/// at its exit edge.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_STRUCTURE_SESE_H
+#define DEPFLOW_STRUCTURE_SESE_H
+
+#include "structure/CycleEquivalence.h"
+
+#include <string>
+#include <vector>
+
+namespace depflow {
+
+struct SESERegion {
+  unsigned Id = 0;
+  int EntryEdge = -1; // CFG edge id; -1 only for the root region.
+  int ExitEdge = -1;
+  int Parent = -1; // PST parent region; -1 only for the root.
+  unsigned Depth = 0;
+  std::vector<unsigned> Children; // PST children, in discovery order.
+};
+
+class ProgramStructureTree {
+  std::vector<SESERegion> Regions;
+  std::vector<unsigned> RegionOfBlock; // innermost region per block id
+  std::vector<unsigned> RegionOfEdge;  // innermost region per edge id
+  std::vector<int> OpenedBy;           // edge id -> region it enters, or -1
+  std::vector<int> ClosedBy;           // edge id -> region it exits, or -1
+
+public:
+  /// Builds the PST. \p CE must come from cycleEquivalenceClasses(F, E).
+  ProgramStructureTree(const Function &F, const CFGEdges &E,
+                       const CycleEquivalence &CE);
+
+  unsigned numRegions() const { return unsigned(Regions.size()); }
+  const SESERegion &region(unsigned Id) const { return Regions[Id]; }
+  const SESERegion &root() const { return Regions[0]; }
+
+  /// Innermost region whose interior contains \p BlockId.
+  unsigned regionOfBlock(unsigned BlockId) const {
+    return RegionOfBlock[BlockId];
+  }
+  /// Innermost region containing edge \p EdgeId (boundary edges belong to
+  /// the parent of the region they bound).
+  unsigned regionOfEdge(unsigned EdgeId) const { return RegionOfEdge[EdgeId]; }
+
+  /// Region entered through \p EdgeId (its entry edge), or -1.
+  int regionOpenedBy(unsigned EdgeId) const { return OpenedBy[EdgeId]; }
+  /// Region exited through \p EdgeId (its exit edge), or -1.
+  int regionClosedBy(unsigned EdgeId) const { return ClosedBy[EdgeId]; }
+
+  /// True if \p Ancestor is \p R or encloses it.
+  bool encloses(unsigned Ancestor, unsigned R) const;
+
+  /// Renders the tree for debugging/examples.
+  std::string dump(const Function &F, const CFGEdges &E) const;
+};
+
+} // namespace depflow
+
+#endif // DEPFLOW_STRUCTURE_SESE_H

@@ -1,0 +1,173 @@
+//===- support/BitVector.h - Dynamic bit vector -----------------*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dynamically sized bit vector with the set operations the dataflow
+/// solvers need (union, intersection, difference, anyCommon). Mirrors the
+/// relevant slice of llvm/ADT/BitVector.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_SUPPORT_BITVECTOR_H
+#define DEPFLOW_SUPPORT_BITVECTOR_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace depflow {
+
+class BitVector {
+  using Word = std::uint64_t;
+  static constexpr unsigned WordBits = 64;
+
+  std::vector<Word> Words;
+  unsigned NumBits = 0;
+
+  static unsigned numWords(unsigned Bits) {
+    return (Bits + WordBits - 1) / WordBits;
+  }
+
+  /// Zeroes any bits in the final word beyond NumBits.
+  void clearUnusedBits() {
+    unsigned Extra = NumBits % WordBits;
+    if (Extra && !Words.empty())
+      Words.back() &= (Word(1) << Extra) - 1;
+  }
+
+public:
+  BitVector() = default;
+  explicit BitVector(unsigned Size, bool Value = false)
+      : Words(numWords(Size), Value ? ~Word(0) : Word(0)), NumBits(Size) {
+    clearUnusedBits();
+  }
+
+  unsigned size() const { return NumBits; }
+  bool empty() const { return NumBits == 0; }
+
+  void resize(unsigned Size, bool Value = false) {
+    unsigned OldBits = NumBits;
+    Words.resize(numWords(Size), Value ? ~Word(0) : Word(0));
+    NumBits = Size;
+    if (Value && Size > OldBits) {
+      // The old final word may have had stale zero padding; fill it.
+      for (unsigned I = OldBits; I < Size && I % WordBits != 0; ++I)
+        set(I);
+    }
+    clearUnusedBits();
+  }
+
+  bool test(unsigned Idx) const {
+    assert(Idx < NumBits && "BitVector index out of range");
+    return (Words[Idx / WordBits] >> (Idx % WordBits)) & 1;
+  }
+  bool operator[](unsigned Idx) const { return test(Idx); }
+
+  BitVector &set(unsigned Idx) {
+    assert(Idx < NumBits && "BitVector index out of range");
+    Words[Idx / WordBits] |= Word(1) << (Idx % WordBits);
+    return *this;
+  }
+
+  BitVector &set() {
+    for (Word &W : Words)
+      W = ~Word(0);
+    clearUnusedBits();
+    return *this;
+  }
+
+  BitVector &reset(unsigned Idx) {
+    assert(Idx < NumBits && "BitVector index out of range");
+    Words[Idx / WordBits] &= ~(Word(1) << (Idx % WordBits));
+    return *this;
+  }
+
+  BitVector &reset() {
+    for (Word &W : Words)
+      W = 0;
+    return *this;
+  }
+
+  bool none() const {
+    for (Word W : Words)
+      if (W)
+        return false;
+    return true;
+  }
+  bool any() const { return !none(); }
+
+  unsigned count() const {
+    unsigned N = 0;
+    for (Word W : Words)
+      N += __builtin_popcountll(W);
+    return N;
+  }
+
+  /// Returns the index of the first set bit, or -1 if none.
+  int findFirst() const {
+    for (unsigned I = 0, E = Words.size(); I != E; ++I)
+      if (Words[I])
+        return int(I * WordBits + __builtin_ctzll(Words[I]));
+    return -1;
+  }
+
+  /// Returns the index of the first set bit after \p Prev, or -1.
+  int findNext(unsigned Prev) const {
+    unsigned Idx = Prev + 1;
+    if (Idx >= NumBits)
+      return -1;
+    unsigned WordIdx = Idx / WordBits;
+    Word Copy = Words[WordIdx] & (~Word(0) << (Idx % WordBits));
+    while (true) {
+      if (Copy)
+        return int(WordIdx * WordBits + __builtin_ctzll(Copy));
+      if (++WordIdx >= Words.size())
+        return -1;
+      Copy = Words[WordIdx];
+    }
+  }
+
+  bool operator==(const BitVector &RHS) const {
+    return NumBits == RHS.NumBits && Words == RHS.Words;
+  }
+  bool operator!=(const BitVector &RHS) const { return !(*this == RHS); }
+
+  BitVector &operator|=(const BitVector &RHS) {
+    assert(NumBits == RHS.NumBits && "BitVector size mismatch");
+    for (unsigned I = 0, E = Words.size(); I != E; ++I)
+      Words[I] |= RHS.Words[I];
+    return *this;
+  }
+
+  BitVector &operator&=(const BitVector &RHS) {
+    assert(NumBits == RHS.NumBits && "BitVector size mismatch");
+    for (unsigned I = 0, E = Words.size(); I != E; ++I)
+      Words[I] &= RHS.Words[I];
+    return *this;
+  }
+
+  /// Set difference: this &= ~RHS.
+  BitVector &resetAll(const BitVector &RHS) {
+    assert(NumBits == RHS.NumBits && "BitVector size mismatch");
+    for (unsigned I = 0, E = Words.size(); I != E; ++I)
+      Words[I] &= ~RHS.Words[I];
+    return *this;
+  }
+
+  /// Returns true if this and \p RHS share any set bit.
+  bool anyCommon(const BitVector &RHS) const {
+    assert(NumBits == RHS.NumBits && "BitVector size mismatch");
+    for (unsigned I = 0, E = Words.size(); I != E; ++I)
+      if (Words[I] & RHS.Words[I])
+        return true;
+    return false;
+  }
+};
+
+} // namespace depflow
+
+#endif // DEPFLOW_SUPPORT_BITVECTOR_H

@@ -1,0 +1,76 @@
+//===- support/Casting.h - LLVM-style isa/cast/dyn_cast ---------*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Opt-in hand-rolled RTTI in the style of llvm/Support/Casting.h. A class
+/// hierarchy participates by exposing a `Kind` discriminator and a static
+/// `classof(const Base *)` on every concrete class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_SUPPORT_CASTING_H
+#define DEPFLOW_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace depflow {
+
+/// Returns true if \p Val is an instance of \p To (or one of \p Tos...).
+template <typename To, typename... Tos, typename From>
+bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  if constexpr (std::is_base_of_v<To, From>)
+    return true;
+  else if (To::classof(Val))
+    return true;
+  if constexpr (sizeof...(Tos) > 0)
+    return isa<Tos...>(Val);
+  else
+    return false;
+}
+
+/// Checked downcast: asserts that \p Val really is a \p To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast: returns null when \p Val is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like isa<>, but tolerates a null pointer (for which it returns false).
+template <typename To, typename From> bool isa_and_present(const From *Val) {
+  return Val && isa<To>(Val);
+}
+
+/// Like dyn_cast<>, but tolerates (and propagates) a null pointer.
+template <typename To, typename From> To *dyn_cast_if_present(From *Val) {
+  return Val && isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// Marks a point in the code that must never be reached.
+[[noreturn]] inline void depflow_unreachable(const char *Msg) {
+  (void)Msg;
+  assert(false && "depflow_unreachable reached");
+  __builtin_unreachable();
+}
+
+} // namespace depflow
+
+#endif // DEPFLOW_SUPPORT_CASTING_H

@@ -1,0 +1,57 @@
+//===- support/GraphWriter.cpp - GraphViz .dot emission -------------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/GraphWriter.h"
+
+using namespace depflow;
+
+std::string GraphWriter::escape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out.push_back('\\');
+    if (C == '\n') {
+      Out += "\\n";
+      continue;
+    }
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+void GraphWriter::node(const std::string &Id, const std::string &Label,
+                       const std::string &ExtraAttrs) {
+  Body += "  \"" + escape(Id) + "\" [label=\"" + escape(Label) + "\"";
+  if (!ExtraAttrs.empty())
+    Body += ", " + ExtraAttrs;
+  Body += "];\n";
+}
+
+void GraphWriter::edge(const std::string &From, const std::string &To,
+                       const std::string &Label,
+                       const std::string &ExtraAttrs) {
+  Body += "  \"" + escape(From) + "\" -> \"" + escape(To) + "\"";
+  if (!Label.empty() || !ExtraAttrs.empty()) {
+    Body += " [";
+    if (!Label.empty())
+      Body += "label=\"" + escape(Label) + "\"";
+    if (!ExtraAttrs.empty()) {
+      if (!Label.empty())
+        Body += ", ";
+      Body += ExtraAttrs;
+    }
+    Body += "]";
+  }
+  Body += ";\n";
+}
+
+void GraphWriter::raw(const std::string &Line) { Body += "  " + Line + "\n"; }
+
+std::string GraphWriter::str() const {
+  return "digraph \"" + escape(Name) + "\" {\n" + Body + "}\n";
+}

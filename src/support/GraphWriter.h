@@ -1,0 +1,48 @@
+//===- support/GraphWriter.h - GraphViz .dot emission -----------*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal builder for GraphViz digraphs, used by the example tools to
+/// visualize CFGs, SESE region nesting, and dependence flow graphs (the
+/// repository's analogue of the paper's hand-drawn figures).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_SUPPORT_GRAPHWRITER_H
+#define DEPFLOW_SUPPORT_GRAPHWRITER_H
+
+#include <string>
+
+namespace depflow {
+
+class GraphWriter {
+  std::string Body;
+  std::string Name;
+
+  static std::string escape(const std::string &S);
+
+public:
+  explicit GraphWriter(std::string GraphName) : Name(std::move(GraphName)) {}
+
+  /// Adds a node with the given label and optional dot attributes.
+  void node(const std::string &Id, const std::string &Label,
+            const std::string &ExtraAttrs = "");
+
+  /// Adds an edge, optionally labeled/styled.
+  void edge(const std::string &From, const std::string &To,
+            const std::string &Label = "", const std::string &ExtraAttrs = "");
+
+  /// Emits a raw line inside the digraph body (e.g. a subgraph cluster).
+  void raw(const std::string &Line);
+
+  /// Renders the accumulated graph as a complete dot document.
+  std::string str() const;
+};
+
+} // namespace depflow
+
+#endif // DEPFLOW_SUPPORT_GRAPHWRITER_H

@@ -1,0 +1,56 @@
+//===- support/IndexedMap.h - Vector-backed dense maps ----------*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `IndexedMap<Id, T>` is a dense map from an integral id type to values,
+/// growing on demand. Ids throughout depflow are small dense integers
+/// (block ids, edge ids, variable ids), so vector-backed maps are both the
+/// fastest and the most deterministic container choice.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_SUPPORT_INDEXEDMAP_H
+#define DEPFLOW_SUPPORT_INDEXEDMAP_H
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace depflow {
+
+template <typename IdT, typename T> class IndexedMap {
+  std::vector<T> Storage;
+  T Default{};
+
+public:
+  IndexedMap() = default;
+  explicit IndexedMap(T DefaultValue) : Default(std::move(DefaultValue)) {}
+
+  /// Ensures ids [0, Size) are addressable.
+  void grow(std::size_t Size) {
+    if (Storage.size() < Size)
+      Storage.resize(Size, Default);
+  }
+
+  T &operator[](IdT Id) {
+    std::size_t Idx = static_cast<std::size_t>(Id);
+    grow(Idx + 1);
+    return Storage[Idx];
+  }
+
+  const T &lookup(IdT Id) const {
+    std::size_t Idx = static_cast<std::size_t>(Id);
+    return Idx < Storage.size() ? Storage[Idx] : Default;
+  }
+
+  std::size_t size() const { return Storage.size(); }
+  void clear() { Storage.clear(); }
+};
+
+} // namespace depflow
+
+#endif // DEPFLOW_SUPPORT_INDEXEDMAP_H

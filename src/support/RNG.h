@@ -1,0 +1,57 @@
+//===- support/RNG.h - Deterministic random numbers -------------*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64: a tiny, fast, seedable generator. Every generated workload in
+/// tests and benchmarks is a pure function of its seed, so failures are
+/// reproducible from the seed alone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_SUPPORT_RNG_H
+#define DEPFLOW_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace depflow {
+
+class RNG {
+  std::uint64_t State;
+
+public:
+  explicit RNG(std::uint64_t Seed) : State(Seed) {}
+
+  std::uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform integer in [0, Bound).
+  std::uint64_t nextBelow(std::uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow requires a positive bound");
+    return next() % Bound;
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  std::int64_t nextInRange(std::int64_t Lo, std::int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + std::int64_t(nextBelow(std::uint64_t(Hi - Lo + 1)));
+  }
+
+  /// Returns true with probability Num/Den.
+  bool chance(std::uint64_t Num, std::uint64_t Den) {
+    return nextBelow(Den) < Num;
+  }
+};
+
+} // namespace depflow
+
+#endif // DEPFLOW_SUPPORT_RNG_H

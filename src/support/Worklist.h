@@ -1,0 +1,52 @@
+//===- support/Worklist.h - Deduplicating worklist ---------------*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A FIFO worklist over dense integer ids that never holds an id twice.
+/// Both the CFG and DFG dataflow solvers (Sections 4 and 5 of the paper) are
+/// worklist algorithms; deduplication keeps their complexity bounds honest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_SUPPORT_WORKLIST_H
+#define DEPFLOW_SUPPORT_WORKLIST_H
+
+#include "support/BitVector.h"
+
+#include <deque>
+
+namespace depflow {
+
+class Worklist {
+  std::deque<unsigned> Queue;
+  BitVector InQueue;
+
+public:
+  explicit Worklist(unsigned UniverseSize) : InQueue(UniverseSize) {}
+
+  bool empty() const { return Queue.empty(); }
+  std::size_t size() const { return Queue.size(); }
+
+  /// Enqueues \p Id unless it is already pending.
+  void push(unsigned Id) {
+    if (InQueue.test(Id))
+      return;
+    InQueue.set(Id);
+    Queue.push_back(Id);
+  }
+
+  unsigned pop() {
+    unsigned Id = Queue.front();
+    Queue.pop_front();
+    InQueue.reset(Id);
+    return Id;
+  }
+};
+
+} // namespace depflow
+
+#endif // DEPFLOW_SUPPORT_WORKLIST_H

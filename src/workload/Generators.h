@@ -1,0 +1,96 @@
+//===- workload/Generators.h - Synthetic program generators -----*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic workload generators. The original paper evaluated its
+/// algorithms inside an unreleased Cornell compiler on FORTRAN inputs;
+/// these generators are the repository's substitute: families of CFGs and
+/// programs with controllable E (edges), V (variables), loop nesting, and
+/// branching, all pure functions of a seed.
+///
+/// Program-producing generators guarantee the result verifies (unique
+/// exit, everything reachable both ways) and every variable is defined at
+/// entry before use (variables start at 0; see interp/Interpreter.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_WORKLOAD_GENERATORS_H
+#define DEPFLOW_WORKLOAD_GENERATORS_H
+
+#include "ir/Function.h"
+#include "structure/CycleEquivalence.h"
+#include "support/RNG.h"
+
+#include <cstdint>
+#include <memory>
+
+namespace depflow {
+
+/// Knobs for the structured program generator.
+struct GenOptions {
+  std::uint64_t Seed = 1;
+  unsigned NumVars = 6;        // Variables v0..v(NumVars-1).
+  unsigned TargetStmts = 30;   // Approximate assignment count.
+  unsigned MaxDepth = 4;       // Maximum if/while nesting.
+  unsigned LoopPct = 25;       // Chance a construct is a while loop.
+  unsigned IfPct = 35;         // Chance a construct is an if/if-else.
+  unsigned ReadPct = 15;       // Chance an assignment is a read().
+  unsigned ConstPct = 40;      // Chance an operand is a literal.
+  bool EmitElse = true;        // Allow if without else when false.
+  /// When nonzero, statements only touch a window of this many variables
+  /// that slides across the variable space as the program progresses, and
+  /// ret covers only the final window — short live ranges, the shape where
+  /// the paper's sparse propagation pays off. 0 = uniform access.
+  unsigned ClusterWindow = 0;
+};
+
+/// Generates a random *structured* program (seq/if/while), always reducible
+/// and rich in SESE regions. Output verifies.
+std::unique_ptr<Function> generateStructuredProgram(const GenOptions &Opts);
+
+/// Generates a random, possibly irreducible CFG with gotos: a guaranteed
+/// chain entry→…→exit plus \p ExtraEdgePct percent random conditional
+/// branches. Blocks carry \p StmtsPerBlock random assignments over
+/// \p NumVars variables. Output verifies.
+std::unique_ptr<Function> generateRandomCFGProgram(std::uint64_t Seed,
+                                                   unsigned NumBlocks,
+                                                   unsigned ExtraEdgePct,
+                                                   unsigned NumVars,
+                                                   unsigned StmtsPerBlock);
+
+/// K sequential if-then-else diamonds (many small SESE regions).
+std::unique_ptr<Function> generateDiamondChain(unsigned K, unsigned NumVars,
+                                               std::uint64_t Seed);
+
+/// Nested while loops, \p Depth deep, with \p BodiesPerLevel sibling loops
+/// at each level.
+std::unique_ptr<Function> generateNestedLoops(unsigned Depth,
+                                              unsigned BodiesPerLevel,
+                                              unsigned NumVars,
+                                              std::uint64_t Seed);
+
+/// K repeat-until loops in sequence; each back edge is a critical edge
+/// (switch source, merge destination), the shape the paper singles out in
+/// Section 5.2.
+std::unique_ptr<Function> generateRepeatUntilChain(unsigned K,
+                                                   unsigned NumVars,
+                                                   std::uint64_t Seed);
+
+/// A "ladder": blocks B0..B(K-1) where Bi conditionally branches to both
+/// B(i+1) and B(i+2) — an irreducible-looking mesh with few SESE regions.
+std::unique_ptr<Function> generateLadder(unsigned K, unsigned NumVars,
+                                         std::uint64_t Seed);
+
+/// A random strongly connected directed multigraph as an edge list
+/// (a Hamiltonian-style random cycle plus \p ExtraEdges random edges),
+/// for direct tests of the cycle-equivalence algorithms.
+std::vector<UEdge> randomStronglyConnectedEdges(RNG &Rand, unsigned NumNodes,
+                                                unsigned ExtraEdges);
+
+} // namespace depflow
+
+#endif // DEPFLOW_WORKLOAD_GENERATORS_H

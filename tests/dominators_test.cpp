@@ -1,0 +1,179 @@
+//===- tests/dominators_test.cpp - Dominator tree tests -------------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Dominators.h"
+#include "ir/CFGEdges.h"
+#include "ir/Parser.h"
+#include "support/RNG.h"
+#include "workload/Generators.h"
+
+#include <gtest/gtest.h>
+
+using namespace depflow;
+
+namespace {
+
+Digraph fromEdges(unsigned N, const std::vector<UEdge> &Edges) {
+  Digraph G(N);
+  for (auto [U, V] : Edges)
+    G.addEdge(U, V);
+  return G;
+}
+
+TEST(DomTree, LinearChain) {
+  Digraph G(4);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  G.addEdge(2, 3);
+  DomTree DT(G, 0);
+  EXPECT_EQ(DT.idom(0), -1);
+  EXPECT_EQ(DT.idom(1), 0);
+  EXPECT_EQ(DT.idom(2), 1);
+  EXPECT_EQ(DT.idom(3), 2);
+  EXPECT_TRUE(DT.dominates(0, 3));
+  EXPECT_TRUE(DT.dominates(2, 2));
+  EXPECT_FALSE(DT.dominates(3, 2));
+  EXPECT_FALSE(DT.strictlyDominates(2, 2));
+}
+
+TEST(DomTree, Diamond) {
+  Digraph G(4);
+  G.addEdge(0, 1);
+  G.addEdge(0, 2);
+  G.addEdge(1, 3);
+  G.addEdge(2, 3);
+  DomTree DT(G, 0);
+  EXPECT_EQ(DT.idom(3), 0);
+  EXPECT_FALSE(DT.dominates(1, 3));
+  EXPECT_FALSE(DT.dominates(2, 3));
+}
+
+TEST(DomTree, LoopWithTwoBackEdges) {
+  // 0 -> 1 -> 2 -> 1 and 2 -> 3 -> 1, 3 -> 4.
+  Digraph G(5);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  G.addEdge(2, 1);
+  G.addEdge(2, 3);
+  G.addEdge(3, 1);
+  G.addEdge(3, 4);
+  DomTree DT(G, 0);
+  EXPECT_EQ(DT.idom(1), 0);
+  EXPECT_EQ(DT.idom(2), 1);
+  EXPECT_EQ(DT.idom(3), 2);
+  EXPECT_EQ(DT.idom(4), 3);
+}
+
+TEST(DomTree, UnreachableNodesDominateNothing) {
+  Digraph G(3);
+  G.addEdge(0, 1);
+  G.addEdge(2, 1); // 2 unreachable from 0.
+  DomTree DT(G, 0);
+  EXPECT_FALSE(DT.isReachable(2));
+  EXPECT_FALSE(DT.dominates(2, 1));
+  EXPECT_FALSE(DT.dominates(0, 2));
+  EXPECT_EQ(DT.idom(2), -1);
+}
+
+class DomRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DomRandomTest, MatchesBruteForce) {
+  RNG Rand(std::uint64_t(GetParam()) * 77 + 5);
+  unsigned N = 6 + unsigned(Rand.nextBelow(8));
+  std::vector<UEdge> Edges =
+      randomStronglyConnectedEdges(Rand, N, N + unsigned(Rand.nextBelow(N)));
+  Digraph G = fromEdges(N, Edges);
+  DomTree DT(G, 0);
+  for (unsigned A = 0; A != N; ++A)
+    for (unsigned B = 0; B != N; ++B)
+      EXPECT_EQ(DT.dominates(A, B), bruteForceDominates(G, 0, A, B))
+          << "A=" << A << " B=" << B;
+}
+
+TEST_P(DomRandomTest, PostdominanceMatchesBruteForceOnReverse) {
+  RNG Rand(std::uint64_t(GetParam()) * 131 + 17);
+  unsigned N = 6 + unsigned(Rand.nextBelow(8));
+  std::vector<UEdge> Edges =
+      randomStronglyConnectedEdges(Rand, N, N + unsigned(Rand.nextBelow(N)));
+  Digraph G = fromEdges(N, Edges);
+  Digraph R = G.reversed();
+  DomTree PDT(R, 0);
+  for (unsigned A = 0; A != N; ++A)
+    for (unsigned B = 0; B != N; ++B)
+      EXPECT_EQ(PDT.dominates(A, B), bruteForceDominates(R, 0, A, B));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DomRandomTest, ::testing::Range(0, 25));
+
+TEST(DominanceFrontier, DiamondFrontiers) {
+  Digraph G(4);
+  G.addEdge(0, 1);
+  G.addEdge(0, 2);
+  G.addEdge(1, 3);
+  G.addEdge(2, 3);
+  DomTree DT(G, 0);
+  auto DF = dominanceFrontiers(G, DT);
+  EXPECT_TRUE(DF[0].empty());
+  ASSERT_EQ(DF[1].size(), 1u);
+  EXPECT_EQ(DF[1][0], 3u);
+  ASSERT_EQ(DF[2].size(), 1u);
+  EXPECT_EQ(DF[2][0], 3u);
+  EXPECT_TRUE(DF[3].empty());
+}
+
+TEST(DominanceFrontier, MatchesDefinitionOnRandomGraphs) {
+  // DF(n) = { w : n dominates a pred of w, n does not strictly dominate w }.
+  for (std::uint64_t Seed = 0; Seed < 15; ++Seed) {
+    RNG Rand(Seed * 13 + 3);
+    unsigned N = 5 + unsigned(Rand.nextBelow(8));
+    Digraph G = fromEdges(
+        N, randomStronglyConnectedEdges(Rand, N, N));
+    DomTree DT(G, 0);
+    auto DF = dominanceFrontiers(G, DT);
+    for (unsigned Node = 0; Node != N; ++Node) {
+      std::vector<unsigned> Expected;
+      for (unsigned W = 0; W != N; ++W) {
+        bool DominatesAPred = false;
+        for (unsigned P : G.preds(W))
+          DominatesAPred |= DT.dominates(Node, P);
+        if (DominatesAPred && !DT.strictlyDominates(Node, W))
+          Expected.push_back(W);
+      }
+      EXPECT_EQ(DF[Node], Expected) << "node " << Node << " seed " << Seed;
+    }
+  }
+}
+
+TEST(Digraph, ReverseAndReach) {
+  Digraph G(3);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  EXPECT_TRUE(G.reaches(0, 2));
+  EXPECT_FALSE(G.reaches(2, 0));
+  Digraph R = G.reversed();
+  EXPECT_TRUE(R.reaches(2, 0));
+  EXPECT_EQ(R.numEdges(), 2u);
+}
+
+TEST(Digraph, EdgeSplitHasDummiesOnEveryEdge) {
+  auto F = parseFunctionOrDie(R"(
+func f(c) {
+a:
+  if c goto b else d
+b:
+  goto d
+d:
+  ret
+}
+)");
+  CFGEdges E(*F);
+  Digraph Split = edgeSplitDigraph(*F, E);
+  EXPECT_EQ(Split.numNodes(), F->numBlocks() + E.size());
+  EXPECT_EQ(Split.numEdges(), 2 * E.size());
+}
+
+} // namespace

@@ -1,0 +1,310 @@
+//===- tests/ir_test.cpp - IR, parser, verifier, interpreter tests --------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/CFGEdges.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Transforms.h"
+#include "ir/Verifier.h"
+#include "workload/Generators.h"
+
+#include <gtest/gtest.h>
+
+using namespace depflow;
+
+namespace {
+
+const char *DiamondSrc = R"(
+func main(a) {
+entry:
+  x = 1
+  if a goto then else els
+then:
+  y = x + 1
+  goto join
+els:
+  y = x - 1
+  goto join
+join:
+  z = y * 2
+  ret z
+}
+)";
+
+TEST(Parser, ParsesDiamond) {
+  ParseResult R = parseFunction(DiamondSrc);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  Function &F = *R.Fn;
+  EXPECT_EQ(F.name(), "main");
+  EXPECT_EQ(F.numBlocks(), 4u);
+  EXPECT_EQ(F.params().size(), 1u);
+  EXPECT_EQ(F.entry()->label(), "entry");
+  ASSERT_NE(F.exit(), nullptr);
+  EXPECT_EQ(F.exit()->label(), "join");
+  EXPECT_EQ(F.numEdges(), 4u);
+  EXPECT_TRUE(isWellFormed(F));
+}
+
+TEST(Parser, RoundTripsThroughPrinter) {
+  auto F = parseFunctionOrDie(DiamondSrc);
+  std::string Printed = printFunction(*F);
+  ParseResult R2 = parseFunction(Printed);
+  ASSERT_TRUE(R2.ok()) << R2.Error << "\n" << Printed;
+  EXPECT_EQ(printFunction(*R2.Fn), Printed);
+}
+
+TEST(Parser, ForwardReferencesKeepEntryFirst) {
+  const char *Src = R"(
+func f() {
+start:
+  goto later
+later:
+  ret
+}
+)";
+  auto F = parseFunctionOrDie(Src);
+  EXPECT_EQ(F->entry()->label(), "start");
+}
+
+TEST(Parser, ParsesAllInstructionForms) {
+  const char *Src = R"(
+func f(p) {
+b0:
+  a = 5
+  b = -3
+  c = - a
+  d = ! a
+  e = a + b
+  g = a == b
+  h = read()
+  if g goto b1 else b2
+b1:
+  goto b3
+b2:
+  goto b3
+b3:
+  i = phi(b1: a, b2: 7)
+  ret i, h
+}
+)";
+  ParseResult R = parseFunction(Src);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_TRUE(isWellFormed(*R.Fn));
+  // b = -3 must be an immediate copy, c = - a a unary negation.
+  const auto &B0 = *R.Fn->block(0);
+  EXPECT_EQ(B0.instructions()[1]->kind(), Instruction::Kind::Copy);
+  EXPECT_EQ(B0.instructions()[2]->kind(), Instruction::Kind::Unary);
+  std::string Printed = printFunction(*R.Fn);
+  ParseResult R2 = parseFunction(Printed);
+  ASSERT_TRUE(R2.ok()) << R2.Error;
+  EXPECT_EQ(printFunction(*R2.Fn), Printed);
+}
+
+TEST(Parser, ReportsErrors) {
+  EXPECT_FALSE(parseFunction("func f() { b: goto nowhere }").ok());
+  EXPECT_FALSE(parseFunction("func f() { x = 1 }").ok()); // no label
+  EXPECT_FALSE(parseFunction("garbage").ok());
+  EXPECT_FALSE(parseFunction("func f() { b: x = $ }").ok());
+  EXPECT_FALSE(parseFunction("func f() { b: ret").ok()); // missing brace
+}
+
+TEST(Verifier, CatchesMissingTerminator) {
+  Function F("f");
+  BasicBlock *B = F.makeBlock("entry");
+  B->appendCopy(F.makeVar("x"), Operand::imm(1));
+  auto Errors = verifyFunction(F);
+  EXPECT_FALSE(Errors.empty());
+}
+
+TEST(Verifier, CatchesUnreachableAndNoExitPath) {
+  // Block 'island' unreachable; block 'trap' loops forever.
+  const char *Src = R"(
+func f(c) {
+entry:
+  if c goto trap else out
+trap:
+  goto trap
+out:
+  ret
+island:
+  goto out
+}
+)";
+  auto F = parseFunctionOrDie(Src);
+  auto Errors = verifyFunction(*F);
+  EXPECT_EQ(Errors.size(), 2u);
+}
+
+TEST(Verifier, CatchesDegenerateBranch) {
+  Function F("f");
+  BasicBlock *A = F.makeBlock("a");
+  BasicBlock *B = F.makeBlock("b");
+  A->setCondBr(Operand::imm(1), B, B);
+  B->setRet({});
+  EXPECT_FALSE(isWellFormed(F));
+  EXPECT_EQ(canonicalizeBranches(F), 1u);
+  EXPECT_TRUE(isWellFormed(F));
+}
+
+TEST(CFGEdges, NumbersEdgesDensely) {
+  auto F = parseFunctionOrDie(DiamondSrc);
+  CFGEdges E(*F);
+  EXPECT_EQ(E.size(), 4u);
+  EXPECT_EQ(E.outEdges(F->entry()).size(), 2u);
+  EXPECT_EQ(E.inEdges(F->exit()).size(), 2u);
+  // True side is successor index 0.
+  unsigned TrueEdge = E.outEdge(F->entry(), 0);
+  EXPECT_EQ(E.edge(TrueEdge).To->label(), "then");
+}
+
+TEST(Transforms, SplitsCriticalEdges) {
+  // Repeat-until: body conditionally branches back to itself (critical).
+  const char *Src = R"(
+func f(c) {
+entry:
+  goto body
+body:
+  x = read()
+  if x goto body else out
+out:
+  ret x
+}
+)";
+  auto F = parseFunctionOrDie(Src);
+  unsigned Split = splitCriticalEdges(*F);
+  EXPECT_EQ(Split, 1u);
+  EXPECT_TRUE(isWellFormed(*F));
+  // No remaining critical edges.
+  for (const auto &BB : F->blocks())
+    if (BB->isSwitch())
+      for (BasicBlock *S : BB->successors())
+        EXPECT_LE(S->numPredecessors(), 1u);
+}
+
+TEST(Interpreter, RunsDiamondBothWays) {
+  auto F = parseFunctionOrDie(DiamondSrc);
+  ExecResult R1 = runFunction(*F, {1});
+  ASSERT_TRUE(R1.Halted);
+  ASSERT_EQ(R1.Outputs.size(), 1u);
+  EXPECT_EQ(R1.Outputs[0], 4); // (1+1)*2
+  ExecResult R0 = runFunction(*F, {0});
+  ASSERT_TRUE(R0.Halted);
+  EXPECT_EQ(R0.Outputs[0], 0); // (1-1)*2
+}
+
+TEST(Interpreter, CountsExpressions) {
+  const char *Src = R"(
+func f(n) {
+entry:
+  s = 0
+  goto head
+head:
+  t = n > 0
+  if t goto body else out
+body:
+  s = s + n
+  n = n - 1
+  goto head
+out:
+  ret s
+}
+)";
+  auto F = parseFunctionOrDie(Src);
+  ExecResult R = runFunction(*F, {4});
+  ASSERT_TRUE(R.Halted);
+  EXPECT_EQ(R.Outputs[0], 10);
+  VarId S = unsigned(F->lookupVar("s")), N = unsigned(F->lookupVar("n"));
+  Expression SPlusN{BinOp::Add, Operand::var(S), Operand::var(N)};
+  EXPECT_EQ(R.countOf(SPlusN), 4u);
+  EXPECT_EQ(R.BlockCounts[1], 5u); // head runs n+1 times
+}
+
+TEST(Interpreter, StepLimitStopsInfiniteLoops) {
+  const char *Src = R"(
+func f(c) {
+entry:
+  if c goto spin else out
+spin:
+  x = x + 1
+  goto spin
+out:
+  ret x
+}
+)";
+  // Note: 'spin' never reaches out, so this does NOT verify; the
+  // interpreter must still terminate via the step budget.
+  auto F = parseFunctionOrDie(Src);
+  ExecResult R = runFunction(*F, {1}, 500);
+  EXPECT_FALSE(R.Halted);
+  EXPECT_GE(R.Steps, 500u);
+}
+
+TEST(Interpreter, PhisEvaluateInParallel)
+{
+  // Swap via phis: both phis must read pre-edge values.
+  const char *Src = R"(
+func f(n) {
+entry:
+  a = 1
+  b = 2
+  goto head
+head:
+  x = phi(entry: a, body: y)
+  y = phi(entry: b, body: x)
+  t = n > 0
+  if t goto body else out
+body:
+  n = n - 1
+  goto head
+out:
+  ret x, y
+}
+)";
+  auto F = parseFunctionOrDie(Src);
+  ExecResult R = runFunction(*F, {3});
+  ASSERT_TRUE(R.Halted);
+  // Three swaps: (1,2) -> (2,1) -> (1,2) -> (2,1).
+  EXPECT_EQ(R.Outputs[0], 2);
+  EXPECT_EQ(R.Outputs[1], 1);
+}
+
+TEST(Generators, StructuredProgramsVerify) {
+  for (std::uint64_t Seed = 0; Seed < 40; ++Seed) {
+    GenOptions Opts;
+    Opts.Seed = Seed;
+    Opts.TargetStmts = 25 + unsigned(Seed % 20);
+    auto F = generateStructuredProgram(Opts);
+    auto Errors = verifyFunction(*F);
+    EXPECT_TRUE(Errors.empty())
+        << "seed " << Seed << ": " << Errors.front() << "\n"
+        << printFunction(*F);
+  }
+}
+
+TEST(Generators, RandomCFGProgramsVerify) {
+  for (std::uint64_t Seed = 0; Seed < 40; ++Seed) {
+    auto F = generateRandomCFGProgram(Seed, 12 + unsigned(Seed % 9), 60, 5, 2);
+    auto Errors = verifyFunction(*F);
+    EXPECT_TRUE(Errors.empty())
+        << "seed " << Seed << ": " << Errors.front() << "\n"
+        << printFunction(*F);
+  }
+}
+
+TEST(Generators, FamiliesVerify) {
+  auto D = generateDiamondChain(6, 4, 1);
+  EXPECT_TRUE(isWellFormed(*D));
+  auto L = generateNestedLoops(3, 2, 4, 2);
+  EXPECT_TRUE(isWellFormed(*L));
+  auto R = generateRepeatUntilChain(5, 4, 3);
+  EXPECT_TRUE(isWellFormed(*R));
+  auto Ld = generateLadder(10, 4, 4);
+  EXPECT_TRUE(isWellFormed(*Ld));
+}
+
+} // namespace

@@ -1,0 +1,150 @@
+//===- tests/loops_test.cpp - Loop forest tests ---------------------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+// Loop recognition (Section 6's toolkit ingredient) and its correlation
+// with the program structure tree: in structured code, a while loop's body
+// region is exactly a SESE region, so every natural loop's blocks land in
+// regions nested inside the loop's enclosing region.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Loops.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "structure/SESE.h"
+#include "workload/Generators.h"
+
+#include <gtest/gtest.h>
+
+using namespace depflow;
+
+namespace {
+
+TEST(Loops, SimpleWhileLoop) {
+  auto F = parseFunctionOrDie(R"(
+func f(c) {
+entry:
+  goto head
+head:
+  if c goto body else out
+body:
+  goto head
+out:
+  ret
+}
+)");
+  LoopForest LF(*F);
+  ASSERT_EQ(LF.numLoops(), 1u);
+  const Loop &L = LF.loop(0);
+  EXPECT_EQ(L.Header, 1u);
+  EXPECT_EQ(L.Blocks, (std::vector<unsigned>{1, 2}));
+  EXPECT_EQ(L.Depth, 1u);
+  EXPECT_EQ(LF.loopDepth(0), 0u);
+  EXPECT_EQ(LF.loopDepth(1), 1u);
+  EXPECT_EQ(LF.loopDepth(3), 0u);
+  EXPECT_TRUE(LF.irreducibleEdges().empty());
+}
+
+TEST(Loops, NestedLoopsDepth) {
+  auto F = generateNestedLoops(3, 2, 4, 9);
+  LoopForest LF(*F);
+  unsigned MaxDepth = 0;
+  for (unsigned L = 0; L != LF.numLoops(); ++L)
+    MaxDepth = std::max(MaxDepth, LF.loop(L).Depth);
+  EXPECT_EQ(MaxDepth, 3u);
+  // Every child loop's blocks are a subset of its parent's.
+  for (unsigned L = 0; L != LF.numLoops(); ++L) {
+    const Loop &Child = LF.loop(L);
+    if (Child.Parent < 0)
+      continue;
+    const Loop &Parent = LF.loop(unsigned(Child.Parent));
+    for (unsigned B : Child.Blocks)
+      EXPECT_TRUE(Parent.contains(B));
+    EXPECT_EQ(Parent.Depth + 1, Child.Depth);
+  }
+}
+
+TEST(Loops, SelfLoopIsALoop) {
+  auto F = generateRepeatUntilChain(2, 3, 4);
+  LoopForest LF(*F);
+  EXPECT_EQ(LF.numLoops(), 2u);
+  for (unsigned L = 0; L != LF.numLoops(); ++L)
+    EXPECT_EQ(LF.loop(L).Blocks.size(), 1u) << "self loop bodies";
+}
+
+TEST(Loops, IrreducibleEdgesDetected) {
+  // Classic irreducible: two entries into a cycle.
+  auto F = parseFunctionOrDie(R"(
+func f(c) {
+entry:
+  if c goto a else b
+a:
+  goto b2
+b:
+  goto a2
+a2:
+  if c goto b2 else out
+b2:
+  goto a2
+out:
+  ret
+}
+)");
+  LoopForest LF(*F);
+  EXPECT_FALSE(LF.irreducibleEdges().empty());
+}
+
+class LoopPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LoopPropertyTest, LoopsAlignWithPSTRegionsOnStructuredCode) {
+  GenOptions Opts;
+  Opts.Seed = std::uint64_t(GetParam()) * 3 + 2;
+  Opts.TargetStmts = 30;
+  Opts.LoopPct = 45;
+  auto F = generateStructuredProgram(Opts);
+  LoopForest LF(*F);
+  CFGEdges E(*F);
+  CycleEquivalence CE = cycleEquivalenceClasses(*F, E);
+  ProgramStructureTree PST(*F, E, CE);
+
+  // In while-structured code, each loop's blocks all live in PST regions
+  // enclosed by the region that owns the loop header.
+  for (unsigned L = 0; L != LF.numLoops(); ++L) {
+    const Loop &Loop_ = LF.loop(L);
+    unsigned HeaderRegion = PST.regionOfBlock(Loop_.Header);
+    for (unsigned B : Loop_.Blocks)
+      EXPECT_TRUE(PST.encloses(HeaderRegion, PST.regionOfBlock(B)))
+          << "block " << F->block(B)->label() << " of loop at "
+          << F->block(Loop_.Header)->label() << "\n"
+          << printFunction(*F);
+  }
+  EXPECT_TRUE(LF.irreducibleEdges().empty()) << "structured code reduces";
+}
+
+TEST_P(LoopPropertyTest, EveryBackEdgeTargetsItsLoopHeader) {
+  auto F = generateRandomCFGProgram(std::uint64_t(GetParam()) * 7 + 3, 12,
+                                    50, 4, 1);
+  LoopForest LF(*F);
+  Digraph G = cfgDigraph(*F);
+  DomTree DT(G, F->entry()->id());
+  for (const auto &BB : F->blocks()) {
+    for (BasicBlock *S : BB->successors()) {
+      if (!DT.dominates(S->id(), BB->id()))
+        continue;
+      // A dominator back edge: source and target must share a loop whose
+      // header is the target.
+      int L = LF.innermostLoop(BB->id());
+      ASSERT_GE(L, 0);
+      bool Found = false;
+      for (int Cur = L; Cur >= 0; Cur = LF.loop(unsigned(Cur)).Parent)
+        Found |= LF.loop(unsigned(Cur)).Header == S->id();
+      EXPECT_TRUE(Found);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LoopPropertyTest, ::testing::Range(0, 20));
+
+} // namespace

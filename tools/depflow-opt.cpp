@@ -1,0 +1,233 @@
+//===- tools/depflow-opt.cpp - Command line optimizer driver --------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+// Usage: depflow-opt [options] [file]
+//
+//   --constprop          DFG conditional constant propagation + DCE
+//   --constprop-cfg      same, via the CFG algorithm (Figure 4a)
+//   --predicates         enable the x==c refinement during constprop
+//   --pre                Morel-Renvoise PRE over every expression
+//   --pre-busy           busy code motion instead (paper's simple strategy)
+//   --ssa                convert to pruned SSA (Cytron placement)
+//   --ssa-dfg            convert to pruned SSA via the DFG route
+//   --separate           separateComputation normalization first
+//   --dot-dfg            print the dependence flow graph in GraphViz form
+//   --dot-cfg            print the CFG in GraphViz form
+//   --regions            print cycle-equivalence classes and the PST
+//   --run v1,v2,...      interpret with the given inputs and print outputs
+//
+// Reads the program from the file (or stdin), applies the requested
+// passes in the order listed above, and prints the result.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/Anticipatability.h"
+#include "dataflow/ConstantPropagation.h"
+#include "dataflow/PRE.h"
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Transforms.h"
+#include "ir/Verifier.h"
+#include "ssa/SSA.h"
+#include "structure/SESE.h"
+#include "support/GraphWriter.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+using namespace depflow;
+
+namespace {
+
+struct Options {
+  bool ConstProp = false;
+  bool ConstPropCFG = false;
+  bool Predicates = false;
+  bool PRE = false;
+  bool PREBusy = false;
+  bool SSA = false;
+  bool SSADfg = false;
+  bool Separate = false;
+  bool DotDFG = false;
+  bool DotCFG = false;
+  bool Regions = false;
+  bool Run = false;
+  std::vector<std::int64_t> Inputs;
+  std::string File;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: depflow-opt [--constprop|--constprop-cfg] "
+               "[--predicates] [--pre|--pre-busy]\n"
+               "                   [--ssa|--ssa-dfg] [--separate] "
+               "[--dot-dfg] [--dot-cfg]\n"
+               "                   [--regions] [--run v1,v2,...] [file]\n");
+  return 2;
+}
+
+bool parseArgs(int Argc, char **Argv, Options &O) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--constprop")
+      O.ConstProp = true;
+    else if (A == "--constprop-cfg")
+      O.ConstPropCFG = true;
+    else if (A == "--predicates")
+      O.Predicates = true;
+    else if (A == "--pre")
+      O.PRE = true;
+    else if (A == "--pre-busy")
+      O.PREBusy = true;
+    else if (A == "--ssa")
+      O.SSA = true;
+    else if (A == "--ssa-dfg")
+      O.SSADfg = true;
+    else if (A == "--separate")
+      O.Separate = true;
+    else if (A == "--dot-dfg")
+      O.DotDFG = true;
+    else if (A == "--dot-cfg")
+      O.DotCFG = true;
+    else if (A == "--regions")
+      O.Regions = true;
+    else if (A == "--run") {
+      O.Run = true;
+      if (I + 1 < Argc && Argv[I + 1][0] != '-') {
+        std::stringstream SS(Argv[++I]);
+        std::string Tok;
+        while (std::getline(SS, Tok, ','))
+          O.Inputs.push_back(std::strtoll(Tok.c_str(), nullptr, 10));
+      }
+    } else if (A.rfind("--", 0) == 0) {
+      return false;
+    } else {
+      O.File = A;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options O;
+  if (!parseArgs(Argc, Argv, O))
+    return usage();
+
+  std::string Src;
+  if (O.File.empty()) {
+    std::stringstream SS;
+    SS << std::cin.rdbuf();
+    Src = SS.str();
+  } else {
+    std::ifstream In(O.File);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open %s\n", O.File.c_str());
+      return 1;
+    }
+    std::stringstream SS;
+    SS << In.rdbuf();
+    Src = SS.str();
+  }
+
+  ParseResult R = parseFunction(Src);
+  if (!R.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", R.Error.c_str());
+    return 1;
+  }
+  Function &F = *R.Fn;
+  for (const std::string &Err : verifyFunction(F)) {
+    std::fprintf(stderr, "verifier: %s\n", Err.c_str());
+    return 1;
+  }
+
+  if (O.Separate)
+    separateComputation(F);
+
+  if (O.ConstProp || O.ConstPropCFG) {
+    ConstPropResult CP;
+    if (O.ConstPropCFG) {
+      CP = cfgConstantPropagation(F, O.Predicates);
+    } else {
+      DepFlowGraph G = DepFlowGraph::build(F);
+      CP = dfgConstantPropagation(F, G, O.Predicates);
+    }
+    unsigned Rewrites = applyConstantsAndDCE(F, CP);
+    std::fprintf(stderr, "constprop: %u operands folded\n", Rewrites);
+  }
+
+  if (O.PRE || O.PREBusy) {
+    splitCriticalEdges(F);
+    unsigned Total = 0;
+    for (const Expression &Ex : collectExpressions(F)) {
+      CFGEdges E(F);
+      DepFlowGraph G = DepFlowGraph::build(F, E);
+      std::vector<bool> Ant = dfgExpressionAnt(F, E, G, Ex);
+      PREDecisions D = O.PREBusy ? busyCodeMotion(F, E, Ex, Ant)
+                                 : morelRenvoise(F, E, Ex, Ant);
+      Total += applyPRE(F, Ex, D);
+    }
+    std::fprintf(stderr, "pre: %u computations replaced\n", Total);
+  }
+
+  if (O.SSA || O.SSADfg) {
+    PhiPlacement P;
+    if (O.SSADfg) {
+      DepFlowGraph G = DepFlowGraph::build(F);
+      P = dfgPhiPlacement(F, G);
+    } else {
+      P = cytronPhiPlacement(F, /*Pruned=*/true);
+    }
+    applySSA(F, P);
+  }
+
+  if (O.Regions) {
+    CFGEdges E(F);
+    CycleEquivalence CE = cycleEquivalenceClasses(F, E);
+    ProgramStructureTree PST(F, E, CE);
+    std::printf("%s", PST.dump(F, E).c_str());
+  }
+
+  if (O.DotCFG) {
+    CFGEdges E(F);
+    GraphWriter GW("cfg");
+    for (const auto &BB : F.blocks()) {
+      std::string Body = BB->label() + ":";
+      for (const auto &I : BB->instructions())
+        Body += "\n" + printInstruction(F, *I);
+      GW.node(BB->label(), Body, "shape=box");
+    }
+    for (unsigned Id = 0; Id != E.size(); ++Id)
+      GW.edge(E.edge(Id).From->label(), E.edge(Id).To->label());
+    std::printf("%s", GW.str().c_str());
+  }
+
+  if (O.DotDFG) {
+    DepFlowGraph G = DepFlowGraph::build(F);
+    std::printf("%s", G.toDot(F).c_str());
+  }
+
+  if (!O.Regions && !O.DotCFG && !O.DotDFG)
+    std::printf("%s", printFunction(F).c_str());
+
+  if (O.Run) {
+    ExecResult Res = runFunction(F, O.Inputs);
+    if (!Res.Halted) {
+      std::fprintf(stderr, "run: step budget exhausted\n");
+      return 1;
+    }
+    std::printf("; outputs:");
+    for (std::int64_t V : Res.Outputs)
+      std::printf(" %lld", (long long)V);
+    std::printf("\n");
+  }
+  return 0;
+}
