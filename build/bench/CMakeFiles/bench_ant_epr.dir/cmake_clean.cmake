@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ant_epr.dir/bench_ant_epr.cpp.o"
+  "CMakeFiles/bench_ant_epr.dir/bench_ant_epr.cpp.o.d"
+  "bench_ant_epr"
+  "bench_ant_epr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ant_epr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cdg.dir/bench_cdg.cpp.o"
+  "CMakeFiles/bench_cdg.dir/bench_cdg.cpp.o.d"
+  "bench_cdg"
+  "bench_cdg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cdg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

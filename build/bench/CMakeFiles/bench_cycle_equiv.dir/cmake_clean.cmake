@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cycle_equiv.dir/bench_cycle_equiv.cpp.o"
+  "CMakeFiles/bench_cycle_equiv.dir/bench_cycle_equiv.cpp.o.d"
+  "bench_cycle_equiv"
+  "bench_cycle_equiv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cycle_equiv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dfg_construction.dir/bench_dfg_construction.cpp.o"
+  "CMakeFiles/bench_dfg_construction.dir/bench_dfg_construction.cpp.o.d"
+  "bench_dfg_construction"
+  "bench_dfg_construction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dfg_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

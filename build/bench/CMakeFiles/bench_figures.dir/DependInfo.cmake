@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_figures.cpp" "bench/CMakeFiles/bench_figures.dir/bench_figures.cpp.o" "gcc" "bench/CMakeFiles/bench_figures.dir/bench_figures.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ssa/CMakeFiles/dep_ssa.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/dep_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dep_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/structure/CMakeFiles/dep_structure.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dep_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/dep_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dep_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

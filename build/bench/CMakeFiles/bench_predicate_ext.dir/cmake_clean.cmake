@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_predicate_ext.dir/bench_predicate_ext.cpp.o"
+  "CMakeFiles/bench_predicate_ext.dir/bench_predicate_ext.cpp.o.d"
+  "bench_predicate_ext"
+  "bench_predicate_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_predicate_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

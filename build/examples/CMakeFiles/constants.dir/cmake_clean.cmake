@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constants.dir/constants.cpp.o"
+  "CMakeFiles/constants.dir/constants.cpp.o.d"
+  "constants"
+  "constants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

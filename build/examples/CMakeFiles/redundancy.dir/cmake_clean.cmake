@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redundancy.dir/redundancy.cpp.o"
+  "CMakeFiles/redundancy.dir/redundancy.cpp.o.d"
+  "redundancy"
+  "redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regions.dir/regions.cpp.o"
+  "CMakeFiles/regions.dir/regions.cpp.o.d"
+  "regions"
+  "regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

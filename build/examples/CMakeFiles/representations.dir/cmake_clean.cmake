@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/representations.dir/representations.cpp.o"
+  "CMakeFiles/representations.dir/representations.cpp.o.d"
+  "representations"
+  "representations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/representations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

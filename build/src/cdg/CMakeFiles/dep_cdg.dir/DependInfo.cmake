@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cdg/ControlDependence.cpp" "src/cdg/CMakeFiles/dep_cdg.dir/ControlDependence.cpp.o" "gcc" "src/cdg/CMakeFiles/dep_cdg.dir/ControlDependence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/structure/CMakeFiles/dep_structure.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dep_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/dep_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dep_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dep_cdg.dir/ControlDependence.cpp.o"
+  "CMakeFiles/dep_cdg.dir/ControlDependence.cpp.o.d"
+  "libdep_cdg.a"
+  "libdep_cdg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dep_cdg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

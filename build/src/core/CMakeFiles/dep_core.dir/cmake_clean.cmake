@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dep_core.dir/DepFlowGraph.cpp.o"
+  "CMakeFiles/dep_core.dir/DepFlowGraph.cpp.o.d"
+  "libdep_core.a"
+  "libdep_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dep_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dep_dataflow.dir/Anticipatability.cpp.o"
+  "CMakeFiles/dep_dataflow.dir/Anticipatability.cpp.o.d"
+  "CMakeFiles/dep_dataflow.dir/ConstantPropagation.cpp.o"
+  "CMakeFiles/dep_dataflow.dir/ConstantPropagation.cpp.o.d"
+  "CMakeFiles/dep_dataflow.dir/DefUse.cpp.o"
+  "CMakeFiles/dep_dataflow.dir/DefUse.cpp.o.d"
+  "CMakeFiles/dep_dataflow.dir/Liveness.cpp.o"
+  "CMakeFiles/dep_dataflow.dir/Liveness.cpp.o.d"
+  "CMakeFiles/dep_dataflow.dir/PRE.cpp.o"
+  "CMakeFiles/dep_dataflow.dir/PRE.cpp.o.d"
+  "libdep_dataflow.a"
+  "libdep_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dep_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

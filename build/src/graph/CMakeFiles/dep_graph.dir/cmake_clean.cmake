@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dep_graph.dir/Digraph.cpp.o"
+  "CMakeFiles/dep_graph.dir/Digraph.cpp.o.d"
+  "CMakeFiles/dep_graph.dir/Dominators.cpp.o"
+  "CMakeFiles/dep_graph.dir/Dominators.cpp.o.d"
+  "CMakeFiles/dep_graph.dir/Loops.cpp.o"
+  "CMakeFiles/dep_graph.dir/Loops.cpp.o.d"
+  "libdep_graph.a"
+  "libdep_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dep_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dep_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/dep_interp.dir/Interpreter.cpp.o.d"
+  "libdep_interp.a"
+  "libdep_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dep_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

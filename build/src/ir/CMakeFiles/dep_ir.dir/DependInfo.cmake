@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/BasicBlock.cpp" "src/ir/CMakeFiles/dep_ir.dir/BasicBlock.cpp.o" "gcc" "src/ir/CMakeFiles/dep_ir.dir/BasicBlock.cpp.o.d"
+  "/root/repo/src/ir/CFGEdges.cpp" "src/ir/CMakeFiles/dep_ir.dir/CFGEdges.cpp.o" "gcc" "src/ir/CMakeFiles/dep_ir.dir/CFGEdges.cpp.o.d"
+  "/root/repo/src/ir/Expression.cpp" "src/ir/CMakeFiles/dep_ir.dir/Expression.cpp.o" "gcc" "src/ir/CMakeFiles/dep_ir.dir/Expression.cpp.o.d"
+  "/root/repo/src/ir/Function.cpp" "src/ir/CMakeFiles/dep_ir.dir/Function.cpp.o" "gcc" "src/ir/CMakeFiles/dep_ir.dir/Function.cpp.o.d"
+  "/root/repo/src/ir/Instruction.cpp" "src/ir/CMakeFiles/dep_ir.dir/Instruction.cpp.o" "gcc" "src/ir/CMakeFiles/dep_ir.dir/Instruction.cpp.o.d"
+  "/root/repo/src/ir/Parser.cpp" "src/ir/CMakeFiles/dep_ir.dir/Parser.cpp.o" "gcc" "src/ir/CMakeFiles/dep_ir.dir/Parser.cpp.o.d"
+  "/root/repo/src/ir/Printer.cpp" "src/ir/CMakeFiles/dep_ir.dir/Printer.cpp.o" "gcc" "src/ir/CMakeFiles/dep_ir.dir/Printer.cpp.o.d"
+  "/root/repo/src/ir/Transforms.cpp" "src/ir/CMakeFiles/dep_ir.dir/Transforms.cpp.o" "gcc" "src/ir/CMakeFiles/dep_ir.dir/Transforms.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/ir/CMakeFiles/dep_ir.dir/Verifier.cpp.o" "gcc" "src/ir/CMakeFiles/dep_ir.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dep_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dep_ir.dir/BasicBlock.cpp.o"
+  "CMakeFiles/dep_ir.dir/BasicBlock.cpp.o.d"
+  "CMakeFiles/dep_ir.dir/CFGEdges.cpp.o"
+  "CMakeFiles/dep_ir.dir/CFGEdges.cpp.o.d"
+  "CMakeFiles/dep_ir.dir/Expression.cpp.o"
+  "CMakeFiles/dep_ir.dir/Expression.cpp.o.d"
+  "CMakeFiles/dep_ir.dir/Function.cpp.o"
+  "CMakeFiles/dep_ir.dir/Function.cpp.o.d"
+  "CMakeFiles/dep_ir.dir/Instruction.cpp.o"
+  "CMakeFiles/dep_ir.dir/Instruction.cpp.o.d"
+  "CMakeFiles/dep_ir.dir/Parser.cpp.o"
+  "CMakeFiles/dep_ir.dir/Parser.cpp.o.d"
+  "CMakeFiles/dep_ir.dir/Printer.cpp.o"
+  "CMakeFiles/dep_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/dep_ir.dir/Transforms.cpp.o"
+  "CMakeFiles/dep_ir.dir/Transforms.cpp.o.d"
+  "CMakeFiles/dep_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/dep_ir.dir/Verifier.cpp.o.d"
+  "libdep_ir.a"
+  "libdep_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dep_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dep_ssa.dir/SCCP.cpp.o"
+  "CMakeFiles/dep_ssa.dir/SCCP.cpp.o.d"
+  "CMakeFiles/dep_ssa.dir/SSA.cpp.o"
+  "CMakeFiles/dep_ssa.dir/SSA.cpp.o.d"
+  "libdep_ssa.a"
+  "libdep_ssa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dep_ssa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

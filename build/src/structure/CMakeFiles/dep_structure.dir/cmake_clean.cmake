@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dep_structure.dir/CycleEquivalence.cpp.o"
+  "CMakeFiles/dep_structure.dir/CycleEquivalence.cpp.o.d"
+  "CMakeFiles/dep_structure.dir/SESE.cpp.o"
+  "CMakeFiles/dep_structure.dir/SESE.cpp.o.d"
+  "libdep_structure.a"
+  "libdep_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dep_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

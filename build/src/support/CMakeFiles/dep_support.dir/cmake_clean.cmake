@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dep_support.dir/GraphWriter.cpp.o"
+  "CMakeFiles/dep_support.dir/GraphWriter.cpp.o.d"
+  "libdep_support.a"
+  "libdep_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dep_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

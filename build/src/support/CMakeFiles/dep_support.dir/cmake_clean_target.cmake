@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdep_support.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dep_workload.dir/Generators.cpp.o"
+  "CMakeFiles/dep_workload.dir/Generators.cpp.o.d"
+  "libdep_workload.a"
+  "libdep_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dep_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

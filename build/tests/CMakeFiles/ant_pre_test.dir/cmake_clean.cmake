@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ant_pre_test.dir/ant_pre_test.cpp.o"
+  "CMakeFiles/ant_pre_test.dir/ant_pre_test.cpp.o.d"
+  "ant_pre_test"
+  "ant_pre_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ant_pre_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constprop_test.dir/constprop_test.cpp.o"
+  "CMakeFiles/constprop_test.dir/constprop_test.cpp.o.d"
+  "constprop_test"
+  "constprop_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constprop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

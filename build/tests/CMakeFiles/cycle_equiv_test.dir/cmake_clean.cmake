@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycle_equiv_test.dir/cycle_equiv_test.cpp.o"
+  "CMakeFiles/cycle_equiv_test.dir/cycle_equiv_test.cpp.o.d"
+  "cycle_equiv_test"
+  "cycle_equiv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycle_equiv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dominators_test.dir/dominators_test.cpp.o"
+  "CMakeFiles/dominators_test.dir/dominators_test.cpp.o.d"
+  "dominators_test"
+  "dominators_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dominators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

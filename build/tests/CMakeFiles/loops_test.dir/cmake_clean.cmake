@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loops_test.dir/loops_test.cpp.o"
+  "CMakeFiles/loops_test.dir/loops_test.cpp.o.d"
+  "loops_test"
+  "loops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

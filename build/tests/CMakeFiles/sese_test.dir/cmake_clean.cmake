@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sese_test.dir/sese_test.cpp.o"
+  "CMakeFiles/sese_test.dir/sese_test.cpp.o.d"
+  "sese_test"
+  "sese_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sese_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

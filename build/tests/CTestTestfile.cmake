@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(support_test "/root/repo/build/tests/support_test")
+set_tests_properties(support_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;8;depflow_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ir_test "/root/repo/build/tests/ir_test")
+set_tests_properties(ir_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;9;depflow_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(dominators_test "/root/repo/build/tests/dominators_test")
+set_tests_properties(dominators_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;10;depflow_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cycle_equiv_test "/root/repo/build/tests/cycle_equiv_test")
+set_tests_properties(cycle_equiv_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;11;depflow_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sese_test "/root/repo/build/tests/sese_test")
+set_tests_properties(sese_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;12;depflow_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cdg_test "/root/repo/build/tests/cdg_test")
+set_tests_properties(cdg_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;13;depflow_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(dfg_test "/root/repo/build/tests/dfg_test")
+set_tests_properties(dfg_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;14;depflow_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(constprop_test "/root/repo/build/tests/constprop_test")
+set_tests_properties(constprop_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;15;depflow_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ssa_test "/root/repo/build/tests/ssa_test")
+set_tests_properties(ssa_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;16;depflow_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ant_pre_test "/root/repo/build/tests/ant_pre_test")
+set_tests_properties(ant_pre_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;17;depflow_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(loops_test "/root/repo/build/tests/loops_test")
+set_tests_properties(loops_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;18;depflow_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(misc_test "/root/repo/build/tests/misc_test")
+set_tests_properties(misc_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;19;depflow_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depflow-opt.dir/depflow-opt.cpp.o"
+  "CMakeFiles/depflow-opt.dir/depflow-opt.cpp.o.d"
+  "depflow-opt"
+  "depflow-opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depflow-opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
