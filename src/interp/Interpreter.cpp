@@ -44,8 +44,12 @@ ExecResult depflow::runFunction(const Function &F,
           break;
         }
       }
-      assert(Found && "phi has no entry for the arriving edge");
-      (void)Found;
+      if (!Found) {
+        R.Trapped = true;
+        R.TrapReason = "phi in block '" + BB->label() +
+                       "' has no entry for the arriving edge";
+        return R;
+      }
       ++R.Steps;
     }
     for (auto [V, Value] : PhiWrites)
@@ -93,7 +97,11 @@ ExecResult depflow::runFunction(const Function &F,
         return R;
       }
     }
-    assert(Next && "block fell through without a terminator");
+    if (!Next) {
+      R.Trapped = true;
+      R.TrapReason = "block '" + BB->label() + "' has no terminator";
+      return R;
+    }
     Prev = BB;
     BB = Next;
   }

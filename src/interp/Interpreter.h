@@ -36,6 +36,11 @@ struct ExecResult {
   std::vector<std::int64_t> Outputs;
   /// True if execution reached ret within the step budget.
   bool Halted = false;
+  /// True if execution hit malformed IR (a block without a terminator, or
+  /// a phi with no entry for the arriving edge). Never set for functions
+  /// that pass the verifier; lets the fuzzer run arbitrary IR crash-free.
+  bool Trapped = false;
+  std::string TrapReason;
   std::uint64_t Steps = 0;
   /// Dynamic evaluation count per syntactic binary expression.
   std::map<Expression, std::uint64_t> ExprCounts;

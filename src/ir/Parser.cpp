@@ -7,6 +7,7 @@
 
 #include "ir/Parser.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
@@ -37,9 +38,12 @@ class Lexer {
   std::string_view Src;
   std::size_t Pos = 0;
   unsigned Line = 1;
+  unsigned ErrLine = 0;
 
 public:
   explicit Lexer(std::string_view Src) : Src(Src) {}
+
+  unsigned errorLine() const { return ErrLine; }
 
   /// Tokenizes the whole input; returns false (with \p Error set) on a bad
   /// character.
@@ -111,6 +115,7 @@ private:
     }
     if (Pos - Begin > 19) {
       Error = "line " + std::to_string(Line) + ": integer literal too large";
+      ErrLine = Line;
       return false;
     }
     std::int64_t Signed =
@@ -139,6 +144,7 @@ private:
     }
     Error = "line " + std::to_string(Line) + ": unexpected character '" +
             std::string(1, C) + "'";
+    ErrLine = Line;
     return false;
   }
 };
@@ -149,16 +155,17 @@ class Parser {
   std::unique_ptr<Function> Fn;
   std::unordered_map<std::string, BasicBlock *> BlockOf;
   std::string Error;
+  unsigned ErrorLine = 0;
 
 public:
   ParseResult run(std::string_view Source) {
     Lexer Lex(Source);
     if (!Lex.run(Toks, Error))
-      return {nullptr, Error};
+      return {nullptr, Error, Lex.errorLine()};
     if (!parseFunctionBody())
-      return {nullptr, Error};
+      return {nullptr, Error, ErrorLine};
     Fn->recomputePreds();
-    return {std::move(Fn), ""};
+    return {std::move(Fn), "", 0};
   }
 
 private:
@@ -168,8 +175,13 @@ private:
       ++Pos;
   }
 
-  bool fail(const std::string &Msg) {
-    Error = "line " + std::to_string(cur().Line) + ": " + Msg;
+  bool fail(const std::string &Msg) { return failAt(cur().Line, Msg); }
+
+  /// For diagnostics about an already-consumed token (an unknown label),
+  /// where cur() may sit on the next line already.
+  bool failAt(unsigned Line, const std::string &Msg) {
+    ErrorLine = Line;
+    Error = "line " + std::to_string(Line) + ": " + Msg;
     return false;
   }
 
@@ -253,12 +265,16 @@ private:
       return fail("function has no blocks");
 
     BasicBlock *Current = nullptr;
+    std::unordered_map<std::string, bool> LabelSeen;
     while (!isPunct("}")) {
       if (cur().Kind == TokKind::End)
         return fail("unexpected end of input; missing '}'");
       // Label?
       if (cur().Kind == TokKind::Ident && Pos + 1 < Toks.size() &&
           Toks[Pos + 1].Kind == TokKind::Punct && Toks[Pos + 1].Text == ":") {
+        if (LabelSeen[cur().Text])
+          return fail("duplicate label '" + cur().Text + "'");
+        LabelSeen[cur().Text] = true;
         Current = lookupBlock(cur().Text);
         assert(Current && "label was pre-scanned");
         advance();
@@ -326,11 +342,12 @@ private:
     if (isIdent("goto")) {
       advance();
       std::string Label;
+      unsigned LabelLine = cur().Line;
       if (!expectIdent(Label))
         return false;
       BasicBlock *Target = lookupBlock(Label);
       if (!Target)
-        return fail("unknown label '" + Label + "'");
+        return failAt(LabelLine, "unknown label '" + Label + "'");
       BB->setJump(Target);
       return true;
     }
@@ -343,19 +360,21 @@ private:
         return fail("expected 'goto' in conditional branch");
       advance();
       std::string TrueLabel, FalseLabel;
+      unsigned TrueLine = cur().Line;
       if (!expectIdent(TrueLabel))
         return false;
       if (!isIdent("else"))
         return fail("expected 'else' in conditional branch");
       advance();
+      unsigned FalseLine = cur().Line;
       if (!expectIdent(FalseLabel))
         return false;
       BasicBlock *T = lookupBlock(TrueLabel);
       BasicBlock *E = lookupBlock(FalseLabel);
       if (!T)
-        return fail("unknown label '" + TrueLabel + "'");
+        return failAt(TrueLine, "unknown label '" + TrueLabel + "'");
       if (!E)
-        return fail("unknown label '" + FalseLabel + "'");
+        return failAt(FalseLine, "unknown label '" + FalseLabel + "'");
       BB->setCondBr(Cond, T, E);
       return true;
     }
@@ -404,11 +423,12 @@ private:
       PhiInst *Phi = BB->appendPhi(Def);
       while (true) {
         std::string Label;
+        unsigned LabelLine = cur().Line;
         if (!expectIdent(Label))
           return false;
         BasicBlock *Pred = lookupBlock(Label);
         if (!Pred)
-          return fail("unknown label '" + Label + "' in phi");
+          return failAt(LabelLine, "unknown label '" + Label + "' in phi");
         if (!expectPunct(":"))
           return false;
         Operand Value;
@@ -455,10 +475,39 @@ ParseResult depflow::parseFunction(std::string_view Source) {
   return P.run(Source);
 }
 
+std::string depflow::sourceExcerpt(std::string_view Source, unsigned Line,
+                                   unsigned Context) {
+  if (Line == 0)
+    return "";
+  // Split into lines (tolerating a missing final newline).
+  std::vector<std::string_view> Lines;
+  std::size_t Begin = 0;
+  while (Begin <= Source.size()) {
+    std::size_t End = Source.find('\n', Begin);
+    if (End == std::string_view::npos) {
+      Lines.push_back(Source.substr(Begin));
+      break;
+    }
+    Lines.push_back(Source.substr(Begin, End - Begin));
+    Begin = End + 1;
+  }
+  unsigned First = Line > Context ? Line - Context : 1;
+  unsigned Last = std::min<std::size_t>(Line + Context, Lines.size());
+  std::string Out;
+  for (unsigned L = First; L <= Last; ++L) {
+    std::string Num = std::to_string(L);
+    Out += (L == Line ? "> " : "  ");
+    Out += std::string(Num.size() < 4 ? 4 - Num.size() : 0, ' ') + Num +
+           " | " + std::string(Lines[L - 1]) + "\n";
+  }
+  return Out;
+}
+
 std::unique_ptr<Function> depflow::parseFunctionOrDie(std::string_view Source) {
   ParseResult R = parseFunction(Source);
   if (!R.ok()) {
-    std::fprintf(stderr, "parseFunctionOrDie: %s\n", R.Error.c_str());
+    std::fprintf(stderr, "parseFunctionOrDie: %s\n%s", R.Error.c_str(),
+                 sourceExcerpt(Source, R.ErrorLine).c_str());
     std::abort();
   }
   return std::move(R.Fn);

@@ -43,10 +43,12 @@
 
 namespace depflow {
 
-/// Result of parsing: either a function, or an error message.
+/// Result of parsing: either a function, or an error message with the
+/// source line it points at (0 when no line applies).
 struct ParseResult {
   std::unique_ptr<Function> Fn;
   std::string Error;
+  unsigned ErrorLine = 0;
 
   bool ok() const { return Fn != nullptr; }
 };
@@ -54,8 +56,15 @@ struct ParseResult {
 /// Parses one function definition from \p Source.
 ParseResult parseFunction(std::string_view Source);
 
+/// Renders the lines of \p Source around \p Line with a `>` marker on the
+/// offending line — the excerpt parseFunctionOrDie and the fuzz reducer
+/// print so failures are actionable without re-opening the input.
+std::string sourceExcerpt(std::string_view Source, unsigned Line,
+                          unsigned Context = 2);
+
 /// Convenience for tests: parses \p Source and aborts with the parse error
-/// if it is malformed. Use only on source text the caller controls.
+/// and a marked source excerpt if it is malformed. Use only on source text
+/// the caller controls.
 std::unique_ptr<Function> parseFunctionOrDie(std::string_view Source);
 
 } // namespace depflow

@@ -116,3 +116,98 @@ std::vector<std::string> depflow::verifyFunction(Function &F) {
 }
 
 bool depflow::isWellFormed(Function &F) { return verifyFunction(F).empty(); }
+
+std::vector<std::string> depflow::verifyDefUseHygiene(Function &F) {
+  std::vector<std::string> Warnings;
+  const unsigned NumVars = F.numVars();
+  if (NumVars == 0 || F.numBlocks() == 0)
+    return Warnings;
+  F.recomputePreds();
+
+  // Which variables have any assignment at all, and which are parameters.
+  BitVector HasDef(NumVars), IsParam(NumVars), IsUsed(NumVars);
+  for (VarId P : F.params())
+    IsParam.set(P);
+  for (const auto &BB : F.blocks())
+    for (const auto &I : BB->instructions()) {
+      if (const auto *D = dyn_cast<DefInst>(I.get()))
+        HasDef.set(D->def());
+      for (const Operand &Op : I->operands())
+        if (Op.isVar())
+          IsUsed.set(Op.var());
+    }
+
+  for (VarId V = 0; V != NumVars; ++V)
+    if (IsUsed.test(V) && !HasDef.test(V) && !IsParam.test(V))
+      Warnings.push_back("variable '" + F.varName(V) +
+                         "' is read but never assigned (reads the "
+                         "implicit 0)");
+
+  // Definitely-assigned dataflow: In[b] = intersection of Out[preds];
+  // entry starts from the parameter set. Phi defs count at the block head;
+  // phi incoming values are uses at the end of the incoming block.
+  std::vector<BitVector> In(F.numBlocks()), Out(F.numBlocks());
+  for (unsigned B = 0; B != F.numBlocks(); ++B) {
+    In[B] = BitVector(NumVars, true);
+    Out[B] = BitVector(NumVars, true);
+  }
+  In[F.entry()->id()] = IsParam;
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &BB : F.blocks()) {
+      BitVector NewIn = In[BB->id()];
+      if (BB.get() != F.entry()) {
+        NewIn = BitVector(NumVars, true);
+        for (BasicBlock *P : BB->predecessors())
+          NewIn &= Out[P->id()];
+      }
+      BitVector NewOut = NewIn;
+      for (const auto &I : BB->instructions())
+        if (const auto *D = dyn_cast<DefInst>(I.get()))
+          NewOut.set(D->def());
+      if (NewIn != In[BB->id()] || NewOut != Out[BB->id()]) {
+        In[BB->id()] = std::move(NewIn);
+        Out[BB->id()] = std::move(NewOut);
+        Changed = true;
+      }
+    }
+  }
+
+  for (const auto &BB : F.blocks()) {
+    BitVector Defined = In[BB->id()];
+    // Phi defs take effect at the head, before any non-phi use.
+    for (const auto &I : BB->instructions()) {
+      const auto *Phi = dyn_cast<PhiInst>(I.get());
+      if (!Phi)
+        break;
+      for (unsigned K = 0, E = Phi->numIncoming(); K != E; ++K) {
+        const Operand &Op = Phi->incomingValue(K);
+        if (Op.isVar() && !Out[Phi->incomingBlock(K)->id()].test(Op.var()) &&
+            (HasDef.test(Op.var()) || IsParam.test(Op.var())))
+          Warnings.push_back("phi use of '" + F.varName(Op.var()) +
+                             "' in block '" + BB->label() +
+                             "' may arrive from '" +
+                             Phi->incomingBlock(K)->label() +
+                             "' before any assignment (reads the "
+                             "implicit 0)");
+      }
+      Defined.set(Phi->def());
+    }
+    for (const auto &I : BB->instructions()) {
+      if (isa<PhiInst>(I.get()))
+        continue;
+      for (const Operand &Op : I->operands())
+        if (Op.isVar() && !Defined.test(Op.var()) &&
+            (HasDef.test(Op.var()) || IsParam.test(Op.var())))
+          Warnings.push_back("use of '" + F.varName(Op.var()) +
+                             "' in block '" + BB->label() +
+                             "' may execute before any assignment "
+                             "(reads the implicit 0)");
+      if (const auto *D = dyn_cast<DefInst>(I.get()))
+        Defined.set(D->def());
+    }
+  }
+  return Warnings;
+}

@@ -36,6 +36,18 @@ std::vector<std::string> verifyFunction(Function &F);
 /// Convenience: true iff verifyFunction reports no problems.
 bool isWellFormed(Function &F);
 
+/// Def-use hygiene checks, reported separately from verifyFunction because
+/// the IR gives every variable an implicit 0 at entry, so both conditions
+/// are legal — but in hand-written programs they usually indicate a typo:
+///   * a variable that is read somewhere but never assigned by any
+///     instruction and is not a parameter;
+///   * a use that some entry path reaches before any assignment
+///     (a "maybe reads the implicit 0" use), found by intersecting
+///     definitely-assigned sets over predecessors.
+/// Drivers print these as warnings by default and may escalate them to
+/// errors under a strict mode. Requires \p F to pass verifyFunction.
+std::vector<std::string> verifyDefUseHygiene(Function &F);
+
 } // namespace depflow
 
 #endif // DEPFLOW_IR_VERIFIER_H

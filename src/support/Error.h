@@ -1,0 +1,90 @@
+//===- support/Error.h - Recoverable diagnostics ----------------*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Result-style diagnostics for the paths that face untrusted input: the
+/// parser, the verifiers, and the pass entry points. A `Status` carries zero
+/// or more diagnostics; `ok()` means none. Callers that used to assert or
+/// abort on malformed input return a failing Status instead, so a driver
+/// (depflow-opt, depflow-fuzz) can report the problem and keep running.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_SUPPORT_ERROR_H
+#define DEPFLOW_SUPPORT_ERROR_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace depflow {
+
+/// One diagnostic message, optionally anchored to a source line.
+struct Diagnostic {
+  std::string Message;
+  unsigned Line = 0; // 0 = no source location.
+
+  std::string str() const {
+    return Line ? "line " + std::to_string(Line) + ": " + Message : Message;
+  }
+};
+
+/// Success, or an accumulated list of diagnostics.
+class Status {
+  std::vector<Diagnostic> Diags;
+
+public:
+  Status() = default;
+
+  static Status success() { return Status(); }
+
+  static Status error(std::string Message, unsigned Line = 0) {
+    Status S;
+    S.Diags.push_back({std::move(Message), Line});
+    return S;
+  }
+
+  static Status fromMessages(const std::vector<std::string> &Messages) {
+    Status S;
+    for (const std::string &M : Messages)
+      S.Diags.push_back({M, 0});
+    return S;
+  }
+
+  bool ok() const { return Diags.empty(); }
+  explicit operator bool() const { return ok(); }
+
+  void addError(std::string Message, unsigned Line = 0) {
+    Diags.push_back({std::move(Message), Line});
+  }
+
+  /// Folds another status's diagnostics into this one, with an optional
+  /// context prefix ("after --pre: ...").
+  void append(const Status &Other, const std::string &Context = "") {
+    for (const Diagnostic &D : Other.Diags)
+      Diags.push_back(
+          {Context.empty() ? D.Message : Context + ": " + D.Message, D.Line});
+  }
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+  std::size_t numErrors() const { return Diags.size(); }
+
+  /// All diagnostics, newline separated.
+  std::string str() const {
+    std::string S;
+    for (const Diagnostic &D : Diags) {
+      if (!S.empty())
+        S += "\n";
+      S += D.str();
+    }
+    return S;
+  }
+};
+
+} // namespace depflow
+
+#endif // DEPFLOW_SUPPORT_ERROR_H

@@ -1,0 +1,115 @@
+//===- verify/DiffOracle.cpp - Differential semantic oracle ---------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/DiffOracle.h"
+
+#include "interp/Interpreter.h"
+#include "ir/Printer.h"
+
+using namespace depflow;
+
+namespace {
+
+std::string renderInputs(const std::vector<std::int64_t> &Inputs) {
+  std::string S = "[";
+  for (std::size_t I = 0; I != Inputs.size(); ++I)
+    S += (I ? "," : "") + std::to_string(Inputs[I]);
+  return S + "]";
+}
+
+std::string renderOutputs(const std::vector<std::int64_t> &Outputs) {
+  return renderInputs(Outputs);
+}
+
+/// Re-keys \p Ex from \p From's variable numbering onto \p To's, matching
+/// variables by name. Returns false if a variable does not exist in \p To
+/// (then \p To cannot compute the expression at all).
+bool translateExpression(const Function &From, const Function &To,
+                         Expression &Ex) {
+  auto Translate = [&](Operand &O) {
+    if (!O.isVar())
+      return true;
+    int V = To.lookupVar(From.varName(O.var()));
+    if (V < 0)
+      return false;
+    O = Operand::var(unsigned(V));
+    return true;
+  };
+  return Translate(Ex.Lhs) && Translate(Ex.Rhs);
+}
+
+} // namespace
+
+Status depflow::diffOneExecution(const Function &Original,
+                                 const Function &Transformed,
+                                 const std::vector<std::int64_t> &Inputs,
+                                 const OracleOptions &Opts) {
+  Status S;
+  ExecResult Before = runFunction(Original, Inputs, Opts.MaxSteps);
+  // Passes may insert blocks and phis, so allow the transformed side a
+  // proportionally larger budget before calling "it hangs" a divergence.
+  ExecResult After =
+      runFunction(Transformed, Inputs, Opts.MaxSteps * 4 + 1024);
+  const std::string On = " on inputs " + renderInputs(Inputs);
+
+  if (Before.Trapped || After.Trapped) {
+    if (Before.Trapped != After.Trapped)
+      S.addError("trap divergence" + On + ": original " +
+                 (Before.Trapped ? "trapped (" + Before.TrapReason + ")"
+                                 : "ran") +
+                 ", transformed " +
+                 (After.Trapped ? "trapped (" + After.TrapReason + ")"
+                                : "ran"));
+    return S; // Both trapped: malformed input, nothing to compare.
+  }
+  if (!Before.Halted)
+    return S; // Original diverges within budget; outputs are unobservable.
+  if (!After.Halted) {
+    S.addError("transformed function fails to halt" + On +
+               " though the original halts after " +
+               std::to_string(Before.Steps) + " steps");
+    return S;
+  }
+  if (Before.Outputs != After.Outputs)
+    S.addError("output mismatch" + On + ": original " +
+               renderOutputs(Before.Outputs) + ", transformed " +
+               renderOutputs(After.Outputs));
+
+  if (Opts.NoNewComputationsOf)
+    for (const Expression &Ex : *Opts.NoNewComputationsOf) {
+      Expression OrigEx = Ex;
+      std::uint64_t BeforeCount =
+          translateExpression(Transformed, Original, OrigEx)
+              ? Before.countOf(OrigEx)
+              : 0;
+      if (After.countOf(Ex) > BeforeCount)
+        S.addError("transformed function computes '" +
+                   printExpression(Transformed, Ex) + "' " +
+                   std::to_string(After.countOf(Ex)) + " times vs " +
+                   std::to_string(BeforeCount) + On +
+                   " (PRE added a computation to an executed path)");
+    }
+  return S;
+}
+
+Status depflow::diffExecutions(const Function &Original,
+                               const Function &Transformed, RNG &Rand,
+                               const OracleOptions &Opts) {
+  Status S;
+  for (unsigned Run = 0; Run != Opts.Runs; ++Run) {
+    std::vector<std::int64_t> Inputs(Opts.InputLen);
+    for (std::int64_t &V : Inputs)
+      V = Rand.nextInRange(Opts.InputMin, Opts.InputMax);
+    S.append(diffOneExecution(Original, Transformed, Inputs, Opts));
+    if (!S.ok()) {
+      S.addError("original:\n" + printFunction(Original) + "transformed:\n" +
+                 printFunction(Transformed));
+      return S; // First witness is enough; keep the report small.
+    }
+  }
+  return S;
+}

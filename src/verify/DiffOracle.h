@@ -1,0 +1,69 @@
+//===- verify/DiffOracle.h - Differential semantic oracle -------*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The semantic oracle behind depflow-fuzz: run the reference interpreter
+/// on the original and the transformed function over randomized input
+/// vectors and compare observable behaviour — outputs, halting, and traps.
+/// Optionally also enforces the paper's Section 5.2 guarantee that PRE
+/// never adds a dynamic evaluation of the optimized expression to any
+/// executed path.
+///
+/// Input vectors are drawn from a small biased range so branches flip,
+/// loops terminate early, and division by zero is exercised; the same
+/// vector feeds both sides (parameters first, then read()).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_VERIFY_DIFFORACLE_H
+#define DEPFLOW_VERIFY_DIFFORACLE_H
+
+#include "ir/Expression.h"
+#include "ir/Function.h"
+#include "support/Error.h"
+#include "support/RNG.h"
+
+#include <vector>
+
+namespace depflow {
+
+struct OracleOptions {
+  /// Number of random input vectors to compare per pair.
+  unsigned Runs = 8;
+  /// Length of each input vector (parameters + read()s).
+  unsigned InputLen = 10;
+  /// Inclusive range inputs are drawn from. Small and straddling zero so
+  /// conditions flip and x/0 and x==c corner cases occur.
+  std::int64_t InputMin = -4;
+  std::int64_t InputMax = 9;
+  /// Step budget for the original; the transformed side gets a multiple
+  /// (transforms may add blocks/phis, so step counts differ legally).
+  std::uint64_t MaxSteps = 50000;
+  /// When non-null, also check the transformed side never evaluates any of
+  /// these expressions more often than the original on the same input
+  /// (the PRE "never adds a computation to any path" claim). Expressions
+  /// are in the *transformed* function's variable numbering; the oracle
+  /// translates them onto the original by variable name, since clones made
+  /// by print->parse may number variables differently.
+  const std::vector<Expression> *NoNewComputationsOf = nullptr;
+};
+
+/// Compares \p Original and \p Transformed over randomized executions.
+/// Diagnostics name the inputs that witnessed the divergence, so a failure
+/// is reproducible without the RNG state.
+Status diffExecutions(const Function &Original, const Function &Transformed,
+                      RNG &Rand, const OracleOptions &Opts = {});
+
+/// One comparison on a fixed input vector (the reducer re-checks candidate
+/// programs with the witness inputs from a failed diffExecutions).
+Status diffOneExecution(const Function &Original, const Function &Transformed,
+                        const std::vector<std::int64_t> &Inputs,
+                        const OracleOptions &Opts = {});
+
+} // namespace depflow
+
+#endif // DEPFLOW_VERIFY_DIFFORACLE_H

@@ -1,0 +1,73 @@
+//===- verify/PassRunner.h - Named passes with checked entry ----*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One registry of the transformation passes depflow-opt exposes, with
+/// recoverable entry points: each pass validates its preconditions (a
+/// verified CFG; phi-free IR for the DFG-based passes) and returns a
+/// failing Status instead of tripping an internal assert when they do not
+/// hold. depflow-opt, depflow-fuzz, and the differential oracle all drive
+/// passes through this interface so they agree on what "--pre" means.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_VERIFY_PASSRUNNER_H
+#define DEPFLOW_VERIFY_PASSRUNNER_H
+
+#include "ir/Expression.h"
+#include "ir/Function.h"
+#include "support/Error.h"
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace depflow {
+
+enum class PassId : std::uint8_t {
+  Separate,     // separateComputation normalization
+  ConstProp,    // DFG conditional constant propagation + DCE
+  ConstPropCFG, // same via the CFG algorithm (Figure 4a)
+  PRE,          // Morel-Renvoise over every expression (DFG ANT engine)
+  PREBusy,      // busy code motion instead
+  SSA,          // pruned SSA via Cytron placement
+  SSADfg,       // pruned SSA via the DFG route
+};
+
+/// All passes, in the order depflow-opt applies them.
+const std::vector<PassId> &allPasses();
+
+/// Command-line name ("constprop", "ssa-dfg", ...).
+const char *passName(PassId P);
+std::optional<PassId> passByName(std::string_view Name);
+
+/// True if the pass leaves the function in SSA form.
+bool passProducesSSA(PassId P);
+
+struct PassOptions {
+  /// Enable the x==c predicate refinement during constant propagation.
+  bool Predicates = false;
+};
+
+/// Runs \p P on \p F after validating preconditions. On precondition
+/// failure, \p F is untouched and the Status reports why; after a
+/// successful run the function re-verifies (a failure there is reported as
+/// an internal invariant violation, not a precondition error).
+Status runPass(Function &F, PassId P, const PassOptions &Opts = {});
+
+/// Clones \p F by printing and re-parsing it (the IR round-trips by
+/// construction; a failure to do so is itself a bug and yields an error).
+/// Variable *ids* may be renumbered; names and semantics are preserved.
+Status cloneFunction(const Function &F, std::unique_ptr<Function> &Out);
+
+/// The binary expressions of \p F eligible for PRE — what the oracle
+/// watches for the "never adds a computation" guarantee.
+std::vector<Expression> preWatchedExpressions(const Function &F);
+
+} // namespace depflow
+
+#endif // DEPFLOW_VERIFY_PASSRUNNER_H

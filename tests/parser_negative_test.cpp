@@ -1,0 +1,136 @@
+//===- tests/parser_negative_test.cpp - Malformed-input behaviour ---------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+// The contract under test: no textual input — truncated, duplicated,
+// ill-referenced, or plain garbage — may crash the parser. Every rejection
+// carries a line-numbered diagnostic, and inputs that parse but violate
+// the CFG contract are caught by the verifier with all errors reported.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace depflow;
+
+namespace {
+
+struct NegativeCase {
+  const char *Name;
+  const char *Source;
+  /// A substring the parse error must contain ("" = parse must succeed,
+  /// and the verifier must reject instead).
+  const char *ErrorContains;
+  /// Expected ParseResult::ErrorLine (0 = don't care / verifier case).
+  unsigned Line;
+};
+
+const NegativeCase Cases[] = {
+    {"empty input", "", "expected 'func'", 1},
+    {"garbage", "garbage", "expected 'func'", 1},
+    {"no blocks", "func f() {\n}\n", "function has no blocks", 2},
+    {"instruction before label", "func f() {\n  x = 1\nb:\n  ret\n}\n",
+     "instruction before any label", 2},
+    {"duplicate label", "func f() {\nb:\n  goto c\nc:\n  goto b\nb:\n  ret\n}\n",
+     "duplicate label 'b'", 6},
+    {"unknown goto target", "func f() {\nb:\n  goto nowhere\n}\n",
+     "unknown label 'nowhere'", 3},
+    {"unknown condbr target",
+     "func f(p) {\nb:\n  if p goto b else missing\nc:\n  ret\n}\n",
+     "unknown label 'missing'", 3},
+    {"unknown phi label",
+     "func f() {\nb:\n  goto c\nc:\n  x = phi(zzz: 1)\n  ret x\n}\n",
+     "unknown label 'zzz' in phi", 5},
+    {"truncated after label", "func f() {\nb:", "missing '}'", 2},
+    {"truncated mid-instruction", "func f() {\nb:\n  x = ", "expected operand",
+     3},
+    {"truncated mid-branch", "func f(p) {\nb:\n  if p goto",
+     "expected identifier", 3},
+    {"missing else", "func f(p) {\nb:\n  if p goto b goto b\nc:\n  ret\n}\n",
+     "expected 'else'", 3},
+    {"bad character", "func f() {\nb:\n  x = $\n}\n",
+     "unexpected character '$'", 3},
+    {"oversized literal",
+     "func f() {\nb:\n  x = 123456789012345678901234567890\n  ret\n}\n",
+     "integer literal too large", 3},
+    {"instruction after terminator",
+     "func f() {\nb:\n  ret\n  x = 1\n}\n", "instruction after terminator", 4},
+    // Parses fine; the *verifier* must reject these without crashing.
+    {"missing terminator", "func f() {\nb:\n  x = 1\nc:\n  ret\n}\n", "", 0},
+    {"no ret block", "func f() {\nb:\n  goto b\n}\n", "", 0},
+    {"two ret blocks",
+     "func f() {\nb:\n  ret\nc:\n  ret\n}\n", "", 0},
+};
+
+TEST(ParserNegative, TableNeverCrashesAndReportsLines) {
+  for (const NegativeCase &C : Cases) {
+    SCOPED_TRACE(C.Name);
+    ParseResult R = parseFunction(C.Source);
+    if (C.ErrorContains[0] != '\0') {
+      ASSERT_FALSE(R.ok());
+      EXPECT_NE(R.Error.find(C.ErrorContains), std::string::npos)
+          << "actual error: " << R.Error;
+      if (C.Line)
+        EXPECT_EQ(R.ErrorLine, C.Line) << "actual error: " << R.Error;
+      // Every parse diagnostic is line-numbered.
+      EXPECT_NE(R.Error.find("line "), std::string::npos) << R.Error;
+    } else {
+      ASSERT_TRUE(R.ok()) << R.Error;
+      EXPECT_FALSE(verifyFunction(*R.Fn).empty());
+    }
+  }
+}
+
+TEST(ParserNegative, VerifierReportsEveryError) {
+  // Two independent problems: block 'c' is unreachable AND has no
+  // terminator. A report that stops at the first error would hide one.
+  const char *Src = "func f() {\nb:\n  ret\nc:\n  x = 1\n}\n";
+  ParseResult R = parseFunction(Src);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  std::vector<std::string> Errors = verifyFunction(*R.Fn);
+  EXPECT_GE(Errors.size(), 2u);
+}
+
+TEST(ParserNegative, CommentEdgeCases) {
+  // Comment with no trailing newline at EOF.
+  EXPECT_TRUE(parseFunction("func f() {\nb:\n  ret\n}\n# trailing").ok());
+  // Comment swallowing the rest of a line keeps line numbers right.
+  ParseResult R = parseFunction("func f() { # comment\nb:\n  x = $\n}\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.ErrorLine, 3u);
+  // A '#' inside a comment, and a comment-only file.
+  EXPECT_FALSE(parseFunction("# only # a # comment\n").ok());
+  // Comments between every token still parse.
+  EXPECT_TRUE(
+      parseFunction("func f() # c\n{ # c\nb: # c\n  ret # c\n}\n").ok());
+}
+
+TEST(ParserNegative, SourceExcerptMarksTheLine) {
+  const char *Src = "func f() {\nb:\n  x = $\n}\n";
+  ParseResult R = parseFunction(Src);
+  ASSERT_FALSE(R.ok());
+  ASSERT_EQ(R.ErrorLine, 3u);
+  std::string Excerpt = sourceExcerpt(Src, R.ErrorLine);
+  EXPECT_NE(Excerpt.find("x = $"), std::string::npos) << Excerpt;
+  // The offending line is marked, context lines are not.
+  EXPECT_NE(Excerpt.find(">"), std::string::npos) << Excerpt;
+  EXPECT_NE(Excerpt.find("b:"), std::string::npos) << Excerpt;
+}
+
+TEST(ParserNegative, SourceExcerptToleratesMissingNewline) {
+  std::string Excerpt = sourceExcerpt("func f() {", 1);
+  EXPECT_NE(Excerpt.find("func f() {"), std::string::npos) << Excerpt;
+  // Out-of-range lines yield an empty excerpt rather than a crash.
+  EXPECT_TRUE(sourceExcerpt("one\ntwo\n", 99).empty());
+}
+
+TEST(ParserNegativeDeathTest, ParseFunctionOrDieShowsExcerpt) {
+  EXPECT_DEATH(parseFunctionOrDie("func f() {\nb:\n  x = $\n}\n"),
+               "unexpected character");
+}
+
+} // namespace

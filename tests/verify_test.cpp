@@ -1,0 +1,347 @@
+//===- tests/verify_test.cpp - Pass verifiers and the diff oracle ---------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+// Tests for src/verify/: the invariant checkers must accept everything the
+// real passes produce, reject hand-made violations with useful diagnostics,
+// and the differential oracle must notice a seeded miscompile.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "support/Error.h"
+#include "verify/DiffOracle.h"
+#include "verify/PassRunner.h"
+#include "verify/PassVerifier.h"
+#include "workload/Generators.h"
+
+#include <gtest/gtest.h>
+
+using namespace depflow;
+
+namespace {
+
+const char *DiamondSrc = R"(
+func main(a) {
+entry:
+  x = a + 1
+  if a goto then else els
+then:
+  y = x + 1
+  goto join
+els:
+  y = x - 1
+  goto join
+join:
+  z = y * 2
+  ret z
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// Status
+//===----------------------------------------------------------------------===//
+
+TEST(Status, AccumulatesAndRenders) {
+  Status S;
+  EXPECT_TRUE(S.ok());
+  S.addError("first");
+  S.addError("second", 7);
+  EXPECT_FALSE(S.ok());
+  EXPECT_EQ(S.numErrors(), 2u);
+  EXPECT_NE(S.str().find("first"), std::string::npos);
+  EXPECT_NE(S.str().find("line 7"), std::string::npos);
+
+  Status T = Status::success();
+  T.append(S, "while testing");
+  EXPECT_EQ(T.numErrors(), 2u);
+  EXPECT_NE(T.str().find("while testing"), std::string::npos);
+
+  Status U = Status::fromMessages({"a", "b", "c"});
+  EXPECT_EQ(U.numErrors(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Def-use hygiene (ir/Verifier extension)
+//===----------------------------------------------------------------------===//
+
+TEST(Hygiene, FlagsNeverAssignedAndMaybeUnassigned) {
+  const char *Src = R"(
+func f(p) {
+entry:
+  a = never + 1
+  if p goto t else j
+t:
+  b = 1
+  goto j
+j:
+  c = b + p
+  ret c
+}
+)";
+  auto F = parseFunctionOrDie(Src);
+  ASSERT_TRUE(verifyFunction(*F).empty());
+  std::vector<std::string> W = verifyDefUseHygiene(*F);
+  bool SawNever = false, SawMaybe = false;
+  for (const std::string &Msg : W) {
+    if (Msg.find("'never'") != std::string::npos)
+      SawNever = true;
+    if (Msg.find("'b'") != std::string::npos)
+      SawMaybe = true;
+    // Parameters are inputs, never hygiene findings.
+    EXPECT_EQ(Msg.find("'p'"), std::string::npos) << Msg;
+  }
+  EXPECT_TRUE(SawNever);
+  EXPECT_TRUE(SawMaybe);
+}
+
+TEST(Hygiene, CleanProgramHasNoWarnings) {
+  auto F = parseFunctionOrDie(DiamondSrc);
+  EXPECT_TRUE(verifyDefUseHygiene(*F).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// SSA form checker
+//===----------------------------------------------------------------------===//
+
+TEST(SSAForm, AcceptsBothConstructionRoutes) {
+  for (PassId P : {PassId::SSA, PassId::SSADfg}) {
+    auto F = parseFunctionOrDie(DiamondSrc);
+    ASSERT_TRUE(runPass(*F, P).ok());
+    Status S = verifySSAForm(*F);
+    EXPECT_TRUE(S.ok()) << S.str();
+  }
+}
+
+TEST(SSAForm, RejectsDoubleDefinition) {
+  const char *Src = R"(
+func f() {
+b:
+  x = 1
+  x = 2
+  ret x
+}
+)";
+  auto F = parseFunctionOrDie(Src);
+  Status S = verifySSAForm(*F);
+  ASSERT_FALSE(S.ok());
+  EXPECT_NE(S.str().find("more than one static definition"),
+            std::string::npos)
+      << S.str();
+}
+
+TEST(SSAForm, RejectsUseNotDominatedByDef) {
+  const char *Src = R"(
+func f(p) {
+entry:
+  if p goto t else j
+t:
+  x = 1
+  goto j
+j:
+  y = x + 1
+  ret y
+}
+)";
+  auto F = parseFunctionOrDie(Src);
+  Status S = verifySSAForm(*F);
+  ASSERT_FALSE(S.ok());
+  EXPECT_NE(S.str().find("dominate"), std::string::npos) << S.str();
+}
+
+TEST(SSAForm, RejectsDeadPhiAsUnpruned) {
+  const char *Src = R"(
+func f(p) {
+entry:
+  if p goto t else e
+t:
+  goto j
+e:
+  goto j
+j:
+  dead = phi(t: 1, e: 2)
+  ret p
+}
+)";
+  auto F = parseFunctionOrDie(Src);
+  Status S = verifySSAForm(*F);
+  ASSERT_FALSE(S.ok());
+  EXPECT_NE(S.str().find("prune"), std::string::npos) << S.str();
+}
+
+//===----------------------------------------------------------------------===//
+// DFG well-formedness and structure cross-checks
+//===----------------------------------------------------------------------===//
+
+TEST(DFG, WellFormedOnGeneratedPrograms) {
+  for (std::uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    GenOptions G;
+    G.Seed = Seed;
+    G.TargetStmts = 25;
+    auto F = generateStructuredProgram(G);
+    Status S = verifyDFGWellFormed(*F);
+    EXPECT_TRUE(S.ok()) << "seed " << Seed << ": " << S.str();
+  }
+}
+
+TEST(DFG, RefusesPhiInput) {
+  auto F = parseFunctionOrDie(DiamondSrc);
+  ASSERT_TRUE(runPass(*F, PassId::SSA).ok());
+  EXPECT_FALSE(verifyDFGWellFormed(*F).ok());
+}
+
+TEST(CrossCheck, FastStructureMatchesBruteForce) {
+  for (std::uint64_t Seed = 1; Seed <= 6; ++Seed) {
+    auto F = generateRandomCFGProgram(Seed, 10, 40, 4, 1);
+    Status CE = crossCheckCycleEquivalence(*F);
+    EXPECT_TRUE(CE.ok()) << "seed " << Seed << ": " << CE.str();
+    Status CD = crossCheckControlDependence(*F);
+    EXPECT_TRUE(CD.ok()) << "seed " << Seed << ": " << CD.str();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Pass runner
+//===----------------------------------------------------------------------===//
+
+TEST(PassRunner, NamesRoundTrip) {
+  for (PassId P : allPasses()) {
+    auto Back = passByName(passName(P));
+    ASSERT_TRUE(Back.has_value());
+    EXPECT_EQ(*Back, P);
+  }
+  EXPECT_FALSE(passByName("no-such-pass").has_value());
+}
+
+TEST(PassRunner, EveryPassPreservesInvariantsOnDiamond) {
+  for (PassId P : allPasses()) {
+    auto F = parseFunctionOrDie(DiamondSrc);
+    Status S = runPass(*F, P);
+    ASSERT_TRUE(S.ok()) << passName(P) << ": " << S.str();
+    VerifyOptions VO;
+    VO.ExpectSSA = passProducesSSA(P);
+    Status V = verifyPassInvariants(*F, VO);
+    EXPECT_TRUE(V.ok()) << passName(P) << ": " << V.str();
+  }
+}
+
+TEST(PassRunner, RejectsPhiInputWithoutCrashing) {
+  auto F = parseFunctionOrDie(DiamondSrc);
+  ASSERT_TRUE(runPass(*F, PassId::SSA).ok());
+  std::string Before = printFunction(*F);
+  Status S = runPass(*F, PassId::ConstProp);
+  ASSERT_FALSE(S.ok());
+  EXPECT_NE(S.str().find("phi"), std::string::npos) << S.str();
+  // Precondition failures leave the function untouched.
+  EXPECT_EQ(printFunction(*F), Before);
+}
+
+TEST(PassRunner, CloneRoundTripsExactly) {
+  auto F = parseFunctionOrDie(DiamondSrc);
+  std::unique_ptr<Function> Clone;
+  ASSERT_TRUE(cloneFunction(*F, Clone).ok());
+  EXPECT_EQ(printFunction(*F), printFunction(*Clone));
+}
+
+//===----------------------------------------------------------------------===//
+// Differential oracle
+//===----------------------------------------------------------------------===//
+
+TEST(DiffOracle, IdenticalProgramsAgree) {
+  auto F = parseFunctionOrDie(DiamondSrc);
+  std::unique_ptr<Function> Clone;
+  ASSERT_TRUE(cloneFunction(*F, Clone).ok());
+  RNG Rand(42);
+  Status S = diffExecutions(*F, *Clone, Rand);
+  EXPECT_TRUE(S.ok()) << S.str();
+}
+
+TEST(DiffOracle, CatchesSeededMiscompile) {
+  auto F = parseFunctionOrDie(DiamondSrc);
+  // "Miscompile": y = x + 1 on the then-path becomes y = x + 2.
+  auto Bad = parseFunctionOrDie(DiamondSrc);
+  Bad->block(1)->instructions()[0]->setOperand(1, Operand::imm(2));
+  RNG Rand(42);
+  Status S = diffExecutions(*F, *Bad, Rand);
+  ASSERT_FALSE(S.ok());
+  EXPECT_NE(S.str().find("output mismatch"), std::string::npos) << S.str();
+  // The report embeds the witness inputs and both programs.
+  EXPECT_NE(S.str().find("inputs"), std::string::npos);
+  EXPECT_NE(S.str().find("transformed:"), std::string::npos);
+}
+
+TEST(DiffOracle, CatchesTransformedNonTermination) {
+  auto F = parseFunctionOrDie("func f() {\nb:\n  ret\n}\n");
+  auto Spin = parseFunctionOrDie(
+      "func f() {\nb:\n  goto b\nc:\n  ret\n}\n");
+  OracleOptions OO;
+  OO.MaxSteps = 200;
+  Status S = diffOneExecution(*F, *Spin, {}, OO);
+  ASSERT_FALSE(S.ok());
+  EXPECT_NE(S.str().find("fails to halt"), std::string::npos) << S.str();
+}
+
+TEST(DiffOracle, FlagsAddedComputations) {
+  auto F = parseFunctionOrDie("func f(p) {\nb:\n  ret p\n}\n");
+  auto More = parseFunctionOrDie("func f(p) {\nb:\n  t = p + p\n  ret p\n}\n");
+  std::vector<Expression> Watched = preWatchedExpressions(*More);
+  ASSERT_EQ(Watched.size(), 1u);
+  OracleOptions OO;
+  OO.NoNewComputationsOf = &Watched;
+  Status S = diffOneExecution(*F, *More, {3}, OO);
+  ASSERT_FALSE(S.ok());
+  EXPECT_NE(S.str().find("added a computation"), std::string::npos) << S.str();
+}
+
+TEST(DiffOracle, PREPassNeverAddsComputations) {
+  for (std::uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    GenOptions G;
+    G.Seed = Seed;
+    G.TargetStmts = 20;
+    auto F = generateStructuredProgram(G);
+    std::unique_ptr<Function> T;
+    ASSERT_TRUE(cloneFunction(*F, T).ok());
+    std::vector<Expression> Watched = preWatchedExpressions(*T);
+    ASSERT_TRUE(runPass(*T, PassId::PRE).ok());
+    OracleOptions OO;
+    OO.NoNewComputationsOf = &Watched;
+    RNG Rand(Seed);
+    Status S = diffExecutions(*F, *T, Rand, OO);
+    EXPECT_TRUE(S.ok()) << "seed " << Seed << ": " << S.str();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end mini sweep: every pass on every family, all checks on.
+//===----------------------------------------------------------------------===//
+
+TEST(EndToEnd, AllPassesOnAllFamilies) {
+  std::vector<std::unique_ptr<Function>> Programs;
+  GenOptions G;
+  G.Seed = 3;
+  Programs.push_back(generateStructuredProgram(G));
+  Programs.push_back(generateRandomCFGProgram(3, 8, 30, 4, 2));
+  Programs.push_back(generateDiamondChain(3, 4, 3));
+  Programs.push_back(generateNestedLoops(2, 1, 4, 3));
+  Programs.push_back(generateRepeatUntilChain(2, 4, 3));
+  Programs.push_back(generateLadder(5, 4, 3));
+  for (const auto &F : Programs)
+    for (PassId P : allPasses()) {
+      std::unique_ptr<Function> T;
+      ASSERT_TRUE(cloneFunction(*F, T).ok());
+      Status S = runPass(*T, P);
+      ASSERT_TRUE(S.ok()) << passName(P) << ": " << S.str();
+      VerifyOptions VO;
+      VO.ExpectSSA = passProducesSSA(P);
+      Status V = verifyPassInvariants(*T, VO);
+      EXPECT_TRUE(V.ok()) << passName(P) << ": " << V.str();
+      RNG Rand(7);
+      Status D = diffExecutions(*F, *T, Rand);
+      EXPECT_TRUE(D.ok()) << passName(P) << ": " << D.str();
+    }
+}
+
+} // namespace

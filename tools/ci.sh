@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+#===- tools/ci.sh - Sanitized build + tests + fuzz smoke ------------------===#
+#
+# Part of the depflow project: a reproduction of "Dependence-Based Program
+# Analysis" (Johnson & Pingali, PLDI 1993).
+#
+# Builds with AddressSanitizer + UBSan, runs the full test suite, and then
+# a 500-iteration differential fuzz smoke over every pass. Any verifier
+# violation, oracle mismatch, sanitizer report, or test failure fails CI.
+#
+# Usage: tools/ci.sh [build-dir]   (default: build-ci)
+#
+#===----------------------------------------------------------------------===#
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build-ci}"
+
+cmake -B "$BUILD" -S "$ROOT" -DDEPFLOW_SANITIZE="address;undefined"
+cmake --build "$BUILD" -j "$(nproc)"
+
+(cd "$BUILD" && ctest --output-on-failure -j "$(nproc)")
+
+"$BUILD/tools/depflow-fuzz" --iters 500 --seed 20260806 -v
+
+echo "ci: all green"

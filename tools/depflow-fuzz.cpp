@@ -1,0 +1,521 @@
+//===- tools/depflow-fuzz.cpp - Differential pass fuzzer ------------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+// Usage: depflow-fuzz [options]
+//
+//   --seed N        master seed (default 1); every run is a pure function
+//                   of the seed, so any report reproduces from it
+//   --iters N       number of fuzz iterations (default 1000)
+//   --pass NAME     fuzz only this pass (separate, constprop, constprop-cfg,
+//                   pre, pre-busy, ssa, ssa-dfg); default: all of them
+//   --runs N        oracle executions per program/pass pair (default 6)
+//   --max-edges N   brute-force cross-check cap (default 600)
+//   --no-mutate     disable the structured mutator (generator output only)
+//   --inject-bug    deliberately corrupt each pass's output, to demonstrate
+//                   the oracle catches and reduces a miscompile
+//   -v              print a progress line every 100 iterations
+//
+// Each iteration generates a random program (one of six CFG families),
+// optionally applies a structured mutation (edge rewiring, instruction
+// insertion/deletion, constant perturbation), then for every pass under
+// test clones the program, runs the pass, checks the structural
+// invariants (src/verify/PassVerifier.h), and compares original vs.
+// transformed behaviour on random inputs (src/verify/DiffOracle.h). Any
+// violation is greedily reduced to a small textual-IR reproducer.
+//
+// Exit codes: 0 = no violations, 1 = violations found, 2 = usage error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "support/RNG.h"
+#include "verify/DiffOracle.h"
+#include "verify/PassRunner.h"
+#include "verify/PassVerifier.h"
+#include "workload/Generators.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace depflow;
+
+namespace {
+
+struct FuzzOptions {
+  std::uint64_t Seed = 1;
+  unsigned Iters = 1000;
+  std::vector<PassId> Passes;
+  unsigned OracleRuns = 6;
+  unsigned MaxCrossCheckEdges = 600;
+  bool Mutate = true;
+  bool InjectBug = false;
+  bool Verbose = false;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: depflow-fuzz [--seed N] [--iters N] [--pass NAME]\n"
+               "                    [--runs N] [--max-edges N] [--no-mutate]\n"
+               "                    [--inject-bug] [-v]\n");
+  return 2;
+}
+
+bool parseArgs(int Argc, char **Argv, FuzzOptions &O) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto NextNum = [&](std::uint64_t &Out) {
+      if (I + 1 >= Argc)
+        return false;
+      Out = std::strtoull(Argv[++I], nullptr, 10);
+      return true;
+    };
+    std::uint64_t N = 0;
+    if (A == "--seed" && NextNum(N))
+      O.Seed = N;
+    else if (A == "--iters" && NextNum(N))
+      O.Iters = unsigned(N);
+    else if (A == "--runs" && NextNum(N))
+      O.OracleRuns = unsigned(N);
+    else if (A == "--max-edges" && NextNum(N))
+      O.MaxCrossCheckEdges = unsigned(N);
+    else if (A == "--pass") {
+      if (I + 1 >= Argc)
+        return false;
+      auto P = passByName(Argv[++I]);
+      if (!P) {
+        std::fprintf(stderr, "error: unknown pass '%s'\n", Argv[I]);
+        return false;
+      }
+      O.Passes.push_back(*P);
+    } else if (A == "--no-mutate")
+      O.Mutate = false;
+    else if (A == "--inject-bug")
+      O.InjectBug = true;
+    else if (A == "-v")
+      O.Verbose = true;
+    else
+      return false;
+  }
+  if (O.Passes.empty())
+    O.Passes = allPasses();
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Program generation: six CFG families, parameters drawn from the RNG.
+//===----------------------------------------------------------------------===//
+
+const char *const FamilyNames[] = {"structured",   "random-cfg", "diamonds",
+                                   "nested-loops", "repeat-until", "ladder"};
+
+std::unique_ptr<Function> generateProgram(RNG &Rand, unsigned &FamilyOut) {
+  FamilyOut = unsigned(Rand.nextBelow(6));
+  std::uint64_t Seed = Rand.next();
+  unsigned Vars = 2 + unsigned(Rand.nextBelow(7));
+  switch (FamilyOut) {
+  case 0: {
+    GenOptions G;
+    G.Seed = Seed;
+    G.NumVars = Vars;
+    G.TargetStmts = 8 + unsigned(Rand.nextBelow(40));
+    G.MaxDepth = 2 + unsigned(Rand.nextBelow(4));
+    G.LoopPct = unsigned(Rand.nextBelow(40));
+    G.IfPct = 20 + unsigned(Rand.nextBelow(40));
+    G.ReadPct = 5 + unsigned(Rand.nextBelow(25));
+    G.EmitElse = Rand.chance(1, 2);
+    return generateStructuredProgram(G);
+  }
+  case 1:
+    return generateRandomCFGProgram(Seed, 4 + unsigned(Rand.nextBelow(10)),
+                                    20 + unsigned(Rand.nextBelow(40)), Vars,
+                                    1 + unsigned(Rand.nextBelow(3)));
+  case 2:
+    return generateDiamondChain(1 + unsigned(Rand.nextBelow(5)), Vars, Seed);
+  case 3:
+    return generateNestedLoops(1 + unsigned(Rand.nextBelow(3)),
+                               1 + unsigned(Rand.nextBelow(2)), Vars, Seed);
+  case 4:
+    return generateRepeatUntilChain(1 + unsigned(Rand.nextBelow(4)), Vars,
+                                    Seed);
+  default:
+    return generateLadder(3 + unsigned(Rand.nextBelow(6)), Vars, Seed);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Structured mutator. Mutations may break well-formedness; the caller
+// re-verifies and skips programs that no longer verify (exercising the
+// verifier's own totality on the way).
+//===----------------------------------------------------------------------===//
+
+Operand randomOperand(Function &F, RNG &Rand) {
+  if (F.numVars() == 0 || Rand.chance(2, 5))
+    return Operand::imm(Rand.nextInRange(-3, 7));
+  return Operand::var(VarId(Rand.nextBelow(F.numVars())));
+}
+
+void mutateOnce(Function &F, RNG &Rand) {
+  BasicBlock *BB = F.block(unsigned(Rand.nextBelow(F.numBlocks())));
+  switch (Rand.nextBelow(5)) {
+  case 0: { // Constant perturbation / operand rewrite.
+    if (BB->empty())
+      return;
+    Instruction *I =
+        BB->instructions()[Rand.nextBelow(BB->size())].get();
+    if (I->numOperands() == 0)
+      return;
+    unsigned Idx = unsigned(Rand.nextBelow(I->numOperands()));
+    const Operand &Old = I->operand(Idx);
+    if (Old.isImm() && Rand.chance(1, 2))
+      I->setOperand(Idx, Operand::imm(Old.imm() + Rand.nextInRange(-2, 2)));
+    else
+      I->setOperand(Idx, randomOperand(F, Rand));
+    return;
+  }
+  case 1: { // Insert a definition before the terminator.
+    VarId Def = VarId(Rand.nextBelow(F.numVars()));
+    switch (Rand.nextBelow(4)) {
+    case 0:
+      BB->appendCopy(Def, randomOperand(F, Rand));
+      break;
+    case 1:
+      BB->appendUnary(Def, Rand.chance(1, 2) ? UnOp::Neg : UnOp::Not,
+                      randomOperand(F, Rand));
+      break;
+    case 2:
+      BB->appendRead(Def);
+      break;
+    default:
+      BB->appendBinary(Def, BinOp(Rand.nextBelow(12)),
+                       randomOperand(F, Rand), randomOperand(F, Rand));
+      break;
+    }
+    return;
+  }
+  case 2: { // Delete a non-terminator instruction.
+    if (BB->size() < 2)
+      return;
+    BB->removeInstruction(unsigned(Rand.nextBelow(BB->size() - 1)));
+    return;
+  }
+  case 3: { // Rewire one branch target.
+    Instruction *Term = BB->terminator();
+    if (!Term || Term->blockRefs().empty())
+      return;
+    BasicBlock *Old = Term->blockRefs()[Rand.nextBelow(
+        Term->blockRefs().size())];
+    BasicBlock *New = F.block(unsigned(Rand.nextBelow(F.numBlocks())));
+    Term->replaceBlockRef(Old, New);
+    return;
+  }
+  default: { // Flip a conditional branch to an unconditional jump.
+    auto *Br = dyn_cast_if_present<CondBrInst>(BB->terminator());
+    if (!Br)
+      return;
+    BasicBlock *Target =
+        Rand.chance(1, 2) ? Br->trueTarget() : Br->falseTarget();
+    BB->clearTerminator();
+    BB->setJump(Target);
+    return;
+  }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The checked pipeline: clone, run pass, verify invariants, diff.
+//===----------------------------------------------------------------------===//
+
+/// Deliberately corrupts \p F by rewriting the first operand of a copy,
+/// unary, or binary definition — a stand-in for a pass bug. The result
+/// still passes the structural checks; only the semantic oracle sees it.
+bool injectMiscompile(Function &F) {
+  for (const auto &BB : F.blocks())
+    for (const auto &I : BB->instructions()) {
+      Instruction *Inst = I.get();
+      if (Inst->kind() != Instruction::Kind::Copy &&
+          Inst->kind() != Instruction::Kind::Unary &&
+          Inst->kind() != Instruction::Kind::Binary)
+        continue;
+      const Operand &Op = Inst->operand(0);
+      Inst->setOperand(0, Operand::imm(Op.isImm() ? Op.imm() + 1 : 1));
+      return true;
+    }
+  return false;
+}
+
+/// Runs the whole checked pipeline for one (program, pass) pair. The
+/// returned Status carries every diagnostic for the first failing stage.
+Status checkOnePass(const Function &Original, PassId P,
+                    const FuzzOptions &FO, std::uint64_t OracleSeed) {
+  std::unique_ptr<Function> Clone;
+  Status S = cloneFunction(Original, Clone);
+  if (!S.ok())
+    return S;
+
+  // Expressions to watch for the PRE "never adds a computation" claim,
+  // collected in the clone's numbering before the pass mutates it.
+  std::vector<Expression> Watched;
+  const bool IsPRE = P == PassId::PRE || P == PassId::PREBusy;
+  if (IsPRE)
+    Watched = preWatchedExpressions(*Clone);
+
+  S = runPass(*Clone, P);
+  if (!S.ok())
+    return S;
+
+  if (FO.InjectBug)
+    injectMiscompile(*Clone);
+
+  VerifyOptions VO;
+  VO.ExpectSSA = passProducesSSA(P);
+  VO.MaxCrossCheckEdges = FO.MaxCrossCheckEdges;
+  Status Inv = verifyPassInvariants(*Clone, VO);
+  if (!Inv.ok())
+    return Inv;
+
+  OracleOptions OO;
+  OO.Runs = FO.OracleRuns;
+  if (IsPRE)
+    OO.NoNewComputationsOf = &Watched;
+  RNG OracleRand(OracleSeed);
+  return diffExecutions(Original, *Clone, OracleRand, OO);
+}
+
+//===----------------------------------------------------------------------===//
+// Greedy reducer: shrink a failing program while the pipeline still fails.
+//===----------------------------------------------------------------------===//
+
+/// Drops blocks unreachable from the entry (forward reachability only; the
+/// verifier rejects candidates that lose the path to the exit). Returns
+/// false if the entry or exit would be erased.
+bool dropUnreachable(Function &F) {
+  std::vector<bool> Keep(F.numBlocks(), false);
+  std::vector<BasicBlock *> Work{F.entry()};
+  Keep[F.entry()->id()] = true;
+  while (!Work.empty()) {
+    BasicBlock *B = Work.back();
+    Work.pop_back();
+    for (BasicBlock *S : B->successors())
+      if (!Keep[S->id()]) {
+        Keep[S->id()] = true;
+        Work.push_back(S);
+      }
+  }
+  if (!F.exit() || !Keep[F.exit()->id()])
+    return false;
+  F.eraseBlocks(Keep);
+  return true;
+}
+
+bool stillFails(Function &Candidate, PassId P, const FuzzOptions &FO,
+                std::uint64_t OracleSeed) {
+  if (!verifyFunction(Candidate).empty())
+    return false;
+  return !checkOnePass(Candidate, P, FO, OracleSeed).ok();
+}
+
+unsigned lineCount(const std::string &S) {
+  unsigned N = 0;
+  for (char C : S)
+    N += C == '\n';
+  return N;
+}
+
+/// Greedy delta-debugging over the IR: repeatedly try instruction
+/// deletion, branch collapsing, and operand simplification, keeping any
+/// change that preserves the failure. Deterministic given OracleSeed.
+std::string reduce(const Function &Failing, PassId P, const FuzzOptions &FO,
+                   std::uint64_t OracleSeed) {
+  std::unique_ptr<Function> Cur;
+  if (!cloneFunction(Failing, Cur).ok())
+    return printFunction(Failing);
+
+  auto Try = [&](Function &Candidate) {
+    if (!stillFails(Candidate, P, FO, OracleSeed))
+      return false;
+    std::unique_ptr<Function> Adopted;
+    if (!cloneFunction(Candidate, Adopted).ok())
+      return false;
+    Cur = std::move(Adopted);
+    return true;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+
+    // Delete one non-terminator instruction at a time.
+    for (unsigned B = 0; B < Cur->numBlocks() && !Changed; ++B)
+      for (unsigned I = 0; I < unsigned(Cur->block(B)->size()); ++I) {
+        if (Cur->block(B)->instructions()[I]->isTerminator())
+          continue;
+        std::unique_ptr<Function> Cand;
+        if (!cloneFunction(*Cur, Cand).ok())
+          continue;
+        Cand->block(B)->removeInstruction(I);
+        if (Try(*Cand)) {
+          Changed = true;
+          break;
+        }
+      }
+    if (Changed)
+      continue;
+
+    // Collapse one conditional branch to a jump (then drop what became
+    // unreachable).
+    for (unsigned B = 0; B < Cur->numBlocks() && !Changed; ++B)
+      for (int Side = 0; Side < 2; ++Side) {
+        std::unique_ptr<Function> Cand;
+        if (!cloneFunction(*Cur, Cand).ok())
+          continue;
+        auto *Br =
+            dyn_cast_if_present<CondBrInst>(Cand->block(B)->terminator());
+        if (!Br)
+          break;
+        BasicBlock *Target = Side ? Br->falseTarget() : Br->trueTarget();
+        Cand->block(B)->clearTerminator();
+        Cand->block(B)->setJump(Target);
+        Cand->recomputePreds();
+        if (!dropUnreachable(*Cand))
+          continue;
+        if (Try(*Cand)) {
+          Changed = true;
+          break;
+        }
+      }
+    if (Changed)
+      continue;
+
+    // Bypass one trivial non-entry block (only a `goto`): point every
+    // branch that targets it directly at its successor, then drop it.
+    // (Bypassing the entry would leave the program unchanged — it stays
+    // reachable by definition — so it is handled separately below.)
+    for (unsigned B = 1; B < Cur->numBlocks() && !Changed; ++B) {
+      BasicBlock *Trivial = Cur->block(B);
+      auto *J = Trivial->size() == 1
+                    ? dyn_cast_if_present<JumpInst>(Trivial->terminator())
+                    : nullptr;
+      if (!J || J->target() == Trivial)
+        continue;
+      std::unique_ptr<Function> Cand;
+      if (!cloneFunction(*Cur, Cand).ok())
+        continue;
+      BasicBlock *Dead = Cand->block(B);
+      BasicBlock *Target = cast<JumpInst>(Dead->terminator())->target();
+      for (const auto &BB : Cand->blocks())
+        if (BB.get() != Dead && BB->terminator())
+          BB->terminator()->replaceBlockRef(Dead, Target);
+      Cand->recomputePreds();
+      if (!dropUnreachable(*Cand))
+        continue;
+      if (Try(*Cand))
+        Changed = true;
+    }
+    if (Changed)
+      continue;
+
+    // Drop a trivial entry block nothing branches back to; its target
+    // becomes the new entry.
+    Cur->recomputePreds();
+    if (Cur->numBlocks() > 1 && Cur->entry()->size() == 1 &&
+        isa_and_present<JumpInst>(Cur->entry()->terminator()) &&
+        Cur->entry()->numPredecessors() == 0) {
+      std::unique_ptr<Function> Cand;
+      if (cloneFunction(*Cur, Cand).ok()) {
+        std::vector<bool> Keep(Cand->numBlocks(), true);
+        Keep[0] = false;
+        Cand->eraseBlocks(Keep);
+        if (Try(*Cand))
+          Changed = true;
+      }
+    }
+    if (Changed)
+      continue;
+
+    // Replace one variable operand with the constant 0.
+    for (unsigned B = 0; B < Cur->numBlocks() && !Changed; ++B) {
+      BasicBlock *BB = Cur->block(B);
+      for (unsigned I = 0; I < unsigned(BB->size()) && !Changed; ++I)
+        for (unsigned Op = 0;
+             Op < BB->instructions()[I]->numOperands(); ++Op) {
+          if (!BB->instructions()[I]->operand(Op).isVar())
+            continue;
+          std::unique_ptr<Function> Cand;
+          if (!cloneFunction(*Cur, Cand).ok())
+            continue;
+          Cand->block(B)->instructions()[I]->setOperand(Op,
+                                                        Operand::imm(0));
+          if (Try(*Cand)) {
+            Changed = true;
+            break;
+          }
+        }
+    }
+  }
+  return printFunction(*Cur);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  FuzzOptions FO;
+  if (!parseArgs(Argc, Argv, FO))
+    return usage();
+
+  RNG Rand(FO.Seed);
+  unsigned Violations = 0, Generated = 0, MutantsSkipped = 0;
+
+  for (unsigned Iter = 0; Iter != FO.Iters; ++Iter) {
+    unsigned Family = 0;
+    std::unique_ptr<Function> F = generateProgram(Rand, Family);
+    ++Generated;
+
+    if (FO.Mutate && Rand.chance(1, 2)) {
+      unsigned NumMutations = 1 + unsigned(Rand.nextBelow(3));
+      for (unsigned M = 0; M != NumMutations; ++M)
+        mutateOnce(*F, Rand);
+      F->recomputePreds();
+      if (!verifyFunction(*F).empty()) {
+        // The mutant no longer satisfies the IR contract; the verifier
+        // rejecting it without crashing is itself the property we want.
+        ++MutantsSkipped;
+        continue;
+      }
+    }
+
+    std::uint64_t OracleSeed = Rand.next();
+    for (PassId P : FO.Passes) {
+      Status S = checkOnePass(*F, P, FO, OracleSeed);
+      if (S.ok())
+        continue;
+      ++Violations;
+      std::fprintf(stderr,
+                   "=== VIOLATION (iter %u, family %s, pass --%s, seed "
+                   "%llu) ===\n%s\n",
+                   Iter, FamilyNames[Family], passName(P),
+                   (unsigned long long)FO.Seed, S.str().c_str());
+      std::string Reproducer = reduce(*F, P, FO, OracleSeed);
+      std::fprintf(stderr,
+                   "--- reduced reproducer (%u lines, pass --%s) ---\n%s",
+                   lineCount(Reproducer), passName(P), Reproducer.c_str());
+    }
+
+    if (FO.Verbose && (Iter + 1) % 100 == 0)
+      std::fprintf(stderr, "depflow-fuzz: %u/%u iterations, %u violations\n",
+                   Iter + 1, FO.Iters, Violations);
+  }
+
+  std::fprintf(stderr,
+               "depflow-fuzz: %u programs (%u mutants skipped as "
+               "ill-formed), %u pass(es) x %u iters, %u violation(s)\n",
+               Generated, MutantsSkipped, unsigned(FO.Passes.size()),
+               FO.Iters, Violations);
+  return Violations ? 1 : 0;
+}

@@ -13,6 +13,11 @@
 //   --ssa                convert to pruned SSA (Cytron placement)
 //   --ssa-dfg            convert to pruned SSA via the DFG route
 //   --separate           separateComputation normalization first
+//   --verify-each        run the full invariant checkers after every pass
+//                        (SSA form, DFG well-formedness, cycle-equivalence
+//                        and CDG cross-checks; see src/verify/)
+//   --strict             escalate def-use hygiene warnings to errors
+//   --fuzz-safe          no stdout output; diagnostics and exit code only
 //   --dot-dfg            print the dependence flow graph in GraphViz form
 //   --dot-cfg            print the CFG in GraphViz form
 //   --regions            print cycle-equivalence classes and the PST
@@ -21,19 +26,22 @@
 // Reads the program from the file (or stdin), applies the requested
 // passes in the order listed above, and prints the result.
 //
+// Exit codes: 0 success; 1 the input was rejected (parse error, verifier
+// error, hygiene error under --strict, or a trapping/non-halting --run);
+// 2 usage error; 3 internal invariant violation (a pass broke the IR or an
+// analysis disagreed with its reference — always a depflow bug).
+//
 //===----------------------------------------------------------------------===//
 
-#include "dataflow/Anticipatability.h"
-#include "dataflow/ConstantPropagation.h"
-#include "dataflow/PRE.h"
+#include "core/DepFlowGraph.h"
 #include "interp/Interpreter.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
-#include "ir/Transforms.h"
 #include "ir/Verifier.h"
-#include "ssa/SSA.h"
 #include "structure/SESE.h"
 #include "support/GraphWriter.h"
+#include "verify/PassRunner.h"
+#include "verify/PassVerifier.h"
 
 #include <cstdio>
 #include <cstring>
@@ -47,14 +55,11 @@ using namespace depflow;
 namespace {
 
 struct Options {
-  bool ConstProp = false;
-  bool ConstPropCFG = false;
+  std::vector<PassId> Passes; // In canonical application order.
   bool Predicates = false;
-  bool PRE = false;
-  bool PREBusy = false;
-  bool SSA = false;
-  bool SSADfg = false;
-  bool Separate = false;
+  bool VerifyEach = false;
+  bool Strict = false;
+  bool FuzzSafe = false;
   bool DotDFG = false;
   bool DotCFG = false;
   bool Regions = false;
@@ -68,30 +73,39 @@ int usage() {
                "usage: depflow-opt [--constprop|--constprop-cfg] "
                "[--predicates] [--pre|--pre-busy]\n"
                "                   [--ssa|--ssa-dfg] [--separate] "
-               "[--dot-dfg] [--dot-cfg]\n"
-               "                   [--regions] [--run v1,v2,...] [file]\n");
+               "[--verify-each] [--strict] [--fuzz-safe]\n"
+               "                   [--dot-dfg] [--dot-cfg] [--regions] "
+               "[--run v1,v2,...] [file]\n");
   return 2;
 }
 
 bool parseArgs(int Argc, char **Argv, Options &O) {
+  bool Separate = false, ConstProp = false, ConstPropCFG = false;
+  bool PRE = false, PREBusy = false, SSA = false, SSADfg = false;
   for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
     if (A == "--constprop")
-      O.ConstProp = true;
+      ConstProp = true;
     else if (A == "--constprop-cfg")
-      O.ConstPropCFG = true;
+      ConstPropCFG = true;
     else if (A == "--predicates")
       O.Predicates = true;
     else if (A == "--pre")
-      O.PRE = true;
+      PRE = true;
     else if (A == "--pre-busy")
-      O.PREBusy = true;
+      PREBusy = true;
     else if (A == "--ssa")
-      O.SSA = true;
+      SSA = true;
     else if (A == "--ssa-dfg")
-      O.SSADfg = true;
+      SSADfg = true;
     else if (A == "--separate")
-      O.Separate = true;
+      Separate = true;
+    else if (A == "--verify-each")
+      O.VerifyEach = true;
+    else if (A == "--strict")
+      O.Strict = true;
+    else if (A == "--fuzz-safe")
+      O.FuzzSafe = true;
     else if (A == "--dot-dfg")
       O.DotDFG = true;
     else if (A == "--dot-cfg")
@@ -112,6 +126,20 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.File = A;
     }
   }
+  if (Separate)
+    O.Passes.push_back(PassId::Separate);
+  if (ConstProp)
+    O.Passes.push_back(PassId::ConstProp);
+  else if (ConstPropCFG)
+    O.Passes.push_back(PassId::ConstPropCFG);
+  if (PRE)
+    O.Passes.push_back(PassId::PRE);
+  else if (PREBusy)
+    O.Passes.push_back(PassId::PREBusy);
+  if (SSA)
+    O.Passes.push_back(PassId::SSA);
+  else if (SSADfg)
+    O.Passes.push_back(PassId::SSADfg);
   return true;
 }
 
@@ -140,63 +168,60 @@ int main(int Argc, char **Argv) {
 
   ParseResult R = parseFunction(Src);
   if (!R.ok()) {
-    std::fprintf(stderr, "parse error: %s\n", R.Error.c_str());
+    std::fprintf(stderr, "parse error: %s\n%s", R.Error.c_str(),
+                 sourceExcerpt(Src, R.ErrorLine).c_str());
     return 1;
   }
   Function &F = *R.Fn;
-  for (const std::string &Err : verifyFunction(F)) {
+
+  // Report *every* verifier error, then every hygiene warning (errors
+  // under --strict; the base IR gives unassigned variables the value 0,
+  // so these are suspicious rather than ill-formed).
+  std::vector<std::string> Errors = verifyFunction(F);
+  for (const std::string &Err : Errors)
     std::fprintf(stderr, "verifier: %s\n", Err.c_str());
+  if (!Errors.empty())
     return 1;
-  }
+  std::vector<std::string> Warnings = verifyDefUseHygiene(F);
+  for (const std::string &W : Warnings)
+    std::fprintf(stderr, "%s: %s\n", O.Strict ? "error" : "warning",
+                 W.c_str());
+  if (O.Strict && !Warnings.empty())
+    return 1;
 
-  if (O.Separate)
-    separateComputation(F);
-
-  if (O.ConstProp || O.ConstPropCFG) {
-    ConstPropResult CP;
-    if (O.ConstPropCFG) {
-      CP = cfgConstantPropagation(F, O.Predicates);
-    } else {
-      DepFlowGraph G = DepFlowGraph::build(F);
-      CP = dfgConstantPropagation(F, G, O.Predicates);
+  bool InSSA = false;
+  for (PassId P : O.Passes) {
+    PassOptions PO;
+    PO.Predicates = O.Predicates;
+    Status S = runPass(F, P, PO);
+    if (!S.ok()) {
+      // The input verified above, so a failure here is depflow's fault.
+      std::fprintf(stderr, "internal error: %s\n", S.str().c_str());
+      return 3;
     }
-    unsigned Rewrites = applyConstantsAndDCE(F, CP);
-    std::fprintf(stderr, "constprop: %u operands folded\n", Rewrites);
-  }
-
-  if (O.PRE || O.PREBusy) {
-    splitCriticalEdges(F);
-    unsigned Total = 0;
-    for (const Expression &Ex : collectExpressions(F)) {
-      CFGEdges E(F);
-      DepFlowGraph G = DepFlowGraph::build(F, E);
-      std::vector<bool> Ant = dfgExpressionAnt(F, E, G, Ex);
-      PREDecisions D = O.PREBusy ? busyCodeMotion(F, E, Ex, Ant)
-                                 : morelRenvoise(F, E, Ex, Ant);
-      Total += applyPRE(F, Ex, D);
+    InSSA = InSSA || passProducesSSA(P);
+    if (O.VerifyEach) {
+      VerifyOptions VO;
+      VO.ExpectSSA = InSSA;
+      Status V = verifyPassInvariants(F, VO);
+      if (!V.ok()) {
+        std::fprintf(stderr,
+                     "internal error: invariants violated after --%s:\n%s\n",
+                     passName(P), V.str().c_str());
+        return 3;
+      }
     }
-    std::fprintf(stderr, "pre: %u computations replaced\n", Total);
-  }
-
-  if (O.SSA || O.SSADfg) {
-    PhiPlacement P;
-    if (O.SSADfg) {
-      DepFlowGraph G = DepFlowGraph::build(F);
-      P = dfgPhiPlacement(F, G);
-    } else {
-      P = cytronPhiPlacement(F, /*Pruned=*/true);
-    }
-    applySSA(F, P);
   }
 
   if (O.Regions) {
     CFGEdges E(F);
     CycleEquivalence CE = cycleEquivalenceClasses(F, E);
     ProgramStructureTree PST(F, E, CE);
-    std::printf("%s", PST.dump(F, E).c_str());
+    if (!O.FuzzSafe)
+      std::printf("%s", PST.dump(F, E).c_str());
   }
 
-  if (O.DotCFG) {
+  if (O.DotCFG && !O.FuzzSafe) {
     CFGEdges E(F);
     GraphWriter GW("cfg");
     for (const auto &BB : F.blocks()) {
@@ -212,22 +237,29 @@ int main(int Argc, char **Argv) {
 
   if (O.DotDFG) {
     DepFlowGraph G = DepFlowGraph::build(F);
-    std::printf("%s", G.toDot(F).c_str());
+    if (!O.FuzzSafe)
+      std::printf("%s", G.toDot(F).c_str());
   }
 
-  if (!O.Regions && !O.DotCFG && !O.DotDFG)
+  if (!O.Regions && !O.DotCFG && !O.DotDFG && !O.FuzzSafe)
     std::printf("%s", printFunction(F).c_str());
 
   if (O.Run) {
     ExecResult Res = runFunction(F, O.Inputs);
+    if (Res.Trapped) {
+      std::fprintf(stderr, "run: trapped: %s\n", Res.TrapReason.c_str());
+      return 1;
+    }
     if (!Res.Halted) {
       std::fprintf(stderr, "run: step budget exhausted\n");
       return 1;
     }
-    std::printf("; outputs:");
-    for (std::int64_t V : Res.Outputs)
-      std::printf(" %lld", (long long)V);
-    std::printf("\n");
+    if (!O.FuzzSafe) {
+      std::printf("; outputs:");
+      for (std::int64_t V : Res.Outputs)
+        std::printf(" %lld", (long long)V);
+      std::printf("\n");
+    }
   }
   return 0;
 }
