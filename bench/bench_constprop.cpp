@@ -25,7 +25,22 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+
 using namespace depflow;
+
+// Example/bench sources are author-controlled, so a parse error is a bug
+// here, not user input: report it on the diagnostic path and bail.
+static std::unique_ptr<Function> parseOrDie(std::string_view Src) {
+  ParseResult R = parseFunction(Src);
+  if (!R.ok()) {
+    std::fprintf(stderr, "parse error: %s\n%s", R.Error.c_str(),
+                 sourceExcerpt(Src, R.ErrorLine).c_str());
+    std::exit(1);
+  }
+  return std::move(R.Fn);
+}
 
 static std::unique_ptr<Function> makeProgram(unsigned Stmts, unsigned Vars) {
   GenOptions Opts;
@@ -81,7 +96,7 @@ static void BM_ConstProp_DefUse(benchmark::State &State) {
 
 static void BM_ConstProp_SCCP(benchmark::State &State) {
   auto F = makeProgram(unsigned(State.range(0)), unsigned(State.range(1)));
-  auto SSAFn = parseFunctionOrDie(printFunction(*F));
+  auto SSAFn = parseOrDie(printFunction(*F));
   std::vector<VarId> OrigOf =
       applySSA(*SSAFn, cytronPhiPlacement(*SSAFn, /*Pruned=*/true));
   for (auto _ : State) {

@@ -19,8 +19,21 @@
 #include "ssa/SSA.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 using namespace depflow;
+
+// Example/bench sources are author-controlled, so a parse error is a bug
+// here, not user input: report it on the diagnostic path and bail.
+static std::unique_ptr<Function> parseOrDie(std::string_view Src) {
+  ParseResult R = parseFunction(Src);
+  if (!R.ok()) {
+    std::fprintf(stderr, "parse error: %s\n%s", R.Error.c_str(),
+                 sourceExcerpt(Src, R.ErrorLine).c_str());
+    std::exit(1);
+  }
+  return std::move(R.Fn);
+}
 
 static int Failures = 0;
 
@@ -42,7 +55,7 @@ static const Instruction *instrAt(const Function &F, const char *Label,
 }
 
 static void figure1() {
-  auto F = parseFunctionOrDie(R"(
+  auto F = parseOrDie(R"(
 func fig1(p) {
 entry:
   x = 1
@@ -66,7 +79,7 @@ join:
       std::to_string(6), std::to_string(RD.numChains()));
 
   // F1b: SSA places exactly one phi (for y at the join), none for x.
-  auto SSAFn = parseFunctionOrDie(printFunction(*F));
+  auto SSAFn = parseOrDie(printFunction(*F));
   PhiPlacement P = cytronPhiPlacement(*SSAFn, /*Pruned=*/true);
   unsigned Phis = 0;
   for (const auto &S : P)
@@ -95,7 +108,7 @@ join:
 
 static void figure2() {
   // F2: construction stages — base level vs bypassed + dead-edge-removed.
-  auto F = parseFunctionOrDie(R"(
+  auto F = parseOrDie(R"(
 func fig2(p) {
 entry:
   x = 1
@@ -123,7 +136,7 @@ join:
 }
 
 static void figure3() {
-  auto FA = parseFunctionOrDie(R"(
+  auto FA = parseOrDie(R"(
 func fig3a(p) {
 entry:
   if p goto thn else els
@@ -148,7 +161,7 @@ join:
   row("F3a", "all-paths constant x=3: DFG algorithm", "3",
       dfgConstantPropagation(*FA, GA).useValue(YDefA, 0).str());
 
-  auto FB = parseFunctionOrDie(R"(
+  auto FB = parseOrDie(R"(
 func fig3b() {
 entry:
   p = 1
@@ -176,7 +189,7 @@ join:
 }
 
 static void figure6() {
-  auto F = parseFunctionOrDie(R"(
+  auto F = parseOrDie(R"(
 func fig6(p) {
 entry:
   x = read()
@@ -226,7 +239,7 @@ join:
 }
 
 static void figure7() {
-  auto F = parseFunctionOrDie(R"(
+  auto F = parseOrDie(R"(
 func fig7(p) {
 entry:
   x = read()

@@ -17,8 +17,21 @@
 #include "ssa/SSA.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 using namespace depflow;
+
+// Example/bench sources are author-controlled, so a parse error is a bug
+// here, not user input: report it on the diagnostic path and bail.
+static std::unique_ptr<Function> parseOrDie(std::string_view Src) {
+  ParseResult R = parseFunction(Src);
+  if (!R.ok()) {
+    std::fprintf(stderr, "parse error: %s\n%s", R.Error.c_str(),
+                 sourceExcerpt(Src, R.ErrorLine).c_str());
+    std::exit(1);
+  }
+  return std::move(R.Fn);
+}
 
 static void report(Function &F, const char *Name,
                    const ConstPropResult &CP) {
@@ -39,7 +52,7 @@ static void report(Function &F, const char *Name,
 
 static void analyze(const char *Title, const char *Src) {
   std::printf("=== %s ===\n", Title);
-  auto F = parseFunctionOrDie(Src);
+  auto F = parseOrDie(Src);
   std::printf("%s\n", printFunction(*F).c_str());
 
   ReachingDefs RD(*F);
@@ -48,7 +61,7 @@ static void analyze(const char *Title, const char *Src) {
   DepFlowGraph G = DepFlowGraph::build(*F);
   report(*F, "DFG (Figure 4b):", dfgConstantPropagation(*F, G));
 
-  auto SSAFn = parseFunctionOrDie(printFunction(*F));
+  auto SSAFn = parseOrDie(printFunction(*F));
   std::vector<VarId> OrigOf =
       applySSA(*SSAFn, cytronPhiPlacement(*SSAFn, /*Pruned=*/true));
   ConstPropResult SC = sccp(*SSAFn, OrigOf);

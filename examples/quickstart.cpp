@@ -15,8 +15,21 @@
 #include "ir/Printer.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 using namespace depflow;
+
+// Example/bench sources are author-controlled, so a parse error is a bug
+// here, not user input: report it on the diagnostic path and bail.
+static std::unique_ptr<Function> parseOrDie(std::string_view Src) {
+  ParseResult R = parseFunction(Src);
+  if (!R.ok()) {
+    std::fprintf(stderr, "parse error: %s\n%s", R.Error.c_str(),
+                 sourceExcerpt(Src, R.ErrorLine).c_str());
+    std::exit(1);
+  }
+  return std::move(R.Fn);
+}
 
 int main() {
   const char *Src = R"(
@@ -41,7 +54,7 @@ out:
   ret s
 }
 )";
-  auto F = parseFunctionOrDie(Src);
+  auto F = parseOrDie(Src);
   std::printf("--- input ---\n%s\n", printFunction(*F).c_str());
 
   // The dependence flow graph, with SESE region bypassing.

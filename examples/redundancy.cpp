@@ -17,8 +17,21 @@
 #include "ir/Transforms.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 using namespace depflow;
+
+// Example/bench sources are author-controlled, so a parse error is a bug
+// here, not user input: report it on the diagnostic path and bail.
+static std::unique_ptr<Function> parseOrDie(std::string_view Src) {
+  ParseResult R = parseFunction(Src);
+  if (!R.ok()) {
+    std::fprintf(stderr, "parse error: %s\n%s", R.Error.c_str(),
+                 sourceExcerpt(Src, R.ErrorLine).c_str());
+    std::exit(1);
+  }
+  return std::move(R.Fn);
+}
 
 static void printAnt(Function &F, const CFGEdges &E, const char *Name,
                      const std::vector<bool> &Ant) {
@@ -32,7 +45,7 @@ static void printAnt(Function &F, const CFGEdges &E, const char *Name,
 
 int main() {
   // Figure 6: x+1 anticipatable below the definition of x; no redundancy.
-  auto F6 = parseFunctionOrDie(R"(
+  auto F6 = parseOrDie(R"(
 func fig6(p) {
 entry:
   x = read()
@@ -60,7 +73,7 @@ join:
   printAnt(*F6, E6, "ANT(x+1) via DFG", dfgExpressionAnt(*F6, E6, G6, XPlus1));
 
   // Figure 7: multivariable x+y = conjunction of per-variable results.
-  auto F7 = parseFunctionOrDie(R"(
+  auto F7 = parseOrDie(R"(
 func fig7(p) {
 entry:
   x = read()
@@ -92,7 +105,7 @@ low:
 
   // PRE: busy code motion vs Morel-Renvoise on a partially redundant
   // diamond.
-  auto FD = parseFunctionOrDie(R"(
+  auto FD = parseOrDie(R"(
 func diamond(p, x, y) {
 entry:
   if p goto a else b

@@ -17,11 +17,24 @@
 #include "ssa/SSA.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 using namespace depflow;
 
+// Example/bench sources are author-controlled, so a parse error is a bug
+// here, not user input: report it on the diagnostic path and bail.
+static std::unique_ptr<Function> parseOrDie(std::string_view Src) {
+  ParseResult R = parseFunction(Src);
+  if (!R.ok()) {
+    std::fprintf(stderr, "parse error: %s\n%s", R.Error.c_str(),
+                 sourceExcerpt(Src, R.ErrorLine).c_str());
+    std::exit(1);
+  }
+  return std::move(R.Fn);
+}
+
 int main() {
-  auto F = parseFunctionOrDie(R"(
+  auto F = parseOrDie(R"(
 func fig1(p) {
 entry:
   x = 1
@@ -58,7 +71,7 @@ join:
   }
 
   // (b) SSA form (on a clone).
-  auto SSAFn = parseFunctionOrDie(printFunction(*F));
+  auto SSAFn = parseOrDie(printFunction(*F));
   PhiPlacement P = cytronPhiPlacement(*SSAFn, /*Pruned=*/true);
   applySSA(*SSAFn, P);
   std::printf("\n--- SSA form (one phi, for y at the join) ---\n%s\n",

@@ -86,8 +86,13 @@ depflow::edgeControlDependenceBaseline(const Function &F, const CFGEdges &E) {
 }
 
 FactoredCDG depflow::buildFactoredCDG(const Function &F, const CFGEdges &E) {
+  return buildFactoredCDG(F, E, cycleEquivalenceClasses(F, E));
+}
+
+FactoredCDG depflow::buildFactoredCDG(const Function &F, const CFGEdges &E,
+                                      const CycleEquivalence &CE) {
   FactoredCDG Result;
-  Result.Classes = cycleEquivalenceClasses(F, E);
+  Result.Classes = CE;
   Result.ClassCD.assign(Result.Classes.NumClasses, {});
 
   // One representative edge per class.

@@ -63,6 +63,12 @@ struct FactoredCDG {
 /// computation per class (not per edge).
 FactoredCDG buildFactoredCDG(const Function &F, const CFGEdges &E);
 
+/// Same, reusing an already-computed cycle-equivalence partition (the
+/// analysis manager's cache). \p CE must come from
+/// cycleEquivalenceClasses(F, E).
+FactoredCDG buildFactoredCDG(const Function &F, const CFGEdges &E,
+                             const CycleEquivalence &CE);
+
 /// Partition edges by *equal control-dependence set* using the baseline
 /// computation (for validating Claim 1 and for the benchmark's baseline
 /// side). Returns a class id per edge.

@@ -34,13 +34,15 @@ class depflow::DFGBuilder {
   DepFlowGraph G;
 
   unsigned NumVarsWithCtrl;
-  std::unique_ptr<ProgramStructureTree> PST;
+  const ProgramStructureTree *PST = nullptr;  // Borrowed (caller's cache)...
+  std::unique_ptr<ProgramStructureTree> OwnedPST; // ...or built here.
   std::vector<BitVector> RegionDefs; // per region, defs over all vars
   std::vector<unsigned> RPO;         // block ids in reverse postorder
 
 public:
-  DFGBuilder(Function &F, const CFGEdges &E, DepFlowGraph::BypassMode Mode)
-      : F(F), E(E), Mode(Mode) {}
+  DFGBuilder(Function &F, const CFGEdges &E, DepFlowGraph::BypassMode Mode,
+             const ProgramStructureTree *SharedPST = nullptr)
+      : F(F), E(E), Mode(Mode), PST(SharedPST) {}
 
   DepFlowGraph run() {
     assert(F.exit() && "DFG construction requires a verified function");
@@ -56,8 +58,11 @@ public:
 
     computeRPO();
     if (Mode == DepFlowGraph::BypassMode::SESE) {
-      CycleEquivalence CE = cycleEquivalenceClasses(F, E);
-      PST = std::make_unique<ProgramStructureTree>(F, E, CE);
+      if (!PST) {
+        CycleEquivalence CE = cycleEquivalenceClasses(F, E);
+        OwnedPST = std::make_unique<ProgramStructureTree>(F, E, CE);
+        PST = OwnedPST.get();
+      }
       computeRegionDefs();
     }
 
@@ -335,6 +340,12 @@ private:
 DepFlowGraph DepFlowGraph::build(Function &F, const CFGEdges &E,
                                  BypassMode Mode) {
   DFGBuilder B(F, E, Mode);
+  return B.run();
+}
+
+DepFlowGraph DepFlowGraph::build(Function &F, const CFGEdges &E,
+                                 const ProgramStructureTree &PST) {
+  DFGBuilder B(F, E, BypassMode::SESE, &PST);
   return B.run();
 }
 

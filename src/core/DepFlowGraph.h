@@ -112,6 +112,12 @@ public:
   /// Convenience overload computing the edge numbering itself.
   static DepFlowGraph build(Function &F, BypassMode Mode = BypassMode::SESE);
 
+  /// SESE-bypass build reusing an already-computed PST (the analysis
+  /// manager's cache) instead of deriving cycle equivalence and the tree
+  /// privately. \p PST must come from (F, E).
+  static DepFlowGraph build(Function &F, const CFGEdges &E,
+                            const ProgramStructureTree &PST);
+
   unsigned numNodes() const { return unsigned(Nodes.size()); }
   unsigned numEdges() const { return unsigned(Edges.size()); }
   const Node &node(unsigned Id) const { return Nodes[Id]; }

@@ -502,13 +502,3 @@ std::string depflow::sourceExcerpt(std::string_view Source, unsigned Line,
   }
   return Out;
 }
-
-std::unique_ptr<Function> depflow::parseFunctionOrDie(std::string_view Source) {
-  ParseResult R = parseFunction(Source);
-  if (!R.ok()) {
-    std::fprintf(stderr, "parseFunctionOrDie: %s\n%s", R.Error.c_str(),
-                 sourceExcerpt(Source, R.ErrorLine).c_str());
-    std::abort();
-  }
-  return std::move(R.Fn);
-}

@@ -57,15 +57,10 @@ struct ParseResult {
 ParseResult parseFunction(std::string_view Source);
 
 /// Renders the lines of \p Source around \p Line with a `>` marker on the
-/// offending line — the excerpt parseFunctionOrDie and the fuzz reducer
-/// print so failures are actionable without re-opening the input.
+/// offending line — the excerpt depflow-opt and the fuzz reducer print so
+/// failures are actionable without re-opening the input.
 std::string sourceExcerpt(std::string_view Source, unsigned Line,
                           unsigned Context = 2);
-
-/// Convenience for tests: parses \p Source and aborts with the parse error
-/// and a marked source excerpt if it is malformed. Use only on source text
-/// the caller controls.
-std::unique_ptr<Function> parseFunctionOrDie(std::string_view Source);
 
 } // namespace depflow
 

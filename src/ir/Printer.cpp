@@ -7,6 +7,8 @@
 
 #include "ir/Printer.h"
 
+#include "support/GraphWriter.h"
+
 using namespace depflow;
 
 std::string depflow::printOperand(const Function &F, const Operand &Op) {
@@ -81,4 +83,18 @@ std::string depflow::printFunction(const Function &F) {
       S += "  " + printInstruction(F, *I) + "\n";
   }
   return S + "}\n";
+}
+
+std::string depflow::printCFGDot(const Function &F) {
+  GraphWriter GW("cfg");
+  for (const auto &BB : F.blocks()) {
+    std::string Body = BB->label() + ":";
+    for (const auto &I : BB->instructions())
+      Body += "\n" + printInstruction(F, *I);
+    GW.node(BB->label(), Body, "shape=box");
+  }
+  for (const auto &BB : F.blocks())
+    for (BasicBlock *S : BB->successors())
+      GW.edge(BB->label(), S->label());
+  return GW.str();
 }

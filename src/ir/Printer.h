@@ -29,6 +29,11 @@ std::string printInstruction(const Function &F, const Instruction &I);
 /// Renders the whole function.
 std::string printFunction(const Function &F);
 
+/// Renders the CFG in GraphViz form: one box per block with its
+/// instructions, one edge per successor (depflow-opt's --dot-cfg and the
+/// pipeline's --dot-after-all).
+std::string printCFGDot(const Function &F);
+
 } // namespace depflow
 
 #endif // DEPFLOW_IR_PRINTER_H

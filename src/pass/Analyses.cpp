@@ -1,0 +1,84 @@
+//===- pass/Analyses.cpp - The registered function analyses ---------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pass/Analyses.h"
+
+#include "support/Statistic.h"
+
+using namespace depflow;
+
+DEPFLOW_STATISTIC(NumAnalysesComputed, "analysis",
+                  "Analysis results computed (cache misses)");
+
+CFGEdges CFGEdgesAnalysis::run(Function &F, FunctionAnalysisManager &) {
+  ++NumAnalysesComputed;
+  // Edge numbering reads successor lists only, but everything downstream
+  // (merges, postdominators) wants predecessors fresh too.
+  F.recomputePreds();
+  return CFGEdges(F);
+}
+
+DomTree DominatorAnalysis::run(Function &F, FunctionAnalysisManager &) {
+  ++NumAnalysesComputed;
+  assert(F.entry() && "dominators require a nonempty function");
+  return DomTree(cfgDigraph(F), F.entry()->id());
+}
+
+DomTree PostDominatorAnalysis::run(Function &F, FunctionAnalysisManager &) {
+  ++NumAnalysesComputed;
+  assert(F.exit() && "postdominators require a unique exit");
+  return DomTree(cfgDigraph(F).reversed(), F.exit()->id());
+}
+
+LoopForest LoopAnalysis::run(Function &F, FunctionAnalysisManager &) {
+  ++NumAnalysesComputed;
+  return LoopForest(F);
+}
+
+CycleEquivalence CycleEquivAnalysis::run(Function &F,
+                                         FunctionAnalysisManager &AM) {
+  ++NumAnalysesComputed;
+  const CFGEdges &E = AM.getResult<CFGEdgesAnalysis>();
+  return cycleEquivalenceClasses(F, E);
+}
+
+ProgramStructureTree PSTAnalysis::run(Function &F,
+                                      FunctionAnalysisManager &AM) {
+  ++NumAnalysesComputed;
+  // Order matters only for readability: both live in stable heap slots, so
+  // the second getResult cannot move the first result out from under us.
+  const CFGEdges &E = AM.getResult<CFGEdgesAnalysis>();
+  const CycleEquivalence &CE = AM.getResult<CycleEquivAnalysis>();
+  return ProgramStructureTree(F, E, CE);
+}
+
+FactoredCDG FactoredCDGAnalysis::run(Function &F,
+                                     FunctionAnalysisManager &AM) {
+  ++NumAnalysesComputed;
+  const CFGEdges &E = AM.getResult<CFGEdgesAnalysis>();
+  const CycleEquivalence &CE = AM.getResult<CycleEquivAnalysis>();
+  return buildFactoredCDG(F, E, CE);
+}
+
+DepFlowGraph DFGAnalysis::run(Function &F, FunctionAnalysisManager &AM) {
+  ++NumAnalysesComputed;
+  const CFGEdges &E = AM.getResult<CFGEdgesAnalysis>();
+  const ProgramStructureTree &PST = AM.getResult<PSTAnalysis>();
+  return DepFlowGraph::build(F, E, PST);
+}
+
+PreservedAnalyses depflow::preserveCFGShapeAnalyses() {
+  PreservedAnalyses PA;
+  PA.preserve<CFGEdgesAnalysis>()
+      .preserve<DominatorAnalysis>()
+      .preserve<PostDominatorAnalysis>()
+      .preserve<LoopAnalysis>()
+      .preserve<CycleEquivAnalysis>()
+      .preserve<PSTAnalysis>()
+      .preserve<FactoredCDGAnalysis>();
+  return PA;
+}

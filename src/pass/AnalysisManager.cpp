@@ -1,0 +1,44 @@
+//===- pass/AnalysisManager.cpp - Cached function analyses ----------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pass/AnalysisManager.h"
+
+#include <algorithm>
+
+using namespace depflow;
+
+std::vector<FunctionAnalysisManager::Counter>
+FunctionAnalysisManager::counterSnapshot() const {
+  std::vector<Counter> Rows;
+  Rows.reserve(Entries.size());
+  for (const auto &[K, E] : Entries) {
+    (void)K;
+    if (E.Hits || E.Misses)
+      Rows.push_back({E.Name, E.Hits, E.Misses});
+  }
+  std::sort(Rows.begin(), Rows.end(),
+            [](const Counter &A, const Counter &B) { return A.Name < B.Name; });
+  return Rows;
+}
+
+std::uint64_t FunctionAnalysisManager::totalHits() const {
+  std::uint64_t N = 0;
+  for (const auto &[K, E] : Entries) {
+    (void)K;
+    N += E.Hits;
+  }
+  return N;
+}
+
+std::uint64_t FunctionAnalysisManager::totalMisses() const {
+  std::uint64_t N = 0;
+  for (const auto &[K, E] : Entries) {
+    (void)K;
+    N += E.Misses;
+  }
+  return N;
+}

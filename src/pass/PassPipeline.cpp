@@ -1,0 +1,342 @@
+//===- pass/PassPipeline.cpp - Textual pass pipelines ---------------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pass/PassPipeline.h"
+
+#include "dataflow/Anticipatability.h"
+#include "dataflow/ConstantPropagation.h"
+#include "dataflow/PRE.h"
+#include "ir/Printer.h"
+#include "ir/Transforms.h"
+#include "ir/Verifier.h"
+#include "pass/Analyses.h"
+#include "ssa/SSA.h"
+#include "support/Statistic.h"
+
+#include <chrono>
+
+using namespace depflow;
+
+DEPFLOW_STATISTIC(NumPassesRun, "pipeline", "Passes executed");
+DEPFLOW_STATISTIC(NumPassesNoChange, "pipeline",
+                  "Passes that left the function untouched");
+DEPFLOW_STATISTIC(NumAnalysisHits, "analysis",
+                  "Analysis queries answered from cache");
+DEPFLOW_STATISTIC(NumStatementsSeparated, "separate",
+                  "Statements split by separateComputation");
+DEPFLOW_STATISTIC(NumOperandsFolded, "constprop",
+                  "Operands rewritten to constants");
+DEPFLOW_STATISTIC(NumCriticalEdgesSplit, "pre", "Critical edges split");
+DEPFLOW_STATISTIC(NumExpressionsConsidered, "pre",
+                  "Expressions considered for code motion");
+DEPFLOW_STATISTIC(NumPhisPlaced, "ssa", "Phi-functions placed");
+
+//===----------------------------------------------------------------------===//
+// Pipeline parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string_view trim(std::string_view S) {
+  while (!S.empty() && (S.front() == ' ' || S.front() == '\t'))
+    S.remove_prefix(1);
+  while (!S.empty() && (S.back() == ' ' || S.back() == '\t'))
+    S.remove_suffix(1);
+  return S;
+}
+
+std::string knownPassNames() {
+  std::string Names;
+  for (PassId P : allPasses()) {
+    if (!Names.empty())
+      Names += ", ";
+    Names += passName(P);
+  }
+  return Names;
+}
+
+} // namespace
+
+Status depflow::parsePassPipeline(std::string_view Text,
+                                  std::vector<PassId> &Out) {
+  Out.clear();
+  if (trim(Text).empty())
+    return Status::error("empty pass pipeline: expected a comma-separated "
+                         "list of passes (" +
+                         knownPassNames() + ")");
+  std::string_view Rest = Text;
+  while (true) {
+    std::size_t Comma = Rest.find(',');
+    std::string_view Tok = trim(Rest.substr(0, Comma));
+    if (Tok.empty())
+      return Status::error("empty pass name in pipeline '" +
+                           std::string(Text) + "'");
+    std::optional<PassId> P = passByName(Tok);
+    if (!P)
+      return Status::error("unknown pass '" + std::string(Tok) +
+                           "' in pipeline '" + std::string(Text) +
+                           "' (known passes: " + knownPassNames() + ")");
+    Out.push_back(*P);
+    if (Comma == std::string_view::npos)
+      break;
+    Rest = Rest.substr(Comma + 1);
+  }
+  return Status::success();
+}
+
+Status PassPipeline::parse(std::string_view Text, PassPipeline &Out) {
+  return parsePassPipeline(Text, Out.Passes);
+}
+
+std::string PassPipeline::str() const {
+  std::string S;
+  for (PassId P : Passes) {
+    if (!S.empty())
+      S += ",";
+    S += passName(P);
+  }
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Instrumentation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+double nowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool containsPhis(const Function &F) {
+  for (const auto &BB : F.blocks())
+    for (const auto &I : BB->instructions())
+      if (isa<PhiInst>(I.get()))
+        return true;
+  return false;
+}
+
+} // namespace
+
+void PassInstrumentation::beforePass(PassId,
+                                     const FunctionAnalysisManager &AM) {
+  StartSeconds = nowSeconds();
+  StartHits = AM.totalHits();
+  StartMisses = AM.totalMisses();
+}
+
+void PassInstrumentation::afterPass(PassId P, Function &F,
+                                    FunctionAnalysisManager &AM) {
+  Record R;
+  R.Pass = passName(P);
+  R.Seconds = nowSeconds() - StartSeconds;
+  R.AnalysisHits = AM.totalHits() - StartHits;
+  R.AnalysisMisses = AM.totalMisses() - StartMisses;
+  Records.push_back(std::move(R));
+
+  if (PrintAfterAll)
+    std::fprintf(Out, "; *** IR after --%s ***\n%s", passName(P),
+                 printFunction(F).c_str());
+  if (DotAfterAll) {
+    // The DFG is only defined over phi-free IR; past an SSA pass, fall
+    // back to the CFG. Going through the manager makes the dump itself a
+    // cache client.
+    if (!containsPhis(F))
+      std::fprintf(Out, "// *** DFG after --%s ***\n%s", passName(P),
+                   AM.getResult<DFGAnalysis>().toDot(F).c_str());
+    else
+      std::fprintf(Out, "// *** CFG after --%s ***\n%s", passName(P),
+                   printCFGDot(F).c_str());
+  }
+}
+
+void PassInstrumentation::printReport(
+    const FunctionAnalysisManager &AM) const {
+  std::fprintf(Out, "===-------------------------------------------===\n");
+  std::fprintf(Out, "            ... Pass execution timing ...\n");
+  std::fprintf(Out, "===-------------------------------------------===\n");
+  double Total = 0;
+  for (const Record &R : Records)
+    Total += R.Seconds;
+  for (const Record &R : Records)
+    std::fprintf(Out,
+                 "  %10.6fs (%5.1f%%)  %-14s analyses: %llu reused, "
+                 "%llu computed\n",
+                 R.Seconds, Total > 0 ? 100.0 * R.Seconds / Total : 0.0,
+                 R.Pass.c_str(), (unsigned long long)R.AnalysisHits,
+                 (unsigned long long)R.AnalysisMisses);
+  std::fprintf(Out, "  %10.6fs (100.0%%)  total\n", Total);
+
+  std::fprintf(Out, "===-------------------------------------------===\n");
+  std::fprintf(Out, "            ... Analysis cache hit/miss ...\n");
+  std::fprintf(Out, "===-------------------------------------------===\n");
+  std::uint64_t Hits = 0, Misses = 0;
+  for (const auto &C : AM.counterSnapshot()) {
+    std::fprintf(Out, "  %-14s %6llu hit(s), %6llu miss(es)\n",
+                 C.Name.c_str(), (unsigned long long)C.Hits,
+                 (unsigned long long)C.Misses);
+    Hits += C.Hits;
+    Misses += C.Misses;
+  }
+  double Rate = Hits + Misses ? 100.0 * double(Hits) / double(Hits + Misses)
+                              : 0.0;
+  std::fprintf(Out, "  %-14s %6llu hit(s), %6llu miss(es) (%.1f%% hit rate)\n",
+               "total", (unsigned long long)Hits, (unsigned long long)Misses,
+               Rate);
+}
+
+//===----------------------------------------------------------------------===//
+// Checked pass execution over the manager
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Successor-list snapshot; two equal shapes mean every CFG-shape analysis
+/// (block ids, edge ids, dominance, regions) is still valid.
+std::vector<std::vector<unsigned>> cfgShape(const Function &F) {
+  std::vector<std::vector<unsigned>> Shape(F.numBlocks());
+  for (const auto &BB : F.blocks())
+    for (const BasicBlock *S : BB->successors())
+      Shape[BB->id()].push_back(S->id());
+  return Shape;
+}
+
+/// The pass body proper: mutates \p F, consuming cached analyses from
+/// \p AM. Returns false only for unknown pass ids (impossible).
+void runPassBody(Function &F, PassId P, FunctionAnalysisManager &AM,
+                 const PassOptions &Opts) {
+  switch (P) {
+  case PassId::Separate:
+    NumStatementsSeparated += separateComputation(F);
+    break;
+  case PassId::ConstProp: {
+    const DepFlowGraph &G = AM.getResult<DFGAnalysis>();
+    ConstPropResult CP = dfgConstantPropagation(F, G, Opts.Predicates);
+    NumOperandsFolded += applyConstantsAndDCE(F, CP);
+    break;
+  }
+  case PassId::ConstPropCFG: {
+    ConstPropResult CP = cfgConstantPropagation(F, Opts.Predicates);
+    NumOperandsFolded += applyConstantsAndDCE(F, CP);
+    break;
+  }
+  case PassId::PRE:
+  case PassId::PREBusy: {
+    unsigned Split = splitCriticalEdges(F);
+    NumCriticalEdgesSplit += Split;
+    if (Split)
+      AM.invalidate(PreservedAnalyses::none());
+    // One cached DFG serves every expression that causes no motion; an
+    // actual motion mutates the function, so the graph is invalidated and
+    // rebuilt before the next expression. (The seed driver rebuilt the
+    // DFG per expression unconditionally — most candidates don't move, so
+    // most of those rebuilds answered queries a cached graph could have.)
+    for (const Expression &Ex : collectExpressions(F)) {
+      ++NumExpressionsConsidered;
+      const CFGEdges &E = AM.getResult<CFGEdgesAnalysis>();
+      const DepFlowGraph &G = AM.getResult<DFGAnalysis>();
+      std::vector<bool> Ant = dfgExpressionAnt(F, E, G, Ex);
+      PREDecisions D = P == PassId::PREBusy ? busyCodeMotion(F, E, Ex, Ant)
+                                            : morelRenvoise(F, E, Ex, Ant);
+      if (D.Inserts.empty() && D.Deletes.empty())
+        continue;
+      applyPRE(F, Ex, D);
+      AM.invalidate(PreservedAnalyses::none());
+    }
+    break;
+  }
+  case PassId::SSA: {
+    const DomTree &DT = AM.getResult<DominatorAnalysis>();
+    PhiPlacement Placement = cytronPhiPlacement(F, /*Pruned=*/true, DT);
+    for (const auto &Vars : Placement)
+      NumPhisPlaced += Vars.size();
+    applySSA(F, Placement, DT);
+    break;
+  }
+  case PassId::SSADfg: {
+    const DepFlowGraph &G = AM.getResult<DFGAnalysis>();
+    const DomTree &DT = AM.getResult<DominatorAnalysis>();
+    PhiPlacement Placement = dfgPhiPlacement(F, G);
+    for (const auto &Vars : Placement)
+      NumPhisPlaced += Vars.size();
+    applySSA(F, Placement, DT);
+    break;
+  }
+  }
+}
+
+} // namespace
+
+Status depflow::runPass(Function &F, PassId P, FunctionAnalysisManager &AM,
+                        const PassOptions &Opts,
+                        PreservedAnalyses *PreservedOut) {
+  // Preconditions: every pass needs a verified CFG, and everything except
+  // plain canonicalization needs phi-free input (the DFG and the dataflow
+  // analyses are defined over the base IR; SSA construction would place
+  // second-generation phis).
+  {
+    Status Pre = Status::fromMessages(verifyFunction(F));
+    if (!Pre.ok()) {
+      Status S = Status::error(std::string("pass --") + passName(P) +
+                               ": input does not verify");
+      S.append(Pre);
+      return S;
+    }
+    if (containsPhis(F))
+      return Status::error(std::string("pass --") + passName(P) +
+                           ": input already contains phis (run on base IR)");
+  }
+
+  ++NumPassesRun;
+  const std::vector<std::vector<unsigned>> ShapeBefore = cfgShape(F);
+  const std::string TextBefore = printFunction(F);
+  std::uint64_t HitsBefore = AM.totalHits();
+
+  runPassBody(F, P, AM, Opts);
+
+  // What survived? Text identical: the pass was a no-op and everything is
+  // still valid. CFG shape identical: instructions changed, so the DFG
+  // (which holds instruction pointers) dies but every CFG-shape analysis
+  // survives. Otherwise: nothing does.
+  PreservedAnalyses PA = PreservedAnalyses::none();
+  if (printFunction(F) == TextBefore) {
+    PA = PreservedAnalyses::all();
+    ++NumPassesNoChange;
+  } else if (cfgShape(F) == ShapeBefore) {
+    PA = preserveCFGShapeAnalyses();
+  }
+  if (PreservedOut)
+    *PreservedOut = PA;
+  AM.invalidate(PA);
+  NumAnalysisHits += AM.totalHits() - HitsBefore;
+
+  Status Post = Status::fromMessages(verifyFunction(F));
+  if (!Post.ok()) {
+    Status S = Status::error(std::string("pass --") + passName(P) +
+                             ": output does not verify (miscompile)");
+    S.append(Post);
+    S.addError("offending output:\n" + printFunction(F));
+    return S;
+  }
+  return Status::success();
+}
+
+Status PassPipeline::run(Function &F, FunctionAnalysisManager &AM,
+                         PassInstrumentation *PI) const {
+  for (PassId P : Passes) {
+    if (PI)
+      PI->beforePass(P, AM);
+    Status S = depflow::runPass(F, P, AM, Opts);
+    if (!S.ok())
+      return S;
+    if (PI)
+      PI->afterPass(P, F, AM);
+  }
+  return Status::success();
+}

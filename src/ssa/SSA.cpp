@@ -17,8 +17,14 @@ using namespace depflow;
 
 PhiPlacement depflow::cytronPhiPlacement(Function &F, bool Pruned) {
   F.recomputePreds();
+  DomTree DT(cfgDigraph(F), F.entry()->id());
+  return cytronPhiPlacement(F, Pruned, DT);
+}
+
+PhiPlacement depflow::cytronPhiPlacement(Function &F, bool Pruned,
+                                         const DomTree &DT) {
+  F.recomputePreds();
   Digraph G = cfgDigraph(F);
-  DomTree DT(G, F.entry()->id());
   auto DF = dominanceFrontiers(G, DT);
   Liveness Live = Pruned ? computeLiveness(F) : Liveness{};
 
@@ -133,8 +139,14 @@ PhiPlacement depflow::dfgPhiPlacement(Function &F, const DepFlowGraph &G) {
 std::vector<VarId> depflow::applySSA(Function &F,
                                      const PhiPlacement &Placement) {
   F.recomputePreds();
-  Digraph G = cfgDigraph(F);
-  DomTree DT(G, F.entry()->id());
+  DomTree DT(cfgDigraph(F), F.entry()->id());
+  return applySSA(F, Placement, DT);
+}
+
+std::vector<VarId> depflow::applySSA(Function &F,
+                                     const PhiPlacement &Placement,
+                                     const DomTree &DT) {
+  F.recomputePreds();
 
   // Insert empty φs, remembering each one's original variable.
   std::unordered_map<PhiInst *, VarId> PhiOrig;

@@ -27,6 +27,7 @@
 #define DEPFLOW_SSA_SSA_H
 
 #include "core/DepFlowGraph.h"
+#include "graph/Dominators.h"
 #include "ir/Function.h"
 
 #include <set>
@@ -41,6 +42,10 @@ using PhiPlacement = std::vector<std::set<VarId>>;
 /// variable is live-in.
 PhiPlacement cytronPhiPlacement(Function &F, bool Pruned);
 
+/// Same, reusing a caller-provided dominator tree of F's CFG (the analysis
+/// manager's cache) instead of rebuilding one.
+PhiPlacement cytronPhiPlacement(Function &F, bool Pruned, const DomTree &DT);
+
 /// DFG-derived placement: surviving non-trivial merges of data variables.
 /// \p G must be the DFG of \p F.
 PhiPlacement dfgPhiPlacement(Function &F, const DepFlowGraph &G);
@@ -49,6 +54,12 @@ PhiPlacement dfgPhiPlacement(Function &F, const DepFlowGraph &G);
 /// Returns, for every variable id of the renamed function, the original
 /// variable it stems from (identity for the pre-existing ids).
 std::vector<VarId> applySSA(Function &F, const PhiPlacement &Placement);
+
+/// Same, reusing a caller-provided dominator tree. φ insertion adds
+/// instructions only, so a tree computed before the call stays valid for
+/// the renaming walk.
+std::vector<VarId> applySSA(Function &F, const PhiPlacement &Placement,
+                            const DomTree &DT);
 
 /// True if no variable has more than one defining instruction.
 bool isSSAForm(const Function &F);

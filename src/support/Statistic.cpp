@@ -1,0 +1,71 @@
+//===- support/Statistic.cpp - Global statistics counters -----------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistic.h"
+
+#include <algorithm>
+#include <mutex>
+
+using namespace depflow;
+
+namespace {
+
+struct Registry {
+  std::mutex Lock;
+  std::vector<Statistic *> Stats;
+};
+
+Registry &registry() {
+  static Registry R; // Meyers singleton: safe across static-init order.
+  return R;
+}
+
+} // namespace
+
+void Statistic::registerOnce() {
+  if (Registered.load(std::memory_order_acquire))
+    return;
+  Registry &R = registry();
+  std::lock_guard<std::mutex> G(R.Lock);
+  if (!Registered.load(std::memory_order_relaxed)) {
+    R.Stats.push_back(this);
+    Registered.store(true, std::memory_order_release);
+  }
+}
+
+std::vector<StatisticSnapshot> depflow::statisticsSnapshot() {
+  Registry &R = registry();
+  std::vector<StatisticSnapshot> Rows;
+  {
+    std::lock_guard<std::mutex> G(R.Lock);
+    Rows.reserve(R.Stats.size());
+    for (const Statistic *S : R.Stats)
+      Rows.push_back({S->group(), S->name(), S->desc(), S->value()});
+  }
+  std::sort(Rows.begin(), Rows.end(),
+            [](const StatisticSnapshot &A, const StatisticSnapshot &B) {
+              return A.Group != B.Group ? A.Group < B.Group : A.Name < B.Name;
+            });
+  return Rows;
+}
+
+void depflow::printStatistics(std::FILE *Out) {
+  std::vector<StatisticSnapshot> Rows = statisticsSnapshot();
+  std::fprintf(Out, "===-------------------------------------------===\n");
+  std::fprintf(Out, "            ... Statistics Collected ...\n");
+  std::fprintf(Out, "===-------------------------------------------===\n");
+  for (const StatisticSnapshot &Row : Rows)
+    std::fprintf(Out, "%8llu %-12s - %s\n", (unsigned long long)Row.Value,
+                 Row.Group.c_str(), Row.Desc.c_str());
+}
+
+void depflow::resetStatistics() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> G(R.Lock);
+  for (Statistic *S : R.Stats)
+    *S = 0;
+}

@@ -1,4 +1,4 @@
-//===- verify/PassRunner.cpp - Named passes with checked entry ------------===//
+//===- verify/PassRunner.cpp - Legacy checked pass entry ------------------===//
 //
 // Part of the depflow project: a reproduction of "Dependence-Based Program
 // Analysis" (Johnson & Pingali, PLDI 1993).
@@ -7,138 +7,19 @@
 
 #include "verify/PassRunner.h"
 
-#include "core/DepFlowGraph.h"
-#include "dataflow/Anticipatability.h"
-#include "dataflow/ConstantPropagation.h"
 #include "dataflow/PRE.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
-#include "ir/Transforms.h"
-#include "ir/Verifier.h"
-#include "ssa/SSA.h"
+#include "pass/AnalysisManager.h"
 
 using namespace depflow;
 
-const std::vector<PassId> &depflow::allPasses() {
-  static const std::vector<PassId> Passes = {
-      PassId::Separate, PassId::ConstProp, PassId::ConstPropCFG,
-      PassId::PRE,      PassId::PREBusy,   PassId::SSA,
-      PassId::SSADfg,
-  };
-  return Passes;
-}
-
-const char *depflow::passName(PassId P) {
-  switch (P) {
-  case PassId::Separate:
-    return "separate";
-  case PassId::ConstProp:
-    return "constprop";
-  case PassId::ConstPropCFG:
-    return "constprop-cfg";
-  case PassId::PRE:
-    return "pre";
-  case PassId::PREBusy:
-    return "pre-busy";
-  case PassId::SSA:
-    return "ssa";
-  case PassId::SSADfg:
-    return "ssa-dfg";
-  }
-  return "<unknown>";
-}
-
-std::optional<PassId> depflow::passByName(std::string_view Name) {
-  for (PassId P : allPasses())
-    if (Name == passName(P))
-      return P;
-  return std::nullopt;
-}
-
-bool depflow::passProducesSSA(PassId P) {
-  return P == PassId::SSA || P == PassId::SSADfg;
-}
-
-namespace {
-
-bool containsPhis(const Function &F) {
-  for (const auto &BB : F.blocks())
-    for (const auto &I : BB->instructions())
-      if (isa<PhiInst>(I.get()))
-        return true;
-  return false;
-}
-
-} // namespace
-
 Status depflow::runPass(Function &F, PassId P, const PassOptions &Opts) {
-  // Preconditions: every pass needs a verified CFG, and everything except
-  // plain canonicalization needs phi-free input (the DFG and the dataflow
-  // analyses are defined over the base IR; SSA construction would place
-  // second-generation phis).
-  {
-    Status Pre = Status::fromMessages(verifyFunction(F));
-    if (!Pre.ok()) {
-      Status S = Status::error(std::string("pass --") + passName(P) +
-                               ": input does not verify");
-      S.append(Pre);
-      return S;
-    }
-    if (containsPhis(F))
-      return Status::error(std::string("pass --") + passName(P) +
-                           ": input already contains phis (run on base IR)");
-  }
-
-  switch (P) {
-  case PassId::Separate:
-    separateComputation(F);
-    break;
-  case PassId::ConstProp: {
-    DepFlowGraph G = DepFlowGraph::build(F);
-    ConstPropResult CP = dfgConstantPropagation(F, G, Opts.Predicates);
-    applyConstantsAndDCE(F, CP);
-    break;
-  }
-  case PassId::ConstPropCFG: {
-    ConstPropResult CP = cfgConstantPropagation(F, Opts.Predicates);
-    applyConstantsAndDCE(F, CP);
-    break;
-  }
-  case PassId::PRE:
-  case PassId::PREBusy: {
-    splitCriticalEdges(F);
-    for (const Expression &Ex : collectExpressions(F)) {
-      CFGEdges E(F);
-      DepFlowGraph G = DepFlowGraph::build(F, E);
-      std::vector<bool> Ant = dfgExpressionAnt(F, E, G, Ex);
-      PREDecisions D = P == PassId::PREBusy ? busyCodeMotion(F, E, Ex, Ant)
-                                            : morelRenvoise(F, E, Ex, Ant);
-      applyPRE(F, Ex, D);
-    }
-    break;
-  }
-  case PassId::SSA: {
-    PhiPlacement Placement = cytronPhiPlacement(F, /*Pruned=*/true);
-    applySSA(F, Placement);
-    break;
-  }
-  case PassId::SSADfg: {
-    DepFlowGraph G = DepFlowGraph::build(F);
-    PhiPlacement Placement = dfgPhiPlacement(F, G);
-    applySSA(F, Placement);
-    break;
-  }
-  }
-
-  Status Post = Status::fromMessages(verifyFunction(F));
-  if (!Post.ok()) {
-    Status S = Status::error(std::string("pass --") + passName(P) +
-                             ": output does not verify (miscompile)");
-    S.append(Post);
-    S.addError("offending output:\n" + printFunction(F));
-    return S;
-  }
-  return Status::success();
+  // One throwaway manager per call: correctness-equivalent to the managed
+  // path, but pays full analysis reconstruction — callers that run more
+  // than one pass should hold a FunctionAnalysisManager instead.
+  FunctionAnalysisManager AM(F);
+  return runPass(F, P, AM, Opts);
 }
 
 Status depflow::cloneFunction(const Function &F,

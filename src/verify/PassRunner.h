@@ -1,4 +1,4 @@
-//===- verify/PassRunner.h - Named passes with checked entry ----*- C++ -*-===//
+//===- verify/PassRunner.h - Legacy checked pass entry ----------*- C++ -*-===//
 //
 // Part of the depflow project: a reproduction of "Dependence-Based Program
 // Analysis" (Johnson & Pingali, PLDI 1993).
@@ -6,12 +6,13 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// One registry of the transformation passes depflow-opt exposes, with
-/// recoverable entry points: each pass validates its preconditions (a
-/// verified CFG; phi-free IR for the DFG-based passes) and returns a
-/// failing Status instead of tripping an internal assert when they do not
-/// hold. depflow-opt, depflow-fuzz, and the differential oracle all drive
-/// passes through this interface so they agree on what "--pre" means.
+/// The historical home of the pass registry and the single-shot checked
+/// `runPass` entry. The registry now lives in pass/Pass.h and managed
+/// execution in pass/PassPipeline.h (re-exported here for source
+/// compatibility); the unmanaged `runPass(F, P)` below survives for one
+/// release as a shim that builds a throwaway FunctionAnalysisManager per
+/// call. New code should hold a manager (or a PassPipeline) and use
+/// `runPass(F, P, AM)` so analyses are cached across passes.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,43 +21,18 @@
 
 #include "ir/Expression.h"
 #include "ir/Function.h"
+#include "pass/Pass.h"
+#include "pass/PassPipeline.h"
 #include "support/Error.h"
 
-#include <optional>
-#include <string_view>
+#include <memory>
 #include <vector>
 
 namespace depflow {
 
-enum class PassId : std::uint8_t {
-  Separate,     // separateComputation normalization
-  ConstProp,    // DFG conditional constant propagation + DCE
-  ConstPropCFG, // same via the CFG algorithm (Figure 4a)
-  PRE,          // Morel-Renvoise over every expression (DFG ANT engine)
-  PREBusy,      // busy code motion instead
-  SSA,          // pruned SSA via Cytron placement
-  SSADfg,       // pruned SSA via the DFG route
-};
-
-/// All passes, in the order depflow-opt applies them.
-const std::vector<PassId> &allPasses();
-
-/// Command-line name ("constprop", "ssa-dfg", ...).
-const char *passName(PassId P);
-std::optional<PassId> passByName(std::string_view Name);
-
-/// True if the pass leaves the function in SSA form.
-bool passProducesSSA(PassId P);
-
-struct PassOptions {
-  /// Enable the x==c predicate refinement during constant propagation.
-  bool Predicates = false;
-};
-
-/// Runs \p P on \p F after validating preconditions. On precondition
-/// failure, \p F is untouched and the Status reports why; after a
-/// successful run the function re-verifies (a failure there is reported as
-/// an internal invariant violation, not a precondition error).
+/// Deprecated shim: runs \p P on \p F with a fresh analysis manager, so
+/// every analysis is rebuilt from scratch. Same checked contract as
+/// runPass(F, P, AM). Prefer the managed overload (pass/PassPipeline.h).
 Status runPass(Function &F, PassId P, const PassOptions &Opts = {});
 
 /// Clones \p F by printing and re-parsing it (the IR round-trips by

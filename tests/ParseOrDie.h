@@ -1,0 +1,37 @@
+//===- tests/ParseOrDie.h - Abort-on-error parsing for tests ----*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+// Test-only convenience over the library's sole parser entry,
+// parseFunction: the test author controls the source text, so a parse
+// error is a broken test and aborts with a marked excerpt. Library and
+// tool code must stay on the Status/diagnostic path instead.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_TESTS_PARSEORDIE_H
+#define DEPFLOW_TESTS_PARSEORDIE_H
+
+#include "ir/Parser.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string_view>
+
+namespace depflow {
+
+inline std::unique_ptr<Function> parseFunctionOrDie(std::string_view Source) {
+  ParseResult R = parseFunction(Source);
+  if (!R.ok()) {
+    std::fprintf(stderr, "parseFunctionOrDie: %s\n%s", R.Error.c_str(),
+                 sourceExcerpt(Source, R.ErrorLine).c_str());
+    std::abort();
+  }
+  return std::move(R.Fn);
+}
+
+} // namespace depflow
+
+#endif // DEPFLOW_TESTS_PARSEORDIE_H

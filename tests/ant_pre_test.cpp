@@ -15,6 +15,7 @@
 #include "dataflow/Anticipatability.h"
 #include "dataflow/PRE.h"
 #include "interp/Interpreter.h"
+#include "ParseOrDie.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "ir/Transforms.h"

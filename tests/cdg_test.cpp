@@ -12,6 +12,7 @@
 
 #include "cdg/ControlDependence.h"
 #include "graph/Dominators.h"
+#include "ParseOrDie.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "workload/Generators.h"

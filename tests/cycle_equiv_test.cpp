@@ -11,6 +11,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "ParseOrDie.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "structure/CycleEquivalence.h"

@@ -11,6 +11,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/DepFlowGraph.h"
+#include "ParseOrDie.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "ir/Transforms.h"

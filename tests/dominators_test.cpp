@@ -7,6 +7,7 @@
 
 #include "graph/Dominators.h"
 #include "ir/CFGEdges.h"
+#include "ParseOrDie.h"
 #include "ir/Parser.h"
 #include "support/RNG.h"
 #include "workload/Generators.h"

@@ -7,6 +7,7 @@
 
 #include "interp/Interpreter.h"
 #include "ir/CFGEdges.h"
+#include "ParseOrDie.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "ir/Transforms.h"

@@ -11,6 +11,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "graph/Loops.h"
+#include "ParseOrDie.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "structure/SESE.h"

@@ -8,6 +8,7 @@
 #include "dataflow/Liveness.h"
 #include "interp/Interpreter.h"
 #include "ir/Expression.h"
+#include "ParseOrDie.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "support/GraphWriter.h"

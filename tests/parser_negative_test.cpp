@@ -10,6 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "ParseOrDie.h"
 #include "ir/Parser.h"
 #include "ir/Verifier.h"
 

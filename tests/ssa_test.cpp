@@ -12,6 +12,7 @@
 
 #include "dataflow/ConstantPropagation.h"
 #include "interp/Interpreter.h"
+#include "ParseOrDie.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"

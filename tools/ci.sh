@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-#===- tools/ci.sh - Sanitized build + tests + fuzz smoke ------------------===#
+#===- tools/ci.sh - Sanitized build + tests + fuzz + pipeline smoke -------===#
 #
 # Part of the depflow project: a reproduction of "Dependence-Based Program
 # Analysis" (Johnson & Pingali, PLDI 1993).
 #
-# Builds with AddressSanitizer + UBSan, runs the full test suite, and then
-# a 500-iteration differential fuzz smoke over every pass. Any verifier
-# violation, oracle mismatch, sanitizer report, or test failure fails CI.
+# Builds with AddressSanitizer + UBSan, runs the full test suite, a
+# 500-iteration differential fuzz smoke over every pass, and a pipeline
+# smoke that drives the instrumented pass manager over the checked-in
+# example programs. Any verifier violation, oracle mismatch, sanitizer
+# report, or test failure fails CI.
 #
 # Usage: tools/ci.sh [build-dir]   (default: build-ci)
 #
@@ -23,5 +25,13 @@ cmake --build "$BUILD" -j "$(nproc)"
 (cd "$BUILD" && ctest --output-on-failure -j "$(nproc)")
 
 "$BUILD/tools/depflow-fuzz" --iters 500 --seed 20260806 -v
+
+# Pipeline smoke: the managed pass pipeline, with instrumentation on, over
+# every example program (exercises --time-passes / --print-stats output and
+# the analysis cache under ASan).
+for EX in "$ROOT"/examples/ir/*.df; do
+  "$BUILD/tools/depflow-opt" --passes=separate,constprop,pre --verify-each \
+      --time-passes --print-stats "$EX" >/dev/null
+done
 
 echo "ci: all green"

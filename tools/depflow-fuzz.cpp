@@ -32,6 +32,8 @@
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
+#include "pass/AnalysisManager.h"
+#include "pass/PassPipeline.h"
 #include "support/RNG.h"
 #include "verify/DiffOracle.h"
 #include "verify/PassRunner.h"
@@ -266,7 +268,11 @@ Status checkOnePass(const Function &Original, PassId P,
   if (IsPRE)
     Watched = preWatchedExpressions(*Clone);
 
-  S = runPass(*Clone, P);
+  // Managed execution: the fuzzer drives the same entry as the pipeline,
+  // so the manager's caching/invalidation logic is itself under differential
+  // test on every iteration.
+  FunctionAnalysisManager AM(*Clone);
+  S = runPass(*Clone, P, AM);
   if (!S.ok())
     return S;
 

@@ -5,42 +5,51 @@
 //
 // Usage: depflow-opt [options] [file]
 //
-//   --constprop          DFG conditional constant propagation + DCE
-//   --constprop-cfg      same, via the CFG algorithm (Figure 4a)
+//   --passes=P1,P2,...   run the given pass pipeline, in the given order
+//                        (separate, constprop, constprop-cfg, pre,
+//                        pre-busy, ssa, ssa-dfg). Empty pipelines and
+//                        unknown pass names are usage errors (exit 2).
+//   --constprop          legacy spelling: append constprop (likewise
+//   --constprop-cfg      for the other passes below; legacy flags apply
+//   --pre | --pre-busy   in canonical order after any --passes list)
+//   --ssa | --ssa-dfg
+//   --separate
 //   --predicates         enable the x==c refinement during constprop
-//   --pre                Morel-Renvoise PRE over every expression
-//   --pre-busy           busy code motion instead (paper's simple strategy)
-//   --ssa                convert to pruned SSA (Cytron placement)
-//   --ssa-dfg            convert to pruned SSA via the DFG route
-//   --separate           separateComputation normalization first
 //   --verify-each        run the full invariant checkers after every pass
 //                        (SSA form, DFG well-formedness, cycle-equivalence
 //                        and CDG cross-checks; see src/verify/)
 //   --strict             escalate def-use hygiene warnings to errors
 //   --fuzz-safe          no stdout output; diagnostics and exit code only
+//   --time-passes        per-pass wall time and analysis hit/miss report
+//   --print-stats        global statistics counters (support/Statistic.h)
+//   --print-after-all    dump the IR after every pass (stderr)
+//   --dot-after-all      dump the DFG (or CFG once in SSA) after every pass
 //   --dot-dfg            print the dependence flow graph in GraphViz form
 //   --dot-cfg            print the CFG in GraphViz form
 //   --regions            print cycle-equivalence classes and the PST
 //   --run v1,v2,...      interpret with the given inputs and print outputs
 //
 // Reads the program from the file (or stdin), applies the requested
-// passes in the order listed above, and prints the result.
+// passes through one analysis manager (structures are built lazily, cached
+// across passes, and invalidated per each pass's PreservedAnalyses), and
+// prints the result.
 //
 // Exit codes: 0 success; 1 the input was rejected (parse error, verifier
 // error, hygiene error under --strict, or a trapping/non-halting --run);
-// 2 usage error; 3 internal invariant violation (a pass broke the IR or an
-// analysis disagreed with its reference — always a depflow bug).
+// 2 usage error (including bad pipelines); 3 internal invariant violation
+// (a pass broke the IR or an analysis disagreed with its reference —
+// always a depflow bug).
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/DepFlowGraph.h"
 #include "interp/Interpreter.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
+#include "pass/Analyses.h"
+#include "pass/PassPipeline.h"
 #include "structure/SESE.h"
-#include "support/GraphWriter.h"
-#include "verify/PassRunner.h"
+#include "support/Statistic.h"
 #include "verify/PassVerifier.h"
 
 #include <cstdio>
@@ -55,11 +64,14 @@ using namespace depflow;
 namespace {
 
 struct Options {
-  std::vector<PassId> Passes; // In canonical application order.
-  bool Predicates = false;
+  PassPipeline Pipeline;
   bool VerifyEach = false;
   bool Strict = false;
   bool FuzzSafe = false;
+  bool TimePasses = false;
+  bool PrintStats = false;
+  bool PrintAfterAll = false;
+  bool DotAfterAll = false;
   bool DotDFG = false;
   bool DotCFG = false;
   bool Regions = false;
@@ -70,26 +82,51 @@ struct Options {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: depflow-opt [--constprop|--constprop-cfg] "
-               "[--predicates] [--pre|--pre-busy]\n"
-               "                   [--ssa|--ssa-dfg] [--separate] "
-               "[--verify-each] [--strict] [--fuzz-safe]\n"
-               "                   [--dot-dfg] [--dot-cfg] [--regions] "
-               "[--run v1,v2,...] [file]\n");
+               "usage: depflow-opt [--passes=p1,p2,...] "
+               "[--constprop|--constprop-cfg] [--predicates]\n"
+               "                   [--pre|--pre-busy] [--ssa|--ssa-dfg] "
+               "[--separate] [--verify-each]\n"
+               "                   [--strict] [--fuzz-safe] [--time-passes] "
+               "[--print-stats]\n"
+               "                   [--print-after-all] [--dot-after-all] "
+               "[--dot-dfg] [--dot-cfg]\n"
+               "                   [--regions] [--run v1,v2,...] [file]\n");
   return 2;
 }
 
-bool parseArgs(int Argc, char **Argv, Options &O) {
+/// Returns 0 to continue, or the exit code to stop with. Legacy
+/// single-pass flags append to the pipeline in canonical order, after any
+/// --passes list.
+int parseArgs(int Argc, char **Argv, Options &O) {
   bool Separate = false, ConstProp = false, ConstPropCFG = false;
   bool PRE = false, PREBusy = false, SSA = false, SSADfg = false;
   for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
-    if (A == "--constprop")
+    if (A.rfind("--passes=", 0) == 0 || A == "--passes") {
+      std::string Text;
+      if (A == "--passes") {
+        if (I + 1 >= Argc) {
+          std::fprintf(stderr, "error: --passes requires a pass list\n");
+          return 2;
+        }
+        Text = Argv[++I];
+      } else {
+        Text = A.substr(std::strlen("--passes="));
+      }
+      std::vector<PassId> Passes;
+      Status S = parsePassPipeline(Text, Passes);
+      if (!S.ok()) {
+        std::fprintf(stderr, "error: %s\n", S.str().c_str());
+        return 2;
+      }
+      for (PassId P : Passes)
+        O.Pipeline.append(P);
+    } else if (A == "--constprop")
       ConstProp = true;
     else if (A == "--constprop-cfg")
       ConstPropCFG = true;
     else if (A == "--predicates")
-      O.Predicates = true;
+      O.Pipeline.options().Predicates = true;
     else if (A == "--pre")
       PRE = true;
     else if (A == "--pre-busy")
@@ -106,6 +143,14 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.Strict = true;
     else if (A == "--fuzz-safe")
       O.FuzzSafe = true;
+    else if (A == "--time-passes")
+      O.TimePasses = true;
+    else if (A == "--print-stats")
+      O.PrintStats = true;
+    else if (A == "--print-after-all")
+      O.PrintAfterAll = true;
+    else if (A == "--dot-after-all")
+      O.DotAfterAll = true;
     else if (A == "--dot-dfg")
       O.DotDFG = true;
     else if (A == "--dot-cfg")
@@ -121,34 +166,61 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
           O.Inputs.push_back(std::strtoll(Tok.c_str(), nullptr, 10));
       }
     } else if (A.rfind("--", 0) == 0) {
-      return false;
+      return usage();
     } else {
       O.File = A;
     }
   }
   if (Separate)
-    O.Passes.push_back(PassId::Separate);
+    O.Pipeline.append(PassId::Separate);
   if (ConstProp)
-    O.Passes.push_back(PassId::ConstProp);
+    O.Pipeline.append(PassId::ConstProp);
   else if (ConstPropCFG)
-    O.Passes.push_back(PassId::ConstPropCFG);
+    O.Pipeline.append(PassId::ConstPropCFG);
   if (PRE)
-    O.Passes.push_back(PassId::PRE);
+    O.Pipeline.append(PassId::PRE);
   else if (PREBusy)
-    O.Passes.push_back(PassId::PREBusy);
+    O.Pipeline.append(PassId::PREBusy);
   if (SSA)
-    O.Passes.push_back(PassId::SSA);
+    O.Pipeline.append(PassId::SSA);
   else if (SSADfg)
-    O.Passes.push_back(PassId::SSADfg);
-  return true;
+    O.Pipeline.append(PassId::SSADfg);
+  return 0;
 }
+
+/// Instrumentation that also runs the --verify-each invariant checkers
+/// after every pass, via the afterPass hook position in the pipeline loop.
+class VerifyingInstrumentation : public PassInstrumentation {
+public:
+  bool VerifyEach = false;
+  int ExitCode = 0; // 3 when --verify-each found an invariant violation.
+
+private:
+  bool InSSA = false;
+
+public:
+  void notePassDone(PassId P, Function &F) {
+    InSSA = InSSA || passProducesSSA(P);
+    if (!VerifyEach || ExitCode)
+      return;
+    VerifyOptions VO;
+    VO.ExpectSSA = InSSA;
+    Status V = verifyPassInvariants(F, VO);
+    if (!V.ok()) {
+      std::fprintf(stderr,
+                   "internal error: invariants violated after --%s:\n%s\n",
+                   passName(P), V.str().c_str());
+      ExitCode = 3;
+    }
+  }
+};
 
 } // namespace
 
 int main(int Argc, char **Argv) {
   Options O;
-  if (!parseArgs(Argc, Argv, O))
-    return usage();
+  if (int Code = parseArgs(Argc, Argv, O))
+    return Code;
 
   std::string Src;
   if (O.File.empty()) {
@@ -189,60 +261,50 @@ int main(int Argc, char **Argv) {
   if (O.Strict && !Warnings.empty())
     return 1;
 
-  bool InSSA = false;
-  for (PassId P : O.Passes) {
-    PassOptions PO;
-    PO.Predicates = O.Predicates;
-    Status S = runPass(F, P, PO);
+  FunctionAnalysisManager AM(F);
+  VerifyingInstrumentation PI;
+  PI.TimePasses = O.TimePasses;
+  PI.PrintAfterAll = O.PrintAfterAll;
+  PI.DotAfterAll = O.DotAfterAll;
+  PI.VerifyEach = O.VerifyEach;
+
+  for (PassId P : O.Pipeline.passes()) {
+    PI.beforePass(P, AM);
+    Status S = runPass(F, P, AM, O.Pipeline.options());
     if (!S.ok()) {
       // The input verified above, so a failure here is depflow's fault.
       std::fprintf(stderr, "internal error: %s\n", S.str().c_str());
       return 3;
     }
-    InSSA = InSSA || passProducesSSA(P);
-    if (O.VerifyEach) {
-      VerifyOptions VO;
-      VO.ExpectSSA = InSSA;
-      Status V = verifyPassInvariants(F, VO);
-      if (!V.ok()) {
-        std::fprintf(stderr,
-                     "internal error: invariants violated after --%s:\n%s\n",
-                     passName(P), V.str().c_str());
-        return 3;
-      }
-    }
+    PI.afterPass(P, F, AM);
+    PI.notePassDone(P, F);
+    if (PI.ExitCode)
+      return PI.ExitCode;
   }
 
   if (O.Regions) {
-    CFGEdges E(F);
-    CycleEquivalence CE = cycleEquivalenceClasses(F, E);
-    ProgramStructureTree PST(F, E, CE);
+    const CFGEdges &E = AM.getResult<CFGEdgesAnalysis>();
+    const ProgramStructureTree &PST = AM.getResult<PSTAnalysis>();
     if (!O.FuzzSafe)
       std::printf("%s", PST.dump(F, E).c_str());
   }
 
-  if (O.DotCFG && !O.FuzzSafe) {
-    CFGEdges E(F);
-    GraphWriter GW("cfg");
-    for (const auto &BB : F.blocks()) {
-      std::string Body = BB->label() + ":";
-      for (const auto &I : BB->instructions())
-        Body += "\n" + printInstruction(F, *I);
-      GW.node(BB->label(), Body, "shape=box");
-    }
-    for (unsigned Id = 0; Id != E.size(); ++Id)
-      GW.edge(E.edge(Id).From->label(), E.edge(Id).To->label());
-    std::printf("%s", GW.str().c_str());
-  }
+  if (O.DotCFG && !O.FuzzSafe)
+    std::printf("%s", printCFGDot(F).c_str());
 
   if (O.DotDFG) {
-    DepFlowGraph G = DepFlowGraph::build(F);
+    const DepFlowGraph &G = AM.getResult<DFGAnalysis>();
     if (!O.FuzzSafe)
       std::printf("%s", G.toDot(F).c_str());
   }
 
   if (!O.Regions && !O.DotCFG && !O.DotDFG && !O.FuzzSafe)
     std::printf("%s", printFunction(F).c_str());
+
+  if (O.TimePasses)
+    PI.printReport(AM);
+  if (O.PrintStats)
+    printStatistics(stderr);
 
   if (O.Run) {
     ExecResult Res = runFunction(F, O.Inputs);
