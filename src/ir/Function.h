@@ -36,6 +36,10 @@ public:
 
   const std::string &name() const { return Name; }
 
+  /// Renames the function. Must not be called on a function already owned
+  /// by a Module (the module indexes functions by name).
+  void setName(std::string NewName) { Name = std::move(NewName); }
+
   /// Creates a new block appended to the block list. The first block created
   /// becomes the entry.
   BasicBlock *makeBlock(std::string Label);

@@ -156,6 +156,7 @@ class Parser {
   std::unordered_map<std::string, BasicBlock *> BlockOf;
   std::string Error;
   unsigned ErrorLine = 0;
+  unsigned FnNameLine = 0; // Line of the current function's name token.
 
 public:
   ParseResult run(std::string_view Source) {
@@ -166,6 +167,30 @@ public:
       return {nullptr, Error, ErrorLine};
     Fn->recomputePreds();
     return {std::move(Fn), "", 0};
+  }
+
+  ParseModuleResult runModule(std::string_view Source) {
+    Lexer Lex(Source);
+    if (!Lex.run(Toks, Error))
+      return {nullptr, Error, Lex.errorLine()};
+    auto M = std::make_unique<Module>();
+    // An input with no functions at all is rejected the same way a
+    // truncated one is — the empty module is never produced.
+    do {
+      // Per-function parser state: the block namespace is function-local.
+      Fn.reset();
+      BlockOf.clear();
+      if (!parseFunctionBody())
+        return {nullptr, Error, ErrorLine};
+      Fn->recomputePreds();
+      unsigned NameLine = FnNameLine;
+      std::string FnName = Fn->name();
+      if (!M->addFunction(std::move(Fn)).ok()) {
+        failAt(NameLine, "duplicate function '" + FnName + "'");
+        return {nullptr, Error, ErrorLine};
+      }
+    } while (cur().Kind != TokKind::End);
+    return {std::move(M), "", 0};
   }
 
 private:
@@ -238,6 +263,7 @@ private:
     if (!isIdent("func"))
       return fail("expected 'func'");
     advance();
+    FnNameLine = cur().Line;
     std::string Name;
     if (!expectIdent(Name))
       return false;
@@ -473,6 +499,11 @@ private:
 ParseResult depflow::parseFunction(std::string_view Source) {
   Parser P;
   return P.run(Source);
+}
+
+ParseModuleResult depflow::parseModule(std::string_view Source) {
+  Parser P;
+  return P.runModule(Source);
 }
 
 std::string depflow::sourceExcerpt(std::string_view Source, unsigned Line,

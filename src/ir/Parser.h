@@ -35,7 +35,7 @@
 #ifndef DEPFLOW_IR_PARSER_H
 #define DEPFLOW_IR_PARSER_H
 
-#include "ir/Function.h"
+#include "ir/Module.h"
 
 #include <memory>
 #include <string>
@@ -53,8 +53,25 @@ struct ParseResult {
   bool ok() const { return Fn != nullptr; }
 };
 
-/// Parses one function definition from \p Source.
+/// Result of parsing a whole file: either a module, or an error message
+/// with the source line it points at (0 when no line applies).
+struct ParseModuleResult {
+  std::unique_ptr<Module> M;
+  std::string Error;
+  unsigned ErrorLine = 0;
+
+  bool ok() const { return M != nullptr; }
+};
+
+/// Parses one function definition from \p Source. Tokens past the first
+/// function are ignored (parseModule consumes the whole input).
 ParseResult parseFunction(std::string_view Source);
+
+/// Parses every `func` definition in \p Source into a module, in textual
+/// order (the first function stays the first). An empty input, trailing
+/// garbage after a function, a truncated function at EOF, and two
+/// functions with the same name are all diagnosed with a line number.
+ParseModuleResult parseModule(std::string_view Source);
 
 /// Renders the lines of \p Source around \p Line with a `>` marker on the
 /// offending line — the excerpt depflow-opt and the fuzz reducer print so

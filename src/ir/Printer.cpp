@@ -85,6 +85,16 @@ std::string depflow::printFunction(const Function &F) {
   return S + "}\n";
 }
 
+std::string depflow::printModule(const Module &M) {
+  std::string S;
+  for (unsigned I = 0, E = M.numFunctions(); I != E; ++I) {
+    if (I)
+      S += "\n";
+    S += printFunction(*M.function(I));
+  }
+  return S;
+}
+
 std::string depflow::printCFGDot(const Function &F) {
   GraphWriter GW("cfg");
   for (const auto &BB : F.blocks()) {

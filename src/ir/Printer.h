@@ -14,7 +14,7 @@
 #ifndef DEPFLOW_IR_PRINTER_H
 #define DEPFLOW_IR_PRINTER_H
 
-#include "ir/Function.h"
+#include "ir/Module.h"
 
 #include <string>
 
@@ -28,6 +28,11 @@ std::string printInstruction(const Function &F, const Instruction &I);
 
 /// Renders the whole function.
 std::string printFunction(const Function &F);
+
+/// Renders every function in textual order, separated by blank lines. A
+/// one-function module prints exactly like printFunction, so depflow-opt's
+/// output is unchanged for single-function inputs.
+std::string printModule(const Module &M);
 
 /// Renders the CFG in GraphViz form: one box per block with its
 /// instructions, one edge per successor (depflow-opt's --dot-cfg and the

@@ -120,6 +120,14 @@ class FunctionAnalysisManager {
   Function &F;
   std::uint64_t CurrentEpoch = 1;
   bool CachingDisabled = false;
+  // Results displaced by a recomputation of the same analysis. With
+  // caching disabled every query recomputes, so a result can be displaced
+  // while a reference to it is still live — in an outer analysis' run()
+  // (the DFG's nested PST query recomputes CFG edges) or in a pass body
+  // holding several getResult references across each other. Parking the
+  // old holder here keeps those references valid until the next pass
+  // boundary (invalidate), after which no caller may hold one.
+  std::vector<std::unique_ptr<AnyResult>> Retired;
   // std::map: node-stable, and iteration order (pointer keys) only feeds
   // aggregate counters, never output ordering — counterSnapshot re-sorts
   // by name.
@@ -156,7 +164,8 @@ public:
       }
       ++E.Misses;
       E.InFlight = true;
-      E.Result.reset(); // Stale result dies before recomputation.
+      if (E.Result)
+        Retired.push_back(std::move(E.Result));
     }
     // Run outside the Entry reference: nested getResult calls may insert
     // into the map (node-stable, but keep the access pattern simple).
@@ -185,6 +194,9 @@ public:
   /// epoch (unless everything is preserved), re-stamps survivors, frees the
   /// rest.
   void invalidate(const PreservedAnalyses &PA) {
+    // A pass boundary: no caller holds analysis references across it, so
+    // displaced results parked by recomputations can finally die.
+    Retired.clear();
     if (PA.preservesAll())
       return;
     ++CurrentEpoch;

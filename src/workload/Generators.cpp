@@ -358,3 +358,67 @@ std::vector<UEdge> depflow::randomStronglyConnectedEdges(RNG &Rand,
   }
   return Edges;
 }
+
+//===----------------------------------------------------------------------===//
+// Mixed-family functions and modules
+//===----------------------------------------------------------------------===//
+
+static const char *const MixedFamilyNames[] = {
+    "structured",   "random-cfg",   "diamonds",
+    "nested-loops", "repeat-until", "ladder"};
+
+const char *depflow::mixedFamilyName(unsigned Family) {
+  assert(Family < 6 && "family index out of range");
+  return MixedFamilyNames[Family];
+}
+
+std::unique_ptr<Function> depflow::generateMixedProgram(RNG &Rand,
+                                                        unsigned *FamilyOut) {
+  unsigned Family = unsigned(Rand.nextBelow(6));
+  if (FamilyOut)
+    *FamilyOut = Family;
+  std::uint64_t Seed = Rand.next();
+  unsigned Vars = 2 + unsigned(Rand.nextBelow(7));
+  switch (Family) {
+  case 0: {
+    GenOptions G;
+    G.Seed = Seed;
+    G.NumVars = Vars;
+    G.TargetStmts = 8 + unsigned(Rand.nextBelow(40));
+    G.MaxDepth = 2 + unsigned(Rand.nextBelow(4));
+    G.LoopPct = unsigned(Rand.nextBelow(40));
+    G.IfPct = 20 + unsigned(Rand.nextBelow(40));
+    G.ReadPct = 5 + unsigned(Rand.nextBelow(25));
+    G.EmitElse = Rand.chance(1, 2);
+    return generateStructuredProgram(G);
+  }
+  case 1:
+    return generateRandomCFGProgram(Seed, 4 + unsigned(Rand.nextBelow(10)),
+                                    20 + unsigned(Rand.nextBelow(40)), Vars,
+                                    1 + unsigned(Rand.nextBelow(3)));
+  case 2:
+    return generateDiamondChain(1 + unsigned(Rand.nextBelow(5)), Vars, Seed);
+  case 3:
+    return generateNestedLoops(1 + unsigned(Rand.nextBelow(3)),
+                               1 + unsigned(Rand.nextBelow(2)), Vars, Seed);
+  case 4:
+    return generateRepeatUntilChain(1 + unsigned(Rand.nextBelow(4)), Vars,
+                                    Seed);
+  default:
+    return generateLadder(3 + unsigned(Rand.nextBelow(6)), Vars, Seed);
+  }
+}
+
+std::unique_ptr<Module> depflow::generateModule(unsigned NumFuncs,
+                                                std::uint64_t Seed) {
+  RNG Rand(Seed);
+  auto M = std::make_unique<Module>("m" + std::to_string(Seed));
+  for (unsigned I = 0; I != NumFuncs; ++I) {
+    std::unique_ptr<Function> F = generateMixedProgram(Rand);
+    F->setName("f" + std::to_string(I));
+    Status S = M->addFunction(std::move(F));
+    assert(S.ok() && "generated names are unique");
+    (void)S;
+  }
+  return M;
+}

@@ -21,7 +21,7 @@
 #ifndef DEPFLOW_WORKLOAD_GENERATORS_H
 #define DEPFLOW_WORKLOAD_GENERATORS_H
 
-#include "ir/Function.h"
+#include "ir/Module.h"
 #include "structure/CycleEquivalence.h"
 #include "support/RNG.h"
 
@@ -84,6 +84,23 @@ std::unique_ptr<Function> generateRepeatUntilChain(unsigned K,
 /// B(i+1) and B(i+2) — an irreducible-looking mesh with few SESE regions.
 std::unique_ptr<Function> generateLadder(unsigned K, unsigned NumVars,
                                          std::uint64_t Seed);
+
+/// One function drawn from the six CFG families above (structured,
+/// random-cfg, diamonds, nested-loops, repeat-until, ladder), with family
+/// and parameters drawn from \p Rand — the fuzzer's program distribution,
+/// shared here so modules, benches, and the fuzzer agree on what a
+/// "typical" function looks like. \p FamilyOut (may be null) receives the
+/// family index for reporting.
+std::unique_ptr<Function> generateMixedProgram(RNG &Rand,
+                                               unsigned *FamilyOut = nullptr);
+
+/// Display name for a generateMixedProgram family index.
+const char *mixedFamilyName(unsigned Family);
+
+/// A module of \p NumFuncs mixed-family functions named f0..f(N-1), a pure
+/// function of \p Seed — the whole-program workload for the parallel
+/// pipeline driver (depflow-opt -j, bench_parallel).
+std::unique_ptr<Module> generateModule(unsigned NumFuncs, std::uint64_t Seed);
 
 /// A random strongly connected directed multigraph as an edge list
 /// (a Hamiltonian-style random cycle plus \p ExtraEdges random edges),

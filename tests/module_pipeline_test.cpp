@@ -1,0 +1,255 @@
+//===- tests/module_pipeline_test.cpp - Module IR + parallel driver -------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+// Covers the module contract: multi-function parse/print round-trips,
+// duplicate-name diagnostics, the parallel pipeline driver's determinism
+// (-j 1 vs -j 8 byte-identical output and aggregation on a 50-function
+// generated module), per-worker analysis-cache isolation (each function's
+// hit/miss counters match a standalone run of that function), and failure
+// isolation (one failing function does not stop the others).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "pass/ModulePipeline.h"
+#include "workload/Generators.h"
+
+#include <gtest/gtest.h>
+
+using namespace depflow;
+
+namespace {
+
+const char *TwoFuncSrc = R"(
+func first(p) {
+entry:
+  x = p + 1
+  ret x
+}
+
+func second() {
+entry:
+  y = 2 * 3
+  ret y
+}
+)";
+
+PassPipeline standardPipeline() {
+  PassPipeline Pipe;
+  EXPECT_TRUE(PassPipeline::parse("separate,constprop,pre", Pipe).ok());
+  return Pipe;
+}
+
+TEST(Module, ParsePrintRoundTrip) {
+  ParseModuleResult R = parseModule(TwoFuncSrc);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  ASSERT_EQ(R.M->numFunctions(), 2u);
+  EXPECT_EQ(R.M->function(0)->name(), "first");
+  EXPECT_EQ(R.M->function(1)->name(), "second");
+  EXPECT_EQ(R.M->lookup("second"), R.M->function(1));
+  EXPECT_EQ(R.M->lookup("third"), nullptr);
+
+  // print(parse(S)) is a fixpoint: parsing the printed module prints the
+  // same bytes, with function order preserved.
+  std::string Printed = printModule(*R.M);
+  ParseModuleResult Again = parseModule(Printed);
+  ASSERT_TRUE(Again.ok()) << Again.Error;
+  EXPECT_EQ(printModule(*Again.M), Printed);
+}
+
+TEST(Module, SingleFunctionModulePrintsLikeFunction) {
+  const char *Src = "func f() {\nb:\n  x = 1\n  ret x\n}\n";
+  ParseModuleResult R = parseModule(Src);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  ASSERT_EQ(R.M->numFunctions(), 1u);
+  EXPECT_EQ(printModule(*R.M), printFunction(*R.M->function(0)));
+}
+
+TEST(Module, DuplicateFunctionNameDiagnosed) {
+  const char *Src =
+      "func f() {\nb:\n  ret\n}\nfunc f() {\nc:\n  ret\n}\n";
+  ParseModuleResult R = parseModule(Src);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("duplicate function 'f'"), std::string::npos)
+      << R.Error;
+  // The diagnostic points at the *second* definition's name.
+  EXPECT_EQ(R.ErrorLine, 5u) << R.Error;
+}
+
+TEST(Module, AddFunctionRejectsDuplicates) {
+  Module M;
+  ASSERT_TRUE(M.addFunction(std::make_unique<Function>("f")).ok());
+  Status S = M.addFunction(std::make_unique<Function>("f"));
+  EXPECT_FALSE(S.ok());
+  EXPECT_NE(S.str().find("duplicate function"), std::string::npos);
+  EXPECT_EQ(M.numFunctions(), 1u); // The module is unchanged.
+}
+
+TEST(Module, GeneratedModuleIsDeterministic) {
+  std::unique_ptr<Module> A = generateModule(10, 99);
+  std::unique_ptr<Module> B = generateModule(10, 99);
+  ASSERT_EQ(A->numFunctions(), 10u);
+  EXPECT_EQ(printModule(*A), printModule(*B));
+  EXPECT_NE(printModule(*A), printModule(*generateModule(10, 100)));
+}
+
+TEST(ModulePipeline, ParallelOutputMatchesSerialOn50Functions) {
+  PassPipeline Pipe = standardPipeline();
+  std::unique_ptr<Module> Serial = generateModule(50, 424242);
+  std::unique_ptr<Module> Parallel = generateModule(50, 424242);
+
+  ModulePipelineOptions SerialOpts;
+  SerialOpts.Jobs = 1;
+  ModulePipelineResult SR = runPipelineOnModule(*Serial, Pipe, SerialOpts);
+  ASSERT_TRUE(SR.ok()) << SR.combinedStatus().str();
+
+  ModulePipelineOptions ParallelOpts;
+  ParallelOpts.Jobs = 8;
+  ModulePipelineResult PR = runPipelineOnModule(*Parallel, Pipe, ParallelOpts);
+  ASSERT_TRUE(PR.ok()) << PR.combinedStatus().str();
+
+  // Byte-identical module output...
+  EXPECT_EQ(printModule(*Serial), printModule(*Parallel));
+
+  // ...and bit-identical aggregation: per-pass reuse counts and the merged
+  // analysis hit/miss table do not depend on the job count.
+  ASSERT_EQ(SR.Functions.size(), PR.Functions.size());
+  EXPECT_EQ(SR.totalHits(), PR.totalHits());
+  EXPECT_EQ(SR.totalMisses(), PR.totalMisses());
+  auto SA = SR.aggregatePassRecords(), PA = PR.aggregatePassRecords();
+  ASSERT_EQ(SA.size(), PA.size());
+  for (std::size_t I = 0; I != SA.size(); ++I) {
+    EXPECT_EQ(SA[I].Pass, PA[I].Pass);
+    EXPECT_EQ(SA[I].AnalysisHits, PA[I].AnalysisHits);
+    EXPECT_EQ(SA[I].AnalysisMisses, PA[I].AnalysisMisses);
+  }
+  auto SC = SR.aggregateCounters(), PC = PR.aggregateCounters();
+  ASSERT_EQ(SC.size(), PC.size());
+  for (std::size_t I = 0; I != SC.size(); ++I) {
+    EXPECT_EQ(SC[I].Name, PC[I].Name);
+    EXPECT_EQ(SC[I].Hits, PC[I].Hits);
+    EXPECT_EQ(SC[I].Misses, PC[I].Misses);
+  }
+}
+
+TEST(ModulePipeline, PerWorkerAnalysisCachesAreIsolated) {
+  // Each function's hit/miss counters under the parallel driver must equal
+  // the counters from running that function completely alone — i.e. no
+  // cache entry was ever shared with (or stolen by) another function's
+  // task.
+  PassPipeline Pipe = standardPipeline();
+  const unsigned N = 8;
+  std::unique_ptr<Module> M = generateModule(N, 777);
+  ModulePipelineOptions Opts;
+  Opts.Jobs = 8;
+  ModulePipelineResult R = runPipelineOnModule(*M, Pipe, Opts);
+  ASSERT_TRUE(R.ok()) << R.combinedStatus().str();
+  ASSERT_EQ(R.Functions.size(), N);
+
+  std::unique_ptr<Module> Ref = generateModule(N, 777);
+  for (unsigned I = 0; I != N; ++I) {
+    SCOPED_TRACE("function " + Ref->function(I)->name());
+    Function &F = *Ref->function(I);
+    FunctionAnalysisManager AM(F);
+    for (PassId P : Pipe.passes())
+      ASSERT_TRUE(runPass(F, P, AM, Pipe.options()).ok());
+    EXPECT_EQ(R.Functions[I].Name, F.name());
+    EXPECT_EQ(R.Functions[I].Hits, AM.totalHits());
+    EXPECT_EQ(R.Functions[I].Misses, AM.totalMisses());
+    auto Standalone = AM.counterSnapshot();
+    ASSERT_EQ(R.Functions[I].Counters.size(), Standalone.size());
+    for (std::size_t C = 0; C != Standalone.size(); ++C) {
+      EXPECT_EQ(R.Functions[I].Counters[C].Name, Standalone[C].Name);
+      EXPECT_EQ(R.Functions[I].Counters[C].Hits, Standalone[C].Hits);
+      EXPECT_EQ(R.Functions[I].Counters[C].Misses, Standalone[C].Misses);
+    }
+  }
+}
+
+TEST(ModulePipeline, FailingFunctionDoesNotStopTheOthers) {
+  // The second function arrives already in SSA-like form (a phi), which
+  // the checked runPass rejects as a precondition; the other two must
+  // still be fully processed, and results stay in input order.
+  const char *Src = R"(
+func ok1() {
+e:
+  x = 1 + 2
+  ret x
+}
+
+func bad() {
+e:
+  goto b
+b:
+  x = phi(e: 1)
+  ret x
+}
+
+func ok2() {
+e:
+  y = 3 + 4
+  ret y
+}
+)";
+  ParseModuleResult R = parseModule(Src);
+  ASSERT_TRUE(R.ok()) << R.Error;
+
+  PassPipeline Pipe = standardPipeline();
+  ModulePipelineOptions Opts;
+  Opts.Jobs = 2;
+  ModulePipelineResult PR = runPipelineOnModule(*R.M, Pipe, Opts);
+  EXPECT_FALSE(PR.ok());
+  ASSERT_EQ(PR.Functions.size(), 3u);
+  EXPECT_EQ(PR.Functions[0].Name, "ok1");
+  EXPECT_TRUE(PR.Functions[0].S.ok());
+  EXPECT_FALSE(PR.Functions[1].S.ok());
+  EXPECT_TRUE(PR.Functions[2].S.ok());
+  // The combined status names the offender.
+  EXPECT_NE(PR.combinedStatus().str().find("function 'bad'"),
+            std::string::npos);
+  // The two healthy functions were actually optimized (constants folded
+  // and propagated into the return).
+  EXPECT_NE(printFunction(*R.M->function(0)).find("ret 3"),
+            std::string::npos);
+  EXPECT_NE(printFunction(*R.M->function(2)).find("ret 7"),
+            std::string::npos);
+}
+
+TEST(ModulePipeline, DumpFlagsForceSerialButStayDeterministic) {
+  // PrintAfterAll forces Jobs=1 internally; output must still match a
+  // plain serial run.
+  PassPipeline Pipe = standardPipeline();
+  std::unique_ptr<Module> A = generateModule(6, 55);
+  std::unique_ptr<Module> B = generateModule(6, 55);
+
+  ModulePipelineOptions Plain;
+  Plain.Jobs = 1;
+  ASSERT_TRUE(runPipelineOnModule(*A, Pipe, Plain).ok());
+
+  ModulePipelineOptions Dumping;
+  Dumping.Jobs = 8;
+  Dumping.PrintAfterAll = true;
+  std::FILE *Sink = std::fopen("/dev/null", "w");
+  ASSERT_NE(Sink, nullptr);
+  Dumping.DumpOut = Sink;
+  ASSERT_TRUE(runPipelineOnModule(*B, Pipe, Dumping).ok());
+  std::fclose(Sink);
+
+  EXPECT_EQ(printModule(*A), printModule(*B));
+}
+
+TEST(ModulePipeline, EmptyPipelineIsANoOp) {
+  std::unique_ptr<Module> M = generateModule(3, 5);
+  std::string Before = printModule(*M);
+  PassPipeline Pipe; // No passes.
+  ModulePipelineResult R = runPipelineOnModule(*M, Pipe);
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(printModule(*M), Before);
+  for (const FunctionPipelineResult &FR : R.Functions)
+    EXPECT_TRUE(FR.Passes.empty());
+}
+
+} // namespace

@@ -134,4 +134,59 @@ TEST(ParserNegativeDeathTest, ParseFunctionOrDieShowsExcerpt) {
                "unexpected character");
 }
 
+// --- Module-level negative cases -----------------------------------------
+
+struct ModuleNegativeCase {
+  const char *Name;
+  const char *Source;
+  const char *ErrorContains;
+  unsigned Line;
+};
+
+const ModuleNegativeCase ModuleCases[] = {
+    {"duplicate func name",
+     "func f() {\nb:\n  ret\n}\nfunc g() {\nb:\n  ret\n}\nfunc f() {\nb:\n"
+     "  ret\n}\n",
+     "duplicate function 'f'", 9},
+    {"EOF mid-second-function", "func f() {\nb:\n  ret\n}\nfunc g() {\nb:",
+     "missing '}'", 6},
+    {"EOF right after first function's 'func'",
+     "func f() {\nb:\n  ret\n}\nfunc", "expected identifier", 5},
+    {"trailing garbage after function",
+     "func f() {\nb:\n  ret\n}\ngarbage\n", "expected 'func'", 5},
+    {"second function bad body",
+     "func f() {\nb:\n  ret\n}\nfunc g() {\nb:\n  x = $\n}\n",
+     "unexpected character '$'", 7},
+    {"empty module", "", "expected 'func'", 1},
+    {"comment-only module", "# nothing here\n", "expected 'func'", 2},
+};
+
+TEST(ParserNegative, ModuleTableNeverCrashesAndReportsLines) {
+  for (const ModuleNegativeCase &C : ModuleCases) {
+    SCOPED_TRACE(C.Name);
+    ParseModuleResult R = parseModule(C.Source);
+    ASSERT_FALSE(R.ok());
+    EXPECT_EQ(R.M, nullptr);
+    EXPECT_NE(R.Error.find(C.ErrorContains), std::string::npos)
+        << "actual error: " << R.Error;
+    EXPECT_EQ(R.ErrorLine, C.Line) << "actual error: " << R.Error;
+    EXPECT_NE(R.Error.find("line "), std::string::npos) << R.Error;
+    // The reported line must be excerptable from the original source so
+    // tools can show context for module-level errors too.
+    if (C.Source[0] != '\0')
+      EXPECT_FALSE(sourceExcerpt(C.Source, R.ErrorLine).empty());
+  }
+}
+
+TEST(ParserNegative, ModuleExcerptPointsAtSecondDefinition) {
+  const char *Src =
+      "func f() {\nb:\n  ret\n}\nfunc f() {\nb:\n  ret\n}\n";
+  ParseModuleResult R = parseModule(Src);
+  ASSERT_FALSE(R.ok());
+  ASSERT_EQ(R.ErrorLine, 5u);
+  std::string Excerpt = sourceExcerpt(Src, R.ErrorLine);
+  EXPECT_NE(Excerpt.find("func f() {"), std::string::npos) << Excerpt;
+  EXPECT_NE(Excerpt.find(">"), std::string::npos) << Excerpt;
+}
+
 } // namespace

@@ -182,6 +182,36 @@ TEST(AnalysisManager, CachingDisabledAlwaysRecomputes) {
   EXPECT_EQ(hitsOf(AM, "domtree"), 0u);
 }
 
+TEST(AnalysisManager, CachingDisabledKeepsDisplacedResultsAlive) {
+  // With caching disabled every query recomputes, which displaces the
+  // previous result of the same analysis — while references to it may
+  // still be live: PST's run() holds the CFG edges across its nested
+  // cycle-equivalence query, and pass bodies hold several getResult
+  // references across each other. Displaced results must survive until
+  // the next pass boundary (regression: use-after-free caught by ASan
+  // through bench_pipeline's baseline configuration).
+  auto F = parseFunctionOrDie(DiamondSrc);
+  FunctionAnalysisManager AM(*F);
+  AM.setCachingDisabled(true);
+
+  // Nested displacement inside one top-level query.
+  AM.getResult<DFGAnalysis>();
+  AM.getResult<DFGAnalysis>();
+  EXPECT_EQ(missesOf(AM, "dfg"), 2u);
+  EXPECT_GE(missesOf(AM, "cfg-edges"), 4u);
+  EXPECT_EQ(hitsOf(AM, "cfg-edges"), 0u);
+
+  // Pass-body pattern: a reference held across a later query that
+  // recomputes the same analysis underneath.
+  const CFGEdges &Edges = AM.getResult<CFGEdgesAnalysis>();
+  unsigned NumEdges = Edges.size();
+  AM.getResult<DFGAnalysis>(); // Recomputes cfg-edges; must not free Edges.
+  EXPECT_EQ(Edges.size(), NumEdges);
+
+  // The pass boundary releases the parked results.
+  AM.invalidate(PreservedAnalyses::none());
+}
+
 TEST(PassPipeline, ParsesCanonicalNames) {
   std::vector<PassId> Passes;
   ASSERT_TRUE(

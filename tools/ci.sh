@@ -5,10 +5,16 @@
 # Analysis" (Johnson & Pingali, PLDI 1993).
 #
 # Builds with AddressSanitizer + UBSan, runs the full test suite, a
-# 500-iteration differential fuzz smoke over every pass, and a pipeline
-# smoke that drives the instrumented pass manager over the checked-in
-# example programs. Any verifier violation, oracle mismatch, sanitizer
-# report, or test failure fails CI.
+# 500-iteration differential fuzz smoke over every pass, a pipeline smoke
+# that drives the instrumented pass manager over the checked-in example
+# programs, a module smoke that checks -j 8 output against -j 1 on a
+# fuzz-generated module, and a quick-mode run of the two pipeline
+# benchmarks. Any verifier violation, oracle mismatch, sanitizer report,
+# or test failure fails CI.
+#
+# This script is the single source of truth for "what CI runs": the
+# GitHub workflow's sanitizer job invokes it unmodified, so a green local
+# run means a green CI sanitizer job.
 #
 # Usage: tools/ci.sh [build-dir]   (default: build-ci)
 #
@@ -18,13 +24,22 @@ set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$ROOT/build-ci}"
+FUZZ_SEED="${DEPFLOW_FUZZ_SEED:-20260806}"
 
 cmake -B "$BUILD" -S "$ROOT" -DDEPFLOW_SANITIZE="address;undefined"
 cmake --build "$BUILD" -j "$(nproc)"
 
-(cd "$BUILD" && ctest --output-on-failure -j "$(nproc)")
+# --no-tests=error: a configuration bug that registers zero tests must not
+# pass as a vacuous success.
+(cd "$BUILD" && ctest --output-on-failure --no-tests=error -j "$(nproc)")
 
-"$BUILD/tools/depflow-fuzz" --iters 500 --seed 20260806 -v
+# Differential fuzz smoke. The seed is printed up front (and again on
+# failure) so a red run is reproducible from the log alone.
+echo "ci: fuzz seed $FUZZ_SEED"
+if ! "$BUILD/tools/depflow-fuzz" --iters 500 --seed "$FUZZ_SEED" -v; then
+  echo "ci: FUZZ FAILED -- reproduce with: depflow-fuzz --iters 500 --seed $FUZZ_SEED -v" >&2
+  exit 1
+fi
 
 # Pipeline smoke: the managed pass pipeline, with instrumentation on, over
 # every example program (exercises --time-passes / --print-stats output and
@@ -33,5 +48,27 @@ for EX in "$ROOT"/examples/ir/*.df; do
   "$BUILD/tools/depflow-opt" --passes=separate,constprop,pre --verify-each \
       --time-passes --print-stats "$EX" >/dev/null
 done
+
+# Module smoke: a fuzz-generated 60-function module must optimize to
+# byte-identical output at -j 8 and -j 1 (the parallel driver's core
+# contract), under the sanitizers.
+MODDIR="$(mktemp -d)"
+trap 'rm -rf "$MODDIR"' EXIT
+"$BUILD/tools/depflow-fuzz" --emit-module 60 --seed "$FUZZ_SEED" \
+    > "$MODDIR/module.df"
+"$BUILD/tools/depflow-opt" --passes=separate,constprop,pre -j 1 \
+    "$MODDIR/module.df" 2>/dev/null > "$MODDIR/j1.df"
+"$BUILD/tools/depflow-opt" --passes=separate,constprop,pre -j 8 \
+    "$MODDIR/module.df" 2>/dev/null > "$MODDIR/j8.df"
+if ! cmp -s "$MODDIR/j1.df" "$MODDIR/j8.df"; then
+  echo "ci: MODULE MISMATCH -- -j 8 output differs from -j 1 (seed $FUZZ_SEED)" >&2
+  diff "$MODDIR/j1.df" "$MODDIR/j8.df" | head -40 >&2 || true
+  exit 1
+fi
+
+# Bench smoke (quick mode): the benchmarks must run to completion and
+# bench_parallel's built-in serial/parallel equality check must hold.
+"$BUILD/bench/bench_pipeline" 6
+DEPFLOW_BENCH_QUICK=1 "$BUILD/bench/bench_parallel"
 
 echo "ci: all green"

@@ -13,8 +13,12 @@
 //   --runs N        oracle executions per program/pass pair (default 6)
 //   --max-edges N   brute-force cross-check cap (default 600)
 //   --no-mutate     disable the structured mutator (generator output only)
+//   --no-modules    disable the multi-function module checks
 //   --inject-bug    deliberately corrupt each pass's output, to demonstrate
 //                   the oracle catches and reduces a miscompile
+//   --emit-module N print a generated module of N functions (seeded by
+//                   --seed) to stdout and exit — the CI input for
+//                   `depflow-opt -j` smoke runs (TSan in particular)
 //   -v              print a progress line every 100 iterations
 //
 // Each iteration generates a random program (one of six CFG families),
@@ -25,6 +29,11 @@
 // transformed behaviour on random inputs (src/verify/DiffOracle.h). Any
 // violation is greedily reduced to a small textual-IR reproducer.
 //
+// Every few iterations the fuzzer additionally assembles a multi-function
+// module and runs the parallel pipeline driver over it twice — serially
+// and on a thread pool — requiring byte-identical printed modules and
+// identical per-function analysis counters (the -j determinism contract).
+//
 // Exit codes: 0 = no violations, 1 = violations found, 2 = usage error.
 //
 //===----------------------------------------------------------------------===//
@@ -33,6 +42,7 @@
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
 #include "pass/AnalysisManager.h"
+#include "pass/ModulePipeline.h"
 #include "pass/PassPipeline.h"
 #include "support/RNG.h"
 #include "verify/DiffOracle.h"
@@ -57,15 +67,18 @@ struct FuzzOptions {
   unsigned OracleRuns = 6;
   unsigned MaxCrossCheckEdges = 600;
   bool Mutate = true;
+  bool Modules = true;
   bool InjectBug = false;
   bool Verbose = false;
+  unsigned EmitModule = 0; // Nonzero: print a module of N functions, exit.
 };
 
 int usage() {
   std::fprintf(stderr,
                "usage: depflow-fuzz [--seed N] [--iters N] [--pass NAME]\n"
                "                    [--runs N] [--max-edges N] [--no-mutate]\n"
-               "                    [--inject-bug] [-v]\n");
+               "                    [--no-modules] [--inject-bug]\n"
+               "                    [--emit-module N] [-v]\n");
   return 2;
 }
 
@@ -96,8 +109,12 @@ bool parseArgs(int Argc, char **Argv, FuzzOptions &O) {
         return false;
       }
       O.Passes.push_back(*P);
-    } else if (A == "--no-mutate")
+    } else if (A == "--emit-module" && NextNum(N))
+      O.EmitModule = unsigned(N);
+    else if (A == "--no-mutate")
       O.Mutate = false;
+    else if (A == "--no-modules")
+      O.Modules = false;
     else if (A == "--inject-bug")
       O.InjectBug = true;
     else if (A == "-v")
@@ -112,43 +129,12 @@ bool parseArgs(int Argc, char **Argv, FuzzOptions &O) {
 
 //===----------------------------------------------------------------------===//
 // Program generation: six CFG families, parameters drawn from the RNG.
+// The distribution lives in workload/Generators (generateMixedProgram) so
+// the benches and module smoke inputs fuzz the same program shapes.
 //===----------------------------------------------------------------------===//
 
-const char *const FamilyNames[] = {"structured",   "random-cfg", "diamonds",
-                                   "nested-loops", "repeat-until", "ladder"};
-
 std::unique_ptr<Function> generateProgram(RNG &Rand, unsigned &FamilyOut) {
-  FamilyOut = unsigned(Rand.nextBelow(6));
-  std::uint64_t Seed = Rand.next();
-  unsigned Vars = 2 + unsigned(Rand.nextBelow(7));
-  switch (FamilyOut) {
-  case 0: {
-    GenOptions G;
-    G.Seed = Seed;
-    G.NumVars = Vars;
-    G.TargetStmts = 8 + unsigned(Rand.nextBelow(40));
-    G.MaxDepth = 2 + unsigned(Rand.nextBelow(4));
-    G.LoopPct = unsigned(Rand.nextBelow(40));
-    G.IfPct = 20 + unsigned(Rand.nextBelow(40));
-    G.ReadPct = 5 + unsigned(Rand.nextBelow(25));
-    G.EmitElse = Rand.chance(1, 2);
-    return generateStructuredProgram(G);
-  }
-  case 1:
-    return generateRandomCFGProgram(Seed, 4 + unsigned(Rand.nextBelow(10)),
-                                    20 + unsigned(Rand.nextBelow(40)), Vars,
-                                    1 + unsigned(Rand.nextBelow(3)));
-  case 2:
-    return generateDiamondChain(1 + unsigned(Rand.nextBelow(5)), Vars, Seed);
-  case 3:
-    return generateNestedLoops(1 + unsigned(Rand.nextBelow(3)),
-                               1 + unsigned(Rand.nextBelow(2)), Vars, Seed);
-  case 4:
-    return generateRepeatUntilChain(1 + unsigned(Rand.nextBelow(4)), Vars,
-                                    Seed);
-  default:
-    return generateLadder(3 + unsigned(Rand.nextBelow(6)), Vars, Seed);
-  }
+  return generateMixedProgram(Rand, &FamilyOut);
 }
 
 //===----------------------------------------------------------------------===//
@@ -468,6 +454,57 @@ std::string reduce(const Function &Failing, PassId P, const FuzzOptions &FO,
   return printFunction(*Cur);
 }
 
+//===----------------------------------------------------------------------===//
+// Module-level differential check: the parallel driver must be a no-op
+// observationally — same printed module, same per-function counters — for
+// any job count.
+//===----------------------------------------------------------------------===//
+
+/// Builds a module of 2..5 mixed functions from \p ModuleSeed, runs the
+/// separate,constprop,pre pipeline serially and on a thread pool, and
+/// compares. The two runs use independently generated (bit-identical)
+/// modules, so neither can contaminate the other.
+Status checkModulePipeline(std::uint64_t ModuleSeed, unsigned NumFuncs) {
+  PassPipeline Pipe;
+  Status PS = PassPipeline::parse("separate,constprop,pre", Pipe);
+  if (!PS.ok())
+    return PS;
+
+  std::unique_ptr<Module> Serial = generateModule(NumFuncs, ModuleSeed);
+  std::unique_ptr<Module> Parallel = generateModule(NumFuncs, ModuleSeed);
+
+  ModulePipelineOptions SerialOpts;
+  SerialOpts.Jobs = 1;
+  ModulePipelineResult SR = runPipelineOnModule(*Serial, Pipe, SerialOpts);
+  ModulePipelineOptions ParallelOpts;
+  ParallelOpts.Jobs = 4;
+  ModulePipelineResult PR = runPipelineOnModule(*Parallel, Pipe, ParallelOpts);
+
+  Status Out;
+  if (!SR.ok())
+    Out.append(SR.combinedStatus(), "module (serial)");
+  if (!PR.ok())
+    Out.append(PR.combinedStatus(), "module (-j 4)");
+  if (!Out.ok())
+    return Out;
+
+  if (printModule(*Serial) != printModule(*Parallel))
+    Out.addError("module pipeline -j 4 produced different output than -j 1 "
+                 "(module seed " +
+                 std::to_string(ModuleSeed) + ", " +
+                 std::to_string(NumFuncs) + " functions)");
+  for (unsigned I = 0; I != NumFuncs && Out.ok(); ++I) {
+    const FunctionPipelineResult &A = SR.Functions[I];
+    const FunctionPipelineResult &B = PR.Functions[I];
+    if (A.Hits != B.Hits || A.Misses != B.Misses)
+      Out.addError("per-function analysis counters differ between -j 1 and "
+                   "-j 4 for function '" +
+                   A.Name + "' (module seed " + std::to_string(ModuleSeed) +
+                   ")");
+  }
+  return Out;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -475,8 +512,15 @@ int main(int Argc, char **Argv) {
   if (!parseArgs(Argc, Argv, FO))
     return usage();
 
+  if (FO.EmitModule) {
+    std::unique_ptr<Module> M = generateModule(FO.EmitModule, FO.Seed);
+    std::printf("%s", printModule(*M).c_str());
+    return 0;
+  }
+
   RNG Rand(FO.Seed);
   unsigned Violations = 0, Generated = 0, MutantsSkipped = 0;
+  unsigned ModuleChecks = 0;
 
   for (unsigned Iter = 0; Iter != FO.Iters; ++Iter) {
     unsigned Family = 0;
@@ -505,12 +549,28 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr,
                    "=== VIOLATION (iter %u, family %s, pass --%s, seed "
                    "%llu) ===\n%s\n",
-                   Iter, FamilyNames[Family], passName(P),
+                   Iter, mixedFamilyName(Family), passName(P),
                    (unsigned long long)FO.Seed, S.str().c_str());
       std::string Reproducer = reduce(*F, P, FO, OracleSeed);
       std::fprintf(stderr,
                    "--- reduced reproducer (%u lines, pass --%s) ---\n%s",
                    lineCount(Reproducer), passName(P), Reproducer.c_str());
+    }
+
+    // Module determinism check, every 10th iteration on average.
+    if (FO.Modules && Rand.chance(1, 10)) {
+      std::uint64_t ModuleSeed = Rand.next();
+      unsigned NumFuncs = 2 + unsigned(Rand.nextBelow(4));
+      ++ModuleChecks;
+      Status S = checkModulePipeline(ModuleSeed, NumFuncs);
+      if (!S.ok()) {
+        ++Violations;
+        std::fprintf(stderr,
+                     "=== MODULE VIOLATION (iter %u, module seed %llu, seed "
+                     "%llu) ===\n%s\n",
+                     Iter, (unsigned long long)ModuleSeed,
+                     (unsigned long long)FO.Seed, S.str().c_str());
+      }
     }
 
     if (FO.Verbose && (Iter + 1) % 100 == 0)
@@ -520,8 +580,9 @@ int main(int Argc, char **Argv) {
 
   std::fprintf(stderr,
                "depflow-fuzz: %u programs (%u mutants skipped as "
-               "ill-formed), %u pass(es) x %u iters, %u violation(s)\n",
+               "ill-formed), %u pass(es) x %u iters, %u module check(s), "
+               "%u violation(s)\n",
                Generated, MutantsSkipped, unsigned(FO.Passes.size()),
-               FO.Iters, Violations);
+               FO.Iters, ModuleChecks, Violations);
   return Violations ? 1 : 0;
 }

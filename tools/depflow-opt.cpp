@@ -14,25 +14,34 @@
 //   --pre | --pre-busy   in canonical order after any --passes list)
 //   --ssa | --ssa-dfg
 //   --separate
+//   -j N | --jobs=N      process the module's functions on N worker
+//                        threads (default: hardware concurrency). Output
+//                        is byte-identical for every N: each function has
+//                        its own analysis manager and results commit in
+//                        input order.
 //   --predicates         enable the x==c refinement during constprop
 //   --verify-each        run the full invariant checkers after every pass
 //                        (SSA form, DFG well-formedness, cycle-equivalence
 //                        and CDG cross-checks; see src/verify/)
 //   --strict             escalate def-use hygiene warnings to errors
 //   --fuzz-safe          no stdout output; diagnostics and exit code only
-//   --time-passes        per-pass wall time and analysis hit/miss report
+//   --time-passes        per-pass wall time and analysis hit/miss report,
+//                        aggregated over the module's functions
 //   --print-stats        global statistics counters (support/Statistic.h)
-//   --print-after-all    dump the IR after every pass (stderr)
-//   --dot-after-all      dump the DFG (or CFG once in SSA) after every pass
+//   --print-after-all    dump the IR after every pass (stderr; forces -j 1
+//   --dot-after-all      so dumps stay in input order — likewise for the
+//                        DFG/CFG dot dumps)
 //   --dot-dfg            print the dependence flow graph in GraphViz form
 //   --dot-cfg            print the CFG in GraphViz form
 //   --regions            print cycle-equivalence classes and the PST
-//   --run v1,v2,...      interpret with the given inputs and print outputs
+//   --run v1,v2,...      interpret each function with the given inputs and
+//                        print its outputs
 //
-// Reads the program from the file (or stdin), applies the requested
-// passes through one analysis manager (structures are built lazily, cached
-// across passes, and invalidated per each pass's PreservedAnalyses), and
-// prints the result.
+// Reads a module — one or more `func` definitions — from the file (or
+// stdin), applies the requested passes to every function through the
+// parallel module-pipeline driver (one analysis manager per function
+// task; see src/pass/ModulePipeline.h), and prints the result in input
+// order. Diagnostics are prefixed with the offending function's name.
 //
 // Exit codes: 0 success; 1 the input was rejected (parse error, verifier
 // error, hygiene error under --strict, or a trapping/non-halting --run);
@@ -47,17 +56,21 @@
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
 #include "pass/Analyses.h"
+#include "pass/ModulePipeline.h"
 #include "pass/PassPipeline.h"
 #include "structure/SESE.h"
 #include "support/Statistic.h"
 #include "verify/PassVerifier.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace depflow;
 
@@ -65,6 +78,7 @@ namespace {
 
 struct Options {
   PassPipeline Pipeline;
+  unsigned Jobs = 0; // 0 = hardware concurrency.
   bool VerifyEach = false;
   bool Strict = false;
   bool FuzzSafe = false;
@@ -82,15 +96,16 @@ struct Options {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: depflow-opt [--passes=p1,p2,...] "
-               "[--constprop|--constprop-cfg] [--predicates]\n"
-               "                   [--pre|--pre-busy] [--ssa|--ssa-dfg] "
-               "[--separate] [--verify-each]\n"
-               "                   [--strict] [--fuzz-safe] [--time-passes] "
-               "[--print-stats]\n"
-               "                   [--print-after-all] [--dot-after-all] "
-               "[--dot-dfg] [--dot-cfg]\n"
-               "                   [--regions] [--run v1,v2,...] [file]\n");
+               "usage: depflow-opt [--passes=p1,p2,...] [-j N|--jobs=N] "
+               "[--constprop|--constprop-cfg]\n"
+               "                   [--predicates] [--pre|--pre-busy] "
+               "[--ssa|--ssa-dfg] [--separate]\n"
+               "                   [--verify-each] [--strict] [--fuzz-safe] "
+               "[--time-passes]\n"
+               "                   [--print-stats] [--print-after-all] "
+               "[--dot-after-all] [--dot-dfg]\n"
+               "                   [--dot-cfg] [--regions] [--run v1,v2,...] "
+               "[file]\n");
   return 2;
 }
 
@@ -121,6 +136,26 @@ int parseArgs(int Argc, char **Argv, Options &O) {
       }
       for (PassId P : Passes)
         O.Pipeline.append(P);
+    } else if (A == "-j" || A.rfind("-j", 0) == 0 || A.rfind("--jobs=", 0) == 0) {
+      std::string Num;
+      if (A == "-j") {
+        if (I + 1 >= Argc) {
+          std::fprintf(stderr, "error: -j requires a thread count\n");
+          return 2;
+        }
+        Num = Argv[++I];
+      } else if (A.rfind("--jobs=", 0) == 0) {
+        Num = A.substr(std::strlen("--jobs="));
+      } else {
+        Num = A.substr(2); // -jN
+      }
+      char *End = nullptr;
+      unsigned long N = std::strtoul(Num.c_str(), &End, 10);
+      if (Num.empty() || (End && *End) || N == 0) {
+        std::fprintf(stderr, "error: bad thread count '%s'\n", Num.c_str());
+        return 2;
+      }
+      O.Jobs = unsigned(N);
     } else if (A == "--constprop")
       ConstProp = true;
     else if (A == "--constprop-cfg")
@@ -188,29 +223,36 @@ int parseArgs(int Argc, char **Argv, Options &O) {
   return 0;
 }
 
-/// Instrumentation that also runs the --verify-each invariant checkers
-/// after every pass, via the afterPass hook position in the pipeline loop.
-class VerifyingInstrumentation : public PassInstrumentation {
-public:
-  bool VerifyEach = false;
-  int ExitCode = 0; // 3 when --verify-each found an invariant violation.
+/// --verify-each over the module driver: invoked from worker threads via
+/// the AfterPass hook, so the report path takes a lock and the exit code
+/// is atomic. Per-function SSA tracking lives in a per-function slot —
+/// passes run in pipeline order within one function, on one thread.
+class ModuleVerifier {
+  std::vector<bool> InSSA;
+  std::mutex ReportLock;
+  std::atomic<int> Exit{0};
 
-private:
-  bool InSSA = false;
-
 public:
-  void notePassDone(PassId P, Function &F) {
-    InSSA = InSSA || passProducesSSA(P);
-    if (!VerifyEach || ExitCode)
-      return;
+  explicit ModuleVerifier(unsigned NumFuncs) : InSSA(NumFuncs, false) {}
+
+  int exitCode() const { return Exit.load(); }
+
+  void afterPass(unsigned FnIndex, PassId P, Function &F) {
+    if (passProducesSSA(P))
+      InSSA[FnIndex] = true;
+    if (Exit.load())
+      return; // First violation wins; skip further (expensive) checks.
     VerifyOptions VO;
-    VO.ExpectSSA = InSSA;
+    VO.ExpectSSA = InSSA[FnIndex];
     Status V = verifyPassInvariants(F, VO);
     if (!V.ok()) {
-      std::fprintf(stderr,
-                   "internal error: invariants violated after --%s:\n%s\n",
-                   passName(P), V.str().c_str());
-      ExitCode = 3;
+      std::lock_guard<std::mutex> G(ReportLock);
+      std::fprintf(
+          stderr,
+          "internal error: function '%s': invariants violated after "
+          "--%s:\n%s\n",
+          F.name().c_str(), passName(P), V.str().c_str());
+      Exit.store(3);
     }
   }
 };
@@ -238,89 +280,111 @@ int main(int Argc, char **Argv) {
     Src = SS.str();
   }
 
-  ParseResult R = parseFunction(Src);
+  ParseModuleResult R = parseModule(Src);
   if (!R.ok()) {
     std::fprintf(stderr, "parse error: %s\n%s", R.Error.c_str(),
                  sourceExcerpt(Src, R.ErrorLine).c_str());
     return 1;
   }
-  Function &F = *R.Fn;
+  Module &M = *R.M;
 
-  // Report *every* verifier error, then every hygiene warning (errors
-  // under --strict; the base IR gives unassigned variables the value 0,
-  // so these are suspicious rather than ill-formed).
-  std::vector<std::string> Errors = verifyFunction(F);
-  for (const std::string &Err : Errors)
-    std::fprintf(stderr, "verifier: %s\n", Err.c_str());
-  if (!Errors.empty())
-    return 1;
-  std::vector<std::string> Warnings = verifyDefUseHygiene(F);
-  for (const std::string &W : Warnings)
-    std::fprintf(stderr, "%s: %s\n", O.Strict ? "error" : "warning",
-                 W.c_str());
-  if (O.Strict && !Warnings.empty())
-    return 1;
-
-  FunctionAnalysisManager AM(F);
-  VerifyingInstrumentation PI;
-  PI.TimePasses = O.TimePasses;
-  PI.PrintAfterAll = O.PrintAfterAll;
-  PI.DotAfterAll = O.DotAfterAll;
-  PI.VerifyEach = O.VerifyEach;
-
-  for (PassId P : O.Pipeline.passes()) {
-    PI.beforePass(P, AM);
-    Status S = runPass(F, P, AM, O.Pipeline.options());
-    if (!S.ok()) {
-      // The input verified above, so a failure here is depflow's fault.
-      std::fprintf(stderr, "internal error: %s\n", S.str().c_str());
-      return 3;
+  // Report *every* verifier error for *every* function, then every hygiene
+  // warning (errors under --strict; the base IR gives unassigned variables
+  // the value 0, so these are suspicious rather than ill-formed).
+  bool AnyError = false, AnyWarning = false;
+  for (const auto &F : M.functions()) {
+    for (const std::string &Err : verifyFunction(*F)) {
+      std::fprintf(stderr, "verifier: %s: %s\n", F->name().c_str(),
+                   Err.c_str());
+      AnyError = true;
     }
-    PI.afterPass(P, F, AM);
-    PI.notePassDone(P, F);
-    if (PI.ExitCode)
-      return PI.ExitCode;
   }
+  if (AnyError)
+    return 1;
+  for (const auto &F : M.functions()) {
+    for (const std::string &W : verifyDefUseHygiene(*F)) {
+      std::fprintf(stderr, "%s: %s: %s\n", O.Strict ? "error" : "warning",
+                   F->name().c_str(), W.c_str());
+      AnyWarning = true;
+    }
+  }
+  if (O.Strict && AnyWarning)
+    return 1;
 
-  if (O.Regions) {
-    const CFGEdges &E = AM.getResult<CFGEdgesAnalysis>();
-    const ProgramStructureTree &PST = AM.getResult<PSTAnalysis>();
-    if (!O.FuzzSafe)
-      std::printf("%s", PST.dump(F, E).c_str());
+  ModulePipelineOptions MPO;
+  MPO.Jobs = O.Jobs;
+  MPO.PrintAfterAll = O.PrintAfterAll;
+  MPO.DotAfterAll = O.DotAfterAll;
+  ModuleVerifier Verifier(M.numFunctions());
+  if (O.VerifyEach)
+    MPO.AfterPass = [&Verifier](unsigned I, PassId P, Function &F,
+                                FunctionAnalysisManager &) {
+      Verifier.afterPass(I, P, F);
+    };
+
+  ModulePipelineResult PR = runPipelineOnModule(M, O.Pipeline, MPO);
+  if (!PR.ok()) {
+    // Every function verified above, so a failure here is depflow's fault.
+    std::fprintf(stderr, "internal error: %s\n",
+                 PR.combinedStatus().str().c_str());
+    return 3;
   }
+  if (Verifier.exitCode())
+    return Verifier.exitCode();
+
+  // Post-pipeline inspection output, in input order. These run serially
+  // with a fresh per-function manager (the pipeline's managers died with
+  // their tasks).
+  if (O.Regions && !O.FuzzSafe)
+    for (const auto &F : M.functions()) {
+      FunctionAnalysisManager AM(*F);
+      const CFGEdges &E = AM.getResult<CFGEdgesAnalysis>();
+      const ProgramStructureTree &PST = AM.getResult<PSTAnalysis>();
+      std::printf("%s", PST.dump(*F, E).c_str());
+    }
 
   if (O.DotCFG && !O.FuzzSafe)
-    std::printf("%s", printCFGDot(F).c_str());
+    for (const auto &F : M.functions())
+      std::printf("%s", printCFGDot(*F).c_str());
 
-  if (O.DotDFG) {
-    const DepFlowGraph &G = AM.getResult<DFGAnalysis>();
-    if (!O.FuzzSafe)
-      std::printf("%s", G.toDot(F).c_str());
-  }
+  if (O.DotDFG && !O.FuzzSafe)
+    for (const auto &F : M.functions()) {
+      FunctionAnalysisManager AM(*F);
+      const DepFlowGraph &G = AM.getResult<DFGAnalysis>();
+      std::printf("%s", G.toDot(*F).c_str());
+    }
 
   if (!O.Regions && !O.DotCFG && !O.DotDFG && !O.FuzzSafe)
-    std::printf("%s", printFunction(F).c_str());
+    std::printf("%s", printModule(M).c_str());
 
   if (O.TimePasses)
-    PI.printReport(AM);
+    PR.printReport(stderr);
   if (O.PrintStats)
     printStatistics(stderr);
 
   if (O.Run) {
-    ExecResult Res = runFunction(F, O.Inputs);
-    if (Res.Trapped) {
-      std::fprintf(stderr, "run: trapped: %s\n", Res.TrapReason.c_str());
-      return 1;
-    }
-    if (!Res.Halted) {
-      std::fprintf(stderr, "run: step budget exhausted\n");
-      return 1;
-    }
-    if (!O.FuzzSafe) {
-      std::printf("; outputs:");
-      for (std::int64_t V : Res.Outputs)
-        std::printf(" %lld", (long long)V);
-      std::printf("\n");
+    const bool Prefix = M.numFunctions() > 1;
+    for (const auto &F : M.functions()) {
+      ExecResult Res = runFunction(*F, O.Inputs);
+      if (Res.Trapped) {
+        std::fprintf(stderr, "run: %s: trapped: %s\n", F->name().c_str(),
+                     Res.TrapReason.c_str());
+        return 1;
+      }
+      if (!Res.Halted) {
+        std::fprintf(stderr, "run: %s: step budget exhausted\n",
+                     F->name().c_str());
+        return 1;
+      }
+      if (!O.FuzzSafe) {
+        if (Prefix)
+          std::printf("; outputs(%s):", F->name().c_str());
+        else
+          std::printf("; outputs:");
+        for (std::int64_t V : Res.Outputs)
+          std::printf(" %lld", (long long)V);
+        std::printf("\n");
+      }
     }
   }
   return 0;
