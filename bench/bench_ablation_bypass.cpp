@@ -15,6 +15,8 @@
 #include "ir/Transforms.h"
 #include "workload/Generators.h"
 
+#include "obs/BenchMain.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace depflow;
@@ -86,4 +88,6 @@ BENCHMARK(BM_Ablation_ConstProp_SESE)->Arg(200)->Arg(800)
 BENCHMARK(BM_Ablation_ConstProp_None)->Arg(200)->Arg(800)
     ->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  return depflow::obs::benchMain("ablation_bypass", argc, argv);
+}

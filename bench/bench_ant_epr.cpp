@@ -15,6 +15,8 @@
 #include "ir/Transforms.h"
 #include "workload/Generators.h"
 
+#include "obs/BenchMain.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace depflow;
@@ -171,4 +173,6 @@ BENCHMARK(BM_EPR_BusyCodeMotion)
     ->Arg(1600)
     ->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  return depflow::obs::benchMain("ant_epr", argc, argv);
+}

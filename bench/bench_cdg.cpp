@@ -12,6 +12,8 @@
 #include "cdg/ControlDependence.h"
 #include "workload/Generators.h"
 
+#include "obs/BenchMain.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace depflow;
@@ -84,4 +86,6 @@ BENCHMARK(BM_NodeCDG_FOW)
     ->Range(32, 8192)
     ->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  return depflow::obs::benchMain("cdg", argc, argv);
+}

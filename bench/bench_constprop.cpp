@@ -23,6 +23,8 @@
 #include "ir/Printer.h"
 #include "workload/Generators.h"
 
+#include "obs/BenchMain.h"
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -116,4 +118,6 @@ BENCHMARK(BM_ConstProp_DFG) CP_ARGS;
 BENCHMARK(BM_ConstProp_DefUse) CP_ARGS;
 BENCHMARK(BM_ConstProp_SCCP) CP_ARGS;
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  return depflow::obs::benchMain("constprop", argc, argv);
+}

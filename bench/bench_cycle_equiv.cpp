@@ -14,6 +14,8 @@
 #include "structure/SESE.h"
 #include "workload/Generators.h"
 
+#include "obs/BenchMain.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace depflow;
@@ -115,4 +117,6 @@ BENCHMARK(BM_ProgramStructureTree)
     ->Range(16, 1024)
     ->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  return depflow::obs::benchMain("cycle_equiv", argc, argv);
+}

@@ -13,6 +13,8 @@
 #include "core/DepFlowGraph.h"
 #include "workload/Generators.h"
 
+#include "obs/BenchMain.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace depflow;
@@ -79,4 +81,6 @@ BENCHMARK(BM_DFG_Build_NoBypass)
     ->Range(64, 4096)
     ->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  return depflow::obs::benchMain("dfg_construction", argc, argv);
+}

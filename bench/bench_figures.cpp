@@ -16,6 +16,7 @@
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "ir/Transforms.h"
+#include "obs/Bench.h"
 #include "ssa/SSA.h"
 
 #include <cstdio>
@@ -36,6 +37,7 @@ static std::unique_ptr<Function> parseOrDie(std::string_view Src) {
 }
 
 static int Failures = 0;
+static obs::BenchReport Report("figures");
 
 static void row(const char *Id, const char *What, const std::string &Expect,
                 const std::string &Got) {
@@ -44,6 +46,8 @@ static void row(const char *Id, const char *What, const std::string &Expect,
     ++Failures;
   std::printf("%-4s %-58s expected=%-14s got=%-14s %s\n", Id, What,
               Expect.c_str(), Got.c_str(), OK ? "ok" : "MISMATCH");
+  Report.add(std::string(Id) + "/" + What, {{"reproduced", OK ? 1.0 : 0.0}},
+             /*TimeUnit=*/"", /*Iterations=*/1);
 }
 
 static const Instruction *instrAt(const Function &F, const char *Label,
@@ -286,5 +290,10 @@ int main() {
   std::printf("\n%s (%d mismatches)\n",
               Failures == 0 ? "ALL FIGURES REPRODUCED" : "FAILURES",
               Failures);
+  Status S = Report.writeIfRequested();
+  if (!S.ok()) {
+    std::fprintf(stderr, "bench_figures: %s\n", S.str().c_str());
+    return 1;
+  }
   return Failures == 0 ? 0 : 1;
 }

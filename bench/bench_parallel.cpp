@@ -25,6 +25,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "ir/Printer.h"
+#include "obs/Bench.h"
 #include "pass/ModulePipeline.h"
 #include "workload/Generators.h"
 
@@ -79,6 +80,7 @@ int main(int Argc, char **Argv) {
   std::string SerialOutput;
   double SerialSec = 0;
   bool Failed = false;
+  obs::BenchReport Report("parallel");
 
   const unsigned JobCounts[] = {1, 2, 4, 8};
   for (unsigned J : JobCounts) {
@@ -121,9 +123,19 @@ int main(int Argc, char **Argv) {
     std::printf("  -j %u: %9.3f ms  %10.0f funcs/sec  speedup %.2fx%s\n", J,
                 Best * 1e3, FuncsPerSec, Speedup,
                 J > 1 && Speedup < 1.1 ? "  (no parallel hardware?)" : "");
+    Report.add("jobs/" + std::to_string(J),
+               {{"real_time", Best * 1e3},
+                {"funcs_per_sec", FuncsPerSec},
+                {"speedup", Speedup},
+                {"functions", double(Funcs)}});
   }
 
   if (!Failed)
     std::printf("output: byte-identical across -j 1/2/4/8\n");
+  Status S = Report.writeIfRequested();
+  if (!S.ok()) {
+    std::fprintf(stderr, "bench_parallel: %s\n", S.str().c_str());
+    return 1;
+  }
   return Failed ? 1 : 0;
 }

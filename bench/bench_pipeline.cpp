@@ -28,6 +28,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "ir/Printer.h"
+#include "obs/Bench.h"
 #include "pass/Analyses.h"
 #include "pass/PassPipeline.h"
 #include "workload/Generators.h"
@@ -131,5 +132,20 @@ int main(int Argc, char **Argv) {
   std::printf("  analysis cache: %llu hit(s), %llu miss(es) (%.1f%% hit "
               "rate)\n",
               (unsigned long long)Hits, (unsigned long long)Misses, HitRate);
+
+  obs::BenchReport Report("pipeline");
+  Report.add("baseline_rebuild", {{"real_time", BaselineSec * 1e3},
+                                  {"programs", double(Programs)}});
+  Report.add("managed_cached",
+             {{"real_time", ManagedSec * 1e3},
+              {"speedup", Speedup},
+              {"hits", double(Hits)},
+              {"misses", double(Misses)},
+              {"hit_rate_pct", HitRate}});
+  Status S = Report.writeIfRequested();
+  if (!S.ok()) {
+    std::fprintf(stderr, "bench_pipeline: %s\n", S.str().c_str());
+    return 1;
+  }
   return Mismatch ? 1 : 0;
 }

@@ -14,6 +14,8 @@
 #include "dataflow/ConstantPropagation.h"
 #include "ir/Function.h"
 
+#include "obs/BenchMain.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace depflow;
@@ -80,4 +82,6 @@ BENCHMARK(BM_Predicate_CFG_Refined)->Arg(16)->Arg(128)
 BENCHMARK(BM_Predicate_DFG_Refined)->Arg(16)->Arg(128)
     ->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  return depflow::obs::benchMain("predicate_ext", argc, argv);
+}

@@ -13,6 +13,8 @@
 #include "ssa/SSA.h"
 #include "workload/Generators.h"
 
+#include "obs/BenchMain.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace depflow;
@@ -88,4 +90,6 @@ BENCHMARK(BM_SSA_FullRename)
     ->Arg(1600)
     ->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  return depflow::obs::benchMain("ssa", argc, argv);
+}

@@ -1,0 +1,67 @@
+//===- obs/Bench.cpp - Machine-readable benchmark baselines ---------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Bench.h"
+
+#include "obs/Json.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace depflow;
+using namespace depflow::obs;
+
+std::string BenchReport::renderJson() const {
+  std::string S;
+  JsonWriter W(S);
+  W.beginObject();
+  W.keyValue("schema", "depflow-bench");
+  W.keyValue("schema_version", BenchSchemaVersion);
+  W.keyValue("bench", BenchName);
+  W.key("entries");
+  W.beginArray();
+  for (const Entry &E : Entries) {
+    W.beginObject();
+    W.keyValue("name", E.Name);
+    W.key("metrics");
+    W.beginObject();
+    for (const auto &[Key, Value] : E.Metrics)
+      W.keyValue(Key, Value);
+    W.endObject();
+    W.keyValue("time_unit", E.TimeUnit);
+    W.keyValue("iterations", E.Iterations);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  S += '\n';
+  return S;
+}
+
+Status BenchReport::write(const std::string &Dir) const {
+  std::string Path = Dir;
+  if (!Path.empty() && Path.back() != '/')
+    Path += '/';
+  Path += "BENCH_" + BenchName + ".json";
+  std::string S = renderJson();
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return Status::error("cannot open bench output file '" + Path + "'");
+  std::size_t Written = std::fwrite(S.data(), 1, S.size(), F);
+  bool CloseOk = std::fclose(F) == 0;
+  if (Written != S.size() || !CloseOk)
+    return Status::error("failed writing bench output file '" + Path + "'");
+  std::fprintf(stderr, "bench: wrote %s\n", Path.c_str());
+  return Status::success();
+}
+
+Status BenchReport::writeIfRequested() const {
+  const char *Dir = std::getenv("DEPFLOW_BENCH_JSON");
+  if (!Dir || !*Dir)
+    return Status::success();
+  return write(Dir);
+}

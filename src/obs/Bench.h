@@ -1,0 +1,103 @@
+//===- obs/Bench.h - Machine-readable benchmark baselines -------*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The repo's perf trajectory starts here: every `bench_*` binary emits a
+/// `BENCH_<name>.json` when the environment variable `DEPFLOW_BENCH_JSON`
+/// names a directory. CI's bench-smoke job sets it and uploads the files
+/// as artifacts, so regressions in the paper's complexity claims (O(E)
+/// cycle equivalence, O(EV) DFG construction, the constprop V-factor) are
+/// diffable run over run instead of living in hand-copied tables.
+///
+/// Schema (version bumps on breaking changes only):
+///
+/// \code{.json}
+///   {
+///     "schema": "depflow-bench",
+///     "schema_version": 1,
+///     "bench": "cycle_equiv",
+///     "entries": [
+///       {"name": "BM_CycleEquiv_DiamondChain/1024",
+///        "metrics": {"real_time": 42.1, "cpu_time": 42.0, "E": 1536.0},
+///        "time_unit": "us", "iterations": 16384},
+///       ...
+///     ]
+///   }
+/// \endcode
+///
+/// google-benchmark binaries adapt through obs/BenchMain.h (which funnels
+/// every run, including the fitted `_BigO`/`_RMS` complexity rows, into a
+/// BenchReport); the plain studies (bench_pipeline, bench_parallel,
+/// bench_figures) add their rows by hand. tools/bench_report.py turns the
+/// emitted files back into EXPERIMENTS.md's markdown tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_OBS_BENCH_H
+#define DEPFLOW_OBS_BENCH_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace depflow {
+namespace obs {
+
+/// Bumped on breaking schema changes; mirrored in the "schema_version"
+/// field of every emitted document.
+inline constexpr unsigned BenchSchemaVersion = 1;
+
+/// Collects benchmark rows and serializes them under the schema above.
+class BenchReport {
+public:
+  struct Entry {
+    std::string Name;
+    std::vector<std::pair<std::string, double>> Metrics;
+    std::string TimeUnit; // Unit of the time metrics ("ns", "us", ...).
+    std::uint64_t Iterations = 0;
+  };
+
+  explicit BenchReport(std::string BenchName)
+      : BenchName(std::move(BenchName)) {}
+
+  const std::string &name() const { return BenchName; }
+  const std::vector<Entry> &entries() const { return Entries; }
+
+  void add(Entry E) { Entries.push_back(std::move(E)); }
+
+  /// Convenience for the hand-rolled studies: one named row of metrics.
+  void add(std::string Name,
+           std::vector<std::pair<std::string, double>> Metrics,
+           std::string TimeUnit = "ms", std::uint64_t Iterations = 1) {
+    Entries.push_back(
+        {std::move(Name), std::move(Metrics), std::move(TimeUnit),
+         Iterations});
+  }
+
+  /// The schema document.
+  std::string renderJson() const;
+
+  /// Writes renderJson() to `<dir>/BENCH_<name>.json`.
+  Status write(const std::string &Dir) const;
+
+  /// Honors `DEPFLOW_BENCH_JSON`: when the variable is set (and non-empty)
+  /// writes into that directory and reports the path on stderr; otherwise
+  /// does nothing. Returns the write's status.
+  Status writeIfRequested() const;
+
+private:
+  std::string BenchName;
+  std::vector<Entry> Entries;
+};
+
+} // namespace obs
+} // namespace depflow
+
+#endif // DEPFLOW_OBS_BENCH_H

@@ -1,0 +1,90 @@
+//===- obs/BenchMain.h - google-benchmark adapter ---------------*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared `main` of the google-benchmark binaries. Where they used to
+/// expand `BENCHMARK_MAIN()`, they now call
+///
+/// \code
+///   int main(int argc, char **argv) {
+///     return depflow::obs::benchMain("cycle_equiv", argc, argv);
+///   }
+/// \endcode
+///
+/// which runs the registered benchmarks exactly as before (console output
+/// included — the reporter below derives from ConsoleReporter), funnels
+/// every run into an obs::BenchReport, and honors `DEPFLOW_BENCH_JSON` by
+/// writing `BENCH_<name>.json` next to the console report. Complexity
+/// fits arrive as `<family>_BigO` / `<family>_RMS` rows, so the O(E) and
+/// O(EV) claims land in the JSON trajectory too.
+///
+/// Header-only on purpose: dep_obs itself must not link against
+/// libbenchmark (depflow-opt and the tests link dep_obs), so only the
+/// bench binaries instantiate this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_OBS_BENCHMAIN_H
+#define DEPFLOW_OBS_BENCHMAIN_H
+
+#include "obs/Bench.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+namespace depflow {
+namespace obs {
+
+/// A ConsoleReporter that additionally collects every finished run into a
+/// BenchReport row: real/cpu time (benchmark-adjusted, in the benchmark's
+/// time unit), iteration count, and all user counters.
+class BenchJsonTeeReporter : public benchmark::ConsoleReporter {
+  BenchReport &Report;
+
+public:
+  explicit BenchJsonTeeReporter(BenchReport &Report) : Report(Report) {}
+
+  void ReportRuns(const std::vector<Run> &Runs) override {
+    benchmark::ConsoleReporter::ReportRuns(Runs);
+    for (const Run &R : Runs) {
+      if (R.error_occurred)
+        continue;
+      BenchReport::Entry E;
+      E.Name = R.benchmark_name();
+      E.TimeUnit = benchmark::GetTimeUnitString(R.time_unit);
+      E.Iterations = static_cast<std::uint64_t>(R.iterations);
+      E.Metrics.emplace_back("real_time", R.GetAdjustedRealTime());
+      E.Metrics.emplace_back("cpu_time", R.GetAdjustedCPUTime());
+      for (const auto &[Name, Counter] : R.counters)
+        E.Metrics.emplace_back(Name, static_cast<double>(Counter));
+      Report.add(std::move(E));
+    }
+  }
+};
+
+/// Drop-in replacement for BENCHMARK_MAIN()'s body with JSON emission.
+inline int benchMain(const char *BenchName, int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  BenchReport Report(BenchName);
+  BenchJsonTeeReporter Reporter(Report);
+  benchmark::RunSpecifiedBenchmarks(&Reporter);
+  benchmark::Shutdown();
+  Status S = Report.writeIfRequested();
+  if (!S.ok()) {
+    std::fprintf(stderr, "bench: %s\n", S.str().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+} // namespace obs
+} // namespace depflow
+
+#endif // DEPFLOW_OBS_BENCHMAIN_H

@@ -1,0 +1,131 @@
+//===- obs/Metrics.cpp - Process and allocation metrics -------------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace {
+
+/// Per-thread counters, chained into a process-wide lock-free list so the
+/// process totals can be summed. Single-writer: only the owning thread
+/// stores; other threads only load. Nodes are malloc'd (never operator
+/// new — the hook below would recurse) and intentionally never freed: one
+/// node per thread that ever allocated, reachable from the list head.
+struct ThreadCounters {
+  std::atomic<std::uint64_t> Bytes{0};
+  std::atomic<std::uint64_t> Count{0};
+  ThreadCounters *Next = nullptr;
+};
+
+std::atomic<ThreadCounters *> CountersHead{nullptr};
+
+ThreadCounters &localCounters() {
+  static thread_local ThreadCounters *Local = nullptr;
+  if (!Local) {
+    void *Mem = std::malloc(sizeof(ThreadCounters));
+    Local = new (Mem) ThreadCounters();
+    ThreadCounters *Head = CountersHead.load(std::memory_order_relaxed);
+    do {
+      Local->Next = Head;
+    } while (!CountersHead.compare_exchange_weak(Head, Local,
+                                                 std::memory_order_release,
+                                                 std::memory_order_relaxed));
+  }
+  return *Local;
+}
+
+/// Count + allocate. Single-writer counters: a load/store pair is cheaper
+/// than an atomic RMW and race-free because only this thread stores.
+void *countedAlloc(std::size_t Size) noexcept {
+  ThreadCounters &C = localCounters();
+  C.Bytes.store(C.Bytes.load(std::memory_order_relaxed) + Size,
+                std::memory_order_relaxed);
+  C.Count.store(C.Count.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+  return std::malloc(Size ? Size : 1);
+}
+
+} // namespace
+
+// The replaceable allocation functions. Only the two scalar throwing forms
+// are replaced: the standard library's array, nothrow, and sized variants
+// all delegate to these, so every new-expression in a binary linking
+// dep_obs is counted. malloc-based, so the (unreplaced) default operator
+// delete — plain and aligned — frees correctly.
+
+void *operator new(std::size_t Size) {
+  if (void *P = countedAlloc(Size))
+    return P;
+  throw std::bad_alloc();
+}
+
+void *operator new(std::size_t Size, std::align_val_t Align) {
+  ThreadCounters &C = localCounters();
+  C.Bytes.store(C.Bytes.load(std::memory_order_relaxed) + Size,
+                std::memory_order_relaxed);
+  C.Count.store(C.Count.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+  std::size_t A = static_cast<std::size_t>(Align);
+  if (A < sizeof(void *))
+    A = sizeof(void *);
+  void *P = nullptr;
+  if (posix_memalign(&P, A, Size ? Size : 1) != 0)
+    throw std::bad_alloc();
+  return P;
+}
+
+namespace depflow {
+namespace obs {
+
+std::uint64_t threadAllocatedBytes() {
+  return localCounters().Bytes.load(std::memory_order_relaxed);
+}
+
+std::uint64_t threadAllocationCount() {
+  return localCounters().Count.load(std::memory_order_relaxed);
+}
+
+std::uint64_t processAllocatedBytes() {
+  std::uint64_t Sum = 0;
+  for (ThreadCounters *C = CountersHead.load(std::memory_order_acquire); C;
+       C = C->Next)
+    Sum += C->Bytes.load(std::memory_order_relaxed);
+  return Sum;
+}
+
+std::uint64_t processAllocationCount() {
+  std::uint64_t Sum = 0;
+  for (ThreadCounters *C = CountersHead.load(std::memory_order_acquire); C;
+       C = C->Next)
+    Sum += C->Count.load(std::memory_order_relaxed);
+  return Sum;
+}
+
+std::uint64_t peakRSSBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage RU;
+  if (getrusage(RUSAGE_SELF, &RU) != 0)
+    return 0;
+#if defined(__APPLE__)
+  return std::uint64_t(RU.ru_maxrss); // Bytes on macOS.
+#else
+  return std::uint64_t(RU.ru_maxrss) * 1024; // Kilobytes on Linux.
+#endif
+#else
+  return 0;
+#endif
+}
+
+} // namespace obs
+} // namespace depflow

@@ -1,0 +1,90 @@
+//===- obs/StatsJson.cpp - Machine-readable statistics report -------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/StatsJson.h"
+
+#include "obs/Json.h"
+#include "obs/Metrics.h"
+
+#include <cstdio>
+
+using namespace depflow;
+using namespace depflow::obs;
+
+std::string depflow::obs::renderStatsJson(const StatsReport &R) {
+  std::string S;
+  JsonWriter W(S);
+  W.beginObject();
+  W.keyValue("schema", "depflow-stats");
+  W.keyValue("schema_version", StatsSchemaVersion);
+  W.keyValue("tool", R.Tool);
+  W.keyValue("pipeline", R.Pipeline);
+  W.keyValue("functions", R.Functions);
+  W.keyValue("jobs", R.Jobs);
+
+  W.key("passes");
+  W.beginArray();
+  for (const StatsPassRecord &P : R.Passes) {
+    W.beginObject();
+    W.keyValue("pass", P.Pass);
+    W.keyValue("seconds", P.Seconds);
+    W.keyValue("analysis_hits", P.AnalysisHits);
+    W.keyValue("analysis_misses", P.AnalysisMisses);
+    W.keyValue("alloc_bytes", P.AllocBytes);
+    W.endObject();
+  }
+  W.endArray();
+
+  W.key("analyses");
+  W.beginArray();
+  for (const StatsAnalysisCounter &C : R.Analyses) {
+    W.beginObject();
+    W.keyValue("analysis", C.Analysis);
+    W.keyValue("hits", C.Hits);
+    W.keyValue("misses", C.Misses);
+    W.endObject();
+  }
+  W.endArray();
+
+  W.key("statistics");
+  W.beginArray();
+  if (R.IncludeStatistics) {
+    for (const StatisticSnapshot &Row : statisticsSnapshot()) {
+      W.beginObject();
+      W.keyValue("group", Row.Group);
+      W.keyValue("name", Row.Name);
+      W.keyValue("description", Row.Desc);
+      W.keyValue("value", Row.Value);
+      W.endObject();
+    }
+  }
+  W.endArray();
+
+  W.key("process");
+  W.beginObject();
+  W.keyValue("peak_rss_bytes", peakRSSBytes());
+  W.keyValue("allocated_bytes", processAllocatedBytes());
+  W.keyValue("allocations", processAllocationCount());
+  W.endObject();
+
+  W.endObject();
+  S += '\n';
+  return S;
+}
+
+Status depflow::obs::writeStatsJson(const std::string &Path,
+                                    const StatsReport &R) {
+  std::string S = renderStatsJson(R);
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return Status::error("cannot open stats output file '" + Path + "'");
+  std::size_t Written = std::fwrite(S.data(), 1, S.size(), F);
+  bool CloseOk = std::fclose(F) == 0;
+  if (Written != S.size() || !CloseOk)
+    return Status::error("failed writing stats output file '" + Path + "'");
+  return Status::success();
+}

@@ -1,0 +1,92 @@
+//===- obs/StatsJson.h - Machine-readable statistics report -----*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `--stats-json <file>` report: everything `--time-passes` and
+/// `--print-stats` print for humans, serialized with a versioned schema so
+/// trend tooling (tools/bench_report.py, CI artifact diffing) never
+/// scrapes console text. One document per run:
+///
+/// \code{.json}
+///   {
+///     "schema": "depflow-stats",
+///     "schema_version": 1,
+///     "tool": "depflow-opt",
+///     "pipeline": "separate,constprop,pre",
+///     "functions": 60, "jobs": 8,
+///     "passes":   [{"pass": "constprop", "seconds": ..,
+///                   "analysis_hits": .., "analysis_misses": ..,
+///                   "alloc_bytes": ..}, ...],
+///     "analyses": [{"analysis": "dfg", "hits": .., "misses": ..}, ...],
+///     "statistics": [{"group": "pre", "name": "NumCriticalEdgesSplit",
+///                     "description": .., "value": ..}, ...],
+///     "process":  {"peak_rss_bytes": .., "allocated_bytes": ..,
+///                  "allocations": ..}
+///   }
+/// \endcode
+///
+/// `schema_version` bumps on any field removal or meaning change; adding
+/// fields is backward compatible and does not bump it. The structs below
+/// are obs-local mirrors of the pass-layer types (the pass library depends
+/// on obs, not the other way around).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_OBS_STATSJSON_H
+#define DEPFLOW_OBS_STATSJSON_H
+
+#include "support/Error.h"
+#include "support/Statistic.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace depflow {
+namespace obs {
+
+/// Bumped on breaking schema changes; mirrored in the "schema_version"
+/// field of every emitted document.
+inline constexpr unsigned StatsSchemaVersion = 1;
+
+struct StatsPassRecord {
+  std::string Pass;
+  double Seconds = 0;
+  std::uint64_t AnalysisHits = 0;
+  std::uint64_t AnalysisMisses = 0;
+  std::uint64_t AllocBytes = 0;
+};
+
+struct StatsAnalysisCounter {
+  std::string Analysis;
+  std::uint64_t Hits = 0;
+  std::uint64_t Misses = 0;
+};
+
+struct StatsReport {
+  std::string Tool;     // "depflow-opt"
+  std::string Pipeline; // Textual pipeline ("separate,constprop,pre").
+  unsigned Functions = 0;
+  unsigned Jobs = 0;
+  std::vector<StatsPassRecord> Passes;
+  std::vector<StatsAnalysisCounter> Analyses;
+  /// Captured by render/write via statisticsSnapshot() — the
+  /// support/Statistic.h globals.
+  bool IncludeStatistics = true;
+};
+
+/// Renders \p R (plus the current statistics snapshot and process metrics)
+/// as the schema document above.
+std::string renderStatsJson(const StatsReport &R);
+
+/// Serializes renderStatsJson(R) to \p Path.
+Status writeStatsJson(const std::string &Path, const StatsReport &R);
+
+} // namespace obs
+} // namespace depflow
+
+#endif // DEPFLOW_OBS_STATSJSON_H

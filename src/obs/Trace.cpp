@@ -1,0 +1,158 @@
+//===- obs/Trace.cpp - Low-overhead trace-event recorder ------------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include "obs/Json.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace depflow;
+using namespace depflow::obs;
+
+TraceRecorder &TraceRecorder::global() {
+  static TraceRecorder R; // Meyers singleton: safe across static-init order.
+  return R;
+}
+
+TraceRecorder::ThreadBuffer &TraceRecorder::localBuffer() {
+  // The recorder is a process singleton, so one cached pointer per thread
+  // suffices. The shared_ptr in the registry keeps the buffer alive past
+  // the thread's exit — the module driver's workers die before the flush.
+  static thread_local std::shared_ptr<ThreadBuffer> Local;
+  if (!Local) {
+    Local = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> G(RegistryLock);
+    Local->Tid = NextTid++;
+    Buffers.push_back(Local);
+  }
+  return *Local;
+}
+
+void TraceRecorder::setCurrentThreadName(std::string Name) {
+  ThreadBuffer &B = localBuffer();
+  std::lock_guard<std::mutex> G(B.Lock);
+  B.Name = std::move(Name);
+}
+
+void TraceRecorder::record(TraceEvent E) {
+  ThreadBuffer &B = localBuffer();
+  E.Tid = B.Tid;
+  std::lock_guard<std::mutex> G(B.Lock);
+  B.Events.push_back(std::move(E));
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> Bufs;
+  {
+    std::lock_guard<std::mutex> G(RegistryLock);
+    Bufs = Buffers;
+  }
+  std::vector<TraceEvent> Out;
+  for (const auto &B : Bufs) {
+    std::lock_guard<std::mutex> G(B->Lock);
+    Out.insert(Out.end(), B->Events.begin(), B->Events.end());
+  }
+  // Ties broken longer-span-first so a parent sorts before the children it
+  // encloses (they share a start time when the child begins immediately).
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const TraceEvent &A, const TraceEvent &B) {
+                     if (A.TsUs != B.TsUs)
+                       return A.TsUs < B.TsUs;
+                     return A.DurUs > B.DurUs;
+                   });
+  return Out;
+}
+
+std::string TraceRecorder::toChromeJson() const {
+  // Track names, gathered under the registry lock.
+  std::vector<std::pair<std::uint32_t, std::string>> TrackNames;
+  {
+    std::lock_guard<std::mutex> G(RegistryLock);
+    for (const auto &B : Buffers) {
+      std::lock_guard<std::mutex> BG(B->Lock);
+      if (!B->Name.empty())
+        TrackNames.emplace_back(B->Tid, B->Name);
+    }
+  }
+
+  std::string S;
+  JsonWriter W(S);
+  W.beginObject();
+  W.keyValue("displayTimeUnit", "ms");
+  W.key("traceEvents");
+  W.beginArray();
+  for (const auto &[Tid, Name] : TrackNames) {
+    W.beginObject();
+    W.keyValue("ph", "M");
+    W.keyValue("name", "thread_name");
+    W.keyValue("pid", 1u);
+    W.keyValue("tid", Tid);
+    W.key("args");
+    W.beginObject();
+    W.keyValue("name", Name);
+    W.endObject();
+    W.endObject();
+  }
+  for (const TraceEvent &E : snapshot()) {
+    W.beginObject();
+    W.keyValue("ph", E.DurUs < 0 ? "i" : "X");
+    W.keyValue("name", E.Name);
+    W.keyValue("cat", E.Category);
+    W.keyValue("pid", 1u);
+    W.keyValue("tid", E.Tid);
+    W.keyValue("ts", E.TsUs);
+    if (E.DurUs < 0)
+      W.keyValue("s", "t"); // Instant scope: thread.
+    else
+      W.keyValue("dur", E.DurUs);
+    if (!E.Args.empty()) {
+      W.key("args");
+      W.beginObject();
+      for (const auto &[K, V] : E.Args)
+        W.keyValue(K, V);
+      W.endObject();
+    }
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return S;
+}
+
+Status TraceRecorder::writeChromeJson(const std::string &Path) const {
+  std::string S = toChromeJson();
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return Status::error("cannot open trace output file '" + Path + "'");
+  std::size_t Written = std::fwrite(S.data(), 1, S.size(), F);
+  bool CloseOk = std::fclose(F) == 0;
+  if (Written != S.size() || !CloseOk)
+    return Status::error("failed writing trace output file '" + Path + "'");
+  return Status::success();
+}
+
+void TraceRecorder::reset() {
+  std::lock_guard<std::mutex> G(RegistryLock);
+  for (const auto &B : Buffers) {
+    std::lock_guard<std::mutex> BG(B->Lock);
+    B->Events.clear();
+  }
+}
+
+void depflow::obs::traceInstant(const char *Category, const char *Name) {
+  TraceRecorder &R = TraceRecorder::global();
+  if (!R.enabled())
+    return;
+  TraceEvent E;
+  E.Name = Name;
+  E.Category = Category;
+  E.TsUs = R.nowUs();
+  E.DurUs = -1;
+  R.record(std::move(E));
+}

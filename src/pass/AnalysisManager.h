@@ -40,6 +40,7 @@
 #define DEPFLOW_PASS_ANALYSISMANAGER_H
 
 #include "ir/Function.h"
+#include "obs/Trace.h"
 #include "support/Statistic.h"
 
 #include <cassert>
@@ -146,6 +147,7 @@ public:
   FunctionAnalysisManager &operator=(const FunctionAnalysisManager &) = delete;
 
   Function &function() { return F; }
+  const Function &function() const { return F; }
 
   /// The current function modification epoch. Starts at 1; advances on
   /// every invalidation that does not preserve everything.
@@ -159,6 +161,7 @@ public:
       assert(!E.InFlight && "cyclic analysis dependency");
       if (!CachingDisabled && E.Result && E.Epoch == CurrentEpoch) {
         ++E.Hits;
+        obs::traceInstant("analysis-hit", A::name());
         return static_cast<Holder<typename A::Result> *>(E.Result.get())
             ->Value;
       }
@@ -169,8 +172,14 @@ public:
     }
     // Run outside the Entry reference: nested getResult calls may insert
     // into the map (node-stable, but keep the access pattern simple).
-    auto Fresh =
-        std::make_unique<Holder<typename A::Result>>(A::run(F, *this));
+    // The span covers only the compute path, so in a trace the cost of an
+    // analysis is visibly attributed to the pass that first demanded it;
+    // cache hits show up as instant markers.
+    std::unique_ptr<Holder<typename A::Result>> Fresh;
+    {
+      obs::TraceSpan Span("analysis", A::name());
+      Fresh = std::make_unique<Holder<typename A::Result>>(A::run(F, *this));
+    }
     Entry &E = entry(K, A::name());
     E.InFlight = false;
     E.Result = std::move(Fresh);

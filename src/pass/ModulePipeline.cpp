@@ -60,10 +60,11 @@ ModulePipelineResult::aggregatePassRecords() const {
   for (const FunctionPipelineResult &FR : Functions)
     for (std::size_t P = 0; P != FR.Passes.size(); ++P) {
       if (Agg.size() <= P)
-        Agg.push_back({FR.Passes[P].Pass, 0, 0, 0});
+        Agg.push_back({FR.Passes[P].Pass, 0, 0, 0, 0});
       Agg[P].Seconds += FR.Passes[P].Seconds;
       Agg[P].AnalysisHits += FR.Passes[P].AnalysisHits;
       Agg[P].AnalysisMisses += FR.Passes[P].AnalysisMisses;
+      Agg[P].AllocBytes += FR.Passes[P].AllocBytes;
     }
   return Agg;
 }
@@ -97,10 +98,11 @@ void ModulePipelineResult::printReport(std::FILE *Out) const {
   for (const PassInstrumentation::Record &R : Agg)
     std::fprintf(Out,
                  "  %10.6fs (%5.1f%%)  %-14s analyses: %llu reused, "
-                 "%llu computed\n",
+                 "%llu computed; %llu KiB allocated\n",
                  R.Seconds, Total > 0 ? 100.0 * R.Seconds / Total : 0.0,
                  R.Pass.c_str(), (unsigned long long)R.AnalysisHits,
-                 (unsigned long long)R.AnalysisMisses);
+                 (unsigned long long)R.AnalysisMisses,
+                 (unsigned long long)(R.AllocBytes / 1024));
   std::fprintf(Out, "  %10.6fs (100.0%%)  total\n", Total);
 
   std::fprintf(Out, "===-------------------------------------------===\n");
@@ -140,6 +142,10 @@ depflow::runPipelineOnModule(Module &M, const PassPipeline &Pipe,
     FunctionPipelineResult &FR = R.Functions[I];
     FR.Name = F.name();
 
+    // One span per function task, on the executing worker's track; the
+    // per-pass spans from PassInstrumentation nest inside it.
+    obs::TraceSpan TaskSpan("task", "func:" + F.name());
+
     FunctionAnalysisManager AM(F);
     PassInstrumentation PI;
     PI.PrintAfterAll = Opts.PrintAfterAll;
@@ -176,14 +182,19 @@ depflow::runPipelineOnModule(Module &M, const PassPipeline &Pipe,
   }
 
   std::atomic<unsigned> Next{0};
-  auto Worker = [&] {
+  auto Worker = [&](unsigned WorkerIndex) {
+    // Named tracks: the trace viewer shows one lane per worker with its
+    // function-task spans stacked on it.
+    if (obs::TraceRecorder::global().enabled())
+      obs::TraceRecorder::global().setCurrentThreadName(
+          "worker-" + std::to_string(WorkerIndex));
     for (unsigned I; (I = Next.fetch_add(1, std::memory_order_relaxed)) < N;)
       RunOne(I);
   };
   std::vector<std::thread> Pool;
   Pool.reserve(Jobs);
   for (unsigned T = 0; T != Jobs; ++T)
-    Pool.emplace_back(Worker);
+    Pool.emplace_back(Worker, T);
   for (std::thread &T : Pool)
     T.join();
   return R;

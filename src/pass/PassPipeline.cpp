@@ -13,6 +13,7 @@
 #include "ir/Printer.h"
 #include "ir/Transforms.h"
 #include "ir/Verifier.h"
+#include "obs/Metrics.h"
 #include "pass/Analyses.h"
 #include "ssa/SSA.h"
 #include "support/Statistic.h"
@@ -124,11 +125,14 @@ bool containsPhis(const Function &F) {
 
 } // namespace
 
-void PassInstrumentation::beforePass(PassId,
+void PassInstrumentation::beforePass(PassId P,
                                      const FunctionAnalysisManager &AM) {
+  ActiveSpan.emplace("pass", passName(P));
+  ActiveSpan->arg("function", AM.function().name());
   StartSeconds = nowSeconds();
   StartHits = AM.totalHits();
   StartMisses = AM.totalMisses();
+  StartAllocBytes = obs::threadAllocatedBytes();
 }
 
 void PassInstrumentation::afterPass(PassId P, Function &F,
@@ -138,6 +142,11 @@ void PassInstrumentation::afterPass(PassId P, Function &F,
   R.Seconds = nowSeconds() - StartSeconds;
   R.AnalysisHits = AM.totalHits() - StartHits;
   R.AnalysisMisses = AM.totalMisses() - StartMisses;
+  R.AllocBytes = obs::threadAllocatedBytes() - StartAllocBytes;
+  // Commit the span before the (possibly slow) dump paths below so its
+  // duration brackets the same interval as R.Seconds — the obs tests hold
+  // the two reports to within a small tolerance of each other.
+  ActiveSpan.reset();
   Records.push_back(std::move(R));
 
   if (PrintAfterAll)
@@ -167,10 +176,11 @@ void PassInstrumentation::printReport(
   for (const Record &R : Records)
     std::fprintf(Out,
                  "  %10.6fs (%5.1f%%)  %-14s analyses: %llu reused, "
-                 "%llu computed\n",
+                 "%llu computed; %llu KiB allocated\n",
                  R.Seconds, Total > 0 ? 100.0 * R.Seconds / Total : 0.0,
                  R.Pass.c_str(), (unsigned long long)R.AnalysisHits,
-                 (unsigned long long)R.AnalysisMisses);
+                 (unsigned long long)R.AnalysisMisses,
+                 (unsigned long long)(R.AllocBytes / 1024));
   std::fprintf(Out, "  %10.6fs (100.0%%)  total\n", Total);
 
   std::fprintf(Out, "===-------------------------------------------===\n");

@@ -24,19 +24,23 @@
 /// back as a Status instead of an assert.
 ///
 /// `PassInstrumentation` hangs observation off the pipeline: per-pass wall
-/// time and analysis hit/miss deltas (--time-passes), IR dumps after every
-/// pass (--print-after-all), and GraphViz dumps (--dot-after-all).
+/// time, analysis hit/miss deltas, and allocation deltas (--time-passes /
+/// --stats-json), a trace span per pass on the global obs recorder
+/// (--trace-json), IR dumps after every pass (--print-after-all), and
+/// GraphViz dumps (--dot-after-all).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef DEPFLOW_PASS_PASSPIPELINE_H
 #define DEPFLOW_PASS_PASSPIPELINE_H
 
+#include "obs/Trace.h"
 #include "pass/AnalysisManager.h"
 #include "pass/Pass.h"
 #include "support/Error.h"
 
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -57,6 +61,9 @@ public:
     double Seconds = 0;
     std::uint64_t AnalysisHits = 0;   // Cache hits during this pass.
     std::uint64_t AnalysisMisses = 0; // Analyses (re)computed during it.
+    std::uint64_t AllocBytes = 0;     // Heap requested during this pass
+                                      // (obs counting-allocator delta on
+                                      // the executing thread).
   };
 
   const std::vector<Record> &records() const { return Records; }
@@ -73,6 +80,10 @@ private:
   std::vector<Record> Records;
   double StartSeconds = 0;
   std::uint64_t StartHits = 0, StartMisses = 0;
+  std::uint64_t StartAllocBytes = 0;
+  // The in-flight pass's trace span (--trace-json): opened in beforePass,
+  // committed in afterPass. Inert while the global recorder is off.
+  std::optional<obs::TraceSpan> ActiveSpan;
 };
 
 /// Parses a comma-separated pass list ("separate,constprop,pre").

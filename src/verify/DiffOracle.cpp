@@ -7,7 +7,9 @@
 
 #include "verify/DiffOracle.h"
 
+#include "dataflow/PRE.h"
 #include "interp/Interpreter.h"
+#include "ir/Parser.h"
 #include "ir/Printer.h"
 
 using namespace depflow;
@@ -112,4 +114,19 @@ Status depflow::diffExecutions(const Function &Original,
     }
   }
   return S;
+}
+
+Status depflow::cloneFunction(const Function &F,
+                              std::unique_ptr<Function> &Out) {
+  std::string Text = printFunction(F);
+  ParseResult R = parseFunction(Text);
+  if (!R.ok())
+    return Status::error("print->parse round-trip failed: " + R.Error +
+                         "\nprinted text:\n" + Text);
+  Out = std::move(R.Fn);
+  return Status::success();
+}
+
+std::vector<Expression> depflow::preWatchedExpressions(const Function &F) {
+  return collectExpressions(F);
 }

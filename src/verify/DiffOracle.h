@@ -27,6 +27,7 @@
 #include "support/Error.h"
 #include "support/RNG.h"
 
+#include <memory>
 #include <vector>
 
 namespace depflow {
@@ -63,6 +64,17 @@ Status diffExecutions(const Function &Original, const Function &Transformed,
 Status diffOneExecution(const Function &Original, const Function &Transformed,
                         const std::vector<std::int64_t> &Inputs,
                         const OracleOptions &Opts = {});
+
+/// Clones \p F by printing and re-parsing it (the IR round-trips by
+/// construction; a failure to do so is itself a bug and yields an error).
+/// Variable *ids* may be renumbered; names and semantics are preserved.
+/// This is how the fuzzer gets a pristine original to diff against.
+Status cloneFunction(const Function &F, std::unique_ptr<Function> &Out);
+
+/// The binary expressions of \p F eligible for PRE — what the oracle
+/// watches for the "never adds a computation" guarantee
+/// (OracleOptions::NoNewComputationsOf).
+std::vector<Expression> preWatchedExpressions(const Function &F);
 
 } // namespace depflow
 

@@ -14,7 +14,6 @@
 #include "ir/Printer.h"
 #include "pass/Analyses.h"
 #include "pass/PassPipeline.h"
-#include "verify/PassRunner.h"
 
 #include <gtest/gtest.h>
 

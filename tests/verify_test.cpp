@@ -13,9 +13,9 @@
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
+#include "pass/PassPipeline.h"
 #include "support/Error.h"
 #include "verify/DiffOracle.h"
-#include "verify/PassRunner.h"
 #include "verify/PassVerifier.h"
 #include "workload/Generators.h"
 
@@ -24,6 +24,13 @@
 using namespace depflow;
 
 namespace {
+
+/// Single-shot checked pass run with a throwaway manager — these tests
+/// exercise each pass in isolation, so there is no cache to share.
+Status runPassFresh(Function &F, PassId P) {
+  FunctionAnalysisManager AM(F);
+  return runPass(F, P, AM);
+}
 
 const char *DiamondSrc = R"(
 func main(a) {
@@ -111,7 +118,7 @@ TEST(Hygiene, CleanProgramHasNoWarnings) {
 TEST(SSAForm, AcceptsBothConstructionRoutes) {
   for (PassId P : {PassId::SSA, PassId::SSADfg}) {
     auto F = parseFunctionOrDie(DiamondSrc);
-    ASSERT_TRUE(runPass(*F, P).ok());
+    ASSERT_TRUE(runPassFresh(*F, P).ok());
     Status S = verifySSAForm(*F);
     EXPECT_TRUE(S.ok()) << S.str();
   }
@@ -190,7 +197,7 @@ TEST(DFG, WellFormedOnGeneratedPrograms) {
 
 TEST(DFG, RefusesPhiInput) {
   auto F = parseFunctionOrDie(DiamondSrc);
-  ASSERT_TRUE(runPass(*F, PassId::SSA).ok());
+  ASSERT_TRUE(runPassFresh(*F, PassId::SSA).ok());
   EXPECT_FALSE(verifyDFGWellFormed(*F).ok());
 }
 
@@ -208,7 +215,7 @@ TEST(CrossCheck, FastStructureMatchesBruteForce) {
 // Pass runner
 //===----------------------------------------------------------------------===//
 
-TEST(PassRunner, NamesRoundTrip) {
+TEST(CheckedRunPass, NamesRoundTrip) {
   for (PassId P : allPasses()) {
     auto Back = passByName(passName(P));
     ASSERT_TRUE(Back.has_value());
@@ -217,10 +224,10 @@ TEST(PassRunner, NamesRoundTrip) {
   EXPECT_FALSE(passByName("no-such-pass").has_value());
 }
 
-TEST(PassRunner, EveryPassPreservesInvariantsOnDiamond) {
+TEST(CheckedRunPass, EveryPassPreservesInvariantsOnDiamond) {
   for (PassId P : allPasses()) {
     auto F = parseFunctionOrDie(DiamondSrc);
-    Status S = runPass(*F, P);
+    Status S = runPassFresh(*F, P);
     ASSERT_TRUE(S.ok()) << passName(P) << ": " << S.str();
     VerifyOptions VO;
     VO.ExpectSSA = passProducesSSA(P);
@@ -229,18 +236,18 @@ TEST(PassRunner, EveryPassPreservesInvariantsOnDiamond) {
   }
 }
 
-TEST(PassRunner, RejectsPhiInputWithoutCrashing) {
+TEST(CheckedRunPass, RejectsPhiInputWithoutCrashing) {
   auto F = parseFunctionOrDie(DiamondSrc);
-  ASSERT_TRUE(runPass(*F, PassId::SSA).ok());
+  ASSERT_TRUE(runPassFresh(*F, PassId::SSA).ok());
   std::string Before = printFunction(*F);
-  Status S = runPass(*F, PassId::ConstProp);
+  Status S = runPassFresh(*F, PassId::ConstProp);
   ASSERT_FALSE(S.ok());
   EXPECT_NE(S.str().find("phi"), std::string::npos) << S.str();
   // Precondition failures leave the function untouched.
   EXPECT_EQ(printFunction(*F), Before);
 }
 
-TEST(PassRunner, CloneRoundTripsExactly) {
+TEST(CheckedRunPass, CloneRoundTripsExactly) {
   auto F = parseFunctionOrDie(DiamondSrc);
   std::unique_ptr<Function> Clone;
   ASSERT_TRUE(cloneFunction(*F, Clone).ok());
@@ -306,7 +313,7 @@ TEST(DiffOracle, PREPassNeverAddsComputations) {
     std::unique_ptr<Function> T;
     ASSERT_TRUE(cloneFunction(*F, T).ok());
     std::vector<Expression> Watched = preWatchedExpressions(*T);
-    ASSERT_TRUE(runPass(*T, PassId::PRE).ok());
+    ASSERT_TRUE(runPassFresh(*T, PassId::PRE).ok());
     OracleOptions OO;
     OO.NoNewComputationsOf = &Watched;
     RNG Rand(Seed);
@@ -333,7 +340,7 @@ TEST(EndToEnd, AllPassesOnAllFamilies) {
     for (PassId P : allPasses()) {
       std::unique_ptr<Function> T;
       ASSERT_TRUE(cloneFunction(*F, T).ok());
-      Status S = runPass(*T, P);
+      Status S = runPassFresh(*T, P);
       ASSERT_TRUE(S.ok()) << passName(P) << ": " << S.str();
       VerifyOptions VO;
       VO.ExpectSSA = passProducesSSA(P);

@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Render depflow's machine-readable bench baselines as markdown tables.
+
+Every bench binary writes ``BENCH_<name>.json`` (schema "depflow-bench",
+see src/obs/Bench.h) when ``DEPFLOW_BENCH_JSON`` names a directory. This
+tool turns a directory of those files back into the tables quoted in
+EXPERIMENTS.md:
+
+    DEPFLOW_BENCH_JSON=bench_json sh -c 'for b in build/bench/*; do $b; done'
+    python3 tools/bench_report.py bench_json
+
+``--check`` only validates the schema of every file (used by CI's
+bench-smoke job): exit 0 iff each document parses, carries the expected
+schema name, and has a version this tool understands.
+"""
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+SCHEMA = "depflow-bench"
+SUPPORTED_VERSION = 1
+
+
+class SchemaError(Exception):
+    pass
+
+
+def load(path):
+    """Parse and validate one BENCH_*.json document."""
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError) as e:
+        raise SchemaError(f"{path}: unreadable JSON: {e}")
+    if doc.get("schema") != SCHEMA:
+        raise SchemaError(f"{path}: schema is {doc.get('schema')!r}, "
+                          f"expected {SCHEMA!r}")
+    if doc.get("schema_version") != SUPPORTED_VERSION:
+        raise SchemaError(f"{path}: schema_version "
+                          f"{doc.get('schema_version')!r} unsupported "
+                          f"(this tool understands {SUPPORTED_VERSION})")
+    if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+        raise SchemaError(f"{path}: missing 'bench' name")
+    entries = doc.get("entries")
+    if not isinstance(entries, list):
+        raise SchemaError(f"{path}: 'entries' is not a list")
+    for e in entries:
+        for key, kind in (("name", str), ("metrics", dict),
+                          ("time_unit", str), ("iterations", int)):
+            if not isinstance(e.get(key), kind):
+                raise SchemaError(
+                    f"{path}: entry {e.get('name')!r}: bad '{key}'")
+    return doc
+
+
+def fmt(v):
+    """Compact numeric formatting for table cells."""
+    if v != v or v in (math.inf, -math.inf):
+        return str(v)
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    if abs(v) >= 100:
+        return f"{v:.0f}"
+    if abs(v) >= 1:
+        return f"{v:.2f}"
+    return f"{v:.4g}"
+
+
+def table(header, rows):
+    out = ["| " + " | ".join(header) + " |",
+           "|" + "|".join("---" for _ in header) + "|"]
+    out += ["| " + " | ".join(r) + " |" for r in rows]
+    return "\n".join(out)
+
+
+def complexity_table(doc):
+    """The `<family>_BigO` / `<family>_RMS` rows as a fits table."""
+    fits = {}
+    for e in doc["entries"]:
+        name = e["name"]
+        for suffix, field in (("_BigO", "coefficient"), ("_RMS", "rms")):
+            if name.endswith(suffix):
+                family = name[: -len(suffix)]
+                fits.setdefault(family, {})[field] = e
+    if not fits:
+        return None
+    rows = []
+    for family, f in fits.items():
+        coef = f.get("coefficient")
+        rms = f.get("rms")
+        coef_cell = rms_cell = "—"
+        if coef:
+            coef_cell = (fmt(coef["metrics"].get("real_time", 0.0))
+                         + f" {coef['time_unit']}")
+        if rms:
+            # google-benchmark reports RMS as a fraction of the mean.
+            rms_cell = fmt(100.0 * rms["metrics"].get("real_time", 0.0)) + "%"
+        rows.append([f"`{family}`", coef_cell, rms_cell])
+    return table(["family", "fitted coefficient (per N)", "RMS"], rows)
+
+
+def entries_table(doc, max_rows):
+    entries = [e for e in doc["entries"]
+               if not e["name"].endswith(("_BigO", "_RMS"))]
+    if not entries:
+        return None, 0
+    keys = []
+    for e in entries:
+        for k in e["metrics"]:
+            if k not in keys:
+                keys.append(k)
+    shown = entries if max_rows <= 0 else entries[:max_rows]
+    rows = []
+    for e in shown:
+        unit = e["time_unit"]
+        cells = [f"`{e['name']}`"]
+        for k in keys:
+            v = e["metrics"].get(k)
+            if v is None:
+                cells.append("—")
+            elif k in ("real_time", "cpu_time") and unit:
+                cells.append(f"{fmt(v)} {unit}")
+            else:
+                cells.append(fmt(v))
+        rows.append(cells)
+    return table(["name"] + keys, rows), len(entries) - len(shown)
+
+
+def render(docs, max_rows):
+    out = []
+    for doc in docs:
+        out.append(f"### bench_{doc['bench']}")
+        out.append("")
+        fits = complexity_table(doc)
+        if fits:
+            out.append("Complexity fits:")
+            out.append("")
+            out.append(fits)
+            out.append("")
+        tab, dropped = entries_table(doc, max_rows)
+        if tab:
+            out.append(tab)
+            if dropped:
+                out.append("")
+                out.append(f"(… {dropped} more rows in the JSON)")
+            out.append("")
+    return "\n".join(out).rstrip() + "\n"
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        epilog="Reads every BENCH_*.json in DIR.")
+    ap.add_argument("dir", type=Path,
+                    help="directory the bench binaries wrote into "
+                         "(the DEPFLOW_BENCH_JSON value)")
+    ap.add_argument("--check", action="store_true",
+                    help="validate schemas only; no output on success")
+    ap.add_argument("--max-rows", type=int, default=0,
+                    help="cap rows per bench table (0 = unlimited)")
+    args = ap.parse_args()
+
+    paths = sorted(args.dir.glob("BENCH_*.json"))
+    if not paths:
+        print(f"error: no BENCH_*.json files in {args.dir}", file=sys.stderr)
+        return 1
+    docs = []
+    failures = 0
+    for p in paths:
+        try:
+            docs.append(load(p))
+        except SchemaError as e:
+            print(f"error: {e}", file=sys.stderr)
+            failures += 1
+    if failures:
+        return 1
+    if args.check:
+        print(f"ok: {len(docs)} bench documents validated", file=sys.stderr)
+        return 0
+    sys.stdout.write(render(docs, args.max_rows))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Documentation consistency checks (CI's docs job).
+
+Two guarantees:
+
+1. **Links resolve.** Every relative markdown link in README.md,
+   DESIGN.md, EXPERIMENTS.md, ROADMAP.md, and docs/*.md points at a file
+   that exists; same-file ``#anchors`` match a real heading. External
+   http(s) links are not fetched (CI has no business flaking on the
+   network) — only their syntax is accepted.
+
+2. **docs/TOOLS.md tracks the binary.** The flags in the depflow-opt
+   section of docs/TOOLS.md and the flags printed by ``depflow-opt
+   --help`` must be the same set, in both directions: a flag added to the
+   tool without documentation fails, and a documented flag the tool no
+   longer mentions fails. Pass ``--depflow-opt`` with the built binary;
+   omit it to skip the drift check (link check only).
+
+Usage:
+    python3 tools/check_docs.py [--root DIR] [--depflow-opt BIN]
+
+Exit 0 iff everything holds; every violation is reported, not just the
+first.
+"""
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+DOC_FILES = ["README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md"]
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+FLAG_RE = re.compile(r"(?<![\w-])(--[a-z][a-z0-9-]*|-[a-zA-Z])(?![\w-])")
+
+# Flags that may legitimately appear on one side only: the help text's
+# meta-reference to itself is covered, and docs may show example values.
+FLAG_IGNORE = set()
+
+
+def github_slug(heading):
+    """GitHub's anchor slug for a heading line."""
+    s = heading.strip().lower()
+    s = re.sub(r"[`*_~]", "", s)
+    s = re.sub(r"[^\w\s-]", "", s, flags=re.UNICODE)
+    return re.sub(r"\s+", "-", s.strip())
+
+
+def heading_slugs(text):
+    slugs, counts = set(), {}
+    in_fence = False
+    for line in text.splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence or not line.startswith("#"):
+            continue
+        slug = github_slug(line.lstrip("#"))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def iter_links(text):
+    """Yield (lineno, target) for inline links outside code fences."""
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            yield lineno, m.group(1)
+
+
+def check_links(root, errors):
+    files = [root / f for f in DOC_FILES] + sorted((root / "docs").glob("*.md"))
+    texts = {}
+    for f in files:
+        if f.exists():
+            texts[f] = f.read_text()
+    for f, text in texts.items():
+        rel = f.relative_to(root)
+        for lineno, target in iter_links(text):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, …
+                continue
+            path_part, _, anchor = target.partition("#")
+            if path_part:
+                dest = (f.parent / path_part).resolve()
+                if not dest.exists():
+                    errors.append(f"{rel}:{lineno}: broken link '{target}' "
+                                  f"({dest} does not exist)")
+                    continue
+                dest_text = (texts.get(dest) if dest in texts
+                             else dest.read_text() if dest.suffix == ".md"
+                             else None)
+            else:
+                dest_text = text
+            if anchor and dest_text is not None:
+                if anchor not in heading_slugs(dest_text):
+                    errors.append(f"{rel}:{lineno}: link '{target}' names a "
+                                  f"missing anchor '#{anchor}'")
+
+
+def flags_in(text):
+    return {m.group(1) for m in FLAG_RE.finditer(text)} - FLAG_IGNORE
+
+
+def tools_md_opt_section(root):
+    text = (root / "docs" / "TOOLS.md").read_text()
+    m = re.search(r"^## depflow-opt$(.*?)^## ", text, re.M | re.S)
+    if not m:
+        return None
+    return m.group(1)
+
+
+def check_flag_drift(root, binary, errors):
+    section = tools_md_opt_section(root)
+    if section is None:
+        errors.append("docs/TOOLS.md: no '## depflow-opt' section found")
+        return
+    try:
+        proc = subprocess.run([binary, "--help"], capture_output=True,
+                              text=True, timeout=30)
+    except OSError as e:
+        errors.append(f"cannot run {binary} --help: {e}")
+        return
+    if proc.returncode != 0:
+        errors.append(f"{binary} --help exited {proc.returncode}")
+        return
+    doc_flags = flags_in(section)
+    help_flags = flags_in(proc.stdout)
+    for flag in sorted(help_flags - doc_flags):
+        errors.append(f"docs/TOOLS.md: flag '{flag}' is in depflow-opt "
+                      f"--help but not documented")
+    for flag in sorted(doc_flags - help_flags):
+        errors.append(f"docs/TOOLS.md: documents '{flag}' but depflow-opt "
+                      f"--help does not mention it")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", type=Path,
+                    default=Path(__file__).resolve().parent.parent,
+                    help="repository root (default: this script's repo)")
+    ap.add_argument("--depflow-opt", type=Path, default=None,
+                    help="built depflow-opt binary for the --help drift "
+                         "check; omitted = link check only")
+    args = ap.parse_args()
+
+    errors = []
+    check_links(args.root, errors)
+    if args.depflow_opt is not None:
+        check_flag_drift(args.root, str(args.depflow_opt), errors)
+    else:
+        print("check_docs: note: --depflow-opt not given; "
+              "skipping the --help drift check", file=sys.stderr)
+
+    for e in errors:
+        print(f"error: {e}", file=sys.stderr)
+    if not errors:
+        print("check_docs: ok", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

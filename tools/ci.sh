@@ -8,9 +8,11 @@
 # 500-iteration differential fuzz smoke over every pass, a pipeline smoke
 # that drives the instrumented pass manager over the checked-in example
 # programs, a module smoke that checks -j 8 output against -j 1 on a
-# fuzz-generated module, and a quick-mode run of the two pipeline
-# benchmarks. Any verifier violation, oracle mismatch, sanitizer report,
-# or test failure fails CI.
+# fuzz-generated module, an observability smoke (--trace-json /
+# --stats-json documents must validate), a quick-mode run of the two
+# pipeline benchmarks with BENCH_*.json schema validation, and the docs
+# consistency checks. Any verifier violation, oracle mismatch, sanitizer
+# report, or test failure fails CI.
 #
 # This script is the single source of truth for "what CI runs": the
 # GitHub workflow's sanitizer job invokes it unmodified, so a green local
@@ -66,9 +68,36 @@ if ! cmp -s "$MODDIR/j1.df" "$MODDIR/j8.df"; then
   exit 1
 fi
 
-# Bench smoke (quick mode): the benchmarks must run to completion and
-# bench_parallel's built-in serial/parallel equality check must hold.
-"$BUILD/bench/bench_pipeline" 6
-DEPFLOW_BENCH_QUICK=1 "$BUILD/bench/bench_parallel"
+# Observability smoke: --trace-json / --stats-json on a parallel run must
+# produce documents that parse and agree with each other (the full 5%
+# agreement contract is a ctest; here we assert the files are well-formed
+# JSON with the expected schemas, under the sanitizers).
+"$BUILD/tools/depflow-opt" --passes=separate,constprop,pre -j 8 \
+    --trace-json "$MODDIR/trace.json" --stats-json "$MODDIR/stats.json" \
+    "$MODDIR/module.df" >/dev/null
+python3 - "$MODDIR" <<'PY'
+import json, sys
+d = sys.argv[1]
+trace = json.load(open(d + "/trace.json"))
+assert trace["displayTimeUnit"] == "ms" and trace["traceEvents"]
+stats = json.load(open(d + "/stats.json"))
+assert stats["schema"] == "depflow-stats" and stats["schema_version"] >= 1
+assert stats["passes"], stats
+print("ci: trace/stats JSON ok "
+      f"({len(trace['traceEvents'])} events, {len(stats['passes'])} passes)")
+PY
+
+# Bench smoke (quick mode): the benchmarks must run to completion,
+# bench_parallel's built-in serial/parallel equality check must hold, and
+# the emitted BENCH_*.json baselines must validate against the
+# depflow-bench schema.
+mkdir -p "$MODDIR/bench"
+DEPFLOW_BENCH_JSON="$MODDIR/bench" "$BUILD/bench/bench_pipeline" 6
+DEPFLOW_BENCH_JSON="$MODDIR/bench" DEPFLOW_BENCH_QUICK=1 \
+    "$BUILD/bench/bench_parallel"
+python3 "$ROOT/tools/bench_report.py" "$MODDIR/bench" --check
+
+# Docs: links resolve and docs/TOOLS.md agrees with depflow-opt --help.
+python3 "$ROOT/tools/check_docs.py" --depflow-opt "$BUILD/tools/depflow-opt"
 
 echo "ci: all green"

@@ -46,7 +46,6 @@
 #include "pass/PassPipeline.h"
 #include "support/RNG.h"
 #include "verify/DiffOracle.h"
-#include "verify/PassRunner.h"
 #include "verify/PassVerifier.h"
 #include "workload/Generators.h"
 

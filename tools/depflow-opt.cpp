@@ -36,6 +36,15 @@
 //   --regions            print cycle-equivalence classes and the PST
 //   --run v1,v2,...      interpret each function with the given inputs and
 //                        print its outputs
+//   --trace-json FILE    write a Chrome trace-event JSON timeline (pass,
+//                        analysis, and function-task spans, one track per
+//                        worker thread) loadable in chrome://tracing or
+//                        Perfetto
+//   --stats-json FILE    write the machine-readable statistics report
+//                        (schema "depflow-stats": pass timings and
+//                        allocation, analysis hit/miss counters, global
+//                        statistics, process metrics)
+//   --help | -h          print the full flag reference and exit 0
 //
 // Reads a module — one or more `func` definitions — from the file (or
 // stdin), applies the requested passes to every function through the
@@ -55,6 +64,8 @@
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
+#include "obs/StatsJson.h"
+#include "obs/Trace.h"
 #include "pass/Analyses.h"
 #include "pass/ModulePipeline.h"
 #include "pass/PassPipeline.h"
@@ -90,7 +101,10 @@ struct Options {
   bool DotCFG = false;
   bool Regions = false;
   bool Run = false;
+  bool Help = false;
   std::vector<std::int64_t> Inputs;
+  std::string TraceJson; // --trace-json destination; empty = disabled.
+  std::string StatsJson; // --stats-json destination; empty = disabled.
   std::string File;
 };
 
@@ -105,8 +119,76 @@ int usage() {
                "                   [--print-stats] [--print-after-all] "
                "[--dot-after-all] [--dot-dfg]\n"
                "                   [--dot-cfg] [--regions] [--run v1,v2,...] "
-               "[file]\n");
+               "[--trace-json FILE]\n"
+               "                   [--stats-json FILE] [--help] [file]\n");
   return 2;
+}
+
+// The authoritative flag reference; docs/TOOLS.md mirrors it and CI's docs
+// job (tools/check_docs.py) fails if either side drifts. Keep every flag
+// spelled out here.
+void help() {
+  std::printf(
+      "usage: depflow-opt [options] [file]\n"
+      "\n"
+      "Reads a module (one or more `func` definitions) from the file or\n"
+      "stdin, runs the requested pass pipeline over every function in\n"
+      "parallel, and prints the result in input order. See docs/TOOLS.md\n"
+      "for the full reference and docs/IR.md for the input grammar.\n"
+      "\n"
+      "Pipeline:\n"
+      "  --passes=P1,P2,...  run the given passes in the given order\n"
+      "                      (separate, constprop, constprop-cfg, pre,\n"
+      "                      pre-busy, ssa, ssa-dfg)\n"
+      "  --separate          legacy spelling: append the named pass in\n"
+      "  --constprop         canonical order after any --passes list\n"
+      "  --constprop-cfg     (constprop/constprop-cfg and pre/pre-busy and\n"
+      "  --pre               ssa/ssa-dfg are mutually exclusive pairs)\n"
+      "  --pre-busy\n"
+      "  --ssa\n"
+      "  --ssa-dfg\n"
+      "  --predicates        enable the x==c refinement during constprop\n"
+      "  -j N, --jobs=N      process functions on N worker threads\n"
+      "                      (default: hardware concurrency); output is\n"
+      "                      byte-identical for every N\n"
+      "\n"
+      "Checking:\n"
+      "  --verify-each       run the full invariant checkers after every\n"
+      "                      pass (exit 3 on violation)\n"
+      "  --strict            escalate def-use hygiene warnings to errors\n"
+      "  --fuzz-safe         no stdout output; diagnostics and exit code\n"
+      "                      only\n"
+      "\n"
+      "Observability:\n"
+      "  --time-passes       per-pass wall time, analysis hit/miss, and\n"
+      "                      allocation report on stderr\n"
+      "  --print-stats       global statistics counters on stderr\n"
+      "  --trace-json FILE   write a Chrome trace-event JSON timeline\n"
+      "                      (pass/analysis/task spans, one track per\n"
+      "                      worker) for chrome://tracing or Perfetto\n"
+      "  --stats-json FILE   write the machine-readable statistics report\n"
+      "                      (versioned schema \"depflow-stats\")\n"
+      "\n"
+      "Inspection:\n"
+      "  --print-after-all   dump the IR after every pass (stderr;\n"
+      "                      forces -j 1)\n"
+      "  --dot-after-all     dump DFG/CFG GraphViz after every pass\n"
+      "                      (stderr; forces -j 1)\n"
+      "  --dot-dfg           print the dependence flow graph in GraphViz\n"
+      "                      form instead of the module\n"
+      "  --dot-cfg           print the CFG in GraphViz form instead of\n"
+      "                      the module\n"
+      "  --regions           print cycle-equivalence classes and the PST\n"
+      "\n"
+      "Execution:\n"
+      "  --run v1,v2,...     interpret each function with the given inputs\n"
+      "                      and print its outputs\n"
+      "\n"
+      "  --help, -h          print this reference and exit 0\n"
+      "\n"
+      "Exit codes: 0 success; 1 input rejected (parse/verifier/strict\n"
+      "hygiene error, trapping or non-halting --run); 2 usage error;\n"
+      "3 internal invariant violation (always a depflow bug).\n");
 }
 
 /// Returns 0 to continue, or the exit code to stop with. Legacy
@@ -200,6 +282,36 @@ int parseArgs(int Argc, char **Argv, Options &O) {
         while (std::getline(SS, Tok, ','))
           O.Inputs.push_back(std::strtoll(Tok.c_str(), nullptr, 10));
       }
+    } else if (A.rfind("--trace-json=", 0) == 0 || A == "--trace-json") {
+      if (A == "--trace-json") {
+        if (I + 1 >= Argc) {
+          std::fprintf(stderr, "error: --trace-json requires a file\n");
+          return 2;
+        }
+        O.TraceJson = Argv[++I];
+      } else {
+        O.TraceJson = A.substr(std::strlen("--trace-json="));
+      }
+      if (O.TraceJson.empty()) {
+        std::fprintf(stderr, "error: --trace-json requires a file\n");
+        return 2;
+      }
+    } else if (A.rfind("--stats-json=", 0) == 0 || A == "--stats-json") {
+      if (A == "--stats-json") {
+        if (I + 1 >= Argc) {
+          std::fprintf(stderr, "error: --stats-json requires a file\n");
+          return 2;
+        }
+        O.StatsJson = Argv[++I];
+      } else {
+        O.StatsJson = A.substr(std::strlen("--stats-json="));
+      }
+      if (O.StatsJson.empty()) {
+        std::fprintf(stderr, "error: --stats-json requires a file\n");
+        return 2;
+      }
+    } else if (A == "--help" || A == "-h") {
+      O.Help = true;
     } else if (A.rfind("--", 0) == 0) {
       return usage();
     } else {
@@ -263,6 +375,27 @@ int main(int Argc, char **Argv) {
   Options O;
   if (int Code = parseArgs(Argc, Argv, O))
     return Code;
+  if (O.Help) {
+    help();
+    return 0;
+  }
+
+  if (!O.TraceJson.empty()) {
+    obs::TraceRecorder::global().setEnabled(true);
+    obs::TraceRecorder::global().setCurrentThreadName("main");
+  }
+  // Written wherever the run ends (including the internal-error exits): a
+  // truncated run's timeline is exactly when the trace is wanted.
+  auto WriteTrace = [&]() -> int {
+    if (O.TraceJson.empty())
+      return 0;
+    Status S = obs::TraceRecorder::global().writeChromeJson(O.TraceJson);
+    if (!S.ok()) {
+      std::fprintf(stderr, "error: %s\n", S.str().c_str());
+      return 1;
+    }
+    return 0;
+  };
 
   std::string Src;
   if (O.File.empty()) {
@@ -327,10 +460,13 @@ int main(int Argc, char **Argv) {
     // Every function verified above, so a failure here is depflow's fault.
     std::fprintf(stderr, "internal error: %s\n",
                  PR.combinedStatus().str().c_str());
+    WriteTrace();
     return 3;
   }
-  if (Verifier.exitCode())
+  if (Verifier.exitCode()) {
+    WriteTrace();
     return Verifier.exitCode();
+  }
 
   // Post-pipeline inspection output, in input order. These run serially
   // with a fresh per-function manager (the pipeline's managers died with
@@ -361,6 +497,26 @@ int main(int Argc, char **Argv) {
     PR.printReport(stderr);
   if (O.PrintStats)
     printStatistics(stderr);
+
+  if (int Code = WriteTrace())
+    return Code;
+  if (!O.StatsJson.empty()) {
+    obs::StatsReport SR;
+    SR.Tool = "depflow-opt";
+    SR.Pipeline = O.Pipeline.str();
+    SR.Functions = M.numFunctions();
+    SR.Jobs = O.Jobs ? O.Jobs : defaultModulePipelineJobs();
+    for (const PassInstrumentation::Record &Rec : PR.aggregatePassRecords())
+      SR.Passes.push_back({Rec.Pass, Rec.Seconds, Rec.AnalysisHits,
+                           Rec.AnalysisMisses, Rec.AllocBytes});
+    for (const FunctionAnalysisManager::Counter &C : PR.aggregateCounters())
+      SR.Analyses.push_back({C.Name, C.Hits, C.Misses});
+    Status S = obs::writeStatsJson(O.StatsJson, SR);
+    if (!S.ok()) {
+      std::fprintf(stderr, "error: %s\n", S.str().c_str());
+      return 1;
+    }
+  }
 
   if (O.Run) {
     const bool Prefix = M.numFunctions() > 1;
