@@ -13,6 +13,7 @@
 #include "dataflow/Anticipatability.h"
 #include "dataflow/PRE.h"
 #include "ir/Transforms.h"
+#include "support/Statistic.h"
 #include "workload/Generators.h"
 
 #include "obs/BenchMain.h"
@@ -173,6 +174,63 @@ BENCHMARK(BM_EPR_BusyCodeMotion)
     ->Arg(1600)
     ->Unit(benchmark::kMicrosecond);
 
+//===----------------------------------------------------------------------===//
+// Deterministic counter sweep + per-solve linearity claims, in
+// benchMain's Extra hook. Both anticipatability engines must average
+// O(E) evaluations per expression solve; the fits are on the per-solve
+// mean so the (slowly growing) expression count doesn't inflate the
+// exponent.
+//===----------------------------------------------------------------------===//
+
+static void addCounterSweeps(obs::BenchReport &Report) {
+  std::vector<std::pair<double, double>> CFGPoints, DFGPoints;
+
+  auto Sweep = [&](unsigned Stmts) {
+    auto F = makeProgram(Stmts);
+    CFGEdges E(*F);
+    DepFlowGraph G = DepFlowGraph::build(*F, E);
+    std::vector<Expression> Exprs = collectExpressions(*F);
+    if (Exprs.empty())
+      return;
+
+    resetStatistics();
+    for (const Expression &Ex : Exprs)
+      cfgAnticipatability(*F, E, Ex);
+    double CFGEvals = double(statisticValue("ant", "NumAntCFGEvals"));
+    double CFGFlips = double(statisticValue("ant", "NumAntCFGBitsFlipped"));
+
+    resetStatistics();
+    for (const Expression &Ex : Exprs)
+      dfgExpressionAnt(*F, E, G, Ex);
+    double DFGEvals = double(statisticValue("ant", "NumAntDFGEvals"));
+    double DFGFlips = double(statisticValue("ant", "NumAntDFGBitsFlipped"));
+
+    double N = double(Exprs.size());
+    CFGPoints.push_back({double(E.size()), CFGEvals / N});
+    DFGPoints.push_back({double(E.size()), DFGEvals / N});
+    Report.add("Counters_Structured/" + std::to_string(Stmts),
+               {{"E", double(E.size())},
+                {"exprs", N},
+                {"ctr_ant_cfg_evals", CFGEvals},
+                {"ctr_ant_cfg_flips", CFGFlips},
+                {"ctr_ant_cfg_evals_per_expr", CFGEvals / N},
+                {"ctr_ant_dfg_evals", DFGEvals},
+                {"ctr_ant_dfg_flips", DFGFlips},
+                {"ctr_ant_dfg_evals_per_expr", DFGEvals / N}},
+               "count");
+  };
+
+  for (unsigned Stmts : {100u, 200u, 400u, 800u, 1600u})
+    Sweep(Stmts);
+
+  Report.addClaim(obs::fitClaim("ant-cfg-solve-linear-in-E",
+                                "ctr_ant_cfg_evals_per_expr", CFGPoints, 1.0,
+                                0.25, /*UpperBound=*/true));
+  Report.addClaim(obs::fitClaim("ant-dfg-solve-linear-in-E",
+                                "ctr_ant_dfg_evals_per_expr", DFGPoints, 1.0,
+                                0.25, /*UpperBound=*/true));
+}
+
 int main(int argc, char **argv) {
-  return depflow::obs::benchMain("ant_epr", argc, argv);
+  return depflow::obs::benchMain("ant_epr", argc, argv, addCounterSweeps);
 }

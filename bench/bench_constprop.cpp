@@ -21,6 +21,7 @@
 #include "ssa/SSA.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
+#include "support/Statistic.h"
 #include "workload/Generators.h"
 
 #include "obs/BenchMain.h"
@@ -118,6 +119,66 @@ BENCHMARK(BM_ConstProp_DFG) CP_ARGS;
 BENCHMARK(BM_ConstProp_DefUse) CP_ARGS;
 BENCHMARK(BM_ConstProp_SCCP) CP_ARGS;
 
+//===----------------------------------------------------------------------===//
+// Deterministic counter sweep + the Section 4 speedup claim, in
+// benchMain's Extra hook. The CFG engine's work is the vector slots it
+// copies across edges (the EV^2-ish term); the DFG engine's is tokens
+// sent plus worklist pops. Their ratio must *grow* with V — a lower-bound
+// claim on the fitted exponent, the inverse direction of the O(·) upper
+// bounds.
+//===----------------------------------------------------------------------===//
+
+static void addCounterSweeps(obs::BenchReport &Report) {
+  std::vector<std::pair<double, double>> RatioPoints;
+
+  auto Sweep = [&](unsigned Stmts, unsigned Vars) {
+    auto F = makeProgram(Stmts, Vars);
+
+    resetStatistics();
+    ConstPropResult CFGRes = cfgConstantPropagation(*F);
+    double CFGSlots =
+        double(statisticValue("constprop", "NumCPCFGSlotsPropagated"));
+    double CFGPops =
+        double(statisticValue("constprop", "NumCPCFGWorklistPops"));
+    // Captured before the next resetStatistics() wipes the registry.
+    double CFGLowerings =
+        double(statisticValue("constprop", "NumCPCFGLatticeLowerings"));
+
+    DepFlowGraph G = DepFlowGraph::build(*F);
+    resetStatistics();
+    ConstPropResult DFGRes = dfgConstantPropagation(*F, G);
+    double Tokens = double(statisticValue("constprop", "NumCPDFGTokensSent"));
+    double DFGPops =
+        double(statisticValue("constprop", "NumCPDFGWorklistPops"));
+    double DFGWork = Tokens + DFGPops;
+
+    double Ratio = DFGWork > 0 ? CFGSlots / DFGWork : 0;
+    RatioPoints.push_back({double(Vars), Ratio});
+    Report.add("Counters_Structured/" + std::to_string(Stmts) + "x" +
+                   std::to_string(Vars),
+               {{"E", double(F->numEdges())},
+                {"V", double(Vars)},
+                {"ctr_cp_cfg_slots", CFGSlots},
+                {"ctr_cp_cfg_pops", CFGPops},
+                {"ctr_cp_cfg_lowerings", CFGLowerings},
+                {"ctr_cp_dfg_tokens", Tokens},
+                {"ctr_cp_dfg_pops", DFGPops},
+                {"ctr_cp_dfg_lowerings",
+                 double(statisticValue("constprop", "NumCPDFGLatticeLowerings"))},
+                {"ctr_cp_ratio", Ratio},
+                {"consts_cfg", double(CFGRes.numConstantVarUses())},
+                {"consts_dfg", double(DFGRes.numConstantVarUses())}},
+               "count");
+  };
+
+  for (unsigned Vars : {2u, 8u, 32u, 128u})
+    Sweep(400, Vars);
+
+  Report.addClaim(obs::fitClaim("constprop-dfg-speedup-grows-with-V",
+                                "ctr_cp_ratio", RatioPoints, 1.0, 0.5,
+                                /*UpperBound=*/false));
+}
+
 int main(int argc, char **argv) {
-  return depflow::obs::benchMain("constprop", argc, argv);
+  return depflow::obs::benchMain("constprop", argc, argv, addCounterSweeps);
 }

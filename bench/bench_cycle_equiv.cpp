@@ -10,13 +10,20 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "cdg/ControlDependence.h"
 #include "structure/CycleEquivalence.h"
 #include "structure/SESE.h"
+#include "support/Statistic.h"
 #include "workload/Generators.h"
 
 #include "obs/BenchMain.h"
 
 #include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 using namespace depflow;
 
@@ -117,6 +124,71 @@ BENCHMARK(BM_ProgramStructureTree)
     ->Range(16, 1024)
     ->Unit(benchmark::kMicrosecond);
 
+//===----------------------------------------------------------------------===//
+// Deterministic counter sweeps + claim fits. These run in benchMain's
+// Extra hook — outside google-benchmark's timing loops, whose iteration
+// counts are machine-dependent — so the emitted ctr_* metrics and fitted
+// exponents are bit-identical across machines (bench_compare.py diffs
+// them exactly).
+//===----------------------------------------------------------------------===//
+
+static void addCounterSweeps(obs::BenchReport &Report) {
+  // (E, work) points for the O(E) cycle-equivalence claim, and
+  // (E, factored-CDG entries) points for the Claim-1 size claim. The CDG
+  // fit uses the structured families only: on dense random CFGs the
+  // per-class dependence sets themselves grow, which is a property of the
+  // input's control structure, not of the factoring.
+  std::vector<std::pair<double, double>> CEPoints, CDGPoints;
+
+  auto Sweep = [&](const std::string &Family, unsigned Size,
+                   std::unique_ptr<Function> F, bool StructuredCDG) {
+    F->recomputePreds();
+    CFGEdges E(*F);
+    resetStatistics();
+    CycleEquivalence CE = cycleEquivalenceClasses(*F, E);
+    FactoredCDG CDG = buildFactoredCDG(*F, E, CE);
+    double Visits =
+        double(statisticValue("cycle-equiv", "NumCEEdgesVisited"));
+    double Pushes =
+        double(statisticValue("cycle-equiv", "NumCEBracketPushes"));
+    double Pops = double(statisticValue("cycle-equiv", "NumCEBracketPops"));
+    double Work = Visits + Pushes + Pops;
+    double Entries = double(statisticValue("cdg", "NumCDGFactoredEntries"));
+    CEPoints.push_back({double(E.size()), Work});
+    if (StructuredCDG)
+      CDGPoints.push_back({double(E.size()), Entries});
+    Report.add("Counters_" + Family + "/" + std::to_string(Size),
+               {{"E", double(E.size())},
+                {"classes", double(CE.NumClasses)},
+                {"ctr_ce_work", Work},
+                {"ctr_ce_edges_visited", Visits},
+                {"ctr_ce_bracket_pushes", Pushes},
+                {"ctr_ce_bracket_pops", Pops},
+                {"ctr_ce_capping",
+                 double(statisticValue("cycle-equiv", "NumCECappingBrackets"))},
+                {"ctr_ce_max_bracket_list",
+                 double(statisticValue("cycle-equiv", "MaxCEBracketList"))},
+                {"ctr_cdg_factored_entries", Entries},
+                {"ctr_cdg_pdom_queries",
+                 double(statisticValue("cdg", "NumCDGPDomQueries"))}},
+               "count");
+  };
+
+  for (unsigned N : {16u, 64u, 256u, 1024u, 4096u})
+    Sweep("Diamond", N, generateDiamondChain(N, 4, 42), true);
+  for (unsigned N : {2u, 4u, 8u, 16u})
+    Sweep("Nested", N, generateNestedLoops(3, N, 4, 7), true);
+  for (unsigned N : {64u, 256u, 1024u, 4096u, 16384u})
+    Sweep("Random", N, generateRandomCFGProgram(11, N, 60, 4, 1), false);
+
+  Report.addClaim(obs::fitClaim("cycle-equiv-work-linear-in-E",
+                                "ctr_ce_work", CEPoints, 1.0, 0.25,
+                                /*UpperBound=*/true));
+  Report.addClaim(obs::fitClaim("factored-cdg-size-linear-in-E",
+                                "ctr_cdg_factored_entries", CDGPoints, 1.0,
+                                0.25, /*UpperBound=*/true));
+}
+
 int main(int argc, char **argv) {
-  return depflow::obs::benchMain("cycle_equiv", argc, argv);
+  return depflow::obs::benchMain("cycle_equiv", argc, argv, addCounterSweeps);
 }

@@ -11,11 +11,16 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/DepFlowGraph.h"
+#include "support/Statistic.h"
 #include "workload/Generators.h"
 
 #include "obs/BenchMain.h"
 
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <utility>
+#include <vector>
 
 using namespace depflow;
 
@@ -81,6 +86,52 @@ BENCHMARK(BM_DFG_Build_NoBypass)
     ->Range(64, 4096)
     ->Unit(benchmark::kMicrosecond);
 
+//===----------------------------------------------------------------------===//
+// Deterministic counter sweep + the O(EV) claim fit, in benchMain's Extra
+// hook (outside the machine-dependent timing loops). The fitted work is
+// the number of base-level DFG edges the per-variable routing creates,
+// against the paper's E·(V+1) budget (V variables plus the control
+// token), combining the E sweep at fixed V with the V sweep at fixed E.
+//===----------------------------------------------------------------------===//
+
+static void addCounterSweeps(obs::BenchReport &Report) {
+  std::vector<std::pair<double, double>> Points;
+
+  auto Sweep = [&](unsigned Stmts, unsigned Vars) {
+    auto F = makeProgram(Stmts, Vars);
+    CFGEdges E(*F);
+    resetStatistics();
+    DepFlowGraph G = DepFlowGraph::build(*F, E);
+    double Base = double(statisticValue("dfg-build", "NumDFGBaseEdges"));
+    double Budget = double(E.size()) * double(Vars + 1);
+    Points.push_back({Budget, Base});
+    Report.add("Counters_Structured/" + std::to_string(Stmts) + "x" +
+                   std::to_string(Vars),
+               {{"E", double(E.size())},
+                {"V", double(Vars)},
+                {"EV_budget", Budget},
+                {"ctr_dfg_base_edges", Base},
+                {"ctr_dfg_bypass_redirects",
+                 double(statisticValue("dfg-build", "NumDFGBypassRedirects"))},
+                {"ctr_dfg_dead_edges_removed",
+                 double(statisticValue("dfg-build", "NumDFGDeadEdgesRemoved"))},
+                {"ctr_dfg_dead_nodes_removed",
+                 double(statisticValue("dfg-build", "NumDFGDeadNodesRemoved"))},
+                {"edges_final", double(G.numEdges())}},
+               "count");
+  };
+
+  for (unsigned Stmts : {64u, 256u, 1024u, 4096u})
+    Sweep(Stmts, 8);
+  for (unsigned Vars : {2u, 4u, 16u, 64u})
+    Sweep(400, Vars);
+
+  Report.addClaim(obs::fitClaim("dfg-construction-edges-linear-in-EV",
+                                "ctr_dfg_base_edges", Points, 1.0, 0.25,
+                                /*UpperBound=*/true));
+}
+
 int main(int argc, char **argv) {
-  return depflow::obs::benchMain("dfg_construction", argc, argv);
+  return depflow::obs::benchMain("dfg_construction", argc, argv,
+                                 addCounterSweeps);
 }

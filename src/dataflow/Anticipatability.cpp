@@ -8,9 +8,24 @@
 #include "dataflow/Anticipatability.h"
 
 #include "graph/Dominators.h"
+#include "support/Statistic.h"
 #include "support/Worklist.h"
 
 using namespace depflow;
+
+// Work counters for both anticipatability solvers: an "eval" is one
+// worklist pop (one transfer-function application), a "bit flip" is one
+// edge value change. The DFG solver only visits the variable's own edges,
+// which is where its asymptotic win over the CFG solver comes from
+// (bench_ant_epr fits both against E).
+DEPFLOW_STATISTIC(NumAntCFGEvals, "ant",
+                  "CFG ANT/PAN solver: block transfer evaluations");
+DEPFLOW_STATISTIC(NumAntCFGBitsFlipped, "ant",
+                  "CFG ANT/PAN solver: edge bits changed");
+DEPFLOW_STATISTIC(NumAntDFGEvals, "ant",
+                  "DFG ANT/PAN solver: edge evaluations");
+DEPFLOW_STATISTIC(NumAntDFGBitsFlipped, "ant",
+                  "DFG ANT/PAN solver: edge bits changed");
 
 /// True if \p I is a computation of \p Expr.
 static bool computesExpr(const Instruction &I, const Expression &Expr) {
@@ -74,10 +89,12 @@ static CFGAntResult solveCFGAnticipatability(Function &F, const CFGEdges &E,
       WL.push(B);
     while (!WL.empty()) {
       BasicBlock *BB = F.block(WL.pop());
+      ++NumAntCFGEvals;
       bool In = Transfer(BB, OutValue(BB, EdgeVal, Universal));
       for (unsigned EId : E.inEdges(BB)) {
         if (EdgeVal[EId] != In) {
           EdgeVal[EId] = In;
+          ++NumAntCFGBitsFlipped;
           WL.push(E.edge(EId).From->id());
         }
       }
@@ -174,10 +191,12 @@ DFGAntResult depflow::dfgRelativeAnticipatability(Function &F,
         WL.push(EId);
     while (!WL.empty()) {
       unsigned EId = WL.pop();
+      ++NumAntDFGEvals;
       bool New = EvalEdge(EId, EdgeVal, Universal);
       if (New == EdgeVal[EId])
         continue;
       EdgeVal[EId] = New;
+      ++NumAntDFGBitsFlipped;
       for (unsigned InId : G.inEdges(G.edge(EId).Src))
         WL.push(InId);
     }

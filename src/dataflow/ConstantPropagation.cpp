@@ -9,12 +9,38 @@
 
 #include "ir/CFGEdges.h"
 #include "dataflow/DefUse.h"
+#include "support/Statistic.h"
 #include "support/Worklist.h"
 
 #include <optional>
 #include <set>
 
 using namespace depflow;
+
+// Telemetry behind the paper's central speedup claim: the CFG algorithm
+// moves V-wide vectors across edges (SlotsPropagated counts every slot
+// copied), the DFG algorithm moves single-variable tokens. bench_constprop
+// fits the ratio of the two work totals against V.
+DEPFLOW_STATISTIC(NumCPCFGWorklistPushes, "constprop",
+                  "CFG engine: block worklist pushes");
+DEPFLOW_STATISTIC(NumCPCFGWorklistPops, "constprop",
+                  "CFG engine: block worklist pops");
+DEPFLOW_STATISTIC(NumCPCFGSlotsPropagated, "constprop",
+                  "CFG engine: vector slots copied across CFG edges");
+DEPFLOW_STATISTIC(NumCPCFGLatticeLowerings, "constprop",
+                  "CFG engine: per-variable edge values changed");
+DEPFLOW_STATISTIC(NumCPDFGWorklistPushes, "constprop",
+                  "DFG engine: node worklist pushes");
+DEPFLOW_STATISTIC(NumCPDFGWorklistPops, "constprop",
+                  "DFG engine: node worklist pops");
+DEPFLOW_STATISTIC(NumCPDFGTokensSent, "constprop",
+                  "DFG engine: tokens written to DFG edges");
+DEPFLOW_STATISTIC(NumCPDFGLatticeLowerings, "constprop",
+                  "DFG engine: token writes that changed the edge value");
+DEPFLOW_STATISTIC(NumCPDefUseRounds, "constprop",
+                  "Def-use engine: rounds to reach the fixed point");
+DEPFLOW_HIST_STATISTIC(HistCPTokensPerEdge, "constprop",
+                       "DFG engine: tokens sent per edge over a solve");
 
 namespace {
 
@@ -101,9 +127,11 @@ ConstPropResult depflow::cfgConstantPropagation(Function &F,
   Worklist WL(F.numBlocks());
   BlockExec[F.entry()->id()] = true;
   WL.push(F.entry()->id());
+  ++NumCPCFGWorklistPushes;
 
   while (!WL.empty()) {
     BasicBlock *BB = F.block(WL.pop());
+    ++NumCPCFGWorklistPops;
     std::vector<ConstVal> Vec = InVector(BB);
     for (const auto &IPtr : BB->instructions())
       if (const auto *D = dyn_cast<DefInst>(IPtr.get()))
@@ -111,13 +139,19 @@ ConstPropResult depflow::cfgConstantPropagation(Function &F,
             *D, [&](const Operand &Op) { return Vec[Op.var()]; });
 
     auto Propagate = [&](unsigned EId, const std::vector<ConstVal> &V) {
+      // The whole V-wide vector crosses the edge even when one slot moved.
+      NumCPCFGSlotsPropagated += NV;
       if (EdgeExec[EId] && EdgeVec[EId] == V)
         return;
+      for (unsigned Var = 0; Var != NV; ++Var)
+        if (EdgeVec[EId][Var] != V[Var])
+          ++NumCPCFGLatticeLowerings;
       EdgeExec[EId] = true;
       EdgeVec[EId] = V;
       BasicBlock *To = E.edge(EId).To;
       BlockExec[To->id()] = true;
       WL.push(To->id());
+      ++NumCPCFGWorklistPushes;
     };
 
     Instruction *Term = BB->terminator();
@@ -185,19 +219,26 @@ class DFGConstProp {
   const DepFlowGraph &G;
   bool Refine;
   std::vector<ConstVal> EdgeVal;
+  std::vector<std::uint64_t> TokensPerEdge;
   Worklist WL;
 
 public:
   DFGConstProp(Function &F, const DepFlowGraph &G, bool Refine)
       : F(F), G(G), Refine(Refine), EdgeVal(G.numEdges()),
-        WL(G.numNodes()) {}
+        TokensPerEdge(G.numEdges(), 0), WL(G.numNodes()) {}
 
   ConstPropResult run() {
     for (unsigned N = 0; N != G.numNodes(); ++N)
-      if (G.node(N).Kind == DepFlowGraph::NodeKind::Entry)
+      if (G.node(N).Kind == DepFlowGraph::NodeKind::Entry) {
         WL.push(N);
-    while (!WL.empty())
+        ++NumCPDFGWorklistPushes;
+      }
+    while (!WL.empty()) {
+      ++NumCPDFGWorklistPops;
       evalNode(WL.pop());
+    }
+    for (std::uint64_t Tokens : TokensPerEdge)
+      HistCPTokensPerEdge.sample(Tokens);
     return extract();
   }
 
@@ -237,10 +278,14 @@ private:
   }
 
   void writeEdge(unsigned EId, ConstVal V) {
+    ++NumCPDFGTokensSent;
+    ++TokensPerEdge[EId];
     if (EdgeVal[EId] == V)
       return;
+    ++NumCPDFGLatticeLowerings;
     EdgeVal[EId] = V;
     WL.push(G.edge(EId).Dst);
+    ++NumCPDFGWorklistPushes;
   }
 
   void writePort(unsigned Node, unsigned Port, ConstVal V) {
@@ -267,12 +312,16 @@ private:
       // part in, or the switches keyed on it when it is a branch predicate.
       const Instruction *I = Node.Inst;
       if (isa<DefInst>(I)) {
-        if (int D = G.defNode(I); D >= 0)
+        if (int D = G.defNode(I); D >= 0) {
           WL.push(unsigned(D));
+          ++NumCPDFGWorklistPushes;
+        }
       } else if (isa<CondBrInst>(I)) {
         for (VarId V = 0; V <= F.numVars(); ++V)
-          if (int S = G.switchNode(Node.Block, V); S >= 0)
+          if (int S = G.switchNode(Node.Block, V); S >= 0) {
             WL.push(unsigned(S));
+            ++NumCPDFGWorklistPushes;
+          }
       }
       break;
     }
@@ -408,6 +457,7 @@ ConstPropResult depflow::defUseConstantPropagation(Function &F,
   bool Changed = true;
   while (Changed) {
     Changed = false;
+    ++NumCPDefUseRounds;
     for (const auto &BB : F.blocks()) {
       for (const auto &IPtr : BB->instructions()) {
         const auto *D = dyn_cast<DefInst>(IPtr.get());

@@ -7,12 +7,22 @@
 
 #include "dataflow/PRE.h"
 
+#include "support/Statistic.h"
 #include "support/Worklist.h"
 
 #include <algorithm>
 #include <set>
 
 using namespace depflow;
+
+DEPFLOW_STATISTIC(NumPREAvailEvals, "pre",
+                  "Availability solver: block evaluations");
+DEPFLOW_STATISTIC(NumPREPavEvals, "pre",
+                  "Partial-availability solver: block evaluations");
+DEPFLOW_STATISTIC(NumPREBitsFlipped, "pre",
+                  "AV/PAV/PP solver bits changed");
+DEPFLOW_STATISTIC(NumPREPPRounds, "pre",
+                  "Morel-Renvoise placement-possible rounds");
 
 namespace {
 
@@ -72,6 +82,7 @@ void availability(Function &F, const LocalProps &P, std::vector<bool> &AvIn,
     WL.push(B);
   while (!WL.empty()) {
     BasicBlock *BB = F.block(WL.pop());
+    ++NumPREAvailEvals;
     bool In = BB != F.entry();
     for (BasicBlock *Pred : BB->predecessors())
       In = In && AvOut[Pred->id()];
@@ -81,6 +92,7 @@ void availability(Function &F, const LocalProps &P, std::vector<bool> &AvIn,
     AvIn[BB->id()] = In;
     if (Out != AvOut[BB->id()]) {
       AvOut[BB->id()] = Out;
+      ++NumPREBitsFlipped;
       for (BasicBlock *S : BB->successors())
         WL.push(S->id());
     }
@@ -99,6 +111,7 @@ void partialAvailability(Function &F, const LocalProps &P,
     WL.push(B);
   while (!WL.empty()) {
     BasicBlock *BB = F.block(WL.pop());
+    ++NumPREPavEvals;
     bool In = false;
     for (BasicBlock *Pred : BB->predecessors())
       In = In || PavOut[Pred->id()];
@@ -106,6 +119,7 @@ void partialAvailability(Function &F, const LocalProps &P,
     PavIn[BB->id()] = In;
     if (Out != PavOut[BB->id()]) {
       PavOut[BB->id()] = Out;
+      ++NumPREBitsFlipped;
       for (BasicBlock *S : BB->successors())
         WL.push(S->id());
     }
@@ -210,6 +224,7 @@ PREDecisions depflow::morelRenvoise(Function &F, const CFGEdges &E,
   bool Changed = true;
   while (Changed) {
     Changed = false;
+    ++NumPREPPRounds;
     for (const auto &BB : F.blocks()) {
       unsigned B = BB->id();
       bool In = AntIn[B] && PavIn[B] &&
@@ -224,6 +239,7 @@ PREDecisions depflow::morelRenvoise(Function &F, const CFGEdges &E,
       for (BasicBlock *S : BB->successors())
         Out = Out && PpIn[S->id()];
       if (In != PpIn[B] || Out != PpOut[B]) {
+        NumPREBitsFlipped += (In != PpIn[B]) + (Out != PpOut[B]);
         PpIn[B] = In;
         PpOut[B] = Out;
         Changed = true;

@@ -9,11 +9,47 @@
 
 #include "obs/Json.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
 using namespace depflow;
 using namespace depflow::obs;
+
+BenchClaim depflow::obs::fitClaim(
+    std::string Id, std::string Counter,
+    const std::vector<std::pair<double, double>> &Points, double Bound,
+    double Tolerance, bool UpperBound) {
+  BenchClaim C;
+  C.Id = std::move(Id);
+  C.Counter = std::move(Counter);
+  C.Bound = Bound;
+  C.Tolerance = Tolerance;
+  C.UpperBound = UpperBound;
+
+  double SumX = 0, SumY = 0, SumXX = 0, SumXY = 0;
+  unsigned N = 0;
+  for (auto [Size, Work] : Points) {
+    if (Size <= 0 || Work <= 0)
+      continue;
+    double X = std::log(Size), Y = std::log(Work);
+    SumX += X;
+    SumY += Y;
+    SumXX += X * X;
+    SumXY += X * Y;
+    ++N;
+  }
+  C.Samples = N;
+  double Denom = N * SumXX - SumX * SumX;
+  if (N < 2 || Denom == 0) {
+    C.Pass = false;
+    return C;
+  }
+  C.Exponent = (N * SumXY - SumX * SumY) / Denom;
+  C.Pass = UpperBound ? C.Exponent <= Bound + Tolerance
+                      : C.Exponent >= Bound - Tolerance;
+  return C;
+}
 
 std::string BenchReport::renderJson() const {
   std::string S;
@@ -37,6 +73,23 @@ std::string BenchReport::renderJson() const {
     W.endObject();
   }
   W.endArray();
+  if (!Claims.empty()) {
+    W.key("claims");
+    W.beginArray();
+    for (const BenchClaim &C : Claims) {
+      W.beginObject();
+      W.keyValue("id", C.Id);
+      W.keyValue("counter", C.Counter);
+      W.keyValue("exponent", C.Exponent);
+      W.keyValue("bound", C.Bound);
+      W.keyValue("tolerance", C.Tolerance);
+      W.keyValue("direction", C.UpperBound ? "le" : "ge");
+      W.keyValue("samples", C.Samples);
+      W.keyValue("pass", C.Pass);
+      W.endObject();
+    }
+    W.endArray();
+  }
   W.endObject();
   S += '\n';
   return S;

@@ -54,6 +54,29 @@ namespace obs {
 /// field of every emitted document.
 inline constexpr unsigned BenchSchemaVersion = 1;
 
+/// One empirically checked complexity claim: a work counter swept against
+/// an input-size measure, a log-log least-squares slope, and the paper's
+/// bound. Serialized into the BENCH JSON `claims` array (an additive
+/// schema field; bench_compare.py fails a run whose claims stop passing).
+struct BenchClaim {
+  std::string Id;      // e.g. "cycle-equiv-work-linear-in-E"
+  std::string Counter; // which work metric was fitted
+  double Exponent = 0; // fitted log-log slope
+  double Bound = 1.0;  // the paper's exponent
+  double Tolerance = 0.25;
+  bool UpperBound = true; // pass iff Exponent <= Bound + Tolerance;
+                          // false: pass iff Exponent >= Bound - Tolerance
+  bool Pass = false;
+  unsigned Samples = 0; // points the fit used
+};
+
+/// Least-squares fit of log(Work) against log(N) over \p Points
+/// ((N, Work) pairs); non-positive points are skipped. With fewer than
+/// two usable points the claim fails with exponent 0.
+BenchClaim fitClaim(std::string Id, std::string Counter,
+                    const std::vector<std::pair<double, double>> &Points,
+                    double Bound, double Tolerance, bool UpperBound = true);
+
 /// Collects benchmark rows and serializes them under the schema above.
 class BenchReport {
 public:
@@ -69,8 +92,10 @@ public:
 
   const std::string &name() const { return BenchName; }
   const std::vector<Entry> &entries() const { return Entries; }
+  const std::vector<BenchClaim> &claims() const { return Claims; }
 
   void add(Entry E) { Entries.push_back(std::move(E)); }
+  void addClaim(BenchClaim C) { Claims.push_back(std::move(C)); }
 
   /// Convenience for the hand-rolled studies: one named row of metrics.
   void add(std::string Name,
@@ -95,6 +120,7 @@ public:
 private:
   std::string BenchName;
   std::vector<Entry> Entries;
+  std::vector<BenchClaim> Claims;
 };
 
 } // namespace obs

@@ -68,7 +68,12 @@ public:
 };
 
 /// Drop-in replacement for BENCHMARK_MAIN()'s body with JSON emission.
-inline int benchMain(const char *BenchName, int argc, char **argv) {
+/// \p Extra, when given, runs after the timed benchmarks and before the
+/// JSON is written — the hook the deterministic counter sweeps and claim
+/// fits hang off (they must not run inside google-benchmark's timing
+/// loops, whose iteration counts are machine-dependent).
+inline int benchMain(const char *BenchName, int argc, char **argv,
+                     void (*Extra)(BenchReport &) = nullptr) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv))
     return 1;
@@ -76,6 +81,13 @@ inline int benchMain(const char *BenchName, int argc, char **argv) {
   BenchJsonTeeReporter Reporter(Report);
   benchmark::RunSpecifiedBenchmarks(&Reporter);
   benchmark::Shutdown();
+  if (Extra)
+    Extra(Report);
+  for (const BenchClaim &C : Report.claims())
+    std::fprintf(stderr, "bench: claim %-40s exponent %.3f vs %s %.2f%+.2f: %s\n",
+                 C.Id.c_str(), C.Exponent, C.UpperBound ? "<=" : ">=",
+                 C.Bound, C.UpperBound ? C.Tolerance : -C.Tolerance,
+                 C.Pass ? "PASS" : "FAIL");
   Status S = Report.writeIfRequested();
   if (!S.ok()) {
     std::fprintf(stderr, "bench: %s\n", S.str().c_str());

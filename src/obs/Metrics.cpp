@@ -56,21 +56,7 @@ void *countedAlloc(std::size_t Size) noexcept {
   return std::malloc(Size ? Size : 1);
 }
 
-} // namespace
-
-// The replaceable allocation functions. Only the two scalar throwing forms
-// are replaced: the standard library's array, nothrow, and sized variants
-// all delegate to these, so every new-expression in a binary linking
-// dep_obs is counted. malloc-based, so the (unreplaced) default operator
-// delete — plain and aligned — frees correctly.
-
-void *operator new(std::size_t Size) {
-  if (void *P = countedAlloc(Size))
-    return P;
-  throw std::bad_alloc();
-}
-
-void *operator new(std::size_t Size, std::align_val_t Align) {
+void *alignedCountedAlloc(std::size_t Size, std::align_val_t Align) noexcept {
   ThreadCounters &C = localCounters();
   C.Bytes.store(C.Bytes.load(std::memory_order_relaxed) + Size,
                 std::memory_order_relaxed);
@@ -81,8 +67,99 @@ void *operator new(std::size_t Size, std::align_val_t Align) {
     A = sizeof(void *);
   void *P = nullptr;
   if (posix_memalign(&P, A, Size ? Size : 1) != 0)
-    throw std::bad_alloc();
+    return nullptr;
   return P;
+}
+
+} // namespace
+
+// The replaceable allocation functions. Every form — scalar/array,
+// throwing/nothrow, plain/aligned — is replaced, not just the two the
+// library defaults delegate to: under a sanitizer the runtime interposes
+// its own versions of the forms we leave out, and a new that lands in the
+// sanitizer's allocator paired with a delete that lands in ours (or vice
+// versa) is reported as an alloc-dealloc mismatch. With the full set
+// replaced, every allocation is malloc/posix_memalign and every
+// deallocation is free — consistent with or without a sanitizer.
+
+void *operator new(std::size_t Size) {
+  if (void *P = countedAlloc(Size))
+    return P;
+  throw std::bad_alloc();
+}
+
+void *operator new(std::size_t Size, std::align_val_t Align) {
+  if (void *P = alignedCountedAlloc(Size, Align))
+    return P;
+  throw std::bad_alloc();
+}
+
+void *operator new(std::size_t Size, const std::nothrow_t &) noexcept {
+  return countedAlloc(Size);
+}
+
+void *operator new(std::size_t Size, std::align_val_t Align,
+                   const std::nothrow_t &) noexcept {
+  return alignedCountedAlloc(Size, Align);
+}
+
+void *operator new[](std::size_t Size) {
+  if (void *P = countedAlloc(Size))
+    return P;
+  throw std::bad_alloc();
+}
+
+void *operator new[](std::size_t Size, std::align_val_t Align) {
+  if (void *P = alignedCountedAlloc(Size, Align))
+    return P;
+  throw std::bad_alloc();
+}
+
+void *operator new[](std::size_t Size, const std::nothrow_t &) noexcept {
+  return countedAlloc(Size);
+}
+
+void *operator new[](std::size_t Size, std::align_val_t Align,
+                     const std::nothrow_t &) noexcept {
+  return alignedCountedAlloc(Size, Align);
+}
+
+void operator delete(void *P) noexcept { std::free(P); }
+
+void operator delete(void *P, std::size_t) noexcept { std::free(P); }
+
+void operator delete(void *P, std::align_val_t) noexcept { std::free(P); }
+
+void operator delete(void *P, std::size_t, std::align_val_t) noexcept {
+  std::free(P);
+}
+
+void operator delete(void *P, const std::nothrow_t &) noexcept {
+  std::free(P);
+}
+
+void operator delete(void *P, std::align_val_t,
+                     const std::nothrow_t &) noexcept {
+  std::free(P);
+}
+
+void operator delete[](void *P) noexcept { std::free(P); }
+
+void operator delete[](void *P, std::size_t) noexcept { std::free(P); }
+
+void operator delete[](void *P, std::align_val_t) noexcept { std::free(P); }
+
+void operator delete[](void *P, std::size_t, std::align_val_t) noexcept {
+  std::free(P);
+}
+
+void operator delete[](void *P, const std::nothrow_t &) noexcept {
+  std::free(P);
+}
+
+void operator delete[](void *P, std::align_val_t,
+                       const std::nothrow_t &) noexcept {
+  std::free(P);
 }
 
 namespace depflow {

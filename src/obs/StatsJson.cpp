@@ -15,6 +15,44 @@
 using namespace depflow;
 using namespace depflow::obs;
 
+/// One counter entry in the shared layout of the depflow-stats `counters`
+/// section and the standalone depflow-counters document.
+static void emitCounterEntry(JsonWriter &W, const StatisticSnapshot &Row) {
+  W.beginObject();
+  W.keyValue("group", Row.Group);
+  W.keyValue("name", Row.Name);
+  W.keyValue("description", Row.Desc);
+  switch (Row.Kind) {
+  case StatKind::Counter:
+    W.keyValue("kind", "counter");
+    break;
+  case StatKind::Max:
+    W.keyValue("kind", "max");
+    break;
+  case StatKind::Histogram:
+    W.keyValue("kind", "histogram");
+    break;
+  }
+  W.keyValue("value", Row.Value);
+  if (Row.Kind == StatKind::Histogram) {
+    W.keyValue("count", Row.Count);
+    W.keyValue("max", Row.Max);
+    W.key("buckets");
+    W.beginArray();
+    for (std::uint64_t B : Row.Buckets)
+      W.value(B);
+    W.endArray();
+  }
+  W.endObject();
+}
+
+static void emitCounterEntries(JsonWriter &W) {
+  W.beginArray();
+  for (const StatisticSnapshot &Row : statisticsSnapshot())
+    emitCounterEntry(W, Row);
+  W.endArray();
+}
+
 std::string depflow::obs::renderStatsJson(const StatsReport &R) {
   std::string S;
   JsonWriter W(S);
@@ -64,6 +102,18 @@ std::string depflow::obs::renderStatsJson(const StatsReport &R) {
   }
   W.endArray();
 
+  W.key("counters");
+  W.beginObject();
+  W.keyValue("version", CountersSchemaVersion);
+  W.key("entries");
+  if (R.IncludeStatistics) {
+    emitCounterEntries(W);
+  } else {
+    W.beginArray();
+    W.endArray();
+  }
+  W.endObject();
+
   W.key("process");
   W.beginObject();
   W.keyValue("peak_rss_bytes", peakRSSBytes());
@@ -86,5 +136,36 @@ Status depflow::obs::writeStatsJson(const std::string &Path,
   bool CloseOk = std::fclose(F) == 0;
   if (Written != S.size() || !CloseOk)
     return Status::error("failed writing stats output file '" + Path + "'");
+  return Status::success();
+}
+
+std::string depflow::obs::renderCountersJson(const std::string &Tool,
+                                             const std::string &Pipeline) {
+  std::string S;
+  JsonWriter W(S);
+  W.beginObject();
+  W.keyValue("schema", "depflow-counters");
+  W.keyValue("schema_version", CountersSchemaVersion);
+  W.keyValue("tool", Tool);
+  W.keyValue("pipeline", Pipeline);
+  W.key("counters");
+  emitCounterEntries(W);
+  W.endObject();
+  S += '\n';
+  return S;
+}
+
+Status depflow::obs::writeCountersJson(const std::string &Path,
+                                       const std::string &Tool,
+                                       const std::string &Pipeline) {
+  std::string S = renderCountersJson(Tool, Pipeline);
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return Status::error("cannot open counters output file '" + Path + "'");
+  std::size_t Written = std::fwrite(S.data(), 1, S.size(), F);
+  bool CloseOk = std::fclose(F) == 0;
+  if (Written != S.size() || !CloseOk)
+    return Status::error("failed writing counters output file '" + Path +
+                         "'");
   return Status::success();
 }

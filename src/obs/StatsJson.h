@@ -24,10 +24,20 @@
 ///     "analyses": [{"analysis": "dfg", "hits": .., "misses": ..}, ...],
 ///     "statistics": [{"group": "pre", "name": "NumCriticalEdgesSplit",
 ///                     "description": .., "value": ..}, ...],
+///     "counters":  {"version": 1, "entries": [{"group", "name",
+///                   "description", "kind", "value", (histograms also:
+///                   "count", "max", "buckets")}, ...]},
 ///     "process":  {"peak_rss_bytes": .., "allocated_bytes": ..,
 ///                  "allocations": ..}
 ///   }
 /// \endcode
+///
+/// The `counters` section is the full-fidelity export of the
+/// support/Statistic.h registry (all three kinds, with histogram buckets);
+/// the older flat `statistics` array stays for compatibility and carries
+/// only each row's scalar value. The same entries are also emitted as a
+/// standalone `depflow-counters` document by `depflow-opt --counters-json`
+/// (renderCountersJson below).
 ///
 /// `schema_version` bumps on any field removal or meaning change; adding
 /// fields is backward compatible and does not bump it. The structs below
@@ -52,6 +62,11 @@ namespace obs {
 /// Bumped on breaking schema changes; mirrored in the "schema_version"
 /// field of every emitted document.
 inline constexpr unsigned StatsSchemaVersion = 1;
+
+/// Version of the counter-entry layout, shared by the `counters` section
+/// inside depflow-stats documents and the standalone `depflow-counters`
+/// documents (`--counters-json`). Bumps on breaking changes only.
+inline constexpr unsigned CountersSchemaVersion = 1;
 
 struct StatsPassRecord {
   std::string Pass;
@@ -85,6 +100,18 @@ std::string renderStatsJson(const StatsReport &R);
 
 /// Serializes renderStatsJson(R) to \p Path.
 Status writeStatsJson(const std::string &Path, const StatsReport &R);
+
+/// Renders the current statistics snapshot as a standalone
+/// `depflow-counters` document (the `--counters-json` payload):
+/// `{"schema": "depflow-counters", "schema_version": 1, "tool",
+/// "pipeline", "counters": [entry, ...]}` with the same entry layout as
+/// the depflow-stats `counters` section.
+std::string renderCountersJson(const std::string &Tool,
+                               const std::string &Pipeline);
+
+/// Serializes renderCountersJson(Tool, Pipeline) to \p Path.
+Status writeCountersJson(const std::string &Path, const std::string &Tool,
+                         const std::string &Pipeline);
 
 } // namespace obs
 } // namespace depflow

@@ -8,12 +8,27 @@
 #include "structure/CycleEquivalence.h"
 
 #include "ir/Function.h"
+#include "support/Statistic.h"
 
 #include <algorithm>
 #include <limits>
 #include <list>
 
 using namespace depflow;
+
+// Complexity telemetry for the paper's O(E) claim: every unit of work the
+// bracket algorithm performs is one of these events, so their sum growing
+// linearly in E is the empirical check (bench_cycle_equiv fits the slope).
+DEPFLOW_STATISTIC(NumCEEdgesVisited, "cycle-equiv",
+                  "Undirected edges traversed by the cycle-equivalence DFS");
+DEPFLOW_STATISTIC(NumCEBracketPushes, "cycle-equiv",
+                  "Brackets pushed onto bracket lists (incl. capping)");
+DEPFLOW_STATISTIC(NumCECappingBrackets, "cycle-equiv",
+                  "Capping brackets created");
+DEPFLOW_STATISTIC(NumCEBracketPops, "cycle-equiv",
+                  "Brackets deleted from bracket lists");
+DEPFLOW_MAX_STATISTIC(MaxCEBracketList, "cycle-equiv",
+                      "Longest bracket list seen at a classification");
 
 namespace {
 
@@ -117,6 +132,7 @@ private:
       if (EdgeUsed[EIdx])
         continue;
       EdgeUsed[EIdx] = true;
+      ++NumCEEdgesVisited;
       if (DfsNum[M] < 0) {
         ParentEdge[M] = int(EIdx);
         ParentNode[M] = int(N);
@@ -186,6 +202,7 @@ private:
         if (Cap->InList) {
           L.erase(Cap->Where);
           Cap->InList = false;
+          ++NumCEBracketPops;
         }
       }
       for (unsigned B : BackTo[N]) {
@@ -193,6 +210,7 @@ private:
         assert(Br && Br->InList && "backedge bracket must be pending");
         L.erase(Br->Where);
         Br->InList = false;
+        ++NumCEBracketPops;
         if (ClassOf[B] == Inf)
           ClassOf[B] = freshClass();
       }
@@ -203,6 +221,7 @@ private:
         L.push_front(Br.get());
         Br->Where = L.begin();
         Br->InList = true;
+        ++NumCEBracketPushes;
         BracketOfEdge[B] = Br.get();
         AllBrackets.push_back(std::move(Br));
       }
@@ -216,6 +235,8 @@ private:
         L.push_front(Cap.get());
         Cap->Where = L.begin();
         Cap->InList = true;
+        ++NumCEBracketPushes;
+        ++NumCECappingBrackets;
         CapsTo[NodeAt[Hi2]].push_back(Cap.get());
         AllBrackets.push_back(std::move(Cap));
       }
@@ -223,6 +244,7 @@ private:
       // Classify the tree edge from parent(N) to N.
       if (ParentEdge[N] >= 0) {
         unsigned E = unsigned(ParentEdge[N]);
+        MaxCEBracketList.update(L.size());
         if (L.empty()) {
           // Bridge: singleton class.
           ClassOf[E] = freshClass();

@@ -9,10 +9,16 @@
 
 #include "graph/Dominators.h"
 #include "ir/Function.h"
+#include "support/Statistic.h"
 
 #include <algorithm>
 
 using namespace depflow;
+
+DEPFLOW_STATISTIC(NumSESERegions, "sese",
+                  "Canonical SESE regions found (excl. the root region)");
+DEPFLOW_MAX_STATISTIC(MaxPSTDepth, "sese",
+                      "Deepest program-structure-tree nesting");
 
 ProgramStructureTree::ProgramStructureTree(const Function &F,
                                            const CFGEdges &E,
@@ -49,6 +55,7 @@ ProgramStructureTree::ProgramStructureTree(const Function &F,
           SESERegion{RegionId, int(Class[I]), int(Class[I + 1]), -1, 0, {}});
       OpenedBy[Class[I]] = int(RegionId);
       ClosedBy[Class[I + 1]] = int(RegionId);
+      ++NumSESERegions;
     }
   }
 
@@ -108,6 +115,7 @@ ProgramStructureTree::ProgramStructureTree(const Function &F,
     for (int P = R.Parent; P >= 0; P = Regions[unsigned(P)].Parent)
       ++Depth;
     R.Depth = Depth;
+    MaxPSTDepth.update(Depth);
   }
 }
 

@@ -8,15 +8,22 @@
 #include "support/Statistic.h"
 
 #include <algorithm>
+#include <cstring>
 #include <mutex>
 
 using namespace depflow;
 
 namespace {
 
+// The registry lock only guards the pointer vectors (registration order);
+// the statistic values themselves are relaxed atomics, so snapshot reads
+// may race with in-flight increments — each field is still read
+// atomically, and drivers snapshot after joining their workers.
 struct Registry {
   std::mutex Lock;
   std::vector<Statistic *> Stats;
+  std::vector<MaxStatistic *> Maxes;
+  std::vector<HistStatistic *> Hists;
 };
 
 Registry &registry() {
@@ -37,14 +44,51 @@ void Statistic::registerOnce() {
   }
 }
 
+void MaxStatistic::registerOnce() {
+  if (Registered.load(std::memory_order_acquire))
+    return;
+  Registry &R = registry();
+  std::lock_guard<std::mutex> G(R.Lock);
+  if (!Registered.load(std::memory_order_relaxed)) {
+    R.Maxes.push_back(this);
+    Registered.store(true, std::memory_order_release);
+  }
+}
+
+void HistStatistic::registerOnce() {
+  if (Registered.load(std::memory_order_acquire))
+    return;
+  Registry &R = registry();
+  std::lock_guard<std::mutex> G(R.Lock);
+  if (!Registered.load(std::memory_order_relaxed)) {
+    R.Hists.push_back(this);
+    Registered.store(true, std::memory_order_release);
+  }
+}
+
 std::vector<StatisticSnapshot> depflow::statisticsSnapshot() {
   Registry &R = registry();
   std::vector<StatisticSnapshot> Rows;
   {
     std::lock_guard<std::mutex> G(R.Lock);
-    Rows.reserve(R.Stats.size());
+    Rows.reserve(R.Stats.size() + R.Maxes.size() + R.Hists.size());
     for (const Statistic *S : R.Stats)
       Rows.push_back({S->group(), S->name(), S->desc(), S->value()});
+    for (const MaxStatistic *S : R.Maxes) {
+      StatisticSnapshot Row{S->group(), S->name(), S->desc(), S->value()};
+      Row.Kind = StatKind::Max;
+      Rows.push_back(std::move(Row));
+    }
+    for (const HistStatistic *S : R.Hists) {
+      StatisticSnapshot Row{S->group(), S->name(), S->desc(), S->sum()};
+      Row.Kind = StatKind::Histogram;
+      Row.Count = S->count();
+      Row.Max = S->max();
+      Row.Buckets.resize(HistStatistic::NumBuckets);
+      for (unsigned I = 0; I != HistStatistic::NumBuckets; ++I)
+        Row.Buckets[I] = S->bucket(I);
+      Rows.push_back(std::move(Row));
+    }
   }
   std::sort(Rows.begin(), Rows.end(),
             [](const StatisticSnapshot &A, const StatisticSnapshot &B) {
@@ -53,14 +97,36 @@ std::vector<StatisticSnapshot> depflow::statisticsSnapshot() {
   return Rows;
 }
 
+std::uint64_t depflow::statisticValue(const char *Group, const char *Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> G(R.Lock);
+  for (const Statistic *S : R.Stats)
+    if (!std::strcmp(S->group(), Group) && !std::strcmp(S->name(), Name))
+      return S->value();
+  for (const MaxStatistic *S : R.Maxes)
+    if (!std::strcmp(S->group(), Group) && !std::strcmp(S->name(), Name))
+      return S->value();
+  for (const HistStatistic *S : R.Hists)
+    if (!std::strcmp(S->group(), Group) && !std::strcmp(S->name(), Name))
+      return S->sum();
+  return 0;
+}
+
 void depflow::printStatistics(std::FILE *Out) {
   std::vector<StatisticSnapshot> Rows = statisticsSnapshot();
   std::fprintf(Out, "===-------------------------------------------===\n");
   std::fprintf(Out, "            ... Statistics Collected ...\n");
   std::fprintf(Out, "===-------------------------------------------===\n");
-  for (const StatisticSnapshot &Row : Rows)
-    std::fprintf(Out, "%8llu %-12s - %s\n", (unsigned long long)Row.Value,
+  for (const StatisticSnapshot &Row : Rows) {
+    std::fprintf(Out, "%8llu %-12s - %s", (unsigned long long)Row.Value,
                  Row.Group.c_str(), Row.Desc.c_str());
+    if (Row.Kind == StatKind::Max)
+      std::fprintf(Out, " (max)");
+    else if (Row.Kind == StatKind::Histogram)
+      std::fprintf(Out, " (n=%llu, max=%llu)", (unsigned long long)Row.Count,
+                   (unsigned long long)Row.Max);
+    std::fputc('\n', Out);
+  }
 }
 
 void depflow::resetStatistics() {
@@ -68,4 +134,13 @@ void depflow::resetStatistics() {
   std::lock_guard<std::mutex> G(R.Lock);
   for (Statistic *S : R.Stats)
     *S = 0;
+  for (MaxStatistic *S : R.Maxes)
+    S->Value.store(0, std::memory_order_relaxed);
+  for (HistStatistic *S : R.Hists) {
+    S->Count.store(0, std::memory_order_relaxed);
+    S->Sum.store(0, std::memory_order_relaxed);
+    S->Max.store(0, std::memory_order_relaxed);
+    for (unsigned I = 0; I != HistStatistic::NumBuckets; ++I)
+      S->Buckets[I].store(0, std::memory_order_relaxed);
+  }
 }

@@ -12,12 +12,35 @@
 /// `--print-stats`). Counters are cheap enough to leave enabled
 /// unconditionally — one relaxed atomic increment.
 ///
+/// Three kinds exist:
+///
+///   * `Statistic` — a monotonically accumulating counter (the default).
+///   * `MaxStatistic` — a high-water gauge (e.g. the deepest PST, the
+///     longest bracket list ever seen).
+///   * `HistStatistic` — a log2-bucketed histogram of per-event sample
+///     values (e.g. tokens sent per DFG edge) that also tracks count,
+///     sum, and max.
+///
+/// Thread-safety contract (audited for `ModulePipeline -j N`): every
+/// mutation on every kind is a relaxed atomic RMW — fetch_add for counts
+/// and bucket adds, a compare-exchange loop for maxima. All of these
+/// commute, and the per-function work each pass performs is independent
+/// of worker scheduling, so aggregated totals are byte-identical for any
+/// `-j N` even though increments interleave. No mutation takes the
+/// registry lock; only registration (once per counter per process) and
+/// snapshot/reset do.
+///
 /// Usage:
 /// \code
 ///   DEPFLOW_STATISTIC(NumFoldedOps, "constprop", "Operands folded to
 ///                     constants");
+///   DEPFLOW_MAX_STATISTIC(MaxListLen, "cycle-equiv", "Longest bracket
+///                     list");
+///   DEPFLOW_HIST_STATISTIC(HistTokens, "constprop", "Tokens per edge");
 ///   ...
 ///   NumFoldedOps += Folded;
+///   MaxListLen.update(L.size());
+///   HistTokens.sample(TokensOnThisEdge);
 /// \endcode
 ///
 //===----------------------------------------------------------------------===//
@@ -32,6 +55,9 @@
 #include <vector>
 
 namespace depflow {
+
+/// Which flavor of statistic a snapshot row came from.
+enum class StatKind : std::uint8_t { Counter, Max, Histogram };
 
 class Statistic {
   const char *Group;
@@ -69,18 +95,124 @@ public:
   }
 };
 
-/// One row of the statistics report.
+/// A high-water gauge: `update(N)` raises the recorded value to N if N is
+/// larger. Max commutes, so parallel updates stay deterministic.
+class MaxStatistic {
+  const char *Group;
+  const char *Name;
+  const char *Desc;
+  std::atomic<std::uint64_t> Value{0};
+  std::atomic<bool> Registered{false};
+
+  void registerOnce();
+  friend void resetStatistics();
+
+public:
+  constexpr MaxStatistic(const char *Group, const char *Name, const char *Desc)
+      : Group(Group), Name(Name), Desc(Desc) {}
+
+  MaxStatistic(const MaxStatistic &) = delete;
+  MaxStatistic &operator=(const MaxStatistic &) = delete;
+
+  const char *group() const { return Group; }
+  const char *name() const { return Name; }
+  const char *desc() const { return Desc; }
+  std::uint64_t value() const { return Value.load(std::memory_order_relaxed); }
+
+  void update(std::uint64_t N) {
+    registerOnce();
+    std::uint64_t Cur = Value.load(std::memory_order_relaxed);
+    while (Cur < N && !Value.compare_exchange_weak(Cur, N,
+                                                   std::memory_order_relaxed))
+      ;
+  }
+};
+
+/// A log2-bucketed histogram of sample values. Bucket 0 holds samples of
+/// 0, bucket i>=1 holds samples in [2^(i-1), 2^i); the last bucket is an
+/// overflow bucket. Count, sum, and max ride along, so the report can
+/// show both the distribution and its moments.
+class HistStatistic {
+public:
+  static constexpr unsigned NumBuckets = 16;
+
+private:
+  const char *Group;
+  const char *Name;
+  const char *Desc;
+  std::atomic<std::uint64_t> Count{0};
+  std::atomic<std::uint64_t> Sum{0};
+  std::atomic<std::uint64_t> Max{0};
+  std::atomic<std::uint64_t> Buckets[NumBuckets] = {};
+  std::atomic<bool> Registered{false};
+
+  void registerOnce();
+  friend void resetStatistics();
+
+public:
+  constexpr HistStatistic(const char *Group, const char *Name,
+                          const char *Desc)
+      : Group(Group), Name(Name), Desc(Desc) {}
+
+  HistStatistic(const HistStatistic &) = delete;
+  HistStatistic &operator=(const HistStatistic &) = delete;
+
+  const char *group() const { return Group; }
+  const char *name() const { return Name; }
+  const char *desc() const { return Desc; }
+  std::uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return Sum.load(std::memory_order_relaxed); }
+  std::uint64_t max() const { return Max.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(unsigned I) const {
+    return Buckets[I].load(std::memory_order_relaxed);
+  }
+
+  /// Maps a sample value to its bucket index.
+  static unsigned bucketIndex(std::uint64_t V) {
+    unsigned I = 0;
+    while (V) {
+      ++I;
+      V >>= 1;
+    }
+    return I < NumBuckets ? I : NumBuckets - 1;
+  }
+
+  void sample(std::uint64_t V) {
+    registerOnce();
+    Count.fetch_add(1, std::memory_order_relaxed);
+    Sum.fetch_add(V, std::memory_order_relaxed);
+    Buckets[bucketIndex(V)].fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t Cur = Max.load(std::memory_order_relaxed);
+    while (Cur < V &&
+           !Max.compare_exchange_weak(Cur, V, std::memory_order_relaxed))
+      ;
+  }
+};
+
+/// One row of the statistics report. `Value` is the count for counters,
+/// the high-water mark for max gauges, and the sample sum for histograms
+/// (so a plain "total work" reading works uniformly); histograms
+/// additionally fill Count/Max/Buckets.
 struct StatisticSnapshot {
   std::string Group;
   std::string Name;
   std::string Desc;
   std::uint64_t Value = 0;
+  StatKind Kind = StatKind::Counter;
+  std::uint64_t Count = 0;
+  std::uint64_t Max = 0;
+  std::vector<std::uint64_t> Buckets;
 };
 
 /// Every registered counter with a non-zero value (touched counters with a
 /// zero value are included so resets stay visible), sorted by group then
 /// name.
 std::vector<StatisticSnapshot> statisticsSnapshot();
+
+/// Looks up one registered statistic by group and name; returns its
+/// snapshot `Value` (0 when never touched). The lookup helper the tests
+/// and the bench counter sweeps are built on.
+std::uint64_t statisticValue(const char *Group, const char *Name);
 
 /// Renders the report in the classic `--print-stats` table form.
 void printStatistics(std::FILE *Out);
@@ -93,5 +225,13 @@ void resetStatistics();
 /// Defines a file-local statistics counter.
 #define DEPFLOW_STATISTIC(Var, Group, Desc)                                   \
   static ::depflow::Statistic Var(Group, #Var, Desc)
+
+/// Defines a file-local high-water gauge.
+#define DEPFLOW_MAX_STATISTIC(Var, Group, Desc)                               \
+  static ::depflow::MaxStatistic Var(Group, #Var, Desc)
+
+/// Defines a file-local log2 histogram.
+#define DEPFLOW_HIST_STATISTIC(Var, Group, Desc)                              \
+  static ::depflow::HistStatistic Var(Group, #Var, Desc)
 
 #endif // DEPFLOW_SUPPORT_STATISTIC_H

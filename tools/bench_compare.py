@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Compare two directories of BENCH_*.json files: the perf-regression gate.
+
+Usage: bench_compare.py BASELINE_DIR NEW_DIR [--time-tolerance R] [--no-time]
+
+Both directories hold `BENCH_<name>.json` documents (schema
+"depflow-bench", emitted by the bench binaries when DEPFLOW_BENCH_JSON is
+set). For every baseline file the new directory must contain the same
+file, and:
+
+ * deterministic metrics — every metric except real_time/cpu_time, which
+   includes all `ctr_*` algorithm counters and structural sizes (E, V,
+   consts, ...) — must match the baseline exactly (up to float-formatting
+   noise, 1e-9 relative);
+ * real_time/cpu_time must stay within --time-tolerance (default 0.25 =
+   25% slower allowed; machine noise makes tighter gates flaky). CI runs
+   with --no-time and deterministic sweeps only, so its verdicts are
+   machine-independent;
+ * every claim id present in the baseline must still be present, and
+   every claim in the new run must pass (a fitted complexity exponent
+   drifting past its bound fails the gate even if no single counter
+   regressed).
+
+Entries or claims only present in the new run are reported but don't
+fail the gate (adding coverage is not a regression). Exit code: 0 clean,
+1 any regression, 2 usage error.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_reports(directory):
+    reports = {}
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError as exc:
+        sys.exit(f"error: cannot list {directory}: {exc}")
+    for name in names:
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as exc:
+            sys.exit(f"error: cannot read {path}: {exc}")
+        if doc.get("schema") != "depflow-bench":
+            sys.exit(f"error: {path}: not a depflow-bench document")
+        reports[name] = doc
+    return reports
+
+
+def is_time_metric(name):
+    return name in ("real_time", "cpu_time")
+
+
+def close_enough(a, b, rel):
+    if a == b:
+        return True
+    scale = max(abs(a), abs(b))
+    return scale > 0 and abs(a - b) <= rel * scale
+
+
+def compare_entries(fname, base, new, args, problems, notes):
+    new_by_name = {e["name"]: e for e in new.get("entries", [])}
+    base_names = set()
+    for entry in base.get("entries", []):
+        name = entry["name"]
+        base_names.add(name)
+        fresh = new_by_name.get(name)
+        if fresh is None:
+            problems.append(f"{fname}: entry '{name}' missing from new run")
+            continue
+        fresh_metrics = fresh.get("metrics", {})
+        for metric, base_val in entry.get("metrics", {}).items():
+            if metric not in fresh_metrics:
+                problems.append(
+                    f"{fname}: {name}: metric '{metric}' missing from new run")
+                continue
+            new_val = fresh_metrics[metric]
+            if is_time_metric(metric):
+                if args.no_time:
+                    continue
+                if base_val > 0 and new_val > base_val * (1 + args.time_tolerance):
+                    problems.append(
+                        f"{fname}: {name}: {metric} regressed "
+                        f"{base_val:g} -> {new_val:g} "
+                        f"(> {args.time_tolerance:.0%} tolerance)")
+            elif not close_enough(base_val, new_val, 1e-9):
+                problems.append(
+                    f"{fname}: {name}: {metric} changed "
+                    f"{base_val:g} -> {new_val:g} (deterministic metric)")
+    for name in new_by_name:
+        if name not in base_names:
+            notes.append(f"{fname}: new entry '{name}' (not in baseline)")
+
+
+def compare_claims(fname, base, new, problems, notes):
+    new_by_id = {c["id"]: c for c in new.get("claims", [])}
+    base_ids = set()
+    for claim in base.get("claims", []):
+        cid = claim["id"]
+        base_ids.add(cid)
+        if cid not in new_by_id:
+            problems.append(f"{fname}: claim '{cid}' missing from new run")
+    for cid, claim in new_by_id.items():
+        if not claim.get("pass", False):
+            op = "<=" if claim.get("direction", "le") == "le" else ">="
+            problems.append(
+                f"{fname}: claim '{cid}' FAILED: exponent "
+                f"{claim.get('exponent', 0):.3f} not {op} "
+                f"{claim.get('bound', 0):g} (tol {claim.get('tolerance', 0):g})")
+        if cid not in base_ids:
+            notes.append(f"{fname}: new claim '{cid}' (not in baseline)")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Compare BENCH_*.json directories (perf-regression gate)")
+    parser.add_argument("baseline", help="directory of baseline BENCH_*.json")
+    parser.add_argument("new", help="directory of freshly generated BENCH_*.json")
+    parser.add_argument("--time-tolerance", type=float, default=0.25,
+                        metavar="R",
+                        help="allowed relative real_time/cpu_time growth "
+                             "(default 0.25)")
+    parser.add_argument("--no-time", action="store_true",
+                        help="ignore real_time/cpu_time entirely "
+                             "(machine-independent mode, used by CI)")
+    args = parser.parse_args()
+
+    base_reports = load_reports(args.baseline)
+    new_reports = load_reports(args.new)
+    if not base_reports:
+        sys.exit(f"error: no BENCH_*.json files in {args.baseline}")
+
+    problems, notes = [], []
+    for fname, base in sorted(base_reports.items()):
+        new = new_reports.get(fname)
+        if new is None:
+            problems.append(f"{fname}: missing from new run")
+            continue
+        if new.get("schema_version") < base.get("schema_version"):
+            problems.append(
+                f"{fname}: schema_version went backwards "
+                f"({base.get('schema_version')} -> {new.get('schema_version')})")
+        compare_entries(fname, base, new, args, problems, notes)
+        compare_claims(fname, base, new, problems, notes)
+
+    for note in notes:
+        print(f"note: {note}")
+    if problems:
+        for problem in problems:
+            print(f"REGRESSION: {problem}")
+        print(f"bench_compare: {len(problems)} regression(s) against "
+              f"{args.baseline}")
+        return 1
+    print(f"bench_compare: {len(base_reports)} report(s) match {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

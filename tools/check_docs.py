@@ -16,6 +16,11 @@ Two guarantees:
    longer mentions fails. Pass ``--depflow-opt`` with the built binary;
    omit it to skip the drift check (link check only).
 
+3. **docs/TOOLS.md tracks bench_compare.py.** Same two-way drift check
+   between the ``## bench_compare.py`` section and the script's
+   ``--help`` (the script ships with the repo, so this check always
+   runs; argparse's automatic ``-h``/``--help`` is exempt).
+
 Usage:
     python3 tools/check_docs.py [--root DIR] [--depflow-opt BIN]
 
@@ -110,12 +115,17 @@ def flags_in(text):
     return {m.group(1) for m in FLAG_RE.finditer(text)} - FLAG_IGNORE
 
 
-def tools_md_opt_section(root):
+def tools_md_section(root, title):
     text = (root / "docs" / "TOOLS.md").read_text()
-    m = re.search(r"^## depflow-opt$(.*?)^## ", text, re.M | re.S)
+    m = re.search(rf"^## {re.escape(title)}$(.*?)(?=^## |\Z)", text,
+                  re.M | re.S)
     if not m:
         return None
     return m.group(1)
+
+
+def tools_md_opt_section(root):
+    return tools_md_section(root, "depflow-opt")
 
 
 def check_flag_drift(root, binary, errors):
@@ -142,6 +152,32 @@ def check_flag_drift(root, binary, errors):
                       f"--help does not mention it")
 
 
+def check_bench_compare_drift(root, errors):
+    section = tools_md_section(root, "bench_compare.py")
+    if section is None:
+        errors.append("docs/TOOLS.md: no '## bench_compare.py' section found")
+        return
+    script = root / "tools" / "bench_compare.py"
+    try:
+        proc = subprocess.run([sys.executable, str(script), "--help"],
+                              capture_output=True, text=True, timeout=30)
+    except OSError as e:
+        errors.append(f"cannot run {script} --help: {e}")
+        return
+    if proc.returncode != 0:
+        errors.append(f"{script} --help exited {proc.returncode}")
+        return
+    auto_help = {"-h", "--help"}
+    doc_flags = flags_in(section) - auto_help
+    help_flags = flags_in(proc.stdout) - auto_help
+    for flag in sorted(help_flags - doc_flags):
+        errors.append(f"docs/TOOLS.md: flag '{flag}' is in bench_compare.py "
+                      f"--help but not documented")
+    for flag in sorted(doc_flags - help_flags):
+        errors.append(f"docs/TOOLS.md: documents '{flag}' but "
+                      f"bench_compare.py --help does not mention it")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--root", type=Path,
@@ -154,6 +190,7 @@ def main():
 
     errors = []
     check_links(args.root, errors)
+    check_bench_compare_drift(args.root, errors)
     if args.depflow_opt is not None:
         check_flag_drift(args.root, str(args.depflow_opt), errors)
     else:

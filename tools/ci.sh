@@ -87,6 +87,54 @@ print("ci: trace/stats JSON ok "
       f"({len(trace['traceEvents'])} events, {len(stats['passes'])} passes)")
 PY
 
+# Counters smoke: --counters-json (standalone document) and the fuzzer's
+# --stats-json must emit valid documents whose counter entries carry the
+# expected kinds, under the sanitizers.
+"$BUILD/tools/depflow-opt" --passes=separate,constprop,pre -j 8 \
+    --counters-json "$MODDIR/counters.json" "$MODDIR/module.df" >/dev/null
+"$BUILD/tools/depflow-fuzz" --iters 20 --seed "$FUZZ_SEED" \
+    --stats-json "$MODDIR/fuzz-stats.json"
+python3 - "$MODDIR" <<'PY'
+import json, sys
+d = sys.argv[1]
+counters = json.load(open(d + "/counters.json"))
+assert counters["schema"] == "depflow-counters"
+assert counters["schema_version"] >= 1
+kinds = {e["kind"] for e in counters["counters"]}
+assert kinds <= {"counter", "max", "histogram"}, kinds
+for e in counters["counters"]:
+    if e["kind"] == "histogram":
+        assert len(e["buckets"]) == 16 and e["count"] >= 0
+fuzz = json.load(open(d + "/fuzz-stats.json"))
+assert fuzz["schema"] == "depflow-stats" and fuzz["tool"] == "depflow-fuzz"
+assert fuzz["counters"]["entries"], "fuzz run moved no counters"
+print(f"ci: counters JSON ok ({len(counters['counters'])} entries)")
+PY
+
+# Perf-gate self-check: the baselines must match themselves, and a
+# tampered counter must be caught with a nonzero exit (so the CI gate
+# can't silently rot into a rubber stamp).
+mkdir -p "$MODDIR/bench-tampered"
+cp "$ROOT"/bench/baselines/BENCH_*.json "$MODDIR/bench-tampered/"
+python3 "$ROOT/tools/bench_compare.py" "$ROOT/bench/baselines" \
+    "$ROOT/bench/baselines" --no-time
+python3 - "$MODDIR/bench-tampered" <<'PY'
+import json, sys, glob
+path = sorted(glob.glob(sys.argv[1] + "/BENCH_*.json"))[0]
+doc = json.load(open(path))
+for entry in doc["entries"]:
+    for name in entry["metrics"]:
+        if name.startswith("ctr_"):
+            entry["metrics"][name] *= 2
+json.dump(doc, open(path, "w"))
+PY
+if python3 "$ROOT/tools/bench_compare.py" "$ROOT/bench/baselines" \
+    "$MODDIR/bench-tampered" --no-time >/dev/null; then
+  echo "ci: BENCH COMPARE FAILED TO CATCH a tampered counter" >&2
+  exit 1
+fi
+echo "ci: bench_compare self-check ok"
+
 # Bench smoke (quick mode): the benchmarks must run to completion,
 # bench_parallel's built-in serial/parallel equality check must hold, and
 # the emitted BENCH_*.json baselines must validate against the

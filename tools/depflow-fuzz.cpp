@@ -19,6 +19,9 @@
 //   --emit-module N print a generated module of N functions (seeded by
 //                   --seed) to stdout and exit — the CI input for
 //                   `depflow-opt -j` smoke runs (TSan in particular)
+//   --stats-json FILE  write the machine-readable statistics report after
+//                   the run (schema "depflow-stats"): the cumulative
+//                   algorithm counters over every generated program
 //   -v              print a progress line every 100 iterations
 //
 // Each iteration generates a random program (one of six CFG families),
@@ -41,10 +44,12 @@
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
+#include "obs/StatsJson.h"
 #include "pass/AnalysisManager.h"
 #include "pass/ModulePipeline.h"
 #include "pass/PassPipeline.h"
 #include "support/RNG.h"
+#include "support/Statistic.h"
 #include "verify/DiffOracle.h"
 #include "verify/PassVerifier.h"
 #include "workload/Generators.h"
@@ -70,6 +75,7 @@ struct FuzzOptions {
   bool InjectBug = false;
   bool Verbose = false;
   unsigned EmitModule = 0; // Nonzero: print a module of N functions, exit.
+  std::string StatsJson;   // --stats-json destination; empty = disabled.
 };
 
 int usage() {
@@ -77,7 +83,8 @@ int usage() {
                "usage: depflow-fuzz [--seed N] [--iters N] [--pass NAME]\n"
                "                    [--runs N] [--max-edges N] [--no-mutate]\n"
                "                    [--no-modules] [--inject-bug]\n"
-               "                    [--emit-module N] [-v]\n");
+               "                    [--emit-module N] [--stats-json FILE] "
+               "[-v]\n");
   return 2;
 }
 
@@ -110,6 +117,13 @@ bool parseArgs(int Argc, char **Argv, FuzzOptions &O) {
       O.Passes.push_back(*P);
     } else if (A == "--emit-module" && NextNum(N))
       O.EmitModule = unsigned(N);
+    else if (A == "--stats-json") {
+      if (I + 1 >= Argc)
+        return false;
+      O.StatsJson = Argv[++I];
+      if (O.StatsJson.empty())
+        return false;
+    }
     else if (A == "--no-mutate")
       O.Mutate = false;
     else if (A == "--no-modules")
@@ -317,6 +331,34 @@ unsigned lineCount(const std::string &S) {
   for (char C : S)
     N += C == '\n';
   return N;
+}
+
+/// Re-runs the checked pipeline once over \p F and reports which algorithm
+/// counters it moved, as `group/Name +delta` lines. Counters and histogram
+/// samples accumulate monotonically, so an after-minus-before snapshot
+/// diff isolates this one run without resetStatistics() — which would
+/// clobber the cumulative totals `--stats-json` reports at exit. Max
+/// gauges don't subtract and are skipped.
+std::string counterDeltaReport(const Function &F, PassId P,
+                               const FuzzOptions &FO,
+                               std::uint64_t OracleSeed) {
+  std::vector<StatisticSnapshot> Before = statisticsSnapshot();
+  (void)checkOnePass(F, P, FO, OracleSeed);
+  std::string Out;
+  for (const StatisticSnapshot &A : statisticsSnapshot()) {
+    if (A.Kind == StatKind::Max)
+      continue;
+    std::uint64_t Prev = 0;
+    for (const StatisticSnapshot &B : Before)
+      if (B.Group == A.Group && B.Name == A.Name) {
+        Prev = B.Value;
+        break;
+      }
+    if (A.Value > Prev)
+      Out += "  " + A.Group + "/" + A.Name + " +" +
+             std::to_string(A.Value - Prev) + "\n";
+  }
+  return Out;
 }
 
 /// Greedy delta-debugging over the IR: repeatedly try instruction
@@ -554,6 +596,15 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr,
                    "--- reduced reproducer (%u lines, pass --%s) ---\n%s",
                    lineCount(Reproducer), passName(P), Reproducer.c_str());
+      // Re-parse the reproducer and report the algorithm counters one
+      // checked run over it moves — the work profile of the minimal case.
+      ParseResult RR = parseFunction(Reproducer);
+      if (RR.ok()) {
+        std::string Deltas =
+            counterDeltaReport(*RR.Fn, P, FO, OracleSeed);
+        std::fprintf(stderr, "--- reproducer counter deltas ---\n%s",
+                     Deltas.c_str());
+      }
     }
 
     // Module determinism check, every 10th iteration on average.
@@ -583,5 +634,24 @@ int main(int Argc, char **Argv) {
                "%u violation(s)\n",
                Generated, MutantsSkipped, unsigned(FO.Passes.size()),
                FO.Iters, ModuleChecks, Violations);
+
+  if (!FO.StatsJson.empty()) {
+    obs::StatsReport SR;
+    SR.Tool = "depflow-fuzz";
+    std::string Pipeline;
+    for (PassId P : FO.Passes) {
+      if (!Pipeline.empty())
+        Pipeline += ',';
+      Pipeline += passName(P);
+    }
+    SR.Pipeline = Pipeline;
+    SR.Functions = Generated;
+    SR.Jobs = 1;
+    Status S = obs::writeStatsJson(FO.StatsJson, SR);
+    if (!S.ok()) {
+      std::fprintf(stderr, "error: %s\n", S.str().c_str());
+      return 1;
+    }
+  }
   return Violations ? 1 : 0;
 }

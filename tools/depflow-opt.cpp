@@ -44,6 +44,9 @@
 //                        (schema "depflow-stats": pass timings and
 //                        allocation, analysis hit/miss counters, global
 //                        statistics, process metrics)
+//   --counters-json FILE write the algorithm counter registry alone
+//                        (schema "depflow-counters": every counter, max
+//                        gauge, and histogram with its buckets)
 //   --help | -h          print the full flag reference and exit 0
 //
 // Reads a module — one or more `func` definitions — from the file (or
@@ -103,8 +106,9 @@ struct Options {
   bool Run = false;
   bool Help = false;
   std::vector<std::int64_t> Inputs;
-  std::string TraceJson; // --trace-json destination; empty = disabled.
-  std::string StatsJson; // --stats-json destination; empty = disabled.
+  std::string TraceJson;    // --trace-json destination; empty = disabled.
+  std::string StatsJson;    // --stats-json destination; empty = disabled.
+  std::string CountersJson; // --counters-json destination; empty = disabled.
   std::string File;
 };
 
@@ -120,7 +124,8 @@ int usage() {
                "[--dot-after-all] [--dot-dfg]\n"
                "                   [--dot-cfg] [--regions] [--run v1,v2,...] "
                "[--trace-json FILE]\n"
-               "                   [--stats-json FILE] [--help] [file]\n");
+               "                   [--stats-json FILE] [--counters-json FILE] "
+               "[--help] [file]\n");
   return 2;
 }
 
@@ -168,6 +173,9 @@ void help() {
       "                      worker) for chrome://tracing or Perfetto\n"
       "  --stats-json FILE   write the machine-readable statistics report\n"
       "                      (versioned schema \"depflow-stats\")\n"
+      "  --counters-json FILE  write only the algorithm counter registry\n"
+      "                      (versioned schema \"depflow-counters\":\n"
+      "                      counters, max gauges, histograms + buckets)\n"
       "\n"
       "Inspection:\n"
       "  --print-after-all   dump the IR after every pass (stderr;\n"
@@ -308,6 +316,20 @@ int parseArgs(int Argc, char **Argv, Options &O) {
       }
       if (O.StatsJson.empty()) {
         std::fprintf(stderr, "error: --stats-json requires a file\n");
+        return 2;
+      }
+    } else if (A.rfind("--counters-json=", 0) == 0 || A == "--counters-json") {
+      if (A == "--counters-json") {
+        if (I + 1 >= Argc) {
+          std::fprintf(stderr, "error: --counters-json requires a file\n");
+          return 2;
+        }
+        O.CountersJson = Argv[++I];
+      } else {
+        O.CountersJson = A.substr(std::strlen("--counters-json="));
+      }
+      if (O.CountersJson.empty()) {
+        std::fprintf(stderr, "error: --counters-json requires a file\n");
         return 2;
       }
     } else if (A == "--help" || A == "-h") {
@@ -512,6 +534,14 @@ int main(int Argc, char **Argv) {
     for (const FunctionAnalysisManager::Counter &C : PR.aggregateCounters())
       SR.Analyses.push_back({C.Name, C.Hits, C.Misses});
     Status S = obs::writeStatsJson(O.StatsJson, SR);
+    if (!S.ok()) {
+      std::fprintf(stderr, "error: %s\n", S.str().c_str());
+      return 1;
+    }
+  }
+  if (!O.CountersJson.empty()) {
+    Status S = obs::writeCountersJson(O.CountersJson, "depflow-opt",
+                                      O.Pipeline.str());
     if (!S.ok()) {
       std::fprintf(stderr, "error: %s\n", S.str().c_str());
       return 1;
