@@ -9,6 +9,17 @@
 
 using namespace depflow;
 
+Status ExecResult::status() const {
+  if (Trapped)
+    return Status::error("trapped: " + TrapReason);
+  if (FuelExhausted)
+    return Status::error("interpreter fuel exhausted after " +
+                         std::to_string(Steps) + " step(s)");
+  if (!Halted)
+    return Status::error("execution did not halt");
+  return Status::success();
+}
+
 ExecResult depflow::runFunction(const Function &F,
                                 const std::vector<std::int64_t> &Inputs,
                                 std::uint64_t MaxSteps) {
@@ -60,8 +71,10 @@ ExecResult depflow::runFunction(const Function &F,
       const Instruction &I = *IPtr;
       if (isa<PhiInst>(&I))
         continue;
-      if (R.Steps++ >= MaxSteps)
-        return R; // Step budget exhausted; Halted stays false.
+      if (R.Steps++ >= MaxSteps) {
+        R.FuelExhausted = true;
+        return R; // Fuel exhausted; Halted stays false.
+      }
       switch (I.kind()) {
       case Instruction::Kind::Copy:
         Vals[cast<CopyInst>(&I)->def()] = Eval(cast<CopyInst>(&I)->src());

@@ -24,6 +24,7 @@
 
 #include "ir/Expression.h"
 #include "ir/Function.h"
+#include "support/Error.h"
 
 #include <cstdint>
 #include <map>
@@ -31,11 +32,19 @@
 
 namespace depflow {
 
+/// Default step budget (fuel) for runFunction: generous for any program
+/// the generators or tests produce, finite so the DiffOracle and fuzz
+/// loops can never hang on a non-terminating program.
+inline constexpr std::uint64_t DefaultInterpFuel = 1000000;
+
 struct ExecResult {
   /// Values of the ret operands, valid only when Halted.
   std::vector<std::int64_t> Outputs;
   /// True if execution reached ret within the step budget.
   bool Halted = false;
+  /// True if execution was cut off by the step budget (fuel) — the
+  /// program may or may not terminate; it did not within MaxSteps.
+  bool FuelExhausted = false;
   /// True if execution hit malformed IR (a block without a terminator, or
   /// a phi with no entry for the arriving edge). Never set for functions
   /// that pass the verifier; lets the fuzzer run arbitrary IR crash-free.
@@ -51,12 +60,16 @@ struct ExecResult {
     auto It = ExprCounts.find(E);
     return It == ExprCounts.end() ? 0 : It->second;
   }
+
+  /// Success iff the run halted normally; a trap or fuel exhaustion comes
+  /// back as a Status error naming the cause.
+  Status status() const;
 };
 
 /// Runs \p F on \p Inputs for at most \p MaxSteps instructions.
 ExecResult runFunction(const Function &F,
                        const std::vector<std::int64_t> &Inputs,
-                       std::uint64_t MaxSteps = 100000);
+                       std::uint64_t MaxSteps = DefaultInterpFuel);
 
 } // namespace depflow
 

@@ -19,6 +19,18 @@ Status Module::addFunction(std::unique_ptr<Function> F) {
   return Status::success();
 }
 
+Status Module::replaceFunction(unsigned I, std::unique_ptr<Function> F) {
+  if (I >= Funcs.size())
+    return Status::error("replaceFunction: index out of range");
+  if (!F)
+    return Status::error("replaceFunction: null function");
+  if (F->name() != Funcs[I]->name())
+    return Status::error("replaceFunction: replacement must keep the name '" +
+                         Funcs[I]->name() + "' (got '" + F->name() + "')");
+  Funcs[I] = std::move(F);
+  return Status::success();
+}
+
 Function *Module::lookup(std::string_view FnName) const {
   auto It = IndexOf.find(std::string(FnName));
   return It == IndexOf.end() ? nullptr : Funcs[It->second].get();

@@ -59,6 +59,13 @@ public:
   /// Returns the function named \p FnName, or null.
   Function *lookup(std::string_view FnName) const;
 
+  /// Replaces the function at position \p I with \p F, which must carry
+  /// the same name (positions and the name index stay valid). The module
+  /// pipeline's --keep-going path uses this to put a failed function's
+  /// original text back; distinct positions can be replaced concurrently
+  /// (each slot is owned by exactly one task).
+  Status replaceFunction(unsigned I, std::unique_ptr<Function> F);
+
   /// Totals over every function (bench reporting).
   unsigned numBlocks() const;
   unsigned numInstructions() const;

@@ -1,0 +1,92 @@
+//===- obs/CrashHandler.cpp - Last-resort crash diagnostics ---------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/CrashHandler.h"
+
+#include "support/FaultInjection.h"
+
+#include <atomic>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#include <unistd.h>
+#define DEPFLOW_HAVE_SIGACTION 1
+#endif
+
+using namespace depflow;
+
+namespace {
+
+std::function<void()> FlushHook;
+std::atomic<bool> HandlerEntered{false};
+
+#if DEPFLOW_HAVE_SIGACTION
+
+const char *signalName(int Sig) {
+  switch (Sig) {
+  case SIGSEGV:
+    return "SIGSEGV";
+  case SIGABRT:
+    return "SIGABRT";
+  case SIGBUS:
+    return "SIGBUS";
+  default:
+    return "signal";
+  }
+}
+
+/// write(2)-only message assembly: the primary diagnostic must land even
+/// when the heap or stdio is the thing that broke.
+void writeStr(const char *S) {
+  ssize_t Ignored = write(2, S, std::strlen(S));
+  (void)Ignored;
+}
+
+void crashHandler(int Sig) {
+  if (!HandlerEntered.exchange(true)) {
+    writeStr("depflow: fatal signal ");
+    writeStr(signalName(Sig));
+    const char *Fn = currentTaskFunction();
+    if (Fn && *Fn) {
+      writeStr(" while processing function '");
+      writeStr(Fn);
+      writeStr("'");
+    } else {
+      writeStr(" (no function task in flight)");
+    }
+    writeStr("; flushing observability output\n");
+    if (FlushHook) {
+      try {
+        FlushHook();
+      } catch (...) {
+        // The flush is best-effort; the re-raise below is the point.
+      }
+    }
+  }
+  std::signal(Sig, SIG_DFL);
+  raise(Sig);
+}
+
+#endif // DEPFLOW_HAVE_SIGACTION
+
+} // namespace
+
+void obs::installCrashHandler() {
+#if DEPFLOW_HAVE_SIGACTION
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = crashHandler;
+  sigemptyset(&SA.sa_mask);
+  for (int Sig : {SIGSEGV, SIGABRT, SIGBUS})
+    sigaction(Sig, &SA, nullptr);
+#endif
+}
+
+void obs::setCrashFlushHook(std::function<void()> Hook) {
+  FlushHook = std::move(Hook);
+}

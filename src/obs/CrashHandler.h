@@ -1,0 +1,46 @@
+//===- obs/CrashHandler.h - Last-resort crash diagnostics -------*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A last-resort signal handler (SIGSEGV / SIGABRT / SIGBUS) that turns
+/// every crash into a reproducer: it prints the in-flight function name
+/// (from the pipeline's TaskScope, a thread-local read that is
+/// async-signal-safe), runs a best-effort flush hook so a partially
+/// written --trace-json / --stats-json document still lands on disk, then
+/// restores the default disposition and re-raises so the process dies
+/// with the original signal.
+///
+/// The flush hook is *not* async-signal-safe — it writes files through
+/// stdio. That is a deliberate trade: the process is dying anyway, and a
+/// timeline of the crashing run is exactly the artifact worth risking a
+/// secondary failure for. A re-entry guard makes a crash inside the hook
+/// fall straight through to the re-raise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_OBS_CRASHHANDLER_H
+#define DEPFLOW_OBS_CRASHHANDLER_H
+
+#include <functional>
+
+namespace depflow {
+namespace obs {
+
+/// Installs the handler for SIGSEGV, SIGABRT, and SIGBUS. Safe to call
+/// more than once. On platforms without sigaction this is a no-op.
+void installCrashHandler();
+
+/// Registers the best-effort flush callback run inside the handler
+/// (typically: write the trace / stats JSON). Replaces any previous hook;
+/// an empty function clears it. Not thread-safe — set it from main before
+/// starting workers.
+void setCrashFlushHook(std::function<void()> Hook);
+
+} // namespace obs
+} // namespace depflow
+
+#endif // DEPFLOW_OBS_CRASHHANDLER_H

@@ -7,6 +7,8 @@
 
 #include "obs/Metrics.h"
 
+#include "support/FaultInjection.h"
+
 #include <atomic>
 #include <cstdlib>
 #include <new>
@@ -47,10 +49,15 @@ ThreadCounters &localCounters() {
 
 /// Count + allocate. Single-writer counters: a load/store pair is cheaper
 /// than an atomic RMW and race-free because only this thread stores.
+/// faultShouldFailAlloc is the task-budget / alloc-fail check site: it
+/// refuses the allocation *before* it is counted, so the counters keep
+/// describing memory actually requested and granted.
 void *countedAlloc(std::size_t Size) noexcept {
   ThreadCounters &C = localCounters();
-  C.Bytes.store(C.Bytes.load(std::memory_order_relaxed) + Size,
-                std::memory_order_relaxed);
+  std::uint64_t Bytes = C.Bytes.load(std::memory_order_relaxed);
+  if (depflow::faultShouldFailAlloc(Bytes, Size))
+    return nullptr;
+  C.Bytes.store(Bytes + Size, std::memory_order_relaxed);
   C.Count.store(C.Count.load(std::memory_order_relaxed) + 1,
                 std::memory_order_relaxed);
   return std::malloc(Size ? Size : 1);
@@ -58,8 +65,10 @@ void *countedAlloc(std::size_t Size) noexcept {
 
 void *alignedCountedAlloc(std::size_t Size, std::align_val_t Align) noexcept {
   ThreadCounters &C = localCounters();
-  C.Bytes.store(C.Bytes.load(std::memory_order_relaxed) + Size,
-                std::memory_order_relaxed);
+  std::uint64_t Bytes = C.Bytes.load(std::memory_order_relaxed);
+  if (depflow::faultShouldFailAlloc(Bytes, Size))
+    return nullptr;
+  C.Bytes.store(Bytes + Size, std::memory_order_relaxed);
   C.Count.store(C.Count.load(std::memory_order_relaxed) + 1,
                 std::memory_order_relaxed);
   std::size_t A = static_cast<std::size_t>(Align);

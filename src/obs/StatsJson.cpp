@@ -88,6 +88,21 @@ std::string depflow::obs::renderStatsJson(const StatsReport &R) {
   }
   W.endArray();
 
+  W.key("function_tasks");
+  W.beginArray();
+  for (const StatsFunctionRecord &T : R.FunctionTasks) {
+    W.beginObject();
+    W.keyValue("function", T.Function);
+    W.keyValue("ok", T.Ok);
+    W.keyValue("cause", T.Cause);
+    W.keyValue("fail_pass", T.FailPass);
+    W.keyValue("restored", T.Restored);
+    W.keyValue("seconds", T.Seconds);
+    W.keyValue("alloc_bytes", T.AllocBytes);
+    W.endObject();
+  }
+  W.endArray();
+
   W.key("statistics");
   W.beginArray();
   if (R.IncludeStatistics) {

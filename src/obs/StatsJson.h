@@ -22,6 +22,9 @@
 ///                   "analysis_hits": .., "analysis_misses": ..,
 ///                   "alloc_bytes": ..}, ...],
 ///     "analyses": [{"analysis": "dfg", "hits": .., "misses": ..}, ...],
+///     "function_tasks": [{"function": "f0", "ok": true, "cause": "",
+///                   "fail_pass": "", "restored": false, "seconds": ..,
+///                   "alloc_bytes": ..}, ...],
 ///     "statistics": [{"group": "pre", "name": "NumCriticalEdgesSplit",
 ///                     "description": .., "value": ..}, ...],
 ///     "counters":  {"version": 1, "entries": [{"group", "name",
@@ -82,6 +85,18 @@ struct StatsAnalysisCounter {
   std::uint64_t Misses = 0;
 };
 
+/// One function task's budget/outcome row (`function_tasks` array). Added
+/// without a schema_version bump — purely additive.
+struct StatsFunctionRecord {
+  std::string Function;
+  bool Ok = true;
+  std::string Cause;    // taskFailureKindName; "" when Ok.
+  std::string FailPass; // Pass in flight at failure; "" when Ok.
+  bool Restored = false;
+  double Seconds = 0;
+  std::uint64_t AllocBytes = 0;
+};
+
 struct StatsReport {
   std::string Tool;     // "depflow-opt"
   std::string Pipeline; // Textual pipeline ("separate,constprop,pre").
@@ -89,6 +104,9 @@ struct StatsReport {
   unsigned Jobs = 0;
   std::vector<StatsPassRecord> Passes;
   std::vector<StatsAnalysisCounter> Analyses;
+  /// Per-function task rows, input order (resource budgets + degradation
+  /// outcomes). Empty when the producing tool has no per-task data.
+  std::vector<StatsFunctionRecord> FunctionTasks;
   /// Captured by render/write via statisticsSnapshot() — the
   /// support/Statistic.h globals.
   bool IncludeStatistics = true;

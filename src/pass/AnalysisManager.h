@@ -41,6 +41,7 @@
 
 #include "ir/Function.h"
 #include "obs/Trace.h"
+#include "support/FaultInjection.h"
 #include "support/Statistic.h"
 
 #include <cassert>
@@ -170,6 +171,11 @@ public:
       if (E.Result)
         Retired.push_back(std::move(E.Result));
     }
+    // The analysis boundary is the robustness layer's cooperative check
+    // site: an armed `analysis-fail:<name>` fires here, and a blown
+    // per-pass deadline is detected here before more work starts. Both
+    // throw; the module pipeline catches at the function-task boundary.
+    faultAnalysisCheckpoint(A::name());
     // Run outside the Entry reference: nested getResult calls may insert
     // into the map (node-stable, but keep the access pattern simple).
     // The span covers only the compute path, so in a trace the cost of an

@@ -7,12 +7,40 @@
 
 #include "pass/ModulePipeline.h"
 
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "obs/Metrics.h"
+#include "support/FaultInjection.h"
+
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <map>
+#include <memory>
+#include <new>
 #include <thread>
 
 using namespace depflow;
+
+const char *depflow::taskFailureKindName(TaskFailureKind K) {
+  switch (K) {
+  case TaskFailureKind::None:
+    return "none";
+  case TaskFailureKind::PassError:
+    return "pass-error";
+  case TaskFailureKind::FaultInjected:
+    return "fault-injected";
+  case TaskFailureKind::DeadlineExceeded:
+    return "deadline-exceeded";
+  case TaskFailureKind::MemoryBudget:
+    return "memory-budget";
+  case TaskFailureKind::OutOfMemory:
+    return "out-of-memory";
+  case TaskFailureKind::Exception:
+    return "exception";
+  }
+  return "unknown";
+}
 
 unsigned depflow::defaultModulePipelineJobs() {
   unsigned N = std::thread::hardware_concurrency();
@@ -28,6 +56,13 @@ bool ModulePipelineResult::ok() const {
     if (!FR.S.ok())
       return false;
   return true;
+}
+
+unsigned ModulePipelineResult::numFailed() const {
+  unsigned N = 0;
+  for (const FunctionPipelineResult &FR : Functions)
+    N += !FR.S.ok();
+  return N;
 }
 
 Status ModulePipelineResult::combinedStatus() const {
@@ -121,6 +156,49 @@ void ModulePipelineResult::printReport(std::FILE *Out) const {
   std::fprintf(Out, "  %-14s %6llu hit(s), %6llu miss(es) (%.1f%% hit rate)\n",
                "total", (unsigned long long)Hits, (unsigned long long)Misses,
                Rate);
+
+  std::fprintf(Out, "===-------------------------------------------===\n");
+  std::fprintf(Out, "        ... Per-function task budgets ...\n");
+  std::fprintf(Out, "===-------------------------------------------===\n");
+  for (const FunctionPipelineResult &FR : Functions) {
+    if (FR.S.ok())
+      std::fprintf(Out, "  %10.6fs %8llu KiB  %-20s ok\n", FR.TaskSeconds,
+                   (unsigned long long)(FR.TaskAllocBytes / 1024),
+                   FR.Name.c_str());
+    else
+      std::fprintf(Out, "  %10.6fs %8llu KiB  %-20s FAILED (%s%s)\n",
+                   FR.TaskSeconds,
+                   (unsigned long long)(FR.TaskAllocBytes / 1024),
+                   FR.Name.c_str(), taskFailureKindName(FR.FailKind),
+                   FR.Restored ? ", original restored" : "");
+  }
+}
+
+void ModulePipelineResult::printFailureReport(std::FILE *Out) const {
+  unsigned Failed = numFailed();
+  if (!Failed)
+    return;
+  std::fprintf(Out, "depflow: degraded: %u of %u function(s) failed%s\n",
+               Failed, unsigned(Functions.size()),
+               Failed < Functions.size()
+                   ? "; every other function completed normally"
+                   : "");
+  for (const FunctionPipelineResult &FR : Functions) {
+    if (FR.S.ok())
+      continue;
+    std::fprintf(Out, "  function '%s': cause %s%s%s: %s\n", FR.Name.c_str(),
+                 taskFailureKindName(FR.FailKind),
+                 FR.FailPass.empty() ? "" : " in pass --",
+                 FR.FailPass.c_str(), FR.S.str().c_str());
+    std::fprintf(Out,
+                 "    task: %.6fs, %llu KiB allocated, %llu analysis "
+                 "hit(s), %llu miss(es)%s\n",
+                 FR.TaskSeconds,
+                 (unsigned long long)(FR.TaskAllocBytes / 1024),
+                 (unsigned long long)FR.Hits, (unsigned long long)FR.Misses,
+                 FR.Restored ? "; original text preserved in output"
+                             : "; original text NOT restored");
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -142,30 +220,122 @@ depflow::runPipelineOnModule(Module &M, const PassPipeline &Pipe,
     FunctionPipelineResult &FR = R.Functions[I];
     FR.Name = F.name();
 
+    // Restoration input for KeepGoing, snapshotted before the task's
+    // budget window opens so it is never charged to the task.
+    std::string OriginalText;
+    if (Opts.KeepGoing)
+      OriginalText = printFunction(F);
+
     // One span per function task, on the executing worker's track; the
     // per-pass spans from PassInstrumentation nest inside it.
     obs::TraceSpan TaskSpan("task", "func:" + F.name());
 
-    FunctionAnalysisManager AM(F);
-    PassInstrumentation PI;
-    PI.PrintAfterAll = Opts.PrintAfterAll;
-    PI.DotAfterAll = Opts.DotAfterAll;
-    PI.Out = Opts.DumpOut;
-    for (PassId P : Pipe.passes()) {
-      PI.beforePass(P, AM);
-      Status S = depflow::runPass(F, P, AM, Pipe.options());
-      if (!S.ok()) {
-        FR.S = S;
-        break;
+    const auto T0 = std::chrono::steady_clock::now();
+    const std::uint64_t B0 = obs::threadAllocatedBytes();
+    struct TaskBody {
+      FunctionAnalysisManager AM;
+      PassInstrumentation PI;
+      explicit TaskBody(Function &Fn) : AM(Fn) {}
+    };
+    // Declared outside the fault window: the result-commitment reads below
+    // (records/counters snapshots) allocate, and must not be eligible to
+    // consume an armed alloc-fail — a bad_alloc there would escape the
+    // catch blocks. Constructed inside the try, so an in-task bad_alloc
+    // during manager construction is still caught.
+    std::unique_ptr<TaskBody> Body;
+    const char *FailPassName = "";
+    {
+      // The scope itself allocates nothing, so everything the task
+      // allocates — including the manager and instrumentation below — is
+      // inside the byte budget and the alloc-fail window, and every
+      // resulting bad_alloc unwinds into the catch blocks here.
+      TaskScope Scope(FR.Name.c_str(), B0, Opts.MaxTaskBytes,
+                      Opts.MaxPassMillis);
+      try {
+        Body = std::make_unique<TaskBody>(F);
+        Body->PI.PrintAfterAll = Opts.PrintAfterAll;
+        Body->PI.DotAfterAll = Opts.DotAfterAll;
+        Body->PI.Out = Opts.DumpOut;
+        for (PassId P : Pipe.passes()) {
+          taskPassBegin(passName(P));
+          Body->PI.beforePass(P, Body->AM);
+          // Pass-boundary fault checkpoint inside the pass's span, so an
+          // injected slow-pass shows up in the pass's own timing.
+          if (Status FS = faultPassCheckpoint(passName(P)); !FS.ok()) {
+            FR.S = FS;
+            FR.FailKind = TaskFailureKind::FaultInjected;
+            break;
+          }
+          Status S = depflow::runPass(F, P, Body->AM, Pipe.options());
+          if (!S.ok()) {
+            FR.S = S;
+            FR.FailKind = TaskFailureKind::PassError;
+            break;
+          }
+          Body->PI.afterPass(P, F, Body->AM);
+          if (Status DS = taskPassDeadlineCheck(); !DS.ok()) {
+            FR.S = DS;
+            FR.FailKind = TaskFailureKind::DeadlineExceeded;
+            break;
+          }
+          if (Opts.AfterPass)
+            Opts.AfterPass(I, P, F, Body->AM);
+        }
+      } catch (const FaultInjectedError &E) {
+        FR.S = Status::error(E.what());
+        FR.FailKind = TaskFailureKind::FaultInjected;
+      } catch (const TaskDeadlineError &E) {
+        FR.S = Status::error(E.what());
+        FR.FailKind = TaskFailureKind::DeadlineExceeded;
+      } catch (const std::bad_alloc &) {
+        // The budget/fault flags are one-shot, so allocation works again
+        // here: classification and diagnostics may build strings.
+        if (Scope.byteBudgetBreached()) {
+          FR.S = Status::error(
+              "task exceeded --max-task-bytes=" +
+              std::to_string(Opts.MaxTaskBytes) + " (allocation refused)");
+          FR.FailKind = TaskFailureKind::MemoryBudget;
+        } else if (Scope.allocFaultFired()) {
+          FR.S = Status::error("fault injected: alloc-fail (allocation "
+                               "refused by --fault-inject)");
+          FR.FailKind = TaskFailureKind::FaultInjected;
+        } else {
+          FR.S = Status::error("out of memory");
+          FR.FailKind = TaskFailureKind::OutOfMemory;
+        }
+      } catch (const std::exception &E) {
+        FR.S = Status::error(std::string("uncaught exception: ") + E.what());
+        FR.FailKind = TaskFailureKind::Exception;
       }
-      PI.afterPass(P, F, AM);
-      if (Opts.AfterPass)
-        Opts.AfterPass(I, P, F, AM);
+      // A pointer into the static pass-name table — safe to read after the
+      // scope closes, and copying it here would allocate inside the fault
+      // window.
+      FailPassName = Scope.passInFlight();
     }
-    FR.Passes = PI.records();
-    FR.Counters = AM.counterSnapshot();
-    FR.Hits = AM.totalHits();
-    FR.Misses = AM.totalMisses();
+    FR.TaskSeconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - T0)
+                         .count();
+    FR.TaskAllocBytes = obs::threadAllocatedBytes() - B0;
+    if (Body) {
+      FR.Passes = Body->PI.records();
+      FR.Counters = Body->AM.counterSnapshot();
+      FR.Hits = Body->AM.totalHits();
+      FR.Misses = Body->AM.totalMisses();
+    }
+    if (!FR.S.ok())
+      FR.FailPass = FailPassName;
+
+    // KeepGoing degradation: put the function's original text back via a
+    // print → parse round trip. Tasks own distinct module slots, so
+    // concurrent restores never race.
+    if (!FR.S.ok() && Opts.KeepGoing) {
+      ParseResult PR = parseFunction(OriginalText);
+      if (PR.ok() && M.replaceFunction(I, std::move(PR.Fn)).ok())
+        FR.Restored = true;
+      else
+        FR.S.addError("additionally: restoring the original function text "
+                      "failed");
+    }
   };
 
   unsigned Jobs = Opts.Jobs ? Opts.Jobs : defaultModulePipelineJobs();

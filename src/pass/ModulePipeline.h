@@ -29,6 +29,19 @@
 /// Failures do not stop the module: a function whose pipeline fails keeps
 /// its failing Status in its slot while the other functions complete.
 ///
+/// **Failure isolation & budgets.** Each function runs inside a
+/// `TaskScope` (support/FaultInjection.h): an armed fault point, the
+/// per-task byte budget (`MaxTaskBytes`, enforced at the counting
+/// allocation hooks), and the cooperative per-pass deadline
+/// (`MaxPassMillis`, checked at pass and analysis boundaries) can each
+/// fail the task — by Status or by exception (bad_alloc,
+/// FaultInjectedError, TaskDeadlineError), all caught at the task
+/// boundary. Under `KeepGoing` the failed function's original text is
+/// restored into the module (print → parse round trip into its own slot,
+/// safe under any job count), the failure is classified in
+/// `TaskFailureKind`, and the run completes degraded: every successful
+/// function's output is byte-identical to a clean run.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DEPFLOW_PASS_MODULEPIPELINE_H
@@ -62,7 +75,36 @@ struct ModulePipelineOptions {
   std::function<void(unsigned FnIndex, PassId P, Function &F,
                      FunctionAnalysisManager &AM)>
       AfterPass;
+
+  /// Keep going on per-function failure: the failed function's original
+  /// text is restored into the module and the run completes degraded
+  /// (depflow-opt exits 4). Off = first failure still lets the remaining
+  /// functions run, but nothing is restored and the caller treats the
+  /// module result as an error.
+  bool KeepGoing = false;
+
+  /// Cooperative per-pass deadline in milliseconds per function task,
+  /// checked at pass boundaries and analysis boundaries. 0 = none.
+  std::uint64_t MaxPassMillis = 0;
+
+  /// Per-function-task allocation budget in bytes, enforced exactly at
+  /// the obs counting-allocator hooks. 0 = none.
+  std::uint64_t MaxTaskBytes = 0;
 };
+
+/// Why a function task failed, classified at the task boundary.
+enum class TaskFailureKind {
+  None,             // Task succeeded.
+  PassError,        // A pass returned a failing Status.
+  FaultInjected,    // An armed fault point fired (--fault-inject).
+  DeadlineExceeded, // --max-pass-millis blown (pass/analysis boundary).
+  MemoryBudget,     // --max-task-bytes blown (allocation refused).
+  OutOfMemory,      // Real bad_alloc, no budget or fault involved.
+  Exception,        // Any other exception escaping the task.
+};
+
+/// Stable display name ("pass-error", "memory-budget", ...).
+const char *taskFailureKindName(TaskFailureKind K);
 
 /// Everything one function's pipeline run produced, committed at the
 /// function's module index.
@@ -75,6 +117,17 @@ struct FunctionPipelineResult {
   /// construction, never shared with another worker.
   std::vector<FunctionAnalysisManager::Counter> Counters;
   std::uint64_t Hits = 0, Misses = 0;
+
+  /// Failure classification; None iff S.ok().
+  TaskFailureKind FailKind = TaskFailureKind::None;
+  /// The pass in flight when the task failed ("" if none had begun).
+  std::string FailPass;
+  /// KeepGoing restored the original function text into the module.
+  bool Restored = false;
+  /// Whole-task wall time and exact allocation volume (budget telemetry,
+  /// reported per function by --time-passes and the stats JSON).
+  double TaskSeconds = 0;
+  std::uint64_t TaskAllocBytes = 0;
 };
 
 class ModulePipelineResult {
@@ -83,9 +136,15 @@ public:
   std::vector<FunctionPipelineResult> Functions;
 
   bool ok() const;
+  unsigned numFailed() const;
 
   /// Every failure, prefixed with its function's name, in input order.
   Status combinedStatus() const;
+
+  /// The structured degradation report: one block per failed function, in
+  /// input order — function, failing pass, cause classification, the
+  /// Status diagnostics, and the task's counters snapshot.
+  void printFailureReport(std::FILE *Out) const;
 
   std::uint64_t totalHits() const;
   std::uint64_t totalMisses() const;

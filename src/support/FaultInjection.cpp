@@ -1,0 +1,304 @@
+//===- support/FaultInjection.cpp - Deterministic fault points ------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+using namespace depflow;
+
+namespace {
+
+/// The single armed fault point. The spec itself is written only while no
+/// workers run (configureFaultInjection's contract); the counters are the
+/// only fields touched concurrently.
+struct ArmedState {
+  FaultSpec Spec;
+  std::atomic<std::uint64_t> Occurrences{0};
+  std::atomic<bool> Fired{false};
+};
+
+ArmedState Armed;
+std::atomic<bool> ArmedFlag{false};
+
+thread_local detail::FaultTaskState *CurrentTask = nullptr;
+
+/// Counts one matching occurrence; true exactly when it is the Nth. The
+/// fetch_add makes the "exactly once" guarantee hold under any number of
+/// racing workers: one thread observes the Nth count, every other thread
+/// observes a different one.
+bool fireOnMatch() {
+  std::uint64_t N =
+      Armed.Occurrences.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (N != Armed.Spec.Nth)
+    return false;
+  Armed.Fired.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+bool armedKindIs(FaultKind K) {
+  return ArmedFlag.load(std::memory_order_relaxed) && Armed.Spec.Kind == K;
+}
+
+bool parseUint(const std::string &Text, std::uint64_t &Out) {
+  if (Text.empty())
+    return false;
+  char *End = nullptr;
+  Out = std::strtoull(Text.c_str(), &End, 10);
+  return End && *End == '\0';
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Spec parsing
+//===----------------------------------------------------------------------===//
+
+std::string FaultSpec::str() const {
+  std::string S;
+  switch (Kind) {
+  case FaultKind::None:
+    return "";
+  case FaultKind::AllocFail:
+    S = "alloc-fail";
+    break;
+  case FaultKind::PassFail:
+    S = "pass-fail:" + Arg;
+    break;
+  case FaultKind::AnalysisFail:
+    S = "analysis-fail:" + Arg;
+    break;
+  case FaultKind::ParseTruncate:
+    S = "parse-truncate";
+    break;
+  case FaultKind::SlowPass:
+    S = "slow-pass:" + std::to_string(Millis);
+    break;
+  }
+  if (Nth != 1)
+    S += "@" + std::to_string(Nth);
+  return S;
+}
+
+std::vector<std::string> depflow::faultPointNames() {
+  return {"alloc-fail", "pass-fail:<pass>", "analysis-fail:<analysis>",
+          "parse-truncate", "slow-pass:<ms>"};
+}
+
+Status depflow::parseFaultSpec(std::string_view Text, FaultSpec &Out) {
+  std::string T(Text);
+  auto Fail = [&](const std::string &Why) {
+    std::string Known;
+    for (const std::string &N : faultPointNames())
+      Known += (Known.empty() ? "" : ", ") + N;
+    return Status::error("bad fault spec '" + std::string(Text) + "': " +
+                         Why + " (known points: " + Known +
+                         "; each takes an optional @N occurrence)");
+  };
+
+  FaultSpec S;
+  auto At = T.rfind('@');
+  if (At != std::string::npos) {
+    if (!parseUint(T.substr(At + 1), S.Nth) || S.Nth == 0)
+      return Fail("the @N occurrence must be a positive integer");
+    T = T.substr(0, At);
+  }
+
+  auto Colon = T.find(':');
+  std::string Point = Colon == std::string::npos ? T : T.substr(0, Colon);
+  std::string Arg = Colon == std::string::npos ? "" : T.substr(Colon + 1);
+
+  if (Point == "alloc-fail") {
+    if (!Arg.empty())
+      return Fail("alloc-fail takes no argument");
+    S.Kind = FaultKind::AllocFail;
+  } else if (Point == "pass-fail") {
+    if (Arg.empty())
+      return Fail("pass-fail needs a pass name");
+    S.Kind = FaultKind::PassFail;
+    S.Arg = Arg;
+  } else if (Point == "analysis-fail") {
+    if (Arg.empty())
+      return Fail("analysis-fail needs an analysis name");
+    S.Kind = FaultKind::AnalysisFail;
+    S.Arg = Arg;
+  } else if (Point == "parse-truncate") {
+    if (!Arg.empty())
+      return Fail("parse-truncate takes no argument");
+    S.Kind = FaultKind::ParseTruncate;
+  } else if (Point == "slow-pass") {
+    if (!parseUint(Arg, S.Millis))
+      return Fail("slow-pass needs a millisecond count");
+    S.Kind = FaultKind::SlowPass;
+  } else {
+    return Fail("unknown point '" + Point + "'");
+  }
+  Out = S;
+  return Status::success();
+}
+
+//===----------------------------------------------------------------------===//
+// Arming
+//===----------------------------------------------------------------------===//
+
+Status depflow::configureFaultInjection(std::string_view SpecText) {
+  if (SpecText.empty()) {
+    clearFaultInjection();
+    return Status::success();
+  }
+  FaultSpec S;
+  Status P = parseFaultSpec(SpecText, S);
+  if (!P.ok())
+    return P;
+  ArmedFlag.store(false, std::memory_order_relaxed);
+  Armed.Spec = S;
+  Armed.Occurrences.store(0, std::memory_order_relaxed);
+  Armed.Fired.store(false, std::memory_order_relaxed);
+  ArmedFlag.store(true, std::memory_order_release);
+  return Status::success();
+}
+
+void depflow::clearFaultInjection() {
+  ArmedFlag.store(false, std::memory_order_relaxed);
+  Armed.Spec = FaultSpec();
+  Armed.Occurrences.store(0, std::memory_order_relaxed);
+  Armed.Fired.store(false, std::memory_order_relaxed);
+}
+
+bool depflow::faultInjectionArmed() {
+  return ArmedFlag.load(std::memory_order_relaxed);
+}
+
+std::string depflow::armedFaultSpec() {
+  return faultInjectionArmed() ? Armed.Spec.str() : std::string();
+}
+
+bool depflow::faultPointFired() {
+  return Armed.Fired.load(std::memory_order_relaxed);
+}
+
+std::uint64_t depflow::faultOccurrenceCount() {
+  return Armed.Occurrences.load(std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Task scope
+//===----------------------------------------------------------------------===//
+
+TaskScope::TaskScope(const char *FunctionName, std::uint64_t StartBytes,
+                     std::uint64_t MaxTaskBytes, std::uint64_t MaxPassMillis) {
+  State.Function = FunctionName;
+  State.StartBytes = StartBytes;
+  State.MaxTaskBytes = MaxTaskBytes;
+  State.MaxPassMillis = MaxPassMillis;
+  State.Prev = CurrentTask;
+  CurrentTask = &State;
+}
+
+TaskScope::~TaskScope() { CurrentTask = State.Prev; }
+
+const char *depflow::currentTaskFunction() noexcept {
+  detail::FaultTaskState *T = CurrentTask;
+  return T ? T->Function : "";
+}
+
+void depflow::taskPassBegin(const char *PassName) {
+  if (detail::FaultTaskState *T = CurrentTask) {
+    T->Pass = PassName;
+    T->PassStart = std::chrono::steady_clock::now();
+  }
+}
+
+static std::uint64_t elapsedPassMillis(const detail::FaultTaskState &T) {
+  return std::uint64_t(std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - T.PassStart)
+                           .count());
+}
+
+Status depflow::taskPassDeadlineCheck() {
+  detail::FaultTaskState *T = CurrentTask;
+  if (!T || !T->MaxPassMillis)
+    return Status::success();
+  std::uint64_t Ms = elapsedPassMillis(*T);
+  if (Ms <= T->MaxPassMillis)
+    return Status::success();
+  return Status::error("pass --" + std::string(T->Pass) +
+                       " exceeded --max-pass-millis=" +
+                       std::to_string(T->MaxPassMillis) + " (" +
+                       std::to_string(Ms) + " ms elapsed)");
+}
+
+//===----------------------------------------------------------------------===//
+// Check sites
+//===----------------------------------------------------------------------===//
+
+bool depflow::faultShouldFailAlloc(std::uint64_t ThreadBytesSoFar,
+                                   std::size_t Size) noexcept {
+  detail::FaultTaskState *T = CurrentTask;
+  if (!T)
+    return false;
+  // Byte budget: exact, enforced at the real crossing allocation. One-shot
+  // per task — after the breach, cleanup and diagnostics must allocate.
+  if (T->MaxTaskBytes && !T->ByteBudgetBreached &&
+      ThreadBytesSoFar - T->StartBytes + Size > T->MaxTaskBytes) {
+    T->ByteBudgetBreached = true;
+    return true;
+  }
+  if (armedKindIs(FaultKind::AllocFail) && fireOnMatch()) {
+    T->AllocFaultFired = true;
+    return true;
+  }
+  return false;
+}
+
+Status depflow::faultPassCheckpoint(const char *PassName) {
+  if (!ArmedFlag.load(std::memory_order_relaxed))
+    return Status::success();
+  switch (Armed.Spec.Kind) {
+  case FaultKind::PassFail:
+    if (Armed.Spec.Arg == PassName && fireOnMatch())
+      return Status::error("fault injected: " + Armed.Spec.str());
+    break;
+  case FaultKind::SlowPass:
+    if (fireOnMatch())
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(Armed.Spec.Millis));
+    break;
+  default:
+    break;
+  }
+  return Status::success();
+}
+
+void depflow::faultAnalysisCheckpoint(const char *AnalysisName) {
+  if (armedKindIs(FaultKind::AnalysisFail) &&
+      Armed.Spec.Arg == AnalysisName && fireOnMatch())
+    throw FaultInjectedError("fault injected: " + Armed.Spec.str() +
+                             " (computing analysis '" +
+                             std::string(AnalysisName) + "')");
+  // Cooperative deadline: a pass that burns its budget inside analyses is
+  // caught before the next computation starts, not only at the pass
+  // boundary.
+  detail::FaultTaskState *T = CurrentTask;
+  if (T && T->MaxPassMillis) {
+    std::uint64_t Ms = elapsedPassMillis(*T);
+    if (Ms > T->MaxPassMillis)
+      throw TaskDeadlineError(
+          "pass --" + std::string(T->Pass) +
+          " exceeded --max-pass-millis=" + std::to_string(T->MaxPassMillis) +
+          " (" + std::to_string(Ms) + " ms elapsed at analysis '" +
+          std::string(AnalysisName) + "')");
+  }
+}
+
+std::string depflow::faultTruncateSource(std::string_view Source) {
+  if (armedKindIs(FaultKind::ParseTruncate) && fireOnMatch())
+    return std::string(Source.substr(0, Source.size() / 2));
+  return std::string(Source);
+}

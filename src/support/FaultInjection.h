@@ -1,0 +1,203 @@
+//===- support/FaultInjection.h - Deterministic fault points ----*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A registry of named, deterministic fault points, plus the per-task
+/// resource-budget scope the module pipeline runs each function under.
+/// Together they are the robustness layer's proof machinery: every failure
+/// path the pipeline claims to survive can be triggered on demand, at an
+/// exact occurrence, from the command line (`depflow-opt
+/// --fault-inject=point[@nth]`) or the `DEPFLOW_FAULT_INJECT` environment
+/// variable, and continuously by `depflow-fuzz --fault-sweep`.
+///
+/// Registered fault points:
+///
+///   * `alloc-fail[@N]`      — the Nth in-task allocation returns null
+///                             (wired through the counting operator-new
+///                             hooks in obs/Metrics.cpp, so injected OOM
+///                             unwinds through real allocation sites);
+///   * `pass-fail:<pass>[@N]`— the Nth execution of the named pass fails
+///                             with a Status error at the pass boundary;
+///   * `analysis-fail:<analysis>[@N]` — the Nth fresh computation of the
+///                             named analysis throws FaultInjectedError
+///                             at the analysis boundary;
+///   * `parse-truncate[@N]`  — the Nth source handed to
+///                             faultTruncateSource is cut in half before
+///                             parsing;
+///   * `slow-pass:<ms>[@N]`  — the Nth pass execution sleeps for <ms>
+///                             milliseconds (exercises the cooperative
+///                             deadline).
+///
+/// Exactly one point is armed at a time, process-wide. Occurrences of the
+/// matching event are counted by a global atomic; the point fires exactly
+/// once, on the Nth matching occurrence (N defaults to 1). With no worker
+/// ordering guarantees, *which* task observes the fault under `-j N` may
+/// vary, but the total number of injected faults never does — the sweep
+/// asserts invariants that hold for every schedule.
+///
+/// `TaskScope` is a thread-local RAII frame the pipeline driver opens
+/// around each function task. It carries the in-flight function name (for
+/// the crash handler), gates `alloc-fail` (so startup allocations can
+/// never consume the fault), and enforces the two budgets: a byte budget
+/// checked exactly at the allocation hook, and a cooperative per-pass
+/// deadline checked at pass and analysis boundaries. Both budgets are
+/// one-shot per task: after a breach is recorded, subsequent allocations
+/// succeed so unwinding and diagnostics can run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_SUPPORT_FAULTINJECTION_H
+#define DEPFLOW_SUPPORT_FAULTINJECTION_H
+
+#include "support/Error.h"
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace depflow {
+
+enum class FaultKind {
+  None,
+  AllocFail,
+  PassFail,
+  AnalysisFail,
+  ParseTruncate,
+  SlowPass,
+};
+
+/// One parsed `point[:arg][@nth]` selector.
+struct FaultSpec {
+  FaultKind Kind = FaultKind::None;
+  std::string Arg;          // Pass / analysis name (PassFail, AnalysisFail).
+  std::uint64_t Millis = 0; // Sleep duration (SlowPass).
+  std::uint64_t Nth = 1;    // 1-based matching occurrence that fires.
+
+  /// Textual form that parses back to this spec.
+  std::string str() const;
+};
+
+/// Parses `point[:arg][@nth]`. The pass/analysis name is not validated
+/// here (the support layer knows no passes); a name that matches nothing
+/// simply never fires, which the fault sweep reports as a stale point.
+Status parseFaultSpec(std::string_view Text, FaultSpec &Out);
+
+/// Arms the fault point described by \p SpecText, resetting the occurrence
+/// counter. An empty spec disarms. Must only be called while no pipeline
+/// workers are running.
+Status configureFaultInjection(std::string_view SpecText);
+void clearFaultInjection();
+
+bool faultInjectionArmed();
+/// Textual form of the armed spec; "" when disarmed.
+std::string armedFaultSpec();
+/// True once the armed point has consumed its Nth occurrence and fired.
+/// An armed point that completes a run without firing is stale: its check
+/// site is gone or its selector matches nothing (the sweep fails on it).
+bool faultPointFired();
+/// Matching occurrences observed since the point was armed.
+std::uint64_t faultOccurrenceCount();
+
+/// The five registered point templates, for usage errors and docs.
+std::vector<std::string> faultPointNames();
+
+/// Thrown by the analysis-boundary check site (`analysis-fail`). Caught at
+/// the function-task boundary in the module pipeline driver.
+class FaultInjectedError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when an analysis boundary observes the per-pass deadline already
+/// blown (`--max-pass-millis`). Caught at the function-task boundary.
+class TaskDeadlineError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+/// The thread-local task frame TaskScope installs. Plain data only: the
+/// allocation hook reads it with no allocation and no locks.
+struct FaultTaskState {
+  const char *Function = "";
+  const char *Pass = "";
+  std::uint64_t StartBytes = 0;   // obs thread-alloc counter at task start.
+  std::uint64_t MaxTaskBytes = 0; // 0 = no byte budget.
+  std::uint64_t MaxPassMillis = 0; // 0 = no deadline.
+  std::chrono::steady_clock::time_point PassStart{};
+  bool ByteBudgetBreached = false;
+  bool AllocFaultFired = false;
+  FaultTaskState *Prev = nullptr;
+};
+} // namespace detail
+
+/// RAII frame for one function task. The constructor allocates nothing, so
+/// an armed `alloc-fail` can never fire between opening the scope and the
+/// pipeline's try block.
+class TaskScope {
+  detail::FaultTaskState State;
+
+public:
+  /// \p FunctionName must outlive the scope. \p StartBytes is the owning
+  /// thread's obs::threadAllocatedBytes() at task start (the support layer
+  /// cannot call obs — obs links support).
+  TaskScope(const char *FunctionName, std::uint64_t StartBytes,
+            std::uint64_t MaxTaskBytes = 0, std::uint64_t MaxPassMillis = 0);
+  ~TaskScope();
+
+  TaskScope(const TaskScope &) = delete;
+  TaskScope &operator=(const TaskScope &) = delete;
+
+  bool allocFaultFired() const { return State.AllocFaultFired; }
+  bool byteBudgetBreached() const { return State.ByteBudgetBreached; }
+  /// Name of the pass begun last (""  before the first pass) — the pass in
+  /// flight when the task failed.
+  const char *passInFlight() const { return State.Pass; }
+};
+
+/// The in-flight function on this thread, "" when no task is active.
+/// Async-signal-safe (a TLS pointer read); the crash handler prints it.
+const char *currentTaskFunction() noexcept;
+
+/// Marks the start of \p PassName within the current task: records the
+/// deadline window and the in-flight pass name. No-op without a TaskScope.
+void taskPassBegin(const char *PassName);
+
+/// Pass-boundary deadline check: fails when the pass begun by
+/// taskPassBegin has exceeded --max-pass-millis. No-op without a TaskScope
+/// or without a deadline.
+Status taskPassDeadlineCheck();
+
+/// Allocation check site, called from the counting operator-new hooks with
+/// the thread's byte counter *before* this allocation. Returns true when
+/// the allocation must fail: the task's byte budget would be crossed, or
+/// an armed `alloc-fail` fires. Never fails outside a TaskScope, never
+/// allocates, never throws.
+bool faultShouldFailAlloc(std::uint64_t ThreadBytesSoFar,
+                          std::size_t Size) noexcept;
+
+/// Pass-boundary check site: fires `pass-fail:<name>` (as a Status error)
+/// and `slow-pass:<ms>` (sleeps, then succeeds) for the Nth matching pass
+/// execution.
+Status faultPassCheckpoint(const char *PassName);
+
+/// Analysis-boundary check site, called on every fresh analysis
+/// computation: fires `analysis-fail:<name>` as FaultInjectedError, and
+/// enforces the cooperative deadline as TaskDeadlineError.
+void faultAnalysisCheckpoint(const char *AnalysisName);
+
+/// Parse-boundary check site: when `parse-truncate` fires, returns the
+/// first half of \p Source, otherwise \p Source unchanged.
+std::string faultTruncateSource(std::string_view Source);
+
+} // namespace depflow
+
+#endif // DEPFLOW_SUPPORT_FAULTINJECTION_H

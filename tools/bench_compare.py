@@ -49,6 +49,8 @@ def load_reports(directory):
             sys.exit(f"error: cannot read {path}: {exc}")
         if doc.get("schema") != "depflow-bench":
             sys.exit(f"error: {path}: not a depflow-bench document")
+        if not isinstance(doc.get("schema_version"), int):
+            sys.exit(f"error: {path}: missing or non-integer schema_version")
         reports[name] = doc
     return reports
 
@@ -146,8 +148,14 @@ def main():
             problems.append(
                 f"{fname}: schema_version went backwards "
                 f"({base.get('schema_version')} -> {new.get('schema_version')})")
-        compare_entries(fname, base, new, args, problems, notes)
-        compare_claims(fname, base, new, problems, notes)
+        # A document missing a required key is a malformed input, not a
+        # crash: report it on one line and stop.
+        try:
+            compare_entries(fname, base, new, args, problems, notes)
+            compare_claims(fname, base, new, problems, notes)
+        except KeyError as exc:
+            sys.exit(f"error: {fname}: malformed bench document "
+                     f"(missing key {exc})")
 
     for note in notes:
         print(f"note: {note}")

@@ -111,6 +111,50 @@ assert fuzz["counters"]["entries"], "fuzz run moved no counters"
 print(f"ci: counters JSON ok ({len(counters['counters'])} entries)")
 PY
 
+# Fault-injection smoke: every registered fault point through the CLI,
+# each under --keep-going, must come back as a degraded run (exit 4) with
+# the original text preserved — under the sanitizers, so an injected
+# failure that leaks or double-frees on the unwind path fails here.
+for CASE in "--fault-inject=alloc-fail@200" \
+            "--fault-inject=pass-fail:constprop" \
+            "--fault-inject=analysis-fail:dfg" \
+            "--fault-inject=slow-pass:60 --max-pass-millis 10" \
+            "--max-task-bytes 20000"; do
+  RC=0
+  # shellcheck disable=SC2086  # $CASE is intentionally word-split.
+  "$BUILD/tools/depflow-opt" --passes=separate,constprop,pre --keep-going \
+      $CASE "$MODDIR/module.df" > "$MODDIR/degraded.df" 2>/dev/null || RC=$?
+  if [ "$RC" -ne 4 ]; then
+    echo "ci: FAULT SMOKE '$CASE' exited $RC, expected 4 (degraded)" >&2
+    exit 1
+  fi
+done
+# parse-truncate degrades before the pipeline: a cut-in-half module is an
+# input rejection (exit 1), never a crash.
+RC=0
+"$BUILD/tools/depflow-opt" --passes=constprop --fault-inject=parse-truncate \
+    "$MODDIR/module.df" >/dev/null 2>&1 || RC=$?
+if [ "$RC" -ne 1 ]; then
+  echo "ci: FAULT SMOKE parse-truncate exited $RC, expected 1" >&2
+  exit 1
+fi
+echo "ci: fault-injection smoke ok"
+
+# Fault sweep: generated modules re-run once per fault point, asserting no
+# crash, no stale point, restoration, and clean-function byte-identity.
+if ! "$BUILD/tools/depflow-fuzz" --fault-sweep --iters 5 --seed "$FUZZ_SEED"; then
+  echo "ci: FAULT SWEEP FAILED -- reproduce with: depflow-fuzz --fault-sweep --iters 5 --seed $FUZZ_SEED" >&2
+  exit 1
+fi
+# ...and the sweep must itself catch a fault point that never fires (ssa
+# is not in the sweep pipeline), or stale points could rot undetected.
+if "$BUILD/tools/depflow-fuzz" --fault-sweep --iters 1 --seed "$FUZZ_SEED" \
+    --fault-sweep-extra pass-fail:ssa >/dev/null 2>&1; then
+  echo "ci: FAULT SWEEP FAILED TO CATCH a stale fault point" >&2
+  exit 1
+fi
+echo "ci: fault sweep ok"
+
 # Perf-gate self-check: the baselines must match themselves, and a
 # tampered counter must be caught with a nonzero exit (so the CI gate
 # can't silently rot into a rubber stamp).
@@ -134,6 +178,42 @@ if python3 "$ROOT/tools/bench_compare.py" "$ROOT/bench/baselines" \
   exit 1
 fi
 echo "ci: bench_compare self-check ok"
+
+# bench_compare hardening: a missing baseline directory, a malformed JSON
+# file, and a document without schema_version must each produce a one-line
+# diagnostic and a nonzero exit — never a Python traceback.
+check_graceful() {
+  local label="$1"; shift
+  local out rc=0
+  out="$(python3 "$ROOT/tools/bench_compare.py" "$@" --no-time 2>&1)" || rc=$?
+  if [ "$rc" -eq 0 ]; then
+    echo "ci: BENCH COMPARE accepted $label" >&2
+    exit 1
+  fi
+  if printf '%s\n' "$out" | grep -q "Traceback"; then
+    echo "ci: BENCH COMPARE crashed with a traceback on $label:" >&2
+    printf '%s\n' "$out" >&2
+    exit 1
+  fi
+}
+check_graceful "a missing baseline directory" \
+    "$MODDIR/no-such-dir" "$ROOT/bench/baselines"
+mkdir -p "$MODDIR/bench-broken"
+cp "$ROOT"/bench/baselines/BENCH_*.json "$MODDIR/bench-broken/"
+printf '{ not json' > "$(ls "$MODDIR"/bench-broken/BENCH_*.json | head -1)"
+check_graceful "malformed JSON" "$ROOT/bench/baselines" "$MODDIR/bench-broken"
+mkdir -p "$MODDIR/bench-unversioned"
+cp "$ROOT"/bench/baselines/BENCH_*.json "$MODDIR/bench-unversioned/"
+python3 - "$MODDIR/bench-unversioned" <<'PY'
+import json, sys, glob
+path = sorted(glob.glob(sys.argv[1] + "/BENCH_*.json"))[0]
+doc = json.load(open(path))
+del doc["schema_version"]
+json.dump(doc, open(path, "w"))
+PY
+check_graceful "a document without schema_version" \
+    "$ROOT/bench/baselines" "$MODDIR/bench-unversioned"
+echo "ci: bench_compare hardening self-checks ok"
 
 # Bench smoke (quick mode): the benchmarks must run to completion,
 # bench_parallel's built-in serial/parallel equality check must hold, and

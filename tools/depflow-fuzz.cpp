@@ -22,6 +22,18 @@
 //   --stats-json FILE  write the machine-readable statistics report after
 //                   the run (schema "depflow-stats"): the cumulative
 //                   algorithm counters over every generated program
+//   --max-interp-steps N  interpreter fuel per oracle execution
+//                   (default 50000; the library default is 1000000)
+//   --fault-sweep   robustness mode: re-run every generated module once
+//                   per registered fault point under --keep-going
+//                   semantics, asserting no crash, no stale point (armed
+//                   but never fired), failed functions restored to their
+//                   original text, and clean functions byte-identical to
+//                   the fault-free run — at -j 1 and -j 4 alternately
+//   --fault-sweep-extra SPEC  append one more fault spec to the sweep's
+//                   case list (repeatable); a spec that never fires fails
+//                   the sweep, which is how CI proves stale-point
+//                   detection works
 //   -v              print a progress line every 100 iterations
 //
 // Each iteration generates a random program (one of six CFG families),
@@ -48,6 +60,7 @@
 #include "pass/AnalysisManager.h"
 #include "pass/ModulePipeline.h"
 #include "pass/PassPipeline.h"
+#include "support/FaultInjection.h"
 #include "support/RNG.h"
 #include "support/Statistic.h"
 #include "verify/DiffOracle.h"
@@ -76,6 +89,9 @@ struct FuzzOptions {
   bool Verbose = false;
   unsigned EmitModule = 0; // Nonzero: print a module of N functions, exit.
   std::string StatsJson;   // --stats-json destination; empty = disabled.
+  std::uint64_t MaxInterpSteps = 0; // 0 = oracle default.
+  bool FaultSweep = false;
+  std::vector<std::string> SweepExtras; // --fault-sweep-extra specs.
 };
 
 int usage() {
@@ -83,8 +99,9 @@ int usage() {
                "usage: depflow-fuzz [--seed N] [--iters N] [--pass NAME]\n"
                "                    [--runs N] [--max-edges N] [--no-mutate]\n"
                "                    [--no-modules] [--inject-bug]\n"
-               "                    [--emit-module N] [--stats-json FILE] "
-               "[-v]\n");
+               "                    [--emit-module N] [--stats-json FILE]\n"
+               "                    [--max-interp-steps N] [--fault-sweep]\n"
+               "                    [--fault-sweep-extra SPEC] [-v]\n");
   return 2;
 }
 
@@ -124,7 +141,26 @@ bool parseArgs(int Argc, char **Argv, FuzzOptions &O) {
       if (O.StatsJson.empty())
         return false;
     }
-    else if (A == "--no-mutate")
+    else if (A == "--max-interp-steps" && NextNum(N)) {
+      if (N == 0) {
+        std::fprintf(stderr,
+                     "error: --max-interp-steps must be positive\n");
+        return false;
+      }
+      O.MaxInterpSteps = N;
+    } else if (A == "--fault-sweep")
+      O.FaultSweep = true;
+    else if (A == "--fault-sweep-extra") {
+      if (I + 1 >= Argc)
+        return false;
+      FaultSpec Parsed;
+      Status S = parseFaultSpec(Argv[++I], Parsed);
+      if (!S.ok()) {
+        std::fprintf(stderr, "error: %s\n", S.str().c_str());
+        return false;
+      }
+      O.SweepExtras.push_back(Argv[I]);
+    } else if (A == "--no-mutate")
       O.Mutate = false;
     else if (A == "--no-modules")
       O.Modules = false;
@@ -287,6 +323,8 @@ Status checkOnePass(const Function &Original, PassId P,
 
   OracleOptions OO;
   OO.Runs = FO.OracleRuns;
+  if (FO.MaxInterpSteps)
+    OO.MaxSteps = FO.MaxInterpSteps;
   if (IsPRE)
     OO.NoNewComputationsOf = &Watched;
   RNG OracleRand(OracleSeed);
@@ -546,6 +584,156 @@ Status checkModulePipeline(std::uint64_t ModuleSeed, unsigned NumFuncs) {
   return Out;
 }
 
+//===----------------------------------------------------------------------===//
+// Fault sweep: the degradation contract under every registered fault
+// point. For each generated module, a clean --keep-going run establishes
+// the reference output; each sweep case regenerates the identical module,
+// arms one fault point (or a budget), runs the pipeline, and asserts the
+// contract: the armed point fired (else it is stale), failed functions
+// were restored to their original text, and every successful function's
+// text is byte-identical to the fault-free run.
+//===----------------------------------------------------------------------===//
+
+struct SweepCase {
+  std::string Spec;                 // "" = budget-only case, nothing armed.
+  std::uint64_t MaxPassMillis = 0;
+  std::uint64_t MaxTaskBytes = 0;
+  bool ExpectFailure = false; // Must degrade at least one function.
+};
+
+unsigned runFaultSweep(const FuzzOptions &FO) {
+  PassPipeline Pipe;
+  if (!PassPipeline::parse("separate,constprop,pre", Pipe).ok())
+    return 1;
+
+  // One case per registered point, each through a path the pipeline must
+  // survive: the counting allocator, the pass boundary (twice — first and
+  // a later occurrence), the analysis boundary, and the deadline. The
+  // budget-only case proves --max-task-bytes degrades without any fault.
+  std::vector<SweepCase> Cases = {
+      {"alloc-fail@200", 0, 0, true},
+      {"pass-fail:constprop", 0, 0, true},
+      {"pass-fail:pre@2", 0, 0, true},
+      {"analysis-fail:dfg", 0, 0, true},
+      {"slow-pass:30", 20, 0, true},
+      {"", 0, 20 * 1024, true},
+  };
+  // Extras ride along with a deadline so slow-pass extras terminate. An
+  // extra that never fires fails the sweep — the stale-point self-check.
+  for (const std::string &Extra : FO.SweepExtras)
+    Cases.push_back({Extra, 20, 0, false});
+
+  RNG Rand(FO.Seed);
+  unsigned Violations = 0, CaseRuns = 0;
+  for (unsigned Iter = 0; Iter != FO.Iters; ++Iter) {
+    std::uint64_t ModuleSeed = Rand.next();
+    unsigned NumFuncs = 3 + unsigned(Rand.nextBelow(3));
+    unsigned Jobs = Iter % 2 ? 1 : 4;
+
+    auto Violation = [&](const std::string &Case, const std::string &Msg) {
+      ++Violations;
+      std::fprintf(stderr,
+                   "=== FAULT-SWEEP VIOLATION (iter %u, case '%s', seed "
+                   "%llu, module seed %llu, -j %u) ===\n%s\n",
+                   Iter, Case.c_str(), (unsigned long long)FO.Seed,
+                   (unsigned long long)ModuleSeed, Jobs, Msg.c_str());
+    };
+
+    // Fault-free reference run (still under --keep-going semantics, so
+    // the sweep compares like with like).
+    std::unique_ptr<Module> Clean = generateModule(NumFuncs, ModuleSeed);
+    std::vector<std::string> Original;
+    for (const auto &F : Clean->functions())
+      Original.push_back(printFunction(*F));
+    ModulePipelineOptions CleanOpts;
+    CleanOpts.Jobs = Jobs;
+    CleanOpts.KeepGoing = true;
+    ModulePipelineResult CR = runPipelineOnModule(*Clean, Pipe, CleanOpts);
+    if (!CR.ok()) {
+      Violation("<clean>", CR.combinedStatus().str());
+      continue;
+    }
+    std::vector<std::string> CleanText;
+    for (const auto &F : Clean->functions())
+      CleanText.push_back(printFunction(*F));
+
+    for (const SweepCase &C : Cases) {
+      std::unique_ptr<Module> M = generateModule(NumFuncs, ModuleSeed);
+      if (!C.Spec.empty()) {
+        Status S = configureFaultInjection(C.Spec);
+        if (!S.ok()) {
+          Violation(C.Spec, S.str());
+          continue;
+        }
+      }
+      ModulePipelineOptions Opts;
+      Opts.Jobs = Jobs;
+      Opts.KeepGoing = true;
+      Opts.MaxPassMillis = C.MaxPassMillis;
+      Opts.MaxTaskBytes = C.MaxTaskBytes;
+      ModulePipelineResult PR = runPipelineOnModule(*M, Pipe, Opts);
+      bool Fired = faultPointFired();
+      clearFaultInjection();
+      ++CaseRuns;
+
+      const std::string Label = C.Spec.empty() ? "<byte-budget>" : C.Spec;
+      if (!C.Spec.empty() && !Fired)
+        Violation(Label,
+                  "armed fault point never fired: its check site is gone "
+                  "or its selector matches nothing (stale point)");
+      if (C.ExpectFailure && Fired && PR.numFailed() == 0)
+        Violation(Label, "fault fired but no function task failed");
+      if (C.Spec.empty() && C.ExpectFailure && PR.numFailed() == 0)
+        Violation(Label, "byte budget degraded no function");
+      for (unsigned I = 0; I != NumFuncs; ++I) {
+        const FunctionPipelineResult &FR = PR.Functions[I];
+        std::string Now = printFunction(*M->function(I));
+        if (FR.S.ok()) {
+          if (Now != CleanText[I])
+            Violation(Label, "successful function '" + FR.Name +
+                                 "' is not byte-identical to the "
+                                 "fault-free run");
+        } else if (!FR.Restored) {
+          Violation(Label, "failed function '" + FR.Name +
+                               "' was not restored (" + FR.S.str() + ")");
+        } else if (Now != Original[I]) {
+          Violation(Label, "failed function '" + FR.Name +
+                               "' restored text differs from its original");
+        }
+      }
+    }
+
+    // parse-truncate runs outside the pipeline: cut the printed module in
+    // half and require the parser to degrade gracefully (a diagnostic or
+    // a smaller module — never a crash).
+    if (configureFaultInjection("parse-truncate").ok()) {
+      std::string Cut = faultTruncateSource(printModule(*Clean));
+      bool Fired = faultPointFired();
+      clearFaultInjection();
+      ++CaseRuns;
+      if (!Fired)
+        Violation("parse-truncate", "truncation point never fired");
+      ParseModuleResult RR = parseModule(Cut);
+      if (RR.ok() && RR.M->numFunctions() > NumFuncs)
+        Violation("parse-truncate",
+                  "truncated module parsed to more functions than the "
+                  "original");
+    }
+
+    if (FO.Verbose && (Iter + 1) % 10 == 0)
+      std::fprintf(stderr,
+                   "depflow-fuzz: fault-sweep %u/%u iterations, "
+                   "%u violations\n",
+                   Iter + 1, FO.Iters, Violations);
+  }
+
+  std::fprintf(stderr,
+               "depflow-fuzz: fault-sweep: %u module(s) x %u case(s) "
+               "(%u case runs), %u violation(s)\n",
+               FO.Iters, unsigned(Cases.size()) + 1, CaseRuns, Violations);
+  return Violations;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -558,6 +746,9 @@ int main(int Argc, char **Argv) {
     std::printf("%s", printModule(*M).c_str());
     return 0;
   }
+
+  if (FO.FaultSweep)
+    return runFaultSweep(FO) ? 1 : 0;
 
   RNG Rand(FO.Seed);
   unsigned Violations = 0, Generated = 0, MutantsSkipped = 0;

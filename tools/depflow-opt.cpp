@@ -47,6 +47,15 @@
 //   --counters-json FILE write the algorithm counter registry alone
 //                        (schema "depflow-counters": every counter, max
 //                        gauge, and histogram with its buckets)
+//   --fault-inject=SPEC  arm one deterministic fault point
+//                        (point[@nth]; also via the DEPFLOW_FAULT_INJECT
+//                        environment variable — the flag wins)
+//   --max-pass-millis N  cooperative per-pass deadline per function task
+//   --max-task-bytes N   per-function-task allocation budget
+//   --keep-going         degrade instead of abort: failed functions keep
+//                        their original text in the output, exit code 4
+//   --debug-crash        abort() inside the first function task (crash
+//                        handler self-test)
 //   --help | -h          print the full flag reference and exit 0
 //
 // Reads a module — one or more `func` definitions — from the file (or
@@ -59,7 +68,8 @@
 // error, hygiene error under --strict, or a trapping/non-halting --run);
 // 2 usage error (including bad pipelines); 3 internal invariant violation
 // (a pass broke the IR or an analysis disagreed with its reference —
-// always a depflow bug).
+// always a depflow bug); 4 degraded (--keep-going with at least one
+// failed function; originals preserved in the output).
 //
 //===----------------------------------------------------------------------===//
 
@@ -67,17 +77,20 @@
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
+#include "obs/CrashHandler.h"
 #include "obs/StatsJson.h"
 #include "obs/Trace.h"
 #include "pass/Analyses.h"
 #include "pass/ModulePipeline.h"
 #include "pass/PassPipeline.h"
 #include "structure/SESE.h"
+#include "support/FaultInjection.h"
 #include "support/Statistic.h"
 #include "verify/PassVerifier.h"
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -105,6 +118,11 @@ struct Options {
   bool Regions = false;
   bool Run = false;
   bool Help = false;
+  bool KeepGoing = false;
+  bool DebugCrash = false;
+  std::string FaultInject; // --fault-inject spec; empty = env or none.
+  std::uint64_t MaxPassMillis = 0;
+  std::uint64_t MaxTaskBytes = 0;
   std::vector<std::int64_t> Inputs;
   std::string TraceJson;    // --trace-json destination; empty = disabled.
   std::string StatsJson;    // --stats-json destination; empty = disabled.
@@ -125,7 +143,10 @@ int usage() {
                "                   [--dot-cfg] [--regions] [--run v1,v2,...] "
                "[--trace-json FILE]\n"
                "                   [--stats-json FILE] [--counters-json FILE] "
-               "[--help] [file]\n");
+               "[--fault-inject=SPEC]\n"
+               "                   [--max-pass-millis N] [--max-task-bytes N] "
+               "[--keep-going]\n"
+               "                   [--debug-crash] [--help] [file]\n");
   return 2;
 }
 
@@ -192,11 +213,31 @@ void help() {
       "  --run v1,v2,...     interpret each function with the given inputs\n"
       "                      and print its outputs\n"
       "\n"
+      "Robustness:\n"
+      "  --fault-inject=SPEC arm one deterministic fault point, SPEC =\n"
+      "                      point[@nth] (nth occurrence fires, default 1):\n"
+      "                      alloc-fail, pass-fail:<name>,\n"
+      "                      analysis-fail:<name>, parse-truncate,\n"
+      "                      slow-pass:<ms>. Also read from the\n"
+      "                      DEPFLOW_FAULT_INJECT environment variable when\n"
+      "                      the flag is absent\n"
+      "  --max-pass-millis N cooperative per-pass deadline per function\n"
+      "                      task, checked at pass and analysis boundaries\n"
+      "  --max-task-bytes N  per-function-task allocation budget, enforced\n"
+      "                      exactly at the counting allocator\n"
+      "  --keep-going        degrade instead of abort on per-function\n"
+      "                      failure: the failed function keeps its\n"
+      "                      original text in the output, a structured\n"
+      "                      diagnostic goes to stderr, exit code 4\n"
+      "  --debug-crash       raise a fatal signal inside the first\n"
+      "                      function task (crash-handler self-test)\n"
+      "\n"
       "  --help, -h          print this reference and exit 0\n"
       "\n"
       "Exit codes: 0 success; 1 input rejected (parse/verifier/strict\n"
       "hygiene error, trapping or non-halting --run); 2 usage error;\n"
-      "3 internal invariant violation (always a depflow bug).\n");
+      "3 internal invariant violation (always a depflow bug); 4 degraded\n"
+      "(--keep-going with at least one failed function).\n");
 }
 
 /// Returns 0 to continue, or the exit code to stop with. Legacy
@@ -332,6 +373,47 @@ int parseArgs(int Argc, char **Argv, Options &O) {
         std::fprintf(stderr, "error: --counters-json requires a file\n");
         return 2;
       }
+    } else if (A.rfind("--fault-inject=", 0) == 0 || A == "--fault-inject") {
+      if (A == "--fault-inject") {
+        if (I + 1 >= Argc) {
+          std::fprintf(stderr, "error: --fault-inject requires a spec\n");
+          return 2;
+        }
+        O.FaultInject = Argv[++I];
+      } else {
+        O.FaultInject = A.substr(std::strlen("--fault-inject="));
+      }
+      if (O.FaultInject.empty()) {
+        std::fprintf(stderr, "error: --fault-inject requires a spec\n");
+        return 2;
+      }
+    } else if (A.rfind("--max-pass-millis", 0) == 0 ||
+               A.rfind("--max-task-bytes", 0) == 0) {
+      bool Millis = A.rfind("--max-pass-millis", 0) == 0;
+      const char *Flag = Millis ? "--max-pass-millis" : "--max-task-bytes";
+      std::string Num;
+      if (A == Flag) {
+        if (I + 1 >= Argc) {
+          std::fprintf(stderr, "error: %s requires a number\n", Flag);
+          return 2;
+        }
+        Num = Argv[++I];
+      } else if (A.rfind(std::string(Flag) + "=", 0) == 0) {
+        Num = A.substr(std::strlen(Flag) + 1);
+      } else {
+        return usage();
+      }
+      char *End = nullptr;
+      unsigned long long N = std::strtoull(Num.c_str(), &End, 10);
+      if (Num.empty() || (End && *End) || N == 0) {
+        std::fprintf(stderr, "error: bad %s value '%s'\n", Flag, Num.c_str());
+        return 2;
+      }
+      (Millis ? O.MaxPassMillis : O.MaxTaskBytes) = N;
+    } else if (A == "--keep-going") {
+      O.KeepGoing = true;
+    } else if (A == "--debug-crash") {
+      O.DebugCrash = true;
     } else if (A == "--help" || A == "-h") {
       O.Help = true;
     } else if (A.rfind("--", 0) == 0) {
@@ -402,6 +484,34 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
+  // Last-resort fatal-signal reporting: prints the in-flight function and
+  // best-effort flushes any requested trace/stats JSON before dying.
+  obs::installCrashHandler();
+  obs::setCrashFlushHook([&O]() {
+    if (!O.TraceJson.empty())
+      obs::TraceRecorder::global().writeChromeJson(O.TraceJson);
+    if (!O.StatsJson.empty()) {
+      obs::StatsReport SR;
+      SR.Tool = "depflow-opt";
+      SR.Pipeline = O.Pipeline.str();
+      obs::writeStatsJson(O.StatsJson, SR);
+    }
+  });
+
+  // The flag wins over the environment so a wrapper-exported spec can be
+  // overridden per invocation.
+  std::string FaultSpecText = O.FaultInject;
+  if (FaultSpecText.empty())
+    if (const char *Env = std::getenv("DEPFLOW_FAULT_INJECT"))
+      FaultSpecText = Env;
+  if (!FaultSpecText.empty()) {
+    Status S = configureFaultInjection(FaultSpecText);
+    if (!S.ok()) {
+      std::fprintf(stderr, "error: %s\n", S.str().c_str());
+      return 2;
+    }
+  }
+
   if (!O.TraceJson.empty()) {
     obs::TraceRecorder::global().setEnabled(true);
     obs::TraceRecorder::global().setCurrentThreadName("main");
@@ -434,6 +544,9 @@ int main(int Argc, char **Argv) {
     SS << In.rdbuf();
     Src = SS.str();
   }
+  // `parse-truncate` check site: an armed truncation cuts the source in
+  // half here, before parsing, to prove the parser degrades gracefully.
+  Src = faultTruncateSource(Src);
 
   ParseModuleResult R = parseModule(Src);
   if (!R.ok()) {
@@ -470,20 +583,44 @@ int main(int Argc, char **Argv) {
   MPO.Jobs = O.Jobs;
   MPO.PrintAfterAll = O.PrintAfterAll;
   MPO.DotAfterAll = O.DotAfterAll;
+  MPO.KeepGoing = O.KeepGoing;
+  MPO.MaxPassMillis = O.MaxPassMillis;
+  MPO.MaxTaskBytes = O.MaxTaskBytes;
   ModuleVerifier Verifier(M.numFunctions());
   if (O.VerifyEach)
     MPO.AfterPass = [&Verifier](unsigned I, PassId P, Function &F,
                                 FunctionAnalysisManager &) {
       Verifier.afterPass(I, P, F);
     };
+  if (O.DebugCrash) {
+    // Crash-handler self-test: die inside a function task so the handler
+    // has an in-flight function name to report. Chains any existing hook.
+    auto Prev = MPO.AfterPass;
+    MPO.AfterPass = [Prev](unsigned I, PassId P, Function &F,
+                           FunctionAnalysisManager &AM) {
+      if (Prev)
+        Prev(I, P, F, AM);
+      std::abort();
+    };
+  }
 
   ModulePipelineResult PR = runPipelineOnModule(M, O.Pipeline, MPO);
+  bool Degraded = false;
   if (!PR.ok()) {
-    // Every function verified above, so a failure here is depflow's fault.
-    std::fprintf(stderr, "internal error: %s\n",
-                 PR.combinedStatus().str().c_str());
-    WriteTrace();
-    return 3;
+    if (O.KeepGoing) {
+      // Degraded completion: failed functions were restored to their
+      // original text; report the structured diagnostics and keep printing
+      // the module so successful functions reach the output unchanged.
+      PR.printFailureReport(stderr);
+      Degraded = true;
+    } else {
+      // Every function verified above, so without fault injection or
+      // budgets a failure here is depflow's fault.
+      std::fprintf(stderr, "internal error: %s\n",
+                   PR.combinedStatus().str().c_str());
+      WriteTrace();
+      return 3;
+    }
   }
   if (Verifier.exitCode()) {
     WriteTrace();
@@ -533,6 +670,19 @@ int main(int Argc, char **Argv) {
                            Rec.AnalysisMisses, Rec.AllocBytes});
     for (const FunctionAnalysisManager::Counter &C : PR.aggregateCounters())
       SR.Analyses.push_back({C.Name, C.Hits, C.Misses});
+    for (const FunctionPipelineResult &FR : PR.Functions) {
+      obs::StatsFunctionRecord T;
+      T.Function = FR.Name;
+      T.Ok = FR.S.ok();
+      if (!T.Ok) {
+        T.Cause = taskFailureKindName(FR.FailKind);
+        T.FailPass = FR.FailPass;
+      }
+      T.Restored = FR.Restored;
+      T.Seconds = FR.TaskSeconds;
+      T.AllocBytes = FR.TaskAllocBytes;
+      SR.FunctionTasks.push_back(std::move(T));
+    }
     Status S = obs::writeStatsJson(O.StatsJson, SR);
     if (!S.ok()) {
       std::fprintf(stderr, "error: %s\n", S.str().c_str());
@@ -573,5 +723,5 @@ int main(int Argc, char **Argv) {
       }
     }
   }
-  return 0;
+  return Degraded ? 4 : 0;
 }
