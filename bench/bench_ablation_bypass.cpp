@@ -19,6 +19,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 using namespace depflow;
 
 static std::unique_ptr<Function> makeProgram(unsigned Stmts, bool Separate) {
@@ -63,18 +65,26 @@ BENCHMARK(BM_Ablation_Build_None)->Arg(200)->Arg(800)
 BENCHMARK(BM_Ablation_Build_SESE_Separated)->Arg(200)->Arg(800)
     ->Unit(benchmark::kMicrosecond);
 
+// Engine front door with the bench's abort-on-failure convention.
+static ConstPropResult solveCP(Function &F, const DepFlowGraph &G) {
+  ConstPropResult R;
+  if (!runConstantPropagation(F, &G, EvalMode::SparseDFG, R).ok())
+    std::abort();
+  return R;
+}
+
 static void runConstProp(benchmark::State &State,
                          DepFlowGraph::BypassMode Mode) {
   auto F = makeProgram(unsigned(State.range(0)), false);
   CFGEdges E(*F);
   DepFlowGraph G = DepFlowGraph::build(*F, E, Mode);
   for (auto _ : State) {
-    ConstPropResult R = dfgConstantPropagation(*F, G);
+    ConstPropResult R = solveCP(*F, G);
     benchmark::DoNotOptimize(R.UseValues.size());
   }
   State.counters["dfg_edges"] = double(G.numEdges());
   State.counters["consts"] =
-      double(dfgConstantPropagation(*F, G).numConstantVarUses());
+      double(solveCP(*F, G).numConstantVarUses());
 }
 
 static void BM_Ablation_ConstProp_SESE(benchmark::State &State) {

@@ -58,6 +58,25 @@ static const Instruction *instrAt(const Function &F, const char *Label,
   return nullptr;
 }
 
+// Engine front doors with the figure harness's abort-on-failure
+// convention: these fixtures are author-controlled, so a Status failure
+// is a bug here.
+static ConstPropResult solveCP(Function &F, const DepFlowGraph *G,
+                               EvalMode Mode) {
+  ConstPropResult R;
+  if (!runConstantPropagation(F, G, Mode, R).ok())
+    std::abort();
+  return R;
+}
+
+static DFGAntResult solveRelAnt(Function &F, const DepFlowGraph &G,
+                                const Expression &Ex, VarId X) {
+  DFGAntResult R;
+  if (!runRelativeAnticipatability(F, G, Ex, X, R).ok())
+    std::abort();
+  return R;
+}
+
 static void figure1() {
   auto F = parseOrDie(R"(
 func fig1(p) {
@@ -163,7 +182,7 @@ join:
       defUseConstantPropagation(*FA, RDA).useValue(YDefA, 0).str());
   DepFlowGraph GA = DepFlowGraph::build(*FA);
   row("F3a", "all-paths constant x=3: DFG algorithm", "3",
-      dfgConstantPropagation(*FA, GA).useValue(YDefA, 0).str());
+      solveCP(*FA, &GA, EvalMode::SparseDFG).useValue(YDefA, 0).str());
 
   auto FB = parseOrDie(R"(
 func fig3b() {
@@ -186,10 +205,10 @@ join:
   row("F3b", "possible-paths constant: def-use chains miss it", "T",
       defUseConstantPropagation(*FB, RDB).useValue(YDefB, 0).str());
   row("F3b", "possible-paths constant: CFG algorithm finds x=1", "1",
-      cfgConstantPropagation(*FB).useValue(YDefB, 0).str());
+      solveCP(*FB, nullptr, EvalMode::DenseCFG).useValue(YDefB, 0).str());
   DepFlowGraph GB = DepFlowGraph::build(*FB);
   row("F3b", "possible-paths constant: DFG algorithm finds x=1", "1",
-      dfgConstantPropagation(*FB, GB).useValue(YDefB, 0).str());
+      solveCP(*FB, &GB, EvalMode::SparseDFG).useValue(YDefB, 0).str());
 }
 
 static void figure6() {
@@ -214,7 +233,7 @@ join:
                     Operand::imm(1)};
   DepFlowGraph G = DepFlowGraph::build(*F, E);
   VarId X = unsigned(F->lookupVar("x"));
-  DFGAntResult R = dfgRelativeAnticipatability(*F, G, XPlus1, X);
+  DFGAntResult R = solveRelAnt(*F, G, XPlus1, X);
 
   // The boundary edge into the non-e use of x (the paper's d4) is false;
   // the branch edges are anticipatable; ANT projected onto the CFG marks
@@ -233,9 +252,13 @@ join:
   // redundancy; Morel-Renvoise does not move anything.
   splitCriticalEdges(*F);
   CFGEdges E2(*F);
-  CFGAntResult Ant = cfgAnticipatability(*F, E2, XPlus1);
-  PREDecisions BCM = busyCodeMotion(*F, E2, XPlus1, Ant.ANT);
-  PREDecisions MR = morelRenvoise(*F, E2, XPlus1, Ant.ANT);
+  CFGAntResult Ant;
+  PREDecisions BCM, MR;
+  if (!runCFGAnticipatability(*F, E2, XPlus1, Ant).ok() ||
+      !runPRE(*F, E2, XPlus1, Ant.ANT, PREStrategy::Busy, BCM).ok() ||
+      !runPRE(*F, E2, XPlus1, Ant.ANT, PREStrategy::MorelRenvoise, MR)
+           .ok())
+    std::abort();
   row("F6", "busy code motion inserts (superfluous motion)", ">0",
       BCM.Inserts.empty() ? "0" : ">0");
   row("F6", "Morel-Renvoise inserts (no redundancy, no motion)", "0",
@@ -267,16 +290,21 @@ low:
       S += B ? '1' : '0';
     return S;
   };
-  DFGAntResult RX = dfgRelativeAnticipatability(
-      *F, G, XPlusY, unsigned(F->lookupVar("x")));
-  DFGAntResult RY = dfgRelativeAnticipatability(
-      *F, G, XPlusY, unsigned(F->lookupVar("y")));
+  DFGAntResult RX =
+      solveRelAnt(*F, G, XPlusY, unsigned(F->lookupVar("x")));
+  DFGAntResult RY =
+      solveRelAnt(*F, G, XPlusY, unsigned(F->lookupVar("y")));
   row("F7", "ANT(x+y) relative to x per edge [entry->mid, mid->low]", "11",
       Bits(projectRelativeAnt(*F, E, G, RX, unsigned(F->lookupVar("x")))));
   row("F7", "ANT(x+y) relative to y per edge (y reassigned in mid)", "01",
       Bits(projectRelativeAnt(*F, E, G, RY, unsigned(F->lookupVar("y")))));
+  std::vector<bool> Combined;
+  if (!runExpressionAnticipatability(*F, E, &G, XPlusY, EvalMode::SparseDFG,
+                                     Combined)
+           .ok())
+    std::abort();
   row("F7", "combined multivariable ANT(x+y) (conjunction)", "01",
-      Bits(dfgExpressionAnt(*F, E, G, XPlusY)));
+      Bits(Combined));
 }
 
 int main() {

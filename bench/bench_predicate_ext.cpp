@@ -18,6 +18,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 using namespace depflow;
 
 /// K segments: each reads x, tests x == k, and uses x under the guard.
@@ -46,33 +48,42 @@ static std::unique_ptr<Function> makePredicateChain(unsigned K) {
   return F;
 }
 
+// Engine front door with the bench's abort-on-failure convention.
+static ConstPropResult solveCP(Function &F, const DepFlowGraph *G,
+                               EvalMode Mode, bool Refined) {
+  ConstPropResult R;
+  if (!runConstantPropagation(F, G, Mode, R, Refined).ok())
+    std::abort();
+  return R;
+}
+
 static void BM_Predicate_CFG_Plain(benchmark::State &State) {
   auto F = makePredicateChain(unsigned(State.range(0)));
   for (auto _ : State) {
-    ConstPropResult R = cfgConstantPropagation(*F, false);
+    ConstPropResult R = solveCP(*F, nullptr, EvalMode::DenseCFG, false);
     benchmark::DoNotOptimize(R.UseValues.size());
   }
   State.counters["consts"] =
-      double(cfgConstantPropagation(*F, false).numConstantVarUses());
+      double(solveCP(*F, nullptr, EvalMode::DenseCFG, false).numConstantVarUses());
 }
 static void BM_Predicate_CFG_Refined(benchmark::State &State) {
   auto F = makePredicateChain(unsigned(State.range(0)));
   for (auto _ : State) {
-    ConstPropResult R = cfgConstantPropagation(*F, true);
+    ConstPropResult R = solveCP(*F, nullptr, EvalMode::DenseCFG, true);
     benchmark::DoNotOptimize(R.UseValues.size());
   }
   State.counters["consts"] =
-      double(cfgConstantPropagation(*F, true).numConstantVarUses());
+      double(solveCP(*F, nullptr, EvalMode::DenseCFG, true).numConstantVarUses());
 }
 static void BM_Predicate_DFG_Refined(benchmark::State &State) {
   auto F = makePredicateChain(unsigned(State.range(0)));
   DepFlowGraph G = DepFlowGraph::build(*F);
   for (auto _ : State) {
-    ConstPropResult R = dfgConstantPropagation(*F, G, true);
+    ConstPropResult R = solveCP(*F, &G, EvalMode::SparseDFG, true);
     benchmark::DoNotOptimize(R.UseValues.size());
   }
   State.counters["consts"] =
-      double(dfgConstantPropagation(*F, G, true).numConstantVarUses());
+      double(solveCP(*F, &G, EvalMode::SparseDFG, true).numConstantVarUses());
 }
 
 BENCHMARK(BM_Predicate_CFG_Plain)->Arg(16)->Arg(128)

@@ -57,9 +57,15 @@ static void analyze(const char *Title, const char *Src) {
 
   ReachingDefs RD(*F);
   report(*F, "def-use chains:", defUseConstantPropagation(*F, RD));
-  report(*F, "CFG (Figure 4a):", cfgConstantPropagation(*F));
+  ConstPropResult CFG;
+  if (!runConstantPropagation(*F, nullptr, EvalMode::DenseCFG, CFG).ok())
+    return;
+  report(*F, "CFG (Figure 4a):", CFG);
   DepFlowGraph G = DepFlowGraph::build(*F);
-  report(*F, "DFG (Figure 4b):", dfgConstantPropagation(*F, G));
+  ConstPropResult DFG;
+  if (!runConstantPropagation(*F, &G, EvalMode::SparseDFG, DFG).ok())
+    return;
+  report(*F, "DFG (Figure 4b):", DFG);
 
   auto SSAFn = parseOrDie(printFunction(*F));
   std::vector<VarId> OrigOf =

@@ -66,7 +66,9 @@ out:
 
   // Forward dataflow on the DFG: conditional constant propagation. The
   // branch on p is decidable, so 'slow' is dead and step is the constant 2.
-  ConstPropResult CP = dfgConstantPropagation(*F, G);
+  ConstPropResult CP;
+  if (!runConstantPropagation(*F, &G, EvalMode::SparseDFG, CP).ok())
+    return 1;
   std::printf("constant uses found: %u (of them variable uses: %u)\n",
               CP.numConstantUses(), CP.numConstantVarUses());
 

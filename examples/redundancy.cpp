@@ -67,10 +67,17 @@ join:
   Expression XPlus1{BinOp::Add,
                     Operand::var(unsigned(F6->lookupVar("x"))),
                     Operand::imm(1)};
-  CFGAntResult A6 = cfgAnticipatability(*F6, E6, XPlus1);
+  CFGAntResult A6;
+  if (!runCFGAnticipatability(*F6, E6, XPlus1, A6).ok())
+    return 1;
   printAnt(*F6, E6, "ANT(x+1) via CFG", A6.ANT);
   DepFlowGraph G6 = DepFlowGraph::build(*F6);
-  printAnt(*F6, E6, "ANT(x+1) via DFG", dfgExpressionAnt(*F6, E6, G6, XPlus1));
+  std::vector<bool> D6;
+  if (!runExpressionAnticipatability(*F6, E6, &G6, XPlus1,
+                                     EvalMode::SparseDFG, D6)
+           .ok())
+    return 1;
+  printAnt(*F6, E6, "ANT(x+1) via DFG", D6);
 
   // Figure 7: multivariable x+y = conjunction of per-variable results.
   auto F7 = parseOrDie(R"(
@@ -95,13 +102,19 @@ low:
                     Operand::var(unsigned(F7->lookupVar("y")))};
   DepFlowGraph G7 = DepFlowGraph::build(*F7);
   for (VarId V : XPlusY.variables()) {
-    DFGAntResult R = dfgRelativeAnticipatability(*F7, G7, XPlusY, V);
+    DFGAntResult R;
+    if (!runRelativeAnticipatability(*F7, G7, XPlusY, V, R).ok())
+      return 1;
     printAnt(*F7, E7,
              ("ANT(x+y) relative to " + F7->varName(V)).c_str(),
              projectRelativeAnt(*F7, E7, G7, R, V));
   }
-  printAnt(*F7, E7, "ANT(x+y) combined  ",
-           dfgExpressionAnt(*F7, E7, G7, XPlusY));
+  std::vector<bool> D7;
+  if (!runExpressionAnticipatability(*F7, E7, &G7, XPlusY,
+                                     EvalMode::SparseDFG, D7)
+           .ok())
+    return 1;
+  printAnt(*F7, E7, "ANT(x+y) combined  ", D7);
 
   // PRE: busy code motion vs Morel-Renvoise on a partially redundant
   // diamond.
@@ -126,10 +139,16 @@ join:
   CFGEdges ED(*FD);
   Expression EXY{BinOp::Add, Operand::var(unsigned(FD->lookupVar("x"))),
                  Operand::var(unsigned(FD->lookupVar("y")))};
-  std::vector<bool> Ant = dfgExpressionAnt(
-      *FD, ED, DepFlowGraph::build(*FD, ED), EXY);
-  PREDecisions BCM = busyCodeMotion(*FD, ED, EXY, Ant);
-  PREDecisions MR = morelRenvoise(*FD, ED, EXY, Ant);
+  DepFlowGraph GD = DepFlowGraph::build(*FD, ED);
+  std::vector<bool> Ant;
+  if (!runExpressionAnticipatability(*FD, ED, &GD, EXY, EvalMode::SparseDFG,
+                                     Ant)
+           .ok())
+    return 1;
+  PREDecisions BCM, MR;
+  if (!runPRE(*FD, ED, EXY, Ant, PREStrategy::Busy, BCM).ok() ||
+      !runPRE(*FD, ED, EXY, Ant, PREStrategy::MorelRenvoise, MR).ok())
+    return 1;
   std::printf("busy code motion : %zu inserts, %zu deletes\n",
               BCM.Inserts.size(), BCM.Deletes.size());
   std::printf("Morel-Renvoise   : %zu inserts, %zu deletes\n",

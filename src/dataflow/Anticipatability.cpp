@@ -47,11 +47,11 @@ static bool definesAnyOf(const Instruction &I,
 
 /// Shared CFG backward solver for ANT (universal, greatest fixed point) and
 /// PAN (existential, least fixed point) with a configurable kill set.
-static CFGAntResult solveCFGAnticipatability(Function &F, const CFGEdges &E,
-                                             const Expression &Expr,
-                                             const std::vector<VarId> &Kills) {
+static Status solveCFGAnticipatability(Function &F, const CFGEdges &E,
+                                       const Expression &Expr,
+                                       const std::vector<VarId> &Kills,
+                                       CFGAntResult &R) {
   F.recomputePreds();
-  CFGAntResult R;
   R.ANT.assign(E.size(), true);  // Greatest fixed point start.
   R.PAN.assign(E.size(), false); // Least fixed point start.
 
@@ -82,12 +82,19 @@ static CFGAntResult solveCFGAnticipatability(Function &F, const CFGEdges &E,
     return Val;
   };
 
+  // Booleans over E.size() edges lower monotonically; only a broken
+  // transfer could exceed this.
+  const std::uint64_t MaxEvals =
+      64 + 1024 * (std::uint64_t(E.size()) + F.numBlocks() + 1);
   for (int Universal = 1; Universal >= 0; --Universal) {
     std::vector<bool> &EdgeVal = Universal ? R.ANT : R.PAN;
+    std::uint64_t Evals = 0;
     Worklist WL(F.numBlocks());
     for (unsigned B = 0; B != F.numBlocks(); ++B)
       WL.push(B);
     while (!WL.empty()) {
+      if (++Evals > MaxEvals)
+        return Status::error("cfg anticipatability: work bound exceeded");
       BasicBlock *BB = F.block(WL.pop());
       ++NumAntCFGEvals;
       bool In = Transfer(BB, OutValue(BB, EdgeVal, Universal));
@@ -100,19 +107,19 @@ static CFGAntResult solveCFGAnticipatability(Function &F, const CFGEdges &E,
       }
     }
   }
-  return R;
+  return Status::success();
 }
 
-CFGAntResult depflow::cfgAnticipatability(Function &F, const CFGEdges &E,
-                                          const Expression &Expr) {
-  return solveCFGAnticipatability(F, E, Expr, Expr.variables());
+Status depflow::runCFGAnticipatability(Function &F, const CFGEdges &E,
+                                       const Expression &Expr,
+                                       CFGAntResult &Out) {
+  return solveCFGAnticipatability(F, E, Expr, Expr.variables(), Out);
 }
 
-CFGAntResult depflow::cfgRelativeAnticipatability(Function &F,
-                                                  const CFGEdges &E,
-                                                  const Expression &Expr,
-                                                  VarId X) {
-  return solveCFGAnticipatability(F, E, Expr, {X});
+Status depflow::runCFGRelativeAnticipatability(Function &F, const CFGEdges &E,
+                                               const Expression &Expr,
+                                               VarId X, CFGAntResult &Out) {
+  return solveCFGAnticipatability(F, E, Expr, {X}, Out);
 }
 
 bool DFGAntResult::antAtTail(const DepFlowGraph &G, unsigned Node,
@@ -133,18 +140,24 @@ bool DFGAntResult::panAtTail(const DepFlowGraph &G, unsigned Node,
   return Val;
 }
 
-DFGAntResult depflow::dfgRelativeAnticipatability(Function &F,
-                                                  const DepFlowGraph &G,
-                                                  const Expression &Expr,
-                                                  VarId X) {
-  (void)F;
-  DFGAntResult R;
-  R.AntEdge.assign(G.numEdges(), true);  // Greatest fixed point.
-  R.PanEdge.assign(G.numEdges(), false); // Least fixed point.
+namespace {
 
-  // The value of a dependence edge is determined by the node it enters.
-  auto EvalEdge = [&](unsigned EId, const std::vector<bool> &EdgeVal,
-                      bool Universal) -> bool {
+/// The Figure 5b equations as a `SparseBackwardEngine` client: the value
+/// of a dependence edge is determined by the node it enters.
+class AntPanClient {
+  const Expression &Expr;
+  bool Universal; // true = ANT (AND over switch ports), false = PAN (OR).
+
+public:
+  using Value = bool;
+
+  AntPanClient(const Expression &Expr, bool Universal)
+      : Expr(Expr), Universal(Universal) {}
+
+  static bool equal(const bool &A, const bool &B) { return A == B; }
+
+  bool evalEdge(const DepFlowGraph &G, unsigned EId,
+                const std::vector<bool> &EdgeVal) const {
     const DepFlowGraph::Edge &Ed = G.edge(EId);
     const DepFlowGraph::Node &Dst = G.node(Ed.Dst);
     switch (Dst.Kind) {
@@ -179,29 +192,27 @@ DFGAntResult depflow::dfgRelativeAnticipatability(Function &F,
       depflow_unreachable("dependence edges never enter defs");
     }
     depflow_unreachable("unknown DFG node kind");
-  };
-
-  for (int Universal = 1; Universal >= 0; --Universal) {
-    std::vector<bool> &EdgeVal = Universal ? R.AntEdge : R.PanEdge;
-    // Worklist over X's edges; when an edge's value changes, the edges
-    // entering its source node must be re-evaluated.
-    Worklist WL(G.numEdges());
-    for (unsigned EId = 0; EId != G.numEdges(); ++EId)
-      if (G.edge(EId).Var == X)
-        WL.push(EId);
-    while (!WL.empty()) {
-      unsigned EId = WL.pop();
-      ++NumAntDFGEvals;
-      bool New = EvalEdge(EId, EdgeVal, Universal);
-      if (New == EdgeVal[EId])
-        continue;
-      EdgeVal[EId] = New;
-      ++NumAntDFGBitsFlipped;
-      for (unsigned InId : G.inEdges(G.edge(EId).Src))
-        WL.push(InId);
-    }
   }
-  return R;
+};
+
+} // namespace
+
+Status depflow::runRelativeAnticipatability(Function &F,
+                                            const DepFlowGraph &G,
+                                            const Expression &Expr, VarId X,
+                                            DFGAntResult &Out) {
+  (void)F;
+  Out.AntEdge.assign(G.numEdges(), true);  // Greatest fixed point.
+  Out.PanEdge.assign(G.numEdges(), false); // Least fixed point.
+  BackwardEngineCounters Ctr;
+  Ctr.Evals = &NumAntDFGEvals;
+  Ctr.Flips = &NumAntDFGBitsFlipped;
+  Status S = SparseBackwardEngine<AntPanClient>::solve(
+      G, X, AntPanClient(Expr, /*Universal=*/true), Out.AntEdge, Ctr);
+  if (!S.ok())
+    return S;
+  return SparseBackwardEngine<AntPanClient>::solve(
+      G, X, AntPanClient(Expr, /*Universal=*/false), Out.PanEdge, Ctr);
 }
 
 ProjectionContext::ProjectionContext(Function &F, const CFGEdges &E) {
@@ -352,19 +363,49 @@ std::vector<bool> depflow::projectRelativePan(Function &F, const CFGEdges &E,
   return projectEdgeValues(F, E, G, R.PanEdge, X, Ctx);
 }
 
-std::vector<bool> depflow::dfgExpressionAnt(Function &F, const CFGEdges &E,
-                                            const DepFlowGraph &G,
-                                            const Expression &Expr) {
-  std::vector<VarId> Vars = Expr.variables();
-  if (Vars.empty())
-    return cfgAnticipatability(F, E, Expr).ANT;
-  ProjectionContext Ctx(F, E);
-  std::vector<bool> Out(E.size(), true);
-  for (VarId X : Vars) {
-    DFGAntResult R = dfgRelativeAnticipatability(F, G, Expr, X);
-    std::vector<bool> Proj = projectRelativeAnt(F, E, G, R, X, Ctx);
-    for (unsigned C = 0; C != E.size(); ++C)
-      Out[C] = Out[C] && Proj[C];
+Status depflow::runExpressionAnticipatability(Function &F, const CFGEdges &E,
+                                              const DepFlowGraph *G,
+                                              const Expression &Expr,
+                                              EvalMode Mode,
+                                              std::vector<bool> &Ant,
+                                              std::vector<bool> *Pan) {
+  if (Mode == EvalMode::DenseCFG) {
+    CFGAntResult R;
+    Status S = runCFGAnticipatability(F, E, Expr, R);
+    if (!S.ok())
+      return S;
+    Ant = std::move(R.ANT);
+    if (Pan)
+      *Pan = std::move(R.PAN);
+    return Status::success();
   }
-  return Out;
+  if (!G)
+    return Status::error(
+        "expression anticipatability: SparseDFG mode needs a DepFlowGraph");
+  if (Pan)
+    return Status::error("expression anticipatability: whole-expression PAN "
+                         "projection is only defined in dense-cfg mode");
+  std::vector<VarId> Vars = Expr.variables();
+  if (Vars.empty()) {
+    // Immediate-only expressions have no dependence edges; the CFG
+    // equations are the defined semantics (Section 5.1's scope).
+    CFGAntResult R;
+    Status S = runCFGAnticipatability(F, E, Expr, R);
+    if (!S.ok())
+      return S;
+    Ant = std::move(R.ANT);
+    return Status::success();
+  }
+  ProjectionContext Ctx(F, E);
+  Ant.assign(E.size(), true);
+  for (VarId X : Vars) {
+    DFGAntResult R;
+    Status S = runRelativeAnticipatability(F, *G, Expr, X, R);
+    if (!S.ok())
+      return S;
+    std::vector<bool> Proj = projectRelativeAnt(F, E, *G, R, X, Ctx);
+    for (unsigned C = 0; C != E.size(); ++C)
+      Ant[C] = Ant[C] && Proj[C];
+  }
+  return Status::success();
 }

@@ -8,13 +8,15 @@
 /// \file
 /// Total and partial anticipatability (Section 5.1, Figures 5-7), the
 /// backward dataflow problem that def-use chains and SSA form cannot
-/// express but the DFG can:
+/// express but the DFG can. The DFG solver is an instance of
+/// `SparseBackwardEngine`; the CFG solver is the dense fallback, and both
+/// are reachable through one Status-returning API:
 ///
-///  * `cfgAnticipatability`        — ANT/PAN per CFG edge, the Figure 5a
-///    equations (greatest/least fixed points respectively).
-///  * `cfgRelativeAnticipatability`— ANT/PAN *relative to one variable*
-///    (Definition 9): a computation of e before any assignment to x.
-///  * `dfgRelativeAnticipatability`— the Figure 5b equations: per-
+///  * `runCFGAnticipatability` / `runCFGRelativeAnticipatability` — ANT/
+///    PAN per CFG edge, the Figure 5a equations (greatest/least fixed
+///    points respectively); the relative form kills on one variable only
+///    (Definition 9).
+///  * `runRelativeAnticipatability` — the Figure 5b equations: per-
 ///    dependence-edge booleans over variable x's slice of the DFG. The
 ///    boundary is false at uses of x that do not compute e and at pruned
 ///    (dead) switch sides; the multiedge rule ORs over a tail's heads
@@ -23,6 +25,8 @@
 ///  * `projectRelativeAnt`         — Section 5.1's projection of the DFG
 ///    result onto CFG edges; total anticipatability of a multi-variable
 ///    expression is the conjunction of its variables' projections.
+///  * `runExpressionAnticipatability` — the mode-selecting front door:
+///    whole-expression ANT per CFG edge through either evaluation mode.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -30,6 +34,7 @@
 #define DEPFLOW_DATAFLOW_ANTICIPATABILITY_H
 
 #include "core/DepFlowGraph.h"
+#include "dataflow/SparseEngine.h"
 #include "ir/CFGEdges.h"
 #include "ir/Expression.h"
 #include "ir/Function.h"
@@ -46,12 +51,31 @@ struct CFGAntResult {
 };
 
 /// Figure 5a: ANT/PAN of \p Expr at every CFG edge.
-CFGAntResult cfgAnticipatability(Function &F, const CFGEdges &E,
-                                 const Expression &Expr);
+Status runCFGAnticipatability(Function &F, const CFGEdges &E,
+                              const Expression &Expr, CFGAntResult &Out);
 
 /// Definition 9: ANT/PAN of \p Expr relative to variable \p X only.
-CFGAntResult cfgRelativeAnticipatability(Function &F, const CFGEdges &E,
-                                         const Expression &Expr, VarId X);
+Status runCFGRelativeAnticipatability(Function &F, const CFGEdges &E,
+                                      const Expression &Expr, VarId X,
+                                      CFGAntResult &Out);
+
+/// Deprecated: use runCFGAnticipatability(F, E, Expr, Out).
+inline CFGAntResult cfgAnticipatability(Function &F, const CFGEdges &E,
+                                        const Expression &Expr) {
+  CFGAntResult R;
+  (void)runCFGAnticipatability(F, E, Expr, R);
+  return R;
+}
+
+/// Deprecated: use runCFGRelativeAnticipatability(F, E, Expr, X, Out).
+inline CFGAntResult cfgRelativeAnticipatability(Function &F,
+                                                const CFGEdges &E,
+                                                const Expression &Expr,
+                                                VarId X) {
+  CFGAntResult R;
+  (void)runCFGRelativeAnticipatability(F, E, Expr, X, R);
+  return R;
+}
 
 /// Booleans per DFG edge id (only variable X's edges are meaningful).
 struct DFGAntResult {
@@ -63,9 +87,22 @@ struct DFGAntResult {
   bool panAtTail(const DepFlowGraph &G, unsigned Node, unsigned Port) const;
 };
 
-/// Figure 5b: relative anticipatability solved on the DFG.
-DFGAntResult dfgRelativeAnticipatability(Function &F, const DepFlowGraph &G,
-                                         const Expression &Expr, VarId X);
+/// Figure 5b: relative anticipatability solved on the DFG through
+/// `SparseBackwardEngine` (one greatest-fixed-point pass for ANT, one
+/// least-fixed-point pass for PAN, both over \p X's slice of the edges).
+Status runRelativeAnticipatability(Function &F, const DepFlowGraph &G,
+                                   const Expression &Expr, VarId X,
+                                   DFGAntResult &Out);
+
+/// Deprecated: use runRelativeAnticipatability(F, G, Expr, X, Out).
+inline DFGAntResult dfgRelativeAnticipatability(Function &F,
+                                                const DepFlowGraph &G,
+                                                const Expression &Expr,
+                                                VarId X) {
+  DFGAntResult R;
+  (void)runRelativeAnticipatability(F, G, Expr, X, R);
+  return R;
+}
 
 class DomTree;
 
@@ -101,12 +138,29 @@ std::vector<bool> projectRelativePan(Function &F, const CFGEdges &E,
                                      const DFGAntResult &R, VarId X,
                                      const ProjectionContext &Ctx);
 
-/// Convenience: multi-variable ANT per CFG edge via the DFG — conjunction
-/// of each variable's projected relative ANT (immediate-only expressions
-/// are handled on the CFG directly, matching Section 5.1's scope).
-std::vector<bool> dfgExpressionAnt(Function &F, const CFGEdges &E,
-                                   const DepFlowGraph &G,
-                                   const Expression &Expr);
+/// Whole-expression ANT per CFG edge in the requested evaluation mode:
+/// `SparseDFG` solves each variable's slice on \p G and intersects the
+/// projections (immediate-only expressions fall back to the CFG equations,
+/// matching Section 5.1's scope); `DenseCFG` runs the Figure 5a equations
+/// directly. \p Pan (optional) additionally receives PAN per CFG edge —
+/// only the dense equations produce it, so requesting it in sparse mode is
+/// a Status error rather than a silently empty result.
+Status runExpressionAnticipatability(Function &F, const CFGEdges &E,
+                                     const DepFlowGraph *G,
+                                     const Expression &Expr, EvalMode Mode,
+                                     std::vector<bool> &Ant,
+                                     std::vector<bool> *Pan = nullptr);
+
+/// Deprecated: use runExpressionAnticipatability(F, E, &G, Expr,
+/// EvalMode::SparseDFG, Ant).
+inline std::vector<bool> dfgExpressionAnt(Function &F, const CFGEdges &E,
+                                          const DepFlowGraph &G,
+                                          const Expression &Expr) {
+  std::vector<bool> Ant;
+  (void)runExpressionAnticipatability(F, E, &G, Expr, EvalMode::SparseDFG,
+                                      Ant);
+  return Ant;
+}
 
 } // namespace depflow
 

@@ -7,13 +7,10 @@
 
 #include "dataflow/ConstantPropagation.h"
 
-#include "ir/CFGEdges.h"
 #include "dataflow/DefUse.h"
 #include "support/Statistic.h"
-#include "support/Worklist.h"
 
 #include <optional>
-#include <set>
 
 using namespace depflow;
 
@@ -75,6 +72,77 @@ std::optional<PredicateTest> predicateTest(const BasicBlock *BB,
   return std::nullopt;
 }
 
+/// The constant propagation instance of the engine's forward client
+/// contract: Kildall's lattice, evalDefinition as the transfer, and the
+/// Multiflow predicate refinement as the two precision hooks (at the
+/// switch nodes in sparse mode, on branch-side vectors in dense mode —
+/// possible here and impossible for SSA-based formulations, whose edges
+/// bypass the switches; Section 4).
+class ConstPropClient {
+  Function &F;
+  bool Refine;
+
+public:
+  using Value = ConstVal;
+
+  ConstPropClient(Function &F, bool Refine) : F(F), Refine(Refine) {}
+
+  static ConstVal bottom() { return ConstVal::bottom(); }
+  static bool equal(const ConstVal &A, const ConstVal &B) { return A == B; }
+  ConstVal meet(const ConstVal &A, const ConstVal &B) const {
+    return A.meet(B);
+  }
+  ConstVal fromImmediate(std::int64_t V) const { return ConstVal::cst(V); }
+
+  /// Interpreter semantics: variables start at 0; parameters (and the
+  /// control token) are unknown.
+  ConstVal entryValue(VarId V, bool IsControl) const {
+    if (IsControl)
+      return ConstVal::top();
+    for (VarId P : F.params())
+      if (P == V)
+        return ConstVal::top();
+    return ConstVal::cst(0);
+  }
+
+  bool mayBeTrue(const ConstVal &V) const { return V.mayBeTrue(); }
+  bool mayBeFalse(const ConstVal &V) const { return V.mayBeFalse(); }
+
+  template <typename GetFn>
+  ConstVal transfer(const DefInst &D, GetFn Get, bool Executable) const {
+    return evalDefinition(D, Get, Executable);
+  }
+
+  void refineSwitch(const BasicBlock *BB, const CondBrInst *Br,
+                    const ConstVal &Pred, const ConstVal &In, VarId Var,
+                    ConstVal &OutTrue, ConstVal &OutFalse) const {
+    if (!Refine || !Br->cond().isVar() || !Pred.isTop() || !In.isTop())
+      return;
+    if (std::optional<PredicateTest> Test =
+            predicateTest(BB, Br->cond().var());
+        Test && Test->Var == Var)
+      (Test->OnTrueSide ? OutTrue : OutFalse) = ConstVal::cst(Test->Value);
+  }
+
+  std::vector<ConstVal> branchVector(const BasicBlock *BB,
+                                     const CondBrInst *Br,
+                                     const ConstVal &Cond,
+                                     const std::vector<ConstVal> &Vec,
+                                     bool TrueSide) const {
+    // `if (x == c)` pins x to c on the true side (`x != c` on the false
+    // side) when x was still varying.
+    if (!Refine || !Br->cond().isVar() || !Cond.isTop())
+      return Vec;
+    std::optional<PredicateTest> Test =
+        predicateTest(BB, Br->cond().var());
+    if (!Test || Test->OnTrueSide != TrueSide || !Vec[Test->Var].isTop())
+      return Vec;
+    std::vector<ConstVal> Copy = Vec;
+    Copy[Test->Var] = ConstVal::cst(Test->Value);
+    return Copy;
+  }
+};
+
 } // namespace
 
 unsigned ConstPropResult::numConstantUses() const {
@@ -94,340 +162,22 @@ unsigned ConstPropResult::numConstantVarUses() const {
   return N;
 }
 
-//===----------------------------------------------------------------------===//
-// CFG algorithm (Figure 4a)
-//===----------------------------------------------------------------------===//
-
-ConstPropResult depflow::cfgConstantPropagation(Function &F,
-                                                bool PredicateRefinement) {
-  F.recomputePreds();
-  CFGEdges E(F);
-  unsigned NV = F.numVars();
-
-  std::vector<std::vector<ConstVal>> EdgeVec(E.size(),
-                                             std::vector<ConstVal>(NV));
-  std::vector<bool> EdgeExec(E.size(), false);
-  std::vector<bool> BlockExec(F.numBlocks(), false);
-
-  std::vector<ConstVal> EntryVec(NV, ConstVal::cst(0));
-  for (VarId P : F.params())
-    EntryVec[P] = ConstVal::top();
-
-  auto InVector = [&](const BasicBlock *BB) {
-    if (BB == F.entry())
-      return EntryVec;
-    std::vector<ConstVal> Vec(NV);
-    for (unsigned EId : E.inEdges(BB))
-      if (EdgeExec[EId])
-        for (unsigned V = 0; V != NV; ++V)
-          Vec[V] = Vec[V].join(EdgeVec[EId][V]);
-    return Vec;
-  };
-
-  Worklist WL(F.numBlocks());
-  BlockExec[F.entry()->id()] = true;
-  WL.push(F.entry()->id());
-  ++NumCPCFGWorklistPushes;
-
-  while (!WL.empty()) {
-    BasicBlock *BB = F.block(WL.pop());
-    ++NumCPCFGWorklistPops;
-    std::vector<ConstVal> Vec = InVector(BB);
-    for (const auto &IPtr : BB->instructions())
-      if (const auto *D = dyn_cast<DefInst>(IPtr.get()))
-        Vec[D->def()] = evalDefinition(
-            *D, [&](const Operand &Op) { return Vec[Op.var()]; });
-
-    auto Propagate = [&](unsigned EId, const std::vector<ConstVal> &V) {
-      // The whole V-wide vector crosses the edge even when one slot moved.
-      NumCPCFGSlotsPropagated += NV;
-      if (EdgeExec[EId] && EdgeVec[EId] == V)
-        return;
-      for (unsigned Var = 0; Var != NV; ++Var)
-        if (EdgeVec[EId][Var] != V[Var])
-          ++NumCPCFGLatticeLowerings;
-      EdgeExec[EId] = true;
-      EdgeVec[EId] = V;
-      BasicBlock *To = E.edge(EId).To;
-      BlockExec[To->id()] = true;
-      WL.push(To->id());
-      ++NumCPCFGWorklistPushes;
-    };
-
-    Instruction *Term = BB->terminator();
-    if (auto *Br = dyn_cast<CondBrInst>(Term)) {
-      ConstVal Cond = Br->cond().isImm()
-                          ? ConstVal::cst(Br->cond().imm())
-                          : Vec[Br->cond().var()];
-      // Multiflow predicate refinement: `if (x == c)` pins x to c on the
-      // true side (`x != c` on the false side) when x was still varying.
-      std::optional<PredicateTest> Test;
-      if (PredicateRefinement && Br->cond().isVar() && Cond.isTop())
-        Test = predicateTest(BB, Br->cond().var());
-      auto Refined = [&](bool TrueSide) {
-        if (!Test || Test->OnTrueSide != TrueSide ||
-            !Vec[Test->Var].isTop())
-          return Vec;
-        std::vector<ConstVal> Copy = Vec;
-        Copy[Test->Var] = ConstVal::cst(Test->Value);
-        return Copy;
-      };
-      if (Cond.mayBeTrue())
-        Propagate(E.outEdge(BB, 0), Refined(true));
-      if (Cond.mayBeFalse())
-        Propagate(E.outEdge(BB, 1), Refined(false));
-    } else if (isa<JumpInst>(Term)) {
-      Propagate(E.outEdge(BB, 0), Vec);
-    }
-  }
-
-  // Extraction: replay each executable block to record per-use values.
-  ConstPropResult R;
-  R.ExecutableBlock = BlockExec;
-  for (const auto &BB : F.blocks()) {
-    bool Exec = BlockExec[BB->id()];
-    std::vector<ConstVal> Vec;
-    if (Exec)
-      Vec = InVector(BB.get());
-    for (const auto &IPtr : BB->instructions()) {
-      const Instruction *I = IPtr.get();
-      std::vector<ConstVal> Vals(I->numOperands(), ConstVal::bot());
-      if (Exec) {
-        for (unsigned Idx = 0; Idx != I->numOperands(); ++Idx) {
-          const Operand &Op = I->operand(Idx);
-          Vals[Idx] = Op.isImm() ? ConstVal::cst(Op.imm()) : Vec[Op.var()];
-        }
-        if (const auto *D = dyn_cast<DefInst>(I))
-          Vec[D->def()] = evalDefinition(
-              *D, [&](const Operand &Op) { return Vec[Op.var()]; });
-      }
-      R.UseValues.emplace(I, std::move(Vals));
-    }
-  }
-  return R;
-}
-
-//===----------------------------------------------------------------------===//
-// DFG algorithm (Figure 4b)
-//===----------------------------------------------------------------------===//
-
-namespace {
-
-/// Worklist evaluation of the Figure 4b equations over a DepFlowGraph.
-class DFGConstProp {
-  Function &F;
-  const DepFlowGraph &G;
-  bool Refine;
-  std::vector<ConstVal> EdgeVal;
-  std::vector<std::uint64_t> TokensPerEdge;
-  Worklist WL;
-
-public:
-  DFGConstProp(Function &F, const DepFlowGraph &G, bool Refine)
-      : F(F), G(G), Refine(Refine), EdgeVal(G.numEdges()),
-        TokensPerEdge(G.numEdges(), 0), WL(G.numNodes()) {}
-
-  ConstPropResult run() {
-    for (unsigned N = 0; N != G.numNodes(); ++N)
-      if (G.node(N).Kind == DepFlowGraph::NodeKind::Entry) {
-        WL.push(N);
-        ++NumCPDFGWorklistPushes;
-      }
-    while (!WL.empty()) {
-      ++NumCPDFGWorklistPops;
-      evalNode(WL.pop());
-    }
-    for (std::uint64_t Tokens : TokensPerEdge)
-      HistCPTokensPerEdge.sample(Tokens);
-    return extract();
-  }
-
-private:
-  /// Value arriving at a Use node (single in-edge by construction).
-  ConstVal useValue(int UseNode) const {
-    if (UseNode < 0)
-      return ConstVal::bot();
-    const auto &In = G.inEdges(unsigned(UseNode));
-    return In.empty() ? ConstVal::bot() : EdgeVal[In[0]];
-  }
-
-  /// Lattice value of instruction operand \p Idx. Dead instructions report
-  /// ⊥ for every operand, even when region bypassing routed a (termination-
-  /// optimistic) value past the switch that guards them — this keeps the
-  /// reported results identical to the CFG algorithm's.
-  ConstVal operandValue(const Instruction *I, unsigned Idx,
-                        bool Executable) const {
-    if (!Executable)
-      return ConstVal::bot();
-    const Operand &Op = I->operand(Idx);
-    if (Op.isImm())
-      return ConstVal::cst(Op.imm());
-    return useValue(G.useNode(I, Idx));
-  }
-
-  /// Executability of instruction \p I: the control use if it has one,
-  /// otherwise the liveness of its first variable operand's dependence.
-  bool executable(const Instruction *I) const {
-    int Ctrl = G.useNode(I, I->numOperands());
-    if (Ctrl >= 0)
-      return !useValue(Ctrl).isBot();
-    for (unsigned Idx = 0; Idx != I->numOperands(); ++Idx)
-      if (I->operand(Idx).isVar())
-        return !useValue(G.useNode(I, Idx)).isBot();
-    return true; // No operands at all: treated as executable.
-  }
-
-  void writeEdge(unsigned EId, ConstVal V) {
-    ++NumCPDFGTokensSent;
-    ++TokensPerEdge[EId];
-    if (EdgeVal[EId] == V)
-      return;
-    ++NumCPDFGLatticeLowerings;
-    EdgeVal[EId] = V;
-    WL.push(G.edge(EId).Dst);
-    ++NumCPDFGWorklistPushes;
-  }
-
-  void writePort(unsigned Node, unsigned Port, ConstVal V) {
-    for (unsigned EId : G.outEdges(Node))
-      if (G.edge(EId).SrcPort == Port)
-        writeEdge(EId, V);
-  }
-
-  void evalNode(unsigned N) {
-    const DepFlowGraph::Node &Node = G.node(N);
-    switch (Node.Kind) {
-    case DepFlowGraph::NodeKind::Entry: {
-      ConstVal V = ConstVal::cst(0);
-      if (G.isControl(Node.Var))
-        V = ConstVal::top();
-      for (VarId P : F.params())
-        if (P == Node.Var)
-          V = ConstVal::top();
-      writePort(N, 0, V);
-      break;
-    }
-    case DepFlowGraph::NodeKind::Use: {
-      // A use's value feeds its instruction: re-evaluate the def it takes
-      // part in, or the switches keyed on it when it is a branch predicate.
-      const Instruction *I = Node.Inst;
-      if (isa<DefInst>(I)) {
-        if (int D = G.defNode(I); D >= 0) {
-          WL.push(unsigned(D));
-          ++NumCPDFGWorklistPushes;
-        }
-      } else if (isa<CondBrInst>(I)) {
-        for (VarId V = 0; V <= F.numVars(); ++V)
-          if (int S = G.switchNode(Node.Block, V); S >= 0) {
-            WL.push(unsigned(S));
-            ++NumCPDFGWorklistPushes;
-          }
-      }
-      break;
-    }
-    case DepFlowGraph::NodeKind::Def: {
-      const auto *D = cast<DefInst>(Node.Inst);
-      // evalDefinition resolves immediates itself; the callback only sees
-      // variable operands and maps them back to their use nodes.
-      ConstVal Out = evalDefinition(
-          *D,
-          [&](const Operand &Op) {
-            for (unsigned Idx = 0; Idx != D->numOperands(); ++Idx)
-              if (D->operand(Idx) == Op)
-                return useValue(G.useNode(D, Idx));
-            depflow_unreachable("operand not found on its instruction");
-          },
-          executable(D));
-      writePort(N, 0, Out);
-      break;
-    }
-    case DepFlowGraph::NodeKind::Switch: {
-      const auto *Br = cast<CondBrInst>(Node.Block->terminator());
-      ConstVal In = useValue(int(N)); // Switch input: single in-edge.
-      ConstVal Pred;
-      if (Br->cond().isImm())
-        Pred = In.isBot() ? ConstVal::bot() : ConstVal::cst(Br->cond().imm());
-      else
-        Pred = useValue(G.useNode(Br, 0));
-      ConstVal OutTrue = Pred.mayBeTrue() ? In : ConstVal::bot();
-      ConstVal OutFalse = Pred.mayBeFalse() ? In : ConstVal::bot();
-      // Multiflow predicate refinement at the switch — possible here and
-      // in the CFG algorithm, but not in SSA form, whose edges skip the
-      // switches (Section 4).
-      if (Refine && Br->cond().isVar() && Pred.isTop() && In.isTop()) {
-        if (std::optional<PredicateTest> Test =
-                predicateTest(Node.Block, Br->cond().var());
-            Test && Test->Var == Node.Var)
-          (Test->OnTrueSide ? OutTrue : OutFalse) =
-              ConstVal::cst(Test->Value);
-      }
-      writePort(N, 0, OutTrue);
-      writePort(N, 1, OutFalse);
-      break;
-    }
-    case DepFlowGraph::NodeKind::Merge: {
-      ConstVal Out;
-      for (unsigned EId : G.inEdges(N))
-        Out = Out.join(EdgeVal[EId]);
-      writePort(N, 0, Out);
-      break;
-    }
-    }
-  }
-
-  ConstPropResult extract() const {
-    ConstPropResult R;
-    // Block executability, projected from the DFG's branch predicate
-    // values: entry runs; a branch's sides run when its predicate (a DFG
-    // use value) may take them. Blocks containing only a jump (e.g. the
-    // empty merge blocks of separateComputation) carry no use of their
-    // own, so this projection is the uniform way to classify them.
-    R.ExecutableBlock.assign(F.numBlocks(), false);
-    std::vector<BasicBlock *> Stack{F.entry()};
-    R.ExecutableBlock[F.entry()->id()] = true;
-    while (!Stack.empty()) {
-      BasicBlock *BB = Stack.back();
-      Stack.pop_back();
-      Instruction *Term = BB->terminator();
-      auto Push = [&](BasicBlock *S) {
-        if (!R.ExecutableBlock[S->id()]) {
-          R.ExecutableBlock[S->id()] = true;
-          Stack.push_back(S);
-        }
-      };
-      if (auto *Br = dyn_cast<CondBrInst>(Term)) {
-        ConstVal Pred = Br->cond().isImm()
-                            ? ConstVal::cst(Br->cond().imm())
-                            : useValue(G.useNode(Br, 0));
-        if (Pred.mayBeTrue())
-          Push(Br->trueTarget());
-        if (Pred.mayBeFalse())
-          Push(Br->falseTarget());
-      } else if (auto *J = dyn_cast<JumpInst>(Term)) {
-        Push(J->target());
-      }
-    }
-
-    for (const auto &BB : F.blocks()) {
-      bool Exec = R.ExecutableBlock[BB->id()];
-      for (const auto &IPtr : BB->instructions()) {
-        const Instruction *I = IPtr.get();
-        std::vector<ConstVal> Vals(I->numOperands(), ConstVal::bot());
-        for (unsigned Idx = 0; Idx != I->numOperands(); ++Idx)
-          Vals[Idx] = operandValue(I, Idx, Exec);
-        R.UseValues.emplace(I, std::move(Vals));
-      }
-    }
-    return R;
-  }
-};
-
-} // namespace
-
-ConstPropResult depflow::dfgConstantPropagation(Function &F,
-                                                const DepFlowGraph &G,
-                                                bool PredicateRefinement) {
-  return DFGConstProp(F, G, PredicateRefinement).run();
+Status depflow::runConstantPropagation(Function &F, const DepFlowGraph *G,
+                                       EvalMode Mode, ConstPropResult &Out,
+                                       bool PredicateRefinement) {
+  ConstPropClient C(F, PredicateRefinement);
+  SparseEngineCounters SparseCtr;
+  SparseCtr.Pushes = &NumCPDFGWorklistPushes;
+  SparseCtr.Pops = &NumCPDFGWorklistPops;
+  SparseCtr.Tokens = &NumCPDFGTokensSent;
+  SparseCtr.Lowerings = &NumCPDFGLatticeLowerings;
+  SparseCtr.TokensPerEdge = &HistCPTokensPerEdge;
+  DenseEngineCounters DenseCtr;
+  DenseCtr.Pushes = &NumCPCFGWorklistPushes;
+  DenseCtr.Pops = &NumCPCFGWorklistPops;
+  DenseCtr.Slots = &NumCPCFGSlotsPropagated;
+  DenseCtr.Lowerings = &NumCPCFGLatticeLowerings;
+  return solveForward(F, G, Mode, C, Out, SparseCtr, DenseCtr);
 }
 
 //===----------------------------------------------------------------------===//
@@ -447,9 +197,9 @@ ConstPropResult depflow::defUseConstantPropagation(Function &F,
     ConstVal Out;
     for (const Instruction *D : RD.defsReaching(I, OpIdx)) {
       if (!D)
-        Out = Out.join(EntryVal[V]);
+        Out = Out.meet(EntryVal[V]);
       else if (auto It = DefVal.find(D); It != DefVal.end())
-        Out = Out.join(It->second);
+        Out = Out.meet(It->second);
     }
     return Out;
   };
@@ -482,7 +232,7 @@ ConstPropResult depflow::defUseConstantPropagation(Function &F,
   for (const auto &BB : F.blocks()) {
     for (const auto &IPtr : BB->instructions()) {
       const Instruction *I = IPtr.get();
-      std::vector<ConstVal> Vals(I->numOperands(), ConstVal::bot());
+      std::vector<ConstVal> Vals(I->numOperands(), ConstVal::bottom());
       for (unsigned Idx = 0; Idx != I->numOperands(); ++Idx) {
         const Operand &Op = I->operand(Idx);
         Vals[Idx] =

@@ -9,13 +9,15 @@
 /// Conditional constant propagation with dead code detection, in the three
 /// forms Section 4 of the paper compares:
 ///
-///   * `cfgConstantPropagation`   — Kildall vectors on CFG edges with
-///     executability tracking (Figure 4a); O(E·V^2) time, O(E·V) space.
-///   * `dfgConstantPropagation`   — per-dependence-edge values on the DFG
-///     (Figure 4b); O(E·V) time. Finds exactly the same constants.
+///   * `EvalMode::SparseDFG`      — per-dependence-edge values on the DFG
+///     (Figure 4b), via `SparseEngine`; O(E·V) time.
+///   * `EvalMode::DenseCFG`       — Kildall vectors on CFG edges with
+///     executability tracking (Figure 4a), via `DenseEngine`; O(E·V^2)
+///     time, O(E·V) space. Finds exactly the same constants.
 ///   * `defUseConstantPropagation`— the classic def-use chain algorithm
 ///     [ASU86]; finds only *all-paths* constants (Figure 3a), missing the
-///     possible-paths constants of Figure 3b.
+///     possible-paths constants of Figure 3b. Kept outside the engine as
+///     the paper's point of comparison.
 ///
 /// Evaluation semantics (consistent with the interpreter): variables are 0
 /// at entry, parameters and read() are ⊤.
@@ -30,30 +32,16 @@
 
 #include "core/DepFlowGraph.h"
 #include "dataflow/Lattice.h"
+#include "dataflow/SparseEngine.h"
 #include "ir/Function.h"
 
-#include <unordered_map>
 #include <vector>
 
 namespace depflow {
 
 class ReachingDefs;
 
-struct ConstPropResult {
-  /// Per instruction, one lattice value per operand (non-var operands get
-  /// their folded immediate; operands of dead instructions get ⊥).
-  std::unordered_map<const Instruction *, std::vector<ConstVal>> UseValues;
-  /// Per block id: can the block execute? (Only filled by the variants
-  /// that track executability; def-use CP marks everything executable.)
-  std::vector<bool> ExecutableBlock;
-
-  ConstVal useValue(const Instruction *I, unsigned OpIdx) const {
-    auto It = UseValues.find(I);
-    if (It == UseValues.end() || OpIdx >= It->second.size())
-      return ConstVal::bot();
-    return It->second[OpIdx];
-  }
-
+struct ConstPropResult : DataflowResult<ConstVal> {
   /// Number of uses whose value is a constant.
   unsigned numConstantUses() const;
   /// Number of variable uses whose value is a constant (immediates are
@@ -61,20 +49,39 @@ struct ConstPropResult {
   unsigned numConstantVarUses() const;
 };
 
-/// The CFG algorithm of Figure 4a. With \p PredicateRefinement, a branch
-/// whose condition is `x == c` (defined in the branch's own block)
-/// propagates x = c along its true side, and `x != c` along its false
-/// side — the Multiflow extension Section 4 describes. The paper notes
-/// this extension is easy for both the CFG and DFG algorithms but hard
-/// for SSA-based ones, since SSA edges bypass the switches.
-ConstPropResult cfgConstantPropagation(Function &F,
-                                       bool PredicateRefinement = false);
+/// Conditional constant propagation through the sparse engine. \p Mode
+/// selects the DFG token evaluation (Figure 4b; \p G required) or the
+/// dense CFG vector evaluation (Figure 4a; \p G ignored). With
+/// \p PredicateRefinement, a branch whose condition is `x == c` (defined
+/// in the branch's own block) propagates x = c along its true side, and
+/// `x != c` along its false side — the Multiflow extension Section 4
+/// describes. The paper notes this extension is easy for both the CFG and
+/// DFG algorithms but hard for SSA-based ones, since SSA edges bypass the
+/// switches.
+Status runConstantPropagation(Function &F, const DepFlowGraph *G,
+                              EvalMode Mode, ConstPropResult &Out,
+                              bool PredicateRefinement = false);
 
-/// The DFG algorithm of Figure 4b; \p G must be the DFG of \p F.
-/// \p PredicateRefinement as above (the refinement happens at the switch
-/// nodes, which the DFG keeps — unlike SSA form).
-ConstPropResult dfgConstantPropagation(Function &F, const DepFlowGraph &G,
-                                       bool PredicateRefinement = false);
+/// Deprecated: use runConstantPropagation(F, nullptr, EvalMode::DenseCFG,
+/// Out, PredicateRefinement).
+inline ConstPropResult cfgConstantPropagation(Function &F,
+                                              bool PredicateRefinement = false) {
+  ConstPropResult R;
+  (void)runConstantPropagation(F, nullptr, EvalMode::DenseCFG, R,
+                               PredicateRefinement);
+  return R;
+}
+
+/// Deprecated: use runConstantPropagation(F, &G, EvalMode::SparseDFG, Out,
+/// PredicateRefinement).
+inline ConstPropResult dfgConstantPropagation(Function &F,
+                                              const DepFlowGraph &G,
+                                              bool PredicateRefinement = false) {
+  ConstPropResult R;
+  (void)runConstantPropagation(F, &G, EvalMode::SparseDFG, R,
+                               PredicateRefinement);
+  return R;
+}
 
 /// The def-use chain algorithm (no executability tracking).
 ConstPropResult defUseConstantPropagation(Function &F,

@@ -1,0 +1,46 @@
+//===- dataflow/NullUseAnalysis.h - Undef-use detection ---------*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Null/undef-use detection as a client of the sparse engine. The IR gives
+/// every variable a well-defined implicit 0 at entry, but a use that can
+/// observe that implicit zero on some path — rather than a value an
+/// executed definition assigned — is almost always a bug in the source
+/// program (the C reading: a read of an uninitialized variable). The
+/// lattice tracks, per use, whether the value *may* come from a real
+/// definition and whether it *may* still be the never-assigned entry
+/// value; flagged uses are those with the latter bit set in executable
+/// code. Parameters are initialized by the caller.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_DATAFLOW_NULLUSEANALYSIS_H
+#define DEPFLOW_DATAFLOW_NULLUSEANALYSIS_H
+
+#include "core/DepFlowGraph.h"
+#include "dataflow/Lattice.h"
+#include "dataflow/SparseEngine.h"
+#include "ir/Function.h"
+
+namespace depflow {
+
+struct NullUseResult : DataflowResult<InitVal> {
+  /// Number of variable uses that may observe the never-assigned entry
+  /// value (the flagged uses).
+  unsigned numMaybeUninitVarUses() const;
+  /// Number of variable uses proven to come from an executed definition.
+  unsigned numDefinitelyInitVarUses() const;
+};
+
+/// Runs undef-use detection in the requested evaluation mode
+/// (`SparseDFG` needs \p G; `DenseCFG` ignores it).
+Status runNullUseAnalysis(Function &F, const DepFlowGraph *G, EvalMode Mode,
+                          NullUseResult &Out);
+
+} // namespace depflow
+
+#endif // DEPFLOW_DATAFLOW_NULLUSEANALYSIS_H

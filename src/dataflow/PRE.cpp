@@ -167,16 +167,16 @@ void collectDeletes(BasicBlock *BB, const Expression &Expr, bool CoveredAtIn,
 
 } // namespace
 
-PREDecisions depflow::busyCodeMotion(Function &F, const CFGEdges &E,
-                                     const Expression &Expr,
-                                     const std::vector<bool> &AntEdges) {
+static Status busyCodeMotionImpl(Function &F, const CFGEdges &E,
+                                 const Expression &Expr,
+                                 const std::vector<bool> &AntEdges,
+                                 PREDecisions &D) {
   F.recomputePreds();
   LocalProps P = localProps(F, Expr);
   std::vector<bool> AvIn, AvOut;
   availability(F, P, AvIn, AvOut);
   std::vector<bool> AntIn = antInPerBlock(F, E, P, AntEdges);
 
-  PREDecisions D;
   // Earliest insertions: the frontier edges where ANT first becomes true
   // and the value is not already (or about to be) covered upstream.
   for (unsigned C = 0; C != E.size(); ++C) {
@@ -189,11 +189,11 @@ PREDecisions depflow::busyCodeMotion(Function &F, const CFGEdges &E,
     // Place on the edge: critical edges must have been split.
     if (Edge.From->numSuccessors() == 1)
       D.Inserts.push_back({Edge.From, /*AtEnd=*/true});
-    else {
-      assert(Edge.To->numPredecessors() == 1 &&
-             "critical edge: split edges before running PRE");
+    else if (Edge.To->numPredecessors() == 1)
       D.Inserts.push_back({Edge.To, /*AtEnd=*/false});
-    }
+    else
+      return Status::error("pre: insertion lands on a critical edge; run "
+                           "splitCriticalEdges first");
   }
   // The function entry is the frontier when e is anticipatable on entry.
   if (AntIn[F.entry()->id()])
@@ -205,12 +205,13 @@ PREDecisions depflow::busyCodeMotion(Function &F, const CFGEdges &E,
   for (const auto &BB : F.blocks())
     collectDeletes(BB.get(), Expr,
                    AntIn[BB->id()] || AvIn[BB->id()], D.Deletes);
-  return D;
+  return Status::success();
 }
 
-PREDecisions depflow::morelRenvoise(Function &F, const CFGEdges &E,
-                                    const Expression &Expr,
-                                    const std::vector<bool> &AntEdges) {
+static Status morelRenvoiseImpl(Function &F, const CFGEdges &E,
+                                const Expression &Expr,
+                                const std::vector<bool> &AntEdges,
+                                PREDecisions &D) {
   F.recomputePreds();
   unsigned NB = F.numBlocks();
   LocalProps P = localProps(F, Expr);
@@ -221,8 +222,14 @@ PREDecisions depflow::morelRenvoise(Function &F, const CFGEdges &E,
 
   // Placement-possible: greatest fixed point.
   std::vector<bool> PpIn(NB, true), PpOut(NB, true);
+  // 2·NB monotonically falling bits: the fixed point needs at most
+  // 2·NB + 2 rounds; exceeding the slack bound means a broken transfer.
+  const std::uint64_t MaxRounds = 64 + 4 * (std::uint64_t(NB) + 1);
+  std::uint64_t Rounds = 0;
   bool Changed = true;
   while (Changed) {
+    if (++Rounds > MaxRounds)
+      return Status::error("pre: placement-possible work bound exceeded");
     Changed = false;
     ++NumPREPPRounds;
     for (const auto &BB : F.blocks()) {
@@ -248,7 +255,6 @@ PREDecisions depflow::morelRenvoise(Function &F, const CFGEdges &E,
   }
   (void)E;
 
-  PREDecisions D;
   for (const auto &BB : F.blocks()) {
     unsigned B = BB->id();
     if (PpOut[B] && !AvOut[B] && (!PpIn[B] || !P.Transp[B]))
@@ -258,7 +264,17 @@ PREDecisions depflow::morelRenvoise(Function &F, const CFGEdges &E,
     else
       collectDeletes(BB.get(), Expr, /*CoveredAtIn=*/false, D.Deletes);
   }
-  return D;
+  return Status::success();
+}
+
+Status depflow::runPRE(Function &F, const CFGEdges &E, const Expression &Expr,
+                       const std::vector<bool> &AntEdges,
+                       PREStrategy Strategy, PREDecisions &Out) {
+  Out.Inserts.clear();
+  Out.Deletes.clear();
+  return Strategy == PREStrategy::Busy
+             ? busyCodeMotionImpl(F, E, Expr, AntEdges, Out)
+             : morelRenvoiseImpl(F, E, Expr, AntEdges, Out);
 }
 
 unsigned depflow::applyPRE(Function &F, const Expression &Expr,

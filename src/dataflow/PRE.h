@@ -8,18 +8,20 @@
 /// \file
 /// Elimination of partial redundancies (Section 5.2). Two placement
 /// strategies over a pluggable anticipatability engine (CFG Figure 5a or
-/// DFG Figure 5b + projection):
+/// DFG Figure 5b + projection), selected through one Status-returning
+/// entry point:
 ///
-///  * `busyCodeMotion` — the strategy the paper describes first: insert a
-///    computation wherever it is anticipatable (at the earliest frontier)
-///    and delete computations wherever the value has become available.
-///    Eliminates all partial redundancies but may move code superfluously
-///    (the paper's Figure 6 caveat).
-///  * `morelRenvoise` — the classic [MR79] placement-possible fixed point,
-///    which only moves code when a partial redundancy exists.
+///  * `PREStrategy::Busy` — the strategy the paper describes first: insert
+///    a computation wherever it is anticipatable (at the earliest
+///    frontier) and delete computations wherever the value has become
+///    available. Eliminates all partial redundancies but may move code
+///    superfluously (the paper's Figure 6 caveat).
+///  * `PREStrategy::MorelRenvoise` — the classic [MR79] placement-possible
+///    fixed point, which only moves code when a partial redundancy exists.
 ///
 /// Both require critical edges to be split first (ir/Transforms.h), the
-/// same preprocessing [MR79] itself calls for.
+/// same preprocessing [MR79] itself calls for; an unsplit critical edge is
+/// reported as a Status error, not an assertion.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,6 +31,7 @@
 #include "ir/CFGEdges.h"
 #include "ir/Expression.h"
 #include "ir/Function.h"
+#include "support/Error.h"
 
 #include <vector>
 
@@ -46,16 +49,34 @@ struct PREDecisions {
   std::vector<Instruction *> Deletes;
 };
 
-/// Busy code motion: earliest insertion over the anticipatable region.
-/// \p AntEdges is ANT per CFG edge id, from either engine.
-PREDecisions busyCodeMotion(Function &F, const CFGEdges &E,
-                            const Expression &Expr,
-                            const std::vector<bool> &AntEdges);
+enum class PREStrategy : std::uint8_t { Busy, MorelRenvoise };
 
-/// Morel-Renvoise placement (inserts only under partial availability).
-PREDecisions morelRenvoise(Function &F, const CFGEdges &E,
-                           const Expression &Expr,
-                           const std::vector<bool> &AntEdges);
+/// Computes placement decisions for \p Expr under \p Strategy. \p AntEdges
+/// is ANT per CFG edge id, from either anticipatability engine. Fails
+/// (leaving \p Out partial) when busy code motion meets an unsplit
+/// critical edge.
+Status runPRE(Function &F, const CFGEdges &E, const Expression &Expr,
+              const std::vector<bool> &AntEdges, PREStrategy Strategy,
+              PREDecisions &Out);
+
+/// Deprecated: use runPRE(F, E, Expr, AntEdges, PREStrategy::Busy, Out).
+inline PREDecisions busyCodeMotion(Function &F, const CFGEdges &E,
+                                   const Expression &Expr,
+                                   const std::vector<bool> &AntEdges) {
+  PREDecisions D;
+  (void)runPRE(F, E, Expr, AntEdges, PREStrategy::Busy, D);
+  return D;
+}
+
+/// Deprecated: use runPRE(F, E, Expr, AntEdges,
+/// PREStrategy::MorelRenvoise, Out).
+inline PREDecisions morelRenvoise(Function &F, const CFGEdges &E,
+                                  const Expression &Expr,
+                                  const std::vector<bool> &AntEdges) {
+  PREDecisions D;
+  (void)runPRE(F, E, Expr, AntEdges, PREStrategy::MorelRenvoise, D);
+  return D;
+}
 
 /// Applies decisions: creates a temporary, inserts computations, rewrites
 /// deleted computations into copies. Returns the number of deletions.

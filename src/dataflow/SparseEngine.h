@@ -1,0 +1,575 @@
+//===- dataflow/SparseEngine.h - Parameterized sparse dataflow --*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One worklist engine for every forward dataflow client, parameterized by
+/// the lattice and transfer function — the generalization Tavares,
+/// Boissinot, Pereira & Rastello (arXiv 1403.5952) describe for sparse
+/// analyses, instantiated here over the paper's dependence flow graph.
+/// Sections 4–5 of Johnson & Pingali hand-build one sparse evaluation per
+/// client (constant propagation, anticipatability, PRE); this header
+/// factors the shared machinery so a client supplies only its lattice
+/// operations and per-definition transfer:
+///
+///  * `SparseEngine<Client>`        — forward solve over DFG edges: one
+///    single-variable token per dependence edge, O(E·V) total work. The
+///    Figure 4b evaluation with the constant lattice swapped out.
+///  * `DenseEngine<Client>`         — the Figure 4a CFG evaluation: V-wide
+///    vectors on CFG edges with executability tracking. Kept as the dense
+///    fallback every sparse client is differentially checked against
+///    (depflow-fuzz compares the two solutions edge for edge).
+///  * `SparseBackwardEngine<Client>`— backward solve over one variable's
+///    slice of DFG edges (the Figure 5b anticipatability shape).
+///
+/// Forward client contract (all calls are const; the engine owns every
+/// mutable solver structure):
+///
+/// \code
+///   using Value;                                  // lattice element
+///   static Value bottom();                        // "never examined"
+///   static bool equal(const Value &, const Value &);
+///   Value meet(const Value &, const Value &) const;   // confluence
+///   Value fromImmediate(std::int64_t) const;
+///   Value entryValue(VarId V, bool IsControl) const;  // value on entry
+///   bool mayBeTrue(const Value &) const;          // branch may be taken
+///   bool mayBeFalse(const Value &) const;         // branch may fall through
+///   template <typename GetFn>                     // GetFn: (const Operand&)
+///   Value transfer(const DefInst &, GetFn, bool Executable) const;
+///   // Optional precision hooks; default to no refinement:
+///   void refineSwitch(const BasicBlock *, const CondBrInst *,
+///                     const Value &Pred, const Value &In, VarId,
+///                     Value &OutTrue, Value &OutFalse) const;
+///   std::vector<Value> branchVector(const BasicBlock *, const CondBrInst *,
+///                                   const Value &Cond,
+///                                   const std::vector<Value> &Vec,
+///                                   bool TrueSide) const;
+/// \endcode
+///
+/// Failure convention: engines return `Status` instead of asserting. A
+/// client whose transfer is not monotone over a finite-height lattice
+/// cannot hang the solver — each engine carries a generous work bound and
+/// reports its violation as a diagnostic.
+///
+/// Counters are injected, not owned: each client passes pointers to its
+/// own `DEPFLOW_STATISTIC` objects, so the ported clients keep their
+/// pre-engine counter groups byte-identical and new clients get their own
+/// groups for the perf gate. Null pointers disable a counter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_DATAFLOW_SPARSEENGINE_H
+#define DEPFLOW_DATAFLOW_SPARSEENGINE_H
+
+#include "core/DepFlowGraph.h"
+#include "ir/CFGEdges.h"
+#include "ir/Function.h"
+#include "support/Error.h"
+#include "support/Statistic.h"
+#include "support/Worklist.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace depflow {
+
+/// How a forward client evaluates: sparse tokens on the DFG (the paper's
+/// preferred representation) or dense vectors on the CFG (the differential
+/// fallback).
+enum class EvalMode : std::uint8_t { SparseDFG, DenseCFG };
+
+inline const char *evalModeName(EvalMode M) {
+  return M == EvalMode::SparseDFG ? "sparse-dfg" : "dense-cfg";
+}
+
+/// Counter hooks for SparseEngine. All optional.
+struct SparseEngineCounters {
+  Statistic *Pushes = nullptr;        // node worklist pushes
+  Statistic *Pops = nullptr;          // node worklist pops
+  Statistic *Tokens = nullptr;        // tokens written to DFG edges
+  Statistic *Lowerings = nullptr;     // token writes that changed the edge
+  HistStatistic *TokensPerEdge = nullptr; // per-edge token distribution
+};
+
+/// Counter hooks for DenseEngine. All optional.
+struct DenseEngineCounters {
+  Statistic *Pushes = nullptr;    // block worklist pushes
+  Statistic *Pops = nullptr;      // block worklist pops
+  Statistic *Slots = nullptr;     // vector slots copied across CFG edges
+  Statistic *Lowerings = nullptr; // per-variable edge values changed
+};
+
+/// Counter hooks for SparseBackwardEngine. All optional.
+struct BackwardEngineCounters {
+  Statistic *Evals = nullptr; // edge evaluations (worklist pops)
+  Statistic *Flips = nullptr; // edge value changes
+};
+
+namespace detail {
+inline void bump(Statistic *S) {
+  if (S)
+    ++*S;
+}
+inline void bump(Statistic *S, std::uint64_t N) {
+  if (S)
+    *S += N;
+}
+} // namespace detail
+
+/// What every forward solve produces: one lattice value per instruction
+/// operand plus per-block executability. `ConstPropResult` and the new
+/// client results derive from instantiations of this.
+template <typename ValueT> struct DataflowResult {
+  using Value = ValueT;
+
+  /// Per instruction, one lattice value per operand (non-var operands get
+  /// their folded immediate; operands of dead instructions get ⊥).
+  std::unordered_map<const Instruction *, std::vector<ValueT>> UseValues;
+  /// Per block id: can the block execute?
+  std::vector<bool> ExecutableBlock;
+
+  ValueT useValue(const Instruction *I, unsigned OpIdx) const {
+    auto It = UseValues.find(I);
+    if (It == UseValues.end() || OpIdx >= It->second.size())
+      return ValueT::bottom();
+    return It->second[OpIdx];
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// SparseEngine: forward solve over DFG edges (Figure 4b, generalized)
+//===----------------------------------------------------------------------===//
+
+template <typename Client> class SparseEngine {
+public:
+  using Value = typename Client::Value;
+
+  SparseEngine(Function &F, const DepFlowGraph &G, const Client &C,
+               const SparseEngineCounters &Ctr = {})
+      : F(F), G(G), C(C), Ctr(Ctr), EdgeVal(G.numEdges(), Client::bottom()),
+        TokensPerEdge(G.numEdges(), 0), WL(G.numNodes()) {}
+
+  /// Runs the token worklist to its fixed point and extracts per-use
+  /// values. Fails (without asserting) if the client exceeds the engine's
+  /// work bound — the symptom of a non-monotone transfer or an
+  /// infinite-height lattice.
+  Status run(DataflowResult<Value> &Out) {
+    Status S = solve();
+    if (!S.ok())
+      return S;
+    Out = extract();
+    return Status::success();
+  }
+
+  Status solve() {
+    // A loose bound on legitimate work: every edge can change at most
+    // Height times, and each change re-evaluates a bounded neighborhood.
+    // Only a misbehaving client approaches it.
+    const std::uint64_t MaxPops =
+        64 + 1024 * (std::uint64_t(G.numEdges()) + G.numNodes() +
+                     F.numVars() + 1);
+    std::uint64_t Pops = 0;
+    for (unsigned N = 0; N != G.numNodes(); ++N)
+      if (G.node(N).Kind == DepFlowGraph::NodeKind::Entry) {
+        WL.push(N);
+        detail::bump(Ctr.Pushes);
+      }
+    while (!WL.empty()) {
+      if (++Pops > MaxPops)
+        return Status::error("sparse engine: work bound exceeded "
+                             "(non-monotone transfer function?)");
+      detail::bump(Ctr.Pops);
+      evalNode(WL.pop());
+    }
+    if (Ctr.TokensPerEdge)
+      for (std::uint64_t Tokens : TokensPerEdge)
+        Ctr.TokensPerEdge->sample(Tokens);
+    return Status::success();
+  }
+
+  /// Value arriving at a Use node (single in-edge by construction).
+  Value useValue(int UseNode) const {
+    if (UseNode < 0)
+      return Client::bottom();
+    const auto &In = G.inEdges(unsigned(UseNode));
+    return In.empty() ? Client::bottom() : EdgeVal[In[0]];
+  }
+
+  /// Lattice value of instruction operand \p Idx. Dead instructions report
+  /// ⊥ for every operand, even when region bypassing routed a (termination-
+  /// optimistic) value past the switch that guards them — this keeps the
+  /// reported results identical to the dense algorithm's.
+  Value operandValue(const Instruction *I, unsigned Idx,
+                     bool Executable) const {
+    if (!Executable)
+      return Client::bottom();
+    const Operand &Op = I->operand(Idx);
+    if (Op.isImm())
+      return C.fromImmediate(Op.imm());
+    return useValue(G.useNode(I, Idx));
+  }
+
+  /// Executability of instruction \p I: the control use if it has one,
+  /// otherwise the liveness of its first variable operand's dependence.
+  bool executable(const Instruction *I) const {
+    int Ctrl = G.useNode(I, I->numOperands());
+    if (Ctrl >= 0)
+      return !isBottom(useValue(Ctrl));
+    for (unsigned Idx = 0; Idx != I->numOperands(); ++Idx)
+      if (I->operand(Idx).isVar())
+        return !isBottom(useValue(G.useNode(I, Idx)));
+    return true; // No operands at all: treated as executable.
+  }
+
+  const Value &edgeValue(unsigned EId) const { return EdgeVal[EId]; }
+
+  DataflowResult<Value> extract() const {
+    DataflowResult<Value> R;
+    // Block executability, projected from the DFG's branch predicate
+    // values: entry runs; a branch's sides run when its predicate (a DFG
+    // use value) may take them. Blocks containing only a jump (e.g. the
+    // empty merge blocks of separateComputation) carry no use of their
+    // own, so this projection is the uniform way to classify them.
+    R.ExecutableBlock.assign(F.numBlocks(), false);
+    std::vector<BasicBlock *> Stack{F.entry()};
+    R.ExecutableBlock[F.entry()->id()] = true;
+    while (!Stack.empty()) {
+      BasicBlock *BB = Stack.back();
+      Stack.pop_back();
+      Instruction *Term = BB->terminator();
+      auto Push = [&](BasicBlock *S) {
+        if (!R.ExecutableBlock[S->id()]) {
+          R.ExecutableBlock[S->id()] = true;
+          Stack.push_back(S);
+        }
+      };
+      if (auto *Br = dyn_cast<CondBrInst>(Term)) {
+        Value Pred = Br->cond().isImm() ? C.fromImmediate(Br->cond().imm())
+                                        : useValue(G.useNode(Br, 0));
+        if (C.mayBeTrue(Pred))
+          Push(Br->trueTarget());
+        if (C.mayBeFalse(Pred))
+          Push(Br->falseTarget());
+      } else if (auto *J = dyn_cast<JumpInst>(Term)) {
+        Push(J->target());
+      }
+    }
+
+    for (const auto &BB : F.blocks()) {
+      bool Exec = R.ExecutableBlock[BB->id()];
+      for (const auto &IPtr : BB->instructions()) {
+        const Instruction *I = IPtr.get();
+        std::vector<Value> Vals(I->numOperands(), Client::bottom());
+        for (unsigned Idx = 0; Idx != I->numOperands(); ++Idx)
+          Vals[Idx] = operandValue(I, Idx, Exec);
+        R.UseValues.emplace(I, std::move(Vals));
+      }
+    }
+    return R;
+  }
+
+private:
+  Function &F;
+  const DepFlowGraph &G;
+  const Client &C;
+  SparseEngineCounters Ctr;
+  std::vector<Value> EdgeVal;
+  std::vector<std::uint64_t> TokensPerEdge;
+  Worklist WL;
+
+  bool isBottom(const Value &V) const {
+    return Client::equal(V, Client::bottom());
+  }
+
+  void writeEdge(unsigned EId, const Value &V) {
+    detail::bump(Ctr.Tokens);
+    ++TokensPerEdge[EId];
+    if (Client::equal(EdgeVal[EId], V))
+      return;
+    detail::bump(Ctr.Lowerings);
+    EdgeVal[EId] = V;
+    WL.push(G.edge(EId).Dst);
+    detail::bump(Ctr.Pushes);
+  }
+
+  void writePort(unsigned Node, unsigned Port, const Value &V) {
+    for (unsigned EId : G.outEdges(Node))
+      if (G.edge(EId).SrcPort == Port)
+        writeEdge(EId, V);
+  }
+
+  void schedule(unsigned Node) {
+    WL.push(Node);
+    detail::bump(Ctr.Pushes);
+  }
+
+  void evalNode(unsigned N) {
+    const DepFlowGraph::Node &Node = G.node(N);
+    switch (Node.Kind) {
+    case DepFlowGraph::NodeKind::Entry: {
+      writePort(N, 0, C.entryValue(Node.Var, G.isControl(Node.Var)));
+      break;
+    }
+    case DepFlowGraph::NodeKind::Use: {
+      // A use's value feeds its instruction: re-evaluate the def it takes
+      // part in, or the switches keyed on it when it is a branch predicate.
+      const Instruction *I = Node.Inst;
+      if (isa<DefInst>(I)) {
+        if (int D = G.defNode(I); D >= 0)
+          schedule(unsigned(D));
+      } else if (isa<CondBrInst>(I)) {
+        for (VarId V = 0; V <= F.numVars(); ++V)
+          if (int S = G.switchNode(Node.Block, V); S >= 0)
+            schedule(unsigned(S));
+      }
+      break;
+    }
+    case DepFlowGraph::NodeKind::Def: {
+      const auto *D = cast<DefInst>(Node.Inst);
+      // The client's transfer resolves immediates itself; the callback only
+      // sees variable operands and maps them back to their use nodes.
+      Value Out = C.transfer(
+          *D,
+          [&](const Operand &Op) {
+            for (unsigned Idx = 0; Idx != D->numOperands(); ++Idx)
+              if (D->operand(Idx) == Op)
+                return useValue(G.useNode(D, Idx));
+            depflow_unreachable("operand not found on its instruction");
+          },
+          executable(D));
+      writePort(N, 0, Out);
+      break;
+    }
+    case DepFlowGraph::NodeKind::Switch: {
+      const auto *Br = cast<CondBrInst>(Node.Block->terminator());
+      Value In = useValue(int(N)); // Switch input: single in-edge.
+      Value Pred;
+      if (Br->cond().isImm())
+        Pred = isBottom(In) ? Client::bottom()
+                            : C.fromImmediate(Br->cond().imm());
+      else
+        Pred = useValue(G.useNode(Br, 0));
+      Value OutTrue = C.mayBeTrue(Pred) ? In : Client::bottom();
+      Value OutFalse = C.mayBeFalse(Pred) ? In : Client::bottom();
+      C.refineSwitch(Node.Block, Br, Pred, In, Node.Var, OutTrue, OutFalse);
+      writePort(N, 0, OutTrue);
+      writePort(N, 1, OutFalse);
+      break;
+    }
+    case DepFlowGraph::NodeKind::Merge: {
+      Value Out = Client::bottom();
+      for (unsigned EId : G.inEdges(N))
+        Out = C.meet(Out, EdgeVal[EId]);
+      writePort(N, 0, Out);
+      break;
+    }
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// DenseEngine: forward solve with V-wide vectors on CFG edges (Figure 4a)
+//===----------------------------------------------------------------------===//
+
+template <typename Client> class DenseEngine {
+public:
+  using Value = typename Client::Value;
+
+  DenseEngine(Function &F, const Client &C,
+              const DenseEngineCounters &Ctr = {})
+      : F(F), C(C), Ctr(Ctr) {}
+
+  Status run(DataflowResult<Value> &Out) {
+    F.recomputePreds();
+    CFGEdges E(F);
+    unsigned NV = F.numVars();
+
+    std::vector<std::vector<Value>> EdgeVec(
+        E.size(), std::vector<Value>(NV, Client::bottom()));
+    std::vector<bool> EdgeExec(E.size(), false);
+    std::vector<bool> BlockExec(F.numBlocks(), false);
+
+    std::vector<Value> EntryVec(NV, Client::bottom());
+    for (unsigned V = 0; V != NV; ++V)
+      EntryVec[V] = C.entryValue(V, /*IsControl=*/false);
+
+    auto InVector = [&](const BasicBlock *BB) {
+      if (BB == F.entry())
+        return EntryVec;
+      std::vector<Value> Vec(NV, Client::bottom());
+      for (unsigned EId : E.inEdges(BB))
+        if (EdgeExec[EId])
+          for (unsigned V = 0; V != NV; ++V)
+            Vec[V] = C.meet(Vec[V], EdgeVec[EId][V]);
+      return Vec;
+    };
+
+    const std::uint64_t MaxPops =
+        64 + 512 * (std::uint64_t(E.size()) + F.numBlocks() + 1) * (NV + 1);
+    std::uint64_t Pops = 0;
+
+    Worklist WL(F.numBlocks());
+    BlockExec[F.entry()->id()] = true;
+    WL.push(F.entry()->id());
+    detail::bump(Ctr.Pushes);
+
+    while (!WL.empty()) {
+      if (++Pops > MaxPops)
+        return Status::error("dense engine: work bound exceeded "
+                             "(non-monotone transfer function?)");
+      BasicBlock *BB = F.block(WL.pop());
+      detail::bump(Ctr.Pops);
+      std::vector<Value> Vec = InVector(BB);
+      for (const auto &IPtr : BB->instructions())
+        if (const auto *D = dyn_cast<DefInst>(IPtr.get()))
+          Vec[D->def()] = C.transfer(
+              *D, [&](const Operand &Op) { return Vec[Op.var()]; },
+              /*Executable=*/true);
+
+      auto Propagate = [&](unsigned EId, const std::vector<Value> &V) {
+        // The whole V-wide vector crosses the edge even when one slot
+        // moved — the work the paper's sparse representation eliminates.
+        detail::bump(Ctr.Slots, NV);
+        if (EdgeExec[EId]) {
+          bool Same = true;
+          for (unsigned Var = 0; Var != NV && Same; ++Var)
+            Same = Client::equal(EdgeVec[EId][Var], V[Var]);
+          if (Same)
+            return;
+        }
+        for (unsigned Var = 0; Var != NV; ++Var)
+          if (!Client::equal(EdgeVec[EId][Var], V[Var]))
+            detail::bump(Ctr.Lowerings);
+        EdgeExec[EId] = true;
+        EdgeVec[EId] = V;
+        BasicBlock *To = E.edge(EId).To;
+        BlockExec[To->id()] = true;
+        WL.push(To->id());
+        detail::bump(Ctr.Pushes);
+      };
+
+      Instruction *Term = BB->terminator();
+      if (auto *Br = dyn_cast<CondBrInst>(Term)) {
+        Value Cond = Br->cond().isImm() ? C.fromImmediate(Br->cond().imm())
+                                        : Vec[Br->cond().var()];
+        if (C.mayBeTrue(Cond))
+          Propagate(E.outEdge(BB, 0),
+                    C.branchVector(BB, Br, Cond, Vec, /*TrueSide=*/true));
+        if (C.mayBeFalse(Cond))
+          Propagate(E.outEdge(BB, 1),
+                    C.branchVector(BB, Br, Cond, Vec, /*TrueSide=*/false));
+      } else if (isa<JumpInst>(Term)) {
+        Propagate(E.outEdge(BB, 0), Vec);
+      }
+    }
+
+    // Extraction: replay each executable block to record per-use values.
+    Out.UseValues.clear();
+    Out.ExecutableBlock = BlockExec;
+    for (const auto &BB : F.blocks()) {
+      bool Exec = BlockExec[BB->id()];
+      std::vector<Value> Vec;
+      if (Exec)
+        Vec = InVector(BB.get());
+      for (const auto &IPtr : BB->instructions()) {
+        const Instruction *I = IPtr.get();
+        std::vector<Value> Vals(I->numOperands(), Client::bottom());
+        if (Exec) {
+          for (unsigned Idx = 0; Idx != I->numOperands(); ++Idx) {
+            const Operand &Op = I->operand(Idx);
+            Vals[Idx] =
+                Op.isImm() ? C.fromImmediate(Op.imm()) : Vec[Op.var()];
+          }
+          if (const auto *D = dyn_cast<DefInst>(I))
+            Vec[D->def()] = C.transfer(
+                *D, [&](const Operand &Op) { return Vec[Op.var()]; },
+                /*Executable=*/true);
+        }
+        Out.UseValues.emplace(I, std::move(Vals));
+      }
+    }
+    return Status::success();
+  }
+
+private:
+  Function &F;
+  const Client &C;
+  DenseEngineCounters Ctr;
+};
+
+/// Convenience front door: run \p C in the requested mode. SparseDFG
+/// requires \p G (the function's DepFlowGraph); DenseCFG ignores it.
+template <typename Client>
+Status solveForward(Function &F, const DepFlowGraph *G, EvalMode Mode,
+                    const Client &C,
+                    DataflowResult<typename Client::Value> &Out,
+                    const SparseEngineCounters &SparseCtr = {},
+                    const DenseEngineCounters &DenseCtr = {}) {
+  if (Mode == EvalMode::SparseDFG) {
+    if (!G)
+      return Status::error(
+          "sparse engine: SparseDFG mode needs a DepFlowGraph");
+    return SparseEngine<Client>(F, *G, C, SparseCtr).run(Out);
+  }
+  return DenseEngine<Client>(F, C, DenseCtr).run(Out);
+}
+
+//===----------------------------------------------------------------------===//
+// SparseBackwardEngine: backward solve over one variable's DFG edges
+// (the Figure 5b anticipatability shape)
+//===----------------------------------------------------------------------===//
+
+/// Backward client contract:
+/// \code
+///   using Value;
+///   static bool equal(const Value &, const Value &);
+///   Value evalEdge(const DepFlowGraph &, unsigned EId,
+///                  const std::vector<Value> &EdgeVal) const;
+/// \endcode
+/// The caller pre-initializes \p EdgeVal to the direction's fixed-point
+/// start (e.g. all-true for a greatest fixed point).
+template <typename Client> class SparseBackwardEngine {
+public:
+  using Value = typename Client::Value;
+
+  static Status solve(const DepFlowGraph &G, VarId X, const Client &C,
+                      std::vector<Value> &EdgeVal,
+                      const BackwardEngineCounters &Ctr = {}) {
+    if (EdgeVal.size() != G.numEdges())
+      return Status::error("backward engine: edge value vector size "
+                           "mismatch");
+    const std::uint64_t MaxEvals =
+        64 + 1024 * (std::uint64_t(G.numEdges()) + 1);
+    std::uint64_t Evals = 0;
+    // Worklist over X's edges; when an edge's value changes, the edges
+    // entering its source node must be re-evaluated.
+    Worklist WL(G.numEdges());
+    for (unsigned EId = 0; EId != G.numEdges(); ++EId)
+      if (G.edge(EId).Var == X)
+        WL.push(EId);
+    while (!WL.empty()) {
+      if (++Evals > MaxEvals)
+        return Status::error("backward engine: work bound exceeded "
+                             "(non-monotone edge evaluation?)");
+      unsigned EId = WL.pop();
+      detail::bump(Ctr.Evals);
+      Value New = C.evalEdge(G, EId, EdgeVal);
+      if (Client::equal(New, EdgeVal[EId]))
+        continue;
+      EdgeVal[EId] = New;
+      detail::bump(Ctr.Flips);
+      for (unsigned InId : G.inEdges(G.edge(EId).Src))
+        WL.push(InId);
+    }
+    return Status::success();
+  }
+};
+
+} // namespace depflow
+
+#endif // DEPFLOW_DATAFLOW_SPARSEENGINE_H

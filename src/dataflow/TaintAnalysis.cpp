@@ -1,0 +1,128 @@
+//===- dataflow/TaintAnalysis.cpp - Tainted-flow analysis -----------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/TaintAnalysis.h"
+
+#include "support/Statistic.h"
+
+using namespace depflow;
+
+DEPFLOW_STATISTIC(NumTaintDFGWorklistPushes, "taint",
+                  "DFG engine: node worklist pushes");
+DEPFLOW_STATISTIC(NumTaintDFGWorklistPops, "taint",
+                  "DFG engine: node worklist pops");
+DEPFLOW_STATISTIC(NumTaintDFGTokensSent, "taint",
+                  "DFG engine: tokens written to DFG edges");
+DEPFLOW_STATISTIC(NumTaintDFGLatticeLowerings, "taint",
+                  "DFG engine: token writes that changed the edge value");
+DEPFLOW_STATISTIC(NumTaintCFGWorklistPushes, "taint",
+                  "CFG engine: block worklist pushes");
+DEPFLOW_STATISTIC(NumTaintCFGWorklistPops, "taint",
+                  "CFG engine: block worklist pops");
+DEPFLOW_STATISTIC(NumTaintCFGSlotsPropagated, "taint",
+                  "CFG engine: vector slots copied across CFG edges");
+DEPFLOW_STATISTIC(NumTaintCFGLatticeLowerings, "taint",
+                  "CFG engine: per-variable edge values changed");
+DEPFLOW_STATISTIC(NumTaintTaintedUses, "taint",
+                  "Variable uses that may carry external input");
+DEPFLOW_STATISTIC(NumTaintSinkUses, "taint",
+                  "Tainted ret operands (external input reaching a sink)");
+
+namespace {
+
+/// Taint instance of the engine's forward client contract. Predicates say
+/// nothing about which way a branch goes, so executability degenerates to
+/// plain reachability — the engine's dead-code handling still applies.
+class TaintClient {
+  Function &F;
+
+public:
+  using Value = TaintVal;
+
+  explicit TaintClient(Function &F) : F(F) {}
+
+  static TaintVal bottom() { return TaintVal::bottom(); }
+  static bool equal(const TaintVal &A, const TaintVal &B) {
+    return TaintVal::equal(A, B);
+  }
+  TaintVal meet(const TaintVal &A, const TaintVal &B) const {
+    return A.meet(B);
+  }
+  TaintVal fromImmediate(std::int64_t) const { return TaintVal::clean(); }
+
+  /// Sources: parameters (caller-controlled). The control token carries no
+  /// data and is clean; read() taints inside the transfer.
+  TaintVal entryValue(VarId V, bool IsControl) const {
+    if (IsControl)
+      return TaintVal::clean();
+    for (VarId P : F.params())
+      if (P == V)
+        return TaintVal::tainted();
+    return TaintVal::clean();
+  }
+
+  bool mayBeTrue(const TaintVal &V) const { return V.mayBeTrue(); }
+  bool mayBeFalse(const TaintVal &V) const { return V.mayBeFalse(); }
+
+  template <typename GetFn>
+  TaintVal transfer(const DefInst &D, GetFn Get, bool Executable) const {
+    return evalTaintDefinition(D, Get, Executable);
+  }
+
+  void refineSwitch(const BasicBlock *, const CondBrInst *, const TaintVal &,
+                    const TaintVal &, VarId, TaintVal &, TaintVal &) const {}
+
+  std::vector<TaintVal> branchVector(const BasicBlock *, const CondBrInst *,
+                                     const TaintVal &,
+                                     const std::vector<TaintVal> &Vec,
+                                     bool) const {
+    return Vec;
+  }
+};
+
+} // namespace
+
+unsigned TaintResult::numTaintedVarUses() const {
+  unsigned N = 0;
+  for (const auto &[I, Vals] : UseValues)
+    for (unsigned Idx = 0; Idx != Vals.size(); ++Idx)
+      if (Idx < I->numOperands() && I->operand(Idx).isVar())
+        N += Vals[Idx].isTainted();
+  return N;
+}
+
+unsigned TaintResult::numTaintedSinkUses() const {
+  unsigned N = 0;
+  for (const auto &[I, Vals] : UseValues) {
+    if (!isa<RetInst>(I))
+      continue;
+    for (unsigned Idx = 0; Idx != Vals.size(); ++Idx)
+      N += Vals[Idx].isTainted();
+  }
+  return N;
+}
+
+Status depflow::runTaintAnalysis(Function &F, const DepFlowGraph *G,
+                                 EvalMode Mode, TaintResult &Out) {
+  TaintClient C(F);
+  SparseEngineCounters SparseCtr;
+  SparseCtr.Pushes = &NumTaintDFGWorklistPushes;
+  SparseCtr.Pops = &NumTaintDFGWorklistPops;
+  SparseCtr.Tokens = &NumTaintDFGTokensSent;
+  SparseCtr.Lowerings = &NumTaintDFGLatticeLowerings;
+  DenseEngineCounters DenseCtr;
+  DenseCtr.Pushes = &NumTaintCFGWorklistPushes;
+  DenseCtr.Pops = &NumTaintCFGWorklistPops;
+  DenseCtr.Slots = &NumTaintCFGSlotsPropagated;
+  DenseCtr.Lowerings = &NumTaintCFGLatticeLowerings;
+  Status S = solveForward(F, G, Mode, C, Out, SparseCtr, DenseCtr);
+  if (S.ok()) {
+    NumTaintTaintedUses += Out.numTaintedVarUses();
+    NumTaintSinkUses += Out.numTaintedSinkUses();
+  }
+  return S;
+}

@@ -1,0 +1,42 @@
+//===- dataflow/TaintAnalysis.h - Tainted-flow analysis ---------*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tainted-flow analysis as a client of the sparse engine: source/sink
+/// reachability over DFG edges. The sources are the IR's external inputs —
+/// `read()` results and function parameters; a value derived from a
+/// tainted operand is tainted. The sinks are the observable outputs: the
+/// operands of `ret`. The DFG makes this the paper's "slicing" picture:
+/// taint reaches a sink iff a dependence path connects a source to it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_DATAFLOW_TAINTANALYSIS_H
+#define DEPFLOW_DATAFLOW_TAINTANALYSIS_H
+
+#include "core/DepFlowGraph.h"
+#include "dataflow/Lattice.h"
+#include "dataflow/SparseEngine.h"
+#include "ir/Function.h"
+
+namespace depflow {
+
+struct TaintResult : DataflowResult<TaintVal> {
+  /// Number of variable uses that may carry external input.
+  unsigned numTaintedVarUses() const;
+  /// Number of tainted `ret` operands (tainted data reaching a sink).
+  unsigned numTaintedSinkUses() const;
+};
+
+/// Runs tainted-flow analysis in the requested evaluation mode
+/// (`SparseDFG` needs \p G; `DenseCFG` ignores it).
+Status runTaintAnalysis(Function &F, const DepFlowGraph *G, EvalMode Mode,
+                        TaintResult &Out);
+
+} // namespace depflow
+
+#endif // DEPFLOW_DATAFLOW_TAINTANALYSIS_H

@@ -71,6 +71,33 @@ DepFlowGraph DFGAnalysis::run(Function &F, FunctionAnalysisManager &AM) {
   return DepFlowGraph::build(F, E, PST);
 }
 
+RangeResult RangeAnalysis::run(Function &F, FunctionAnalysisManager &AM) {
+  ++NumAnalysesComputed;
+  const DepFlowGraph &G = AM.getResult<DFGAnalysis>();
+  RangeResult R;
+  // The sparse engine only fails on a broken client (work-bound breach);
+  // an analysis result must still come back, so a failure degrades to the
+  // empty (all-⊥) result rather than aborting the pipeline.
+  (void)runRangeAnalysis(F, &G, EvalMode::SparseDFG, R);
+  return R;
+}
+
+TaintResult TaintAnalysis::run(Function &F, FunctionAnalysisManager &AM) {
+  ++NumAnalysesComputed;
+  const DepFlowGraph &G = AM.getResult<DFGAnalysis>();
+  TaintResult R;
+  (void)runTaintAnalysis(F, &G, EvalMode::SparseDFG, R);
+  return R;
+}
+
+NullUseResult NullUseAnalysis::run(Function &F, FunctionAnalysisManager &AM) {
+  ++NumAnalysesComputed;
+  const DepFlowGraph &G = AM.getResult<DFGAnalysis>();
+  NullUseResult R;
+  (void)runNullUseAnalysis(F, &G, EvalMode::SparseDFG, R);
+  return R;
+}
+
 PreservedAnalyses depflow::preserveCFGShapeAnalyses() {
   PreservedAnalyses PA;
   PA.preserve<CFGEdgesAnalysis>()

@@ -19,12 +19,18 @@
 ///   PSTAnalysis          program structure tree over the classes
 ///   FactoredCDGAnalysis  factored control dependence graph
 ///   DFGAnalysis          the dependence flow graph (phi-free IR only)
+///   RangeAnalysis        integer ranges per use (sparse engine client)
+///   TaintAnalysis        source/sink taint per use (sparse engine client)
+///   NullUseAnalysis      may-uninit uses (sparse engine client)
 ///
 /// Dependency edges: CycleEquiv → CFGEdges; PST → CFGEdges, CycleEquiv;
-/// FactoredCDG → CFGEdges, CycleEquiv; DFG → CFGEdges, PST. Querying the
-/// DFG therefore computes the whole structure stack once and shares it —
-/// previously DepFlowGraph::build recomputed cycle equivalence and the PST
-/// privately on every call.
+/// FactoredCDG → CFGEdges, CycleEquiv; DFG → CFGEdges, PST; the three
+/// sparse-engine clients → DFG. Querying the DFG therefore computes the
+/// whole structure stack once and shares it — previously
+/// DepFlowGraph::build recomputed cycle equivalence and the PST privately
+/// on every call. The client results hold Instruction pointers, so like
+/// the DFG they do not survive instruction mutation
+/// (preserveCFGShapeAnalyses drops them).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -33,6 +39,9 @@
 
 #include "cdg/ControlDependence.h"
 #include "core/DepFlowGraph.h"
+#include "dataflow/NullUseAnalysis.h"
+#include "dataflow/RangeAnalysis.h"
+#include "dataflow/TaintAnalysis.h"
 #include "graph/Dominators.h"
 #include "graph/Loops.h"
 #include "ir/CFGEdges.h"
@@ -87,6 +96,24 @@ struct FactoredCDGAnalysis {
 struct DFGAnalysis {
   using Result = DepFlowGraph;
   static const char *name() { return "dfg"; }
+  static Result run(Function &F, FunctionAnalysisManager &AM);
+};
+
+struct RangeAnalysis {
+  using Result = RangeResult;
+  static const char *name() { return "range"; }
+  static Result run(Function &F, FunctionAnalysisManager &AM);
+};
+
+struct TaintAnalysis {
+  using Result = TaintResult;
+  static const char *name() { return "taint"; }
+  static Result run(Function &F, FunctionAnalysisManager &AM);
+};
+
+struct NullUseAnalysis {
+  using Result = NullUseResult;
+  static const char *name() { return "nulluse"; }
   static Result run(Function &F, FunctionAnalysisManager &AM);
 };
 

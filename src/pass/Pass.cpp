@@ -10,9 +10,12 @@
 using namespace depflow;
 
 const std::vector<PassId> &depflow::allPasses() {
+  // The analysis-only passes sit before SSA so the canonical legacy-flag
+  // ordering runs them on phi-free IR (their DFG precondition).
   static const std::vector<PassId> Passes = {
       PassId::Separate, PassId::ConstProp, PassId::ConstPropCFG,
-      PassId::PRE,      PassId::PREBusy,   PassId::SSA,
+      PassId::PRE,      PassId::PREBusy,   PassId::Range,
+      PassId::Taint,    PassId::NullUse,   PassId::SSA,
       PassId::SSADfg,
   };
   return Passes;
@@ -30,6 +33,12 @@ const char *depflow::passName(PassId P) {
     return "pre";
   case PassId::PREBusy:
     return "pre-busy";
+  case PassId::Range:
+    return "range";
+  case PassId::Taint:
+    return "taint";
+  case PassId::NullUse:
+    return "nulluse";
   case PassId::SSA:
     return "ssa";
   case PassId::SSADfg:

@@ -29,6 +29,9 @@ enum class PassId : std::uint8_t {
   ConstPropCFG, // same via the CFG algorithm (Figure 4a)
   PRE,          // Morel-Renvoise over every expression (DFG ANT engine)
   PREBusy,      // busy code motion instead
+  Range,        // report-only integer range analysis (sparse engine)
+  Taint,        // report-only tainted-flow analysis (sparse engine)
+  NullUse,      // report-only undef-use detection (sparse engine)
   SSA,          // pruned SSA via Cytron placement
   SSADfg,       // pruned SSA via the DFG route
 };

@@ -218,21 +218,30 @@ std::vector<std::vector<unsigned>> cfgShape(const Function &F) {
 }
 
 /// The pass body proper: mutates \p F, consuming cached analyses from
-/// \p AM. Returns false only for unknown pass ids (impossible).
-void runPassBody(Function &F, PassId P, FunctionAnalysisManager &AM,
-                 const PassOptions &Opts) {
+/// \p AM. Fails when an underlying dataflow engine reports an error
+/// (work-bound breach, unsplit critical edge).
+Status runPassBody(Function &F, PassId P, FunctionAnalysisManager &AM,
+                   const PassOptions &Opts) {
   switch (P) {
   case PassId::Separate:
     NumStatementsSeparated += separateComputation(F);
     break;
   case PassId::ConstProp: {
     const DepFlowGraph &G = AM.getResult<DFGAnalysis>();
-    ConstPropResult CP = dfgConstantPropagation(F, G, Opts.Predicates);
+    ConstPropResult CP;
+    Status S = runConstantPropagation(F, &G, EvalMode::SparseDFG, CP,
+                                      Opts.Predicates);
+    if (!S.ok())
+      return S;
     NumOperandsFolded += applyConstantsAndDCE(F, CP);
     break;
   }
   case PassId::ConstPropCFG: {
-    ConstPropResult CP = cfgConstantPropagation(F, Opts.Predicates);
+    ConstPropResult CP;
+    Status S = runConstantPropagation(F, /*G=*/nullptr, EvalMode::DenseCFG,
+                                      CP, Opts.Predicates);
+    if (!S.ok())
+      return S;
     NumOperandsFolded += applyConstantsAndDCE(F, CP);
     break;
   }
@@ -251,9 +260,18 @@ void runPassBody(Function &F, PassId P, FunctionAnalysisManager &AM,
       ++NumExpressionsConsidered;
       const CFGEdges &E = AM.getResult<CFGEdgesAnalysis>();
       const DepFlowGraph &G = AM.getResult<DFGAnalysis>();
-      std::vector<bool> Ant = dfgExpressionAnt(F, E, G, Ex);
-      PREDecisions D = P == PassId::PREBusy ? busyCodeMotion(F, E, Ex, Ant)
-                                            : morelRenvoise(F, E, Ex, Ant);
+      std::vector<bool> Ant;
+      Status S =
+          runExpressionAnticipatability(F, E, &G, Ex, EvalMode::SparseDFG, Ant);
+      if (!S.ok())
+        return S;
+      PREDecisions D;
+      S = runPRE(F, E, Ex, Ant,
+                 P == PassId::PREBusy ? PREStrategy::Busy
+                                      : PREStrategy::MorelRenvoise,
+                 D);
+      if (!S.ok())
+        return S;
       if (D.Inserts.empty() && D.Deletes.empty())
         continue;
       applyPRE(F, Ex, D);
@@ -261,6 +279,17 @@ void runPassBody(Function &F, PassId P, FunctionAnalysisManager &AM,
     }
     break;
   }
+  case PassId::Range:
+    // Report-only clients: computing the result registers and bumps the
+    // pass's counter group; consumers read it via --counters-json.
+    (void)AM.getResult<RangeAnalysis>();
+    break;
+  case PassId::Taint:
+    (void)AM.getResult<TaintAnalysis>();
+    break;
+  case PassId::NullUse:
+    (void)AM.getResult<NullUseAnalysis>();
+    break;
   case PassId::SSA: {
     const DomTree &DT = AM.getResult<DominatorAnalysis>();
     PhiPlacement Placement = cytronPhiPlacement(F, /*Pruned=*/true, DT);
@@ -279,6 +308,7 @@ void runPassBody(Function &F, PassId P, FunctionAnalysisManager &AM,
     break;
   }
   }
+  return Status::success();
 }
 
 } // namespace
@@ -308,7 +338,12 @@ Status depflow::runPass(Function &F, PassId P, FunctionAnalysisManager &AM,
   const std::string TextBefore = printFunction(F);
   std::uint64_t HitsBefore = AM.totalHits();
 
-  runPassBody(F, P, AM, Opts);
+  if (Status Body = runPassBody(F, P, AM, Opts); !Body.ok()) {
+    Status S = Status::error(std::string("pass --") + passName(P) +
+                             ": body failed");
+    S.append(Body);
+    return S;
+  }
 
   // What survived? Text identical: the pass was a no-op and everything is
   // still valid. CFG shape identical: instructions changed, so the DFG

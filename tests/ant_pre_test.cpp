@@ -142,6 +142,47 @@ use:
   (void)F;
 }
 
+TEST(AntPre, EngineAndShimPathsAgreeOnFigure6) {
+  // The deprecated shims and the Status-returning entry points must agree
+  // exactly — both paths stay covered until the shims are removed.
+  auto F = parseFunctionOrDie(Fig6Src);
+  splitCriticalEdges(*F);
+  CFGEdges E(*F);
+  Expression XPlus1 = exprPlusImm(*F, "x", 1);
+  DepFlowGraph G = DepFlowGraph::build(*F);
+
+  CFGAntResult Shim = cfgAnticipatability(*F, E, XPlus1);
+  CFGAntResult Eng;
+  ASSERT_TRUE(runCFGAnticipatability(*F, E, XPlus1, Eng).ok());
+  EXPECT_EQ(Shim.ANT, Eng.ANT);
+
+  std::vector<bool> ShimDfg = dfgExpressionAnt(*F, E, G, XPlus1);
+  std::vector<bool> EngSparse;
+  ASSERT_TRUE(runExpressionAnticipatability(*F, E, &G, XPlus1,
+                                            EvalMode::SparseDFG, EngSparse)
+                  .ok());
+  EXPECT_EQ(ShimDfg, EngSparse);
+  std::vector<bool> EngDense;
+  ASSERT_TRUE(runExpressionAnticipatability(*F, E, nullptr, XPlus1,
+                                            EvalMode::DenseCFG, EngDense)
+                  .ok());
+  EXPECT_EQ(EngSparse, EngDense);
+
+  for (PREStrategy S : {PREStrategy::Busy, PREStrategy::MorelRenvoise}) {
+    PREDecisions ShimD = S == PREStrategy::Busy
+                             ? busyCodeMotion(*F, E, XPlus1, Eng.ANT)
+                             : morelRenvoise(*F, E, XPlus1, Eng.ANT);
+    PREDecisions EngD;
+    ASSERT_TRUE(runPRE(*F, E, XPlus1, Eng.ANT, S, EngD).ok());
+    EXPECT_EQ(ShimD.Deletes, EngD.Deletes);
+    ASSERT_EQ(ShimD.Inserts.size(), EngD.Inserts.size());
+    for (unsigned K = 0; K != ShimD.Inserts.size(); ++K) {
+      EXPECT_EQ(ShimD.Inserts[K].Block, EngD.Inserts[K].Block);
+      EXPECT_EQ(ShimD.Inserts[K].AtEnd, EngD.Inserts[K].AtEnd);
+    }
+  }
+}
+
 TEST(PRE, Figure6BusyCodeMotionIsSuperfluous) {
   // The paper's caveat: the simple strategy hoists x+1 to just below the
   // definition of x although the program had no redundancy; Morel-Renvoise

@@ -186,6 +186,65 @@ out:
   }
 }
 
+TEST(ConstProp, EngineAndShimPathsAgreeOnTheFigures) {
+  // The deprecated shims and the Status-returning engine entry point must
+  // compute identical results — both paths stay covered until the shims
+  // are removed.
+  const char *Fixtures[] = {
+      R"(
+func fig3a(p) {
+entry:
+  if p goto thn else els
+thn:
+  z = 1
+  x = z + 2
+  goto join
+els:
+  z = 2
+  x = z + 1
+  goto join
+join:
+  y = x
+  ret y
+}
+)",
+      R"(
+func fig3b() {
+entry:
+  p = 1
+  if p goto thn else els
+thn:
+  x = 1
+  goto join
+els:
+  x = 2
+  goto join
+join:
+  y = x
+  ret y
+}
+)"};
+  for (const char *Src : Fixtures) {
+    auto F = parseFunctionOrDie(Src);
+    DepFlowGraph G = DepFlowGraph::build(*F);
+
+    ConstPropResult ShimCFG = cfgConstantPropagation(*F);
+    ConstPropResult EngCFG;
+    ASSERT_TRUE(
+        runConstantPropagation(*F, nullptr, EvalMode::DenseCFG, EngCFG).ok());
+    expectSameUseValues(*F, ShimCFG, EngCFG, "shim CFG", "engine CFG");
+
+    ConstPropResult ShimDFG = dfgConstantPropagation(*F, G);
+    ConstPropResult EngDFG;
+    ASSERT_TRUE(
+        runConstantPropagation(*F, &G, EvalMode::SparseDFG, EngDFG).ok());
+    expectSameUseValues(*F, ShimDFG, EngDFG, "shim DFG", "engine DFG");
+    for (unsigned B = 0; B != F->numBlocks(); ++B)
+      EXPECT_EQ(ShimDFG.ExecutableBlock[B], EngDFG.ExecutableBlock[B])
+          << "block " << B;
+  }
+}
+
 class ConstPropPropertyTest : public ::testing::TestWithParam<int> {};
 
 std::unique_ptr<Function> makeProgram(int Param, bool Separate) {

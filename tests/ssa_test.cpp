@@ -188,7 +188,9 @@ TEST_P(SSAPropertyTest, SCCPMatchesCFGConstProp) {
   else
     F = generateRandomCFGProgram(std::uint64_t(GetParam()) * 23 + 9, 11, 50,
                                  4, 2);
-  ConstPropResult CFG = cfgConstantPropagation(*F);
+  ConstPropResult CFG;
+  ASSERT_TRUE(
+      runConstantPropagation(*F, nullptr, EvalMode::DenseCFG, CFG).ok());
 
   auto SSAFn = parseFunctionOrDie(printFunction(*F));
   PhiPlacement P = cytronPhiPlacement(*SSAFn, /*Pruned=*/true);

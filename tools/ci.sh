@@ -179,6 +179,25 @@ if python3 "$ROOT/tools/bench_compare.py" "$ROOT/bench/baselines" \
 fi
 echo "ci: bench_compare self-check ok"
 
+# Same check aimed at the sparse-client baseline specifically: its claims
+# (one linearity fit per engine client) must also be tamper-evident, not
+# just its counters.
+mkdir -p "$MODDIR/bench-sparse-tampered"
+cp "$ROOT"/bench/baselines/BENCH_*.json "$MODDIR/bench-sparse-tampered/"
+python3 - "$MODDIR/bench-sparse-tampered/BENCH_sparse_clients.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for claim in doc["claims"]:
+    claim["pass"] = False
+json.dump(doc, open(sys.argv[1], "w"))
+PY
+if python3 "$ROOT/tools/bench_compare.py" "$ROOT/bench/baselines" \
+    "$MODDIR/bench-sparse-tampered" --no-time >/dev/null; then
+  echo "ci: BENCH COMPARE FAILED TO CATCH a failed sparse-client claim" >&2
+  exit 1
+fi
+echo "ci: sparse-client claim self-check ok"
+
 # bench_compare hardening: a missing baseline directory, a malformed JSON
 # file, and a document without schema_version must each produce a one-line
 # diagnostic and a nonzero exit — never a Python traceback.

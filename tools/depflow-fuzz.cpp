@@ -9,7 +9,12 @@
 //                   of the seed, so any report reproduces from it
 //   --iters N       number of fuzz iterations (default 1000)
 //   --pass NAME     fuzz only this pass (separate, constprop, constprop-cfg,
-//                   pre, pre-busy, ssa, ssa-dfg); default: all of them
+//                   pre, pre-busy, range, taint, nulluse, ssa, ssa-dfg);
+//                   default: all of them. The three analysis passes run
+//                   extra differential oracles: sparse-DFG vs dense-CFG
+//                   result equality, interpreter executability soundness,
+//                   interval containment of observed outputs, and
+//                   cross-analysis consistency against constprop
 //   --runs N        oracle executions per program/pass pair (default 6)
 //   --max-edges N   brute-force cross-check cap (default 600)
 //   --no-mutate     disable the structured mutator (generator output only)
@@ -53,10 +58,16 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "dataflow/ConstantPropagation.h"
+#include "dataflow/NullUseAnalysis.h"
+#include "dataflow/RangeAnalysis.h"
+#include "dataflow/TaintAnalysis.h"
+#include "interp/Interpreter.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
 #include "obs/StatsJson.h"
+#include "pass/Analyses.h"
 #include "pass/AnalysisManager.h"
 #include "pass/ModulePipeline.h"
 #include "pass/PassPipeline.h"
@@ -266,6 +277,221 @@ void mutateOnce(Function &F, RNG &Rand) {
 }
 
 //===----------------------------------------------------------------------===//
+// Sparse-client differential oracles. The analysis passes (range, taint,
+// nulluse) leave the IR untouched, so the interesting object is the
+// analysis result, not the transformed program:
+//
+//   1. The sparse-DFG and dense-CFG evaluation modes must agree exactly —
+//      executable blocks and the lattice value at every variable operand.
+//      Both sides meet at the same confluence points over finite-height
+//      lattices, so this is equality, not containment.
+//   2. Every block the interpreter actually enters must be marked
+//      executable (the analyses over-approximate execution: parameters
+//      and read() are top).
+//   3. range: every halted run's output must lie inside the interval the
+//      analysis computed for the corresponding ret operand, and a use a
+//      halted run reaches cannot be ⊥.
+//   4. range vs constprop: a use constprop pins to the constant c has an
+//      interval containing c (the interval transfer functions fold
+//      point×point through the same evalBinOp).
+//   5. taint: a function with no parameters and no read() has no taint
+//      source, so no use may be flagged tainted.
+//===----------------------------------------------------------------------===//
+
+/// Runs \p Run in both evaluation modes and requires identical results.
+/// The sparse solution is left in \p Sparse for the follow-on oracles.
+template <typename Result, typename RunFn>
+Status diffSparseDense(Function &F, const DepFlowGraph &G, RunFn Run,
+                       const char *Name, Result &Sparse) {
+  Status S = Run(F, &G, EvalMode::SparseDFG, Sparse);
+  if (!S.ok())
+    return S;
+  Result Dense;
+  S = Run(F, nullptr, EvalMode::DenseCFG, Dense);
+  if (!S.ok())
+    return S;
+  Status Out;
+  for (unsigned B = 0; B != F.numBlocks() && Out.ok(); ++B)
+    if (Sparse.ExecutableBlock[B] != Dense.ExecutableBlock[B])
+      Out.addError(std::string(Name) +
+                   ": sparse-DFG and dense-CFG modes disagree on the "
+                   "executability of block b" +
+                   std::to_string(B));
+  for (const auto &BB : F.blocks())
+    for (const auto &I : BB->instructions())
+      for (unsigned Op = 0; Op != I->numOperands() && Out.ok(); ++Op) {
+        if (!I->operand(Op).isVar())
+          continue;
+        typename Result::Value SV = Sparse.useValue(I.get(), Op);
+        typename Result::Value DV = Dense.useValue(I.get(), Op);
+        if (!Result::Value::equal(SV, DV))
+          Out.addError(std::string(Name) + ": sparse-DFG value " + SV.str() +
+                       " != dense-CFG value " + DV.str() +
+                       " at operand " + std::to_string(Op) + " in block b" +
+                       std::to_string(BB->id()));
+      }
+  return Out;
+}
+
+/// Interprets \p F on random inputs and requires every dynamically entered
+/// block to be statically executable.
+template <typename Result>
+Status checkInterpExecutability(const Function &F, const Result &R,
+                                RNG &Rand, unsigned Runs,
+                                std::uint64_t MaxSteps, const char *Name) {
+  Status Out;
+  for (unsigned Run = 0; Run != Runs && Out.ok(); ++Run) {
+    std::vector<std::int64_t> Inputs;
+    for (unsigned I = 0; I != 8; ++I)
+      Inputs.push_back(Rand.nextInRange(-4, 9));
+    ExecResult E = runFunction(F, Inputs, MaxSteps);
+    if (E.Trapped)
+      continue; // Verified programs never trap; stay total regardless.
+    for (unsigned B = 0; B != F.numBlocks() && Out.ok(); ++B)
+      if (B < E.BlockCounts.size() && E.BlockCounts[B] &&
+          !(B < R.ExecutableBlock.size() && R.ExecutableBlock[B]))
+        Out.addError(std::string(Name) + ": the interpreter entered block b" +
+                     std::to_string(B) +
+                     " but the analysis marked it non-executable (unsound "
+                     "dead-path pruning)");
+  }
+  return Out;
+}
+
+/// range-only: observed outputs must lie inside the ret operands'
+/// intervals, and a use a halted execution reached cannot be ⊥.
+Status checkRangeOutputs(const Function &F, const RangeResult &R, RNG &Rand,
+                         unsigned Runs, std::uint64_t MaxSteps) {
+  const Instruction *Ret =
+      F.exit() ? F.exit()->terminator() : nullptr;
+  if (!Ret || !isa<RetInst>(Ret))
+    return Status::success();
+  Status Out;
+  for (unsigned Run = 0; Run != Runs && Out.ok(); ++Run) {
+    std::vector<std::int64_t> Inputs;
+    for (unsigned I = 0; I != 8; ++I)
+      Inputs.push_back(Rand.nextInRange(-4, 9));
+    ExecResult E = runFunction(F, Inputs, MaxSteps);
+    if (!E.Halted)
+      continue;
+    for (unsigned Op = 0;
+         Op != Ret->numOperands() && Op < E.Outputs.size() && Out.ok();
+         ++Op) {
+      if (!Ret->operand(Op).isVar())
+        continue;
+      IntervalVal V = R.useValue(Ret, Op);
+      if (V.isBottom())
+        Out.addError("range: a halted execution reached ret operand " +
+                     std::to_string(Op) +
+                     " but the analysis computed _|_ for it");
+      else if (!IntervalVal::point(E.Outputs[Op]).containedIn(V))
+        Out.addError("range: observed output " +
+                     std::to_string((long long)E.Outputs[Op]) +
+                     " falls outside the computed interval " + V.str() +
+                     " for ret operand " + std::to_string(Op));
+    }
+  }
+  return Out;
+}
+
+/// range vs constprop: interval analysis refines constant propagation, so
+/// wherever constprop proves a use is the constant c, the (reachable)
+/// interval must contain c.
+Status checkRangeConstpropConsistency(Function &F, const DepFlowGraph &G,
+                                      const RangeResult &R) {
+  ConstPropResult CP;
+  Status S = runConstantPropagation(F, &G, EvalMode::SparseDFG, CP);
+  if (!S.ok())
+    return S;
+  Status Out;
+  for (const auto &BB : F.blocks())
+    for (const auto &I : BB->instructions())
+      for (unsigned Op = 0; Op != I->numOperands() && Out.ok(); ++Op) {
+        if (!I->operand(Op).isVar())
+          continue;
+        ConstVal C = CP.useValue(I.get(), Op);
+        if (!C.isConst())
+          continue;
+        IntervalVal V = R.useValue(I.get(), Op);
+        if (!V.isBottom() &&
+            !IntervalVal::point(C.value()).containedIn(V))
+          Out.addError("range: constprop pins operand " +
+                       std::to_string(Op) + " in block b" +
+                       std::to_string(BB->id()) + " to " +
+                       std::to_string((long long)C.value()) +
+                       " but the interval " + V.str() +
+                       " excludes that value");
+      }
+  return Out;
+}
+
+/// taint: no parameters and no read() means no source, so nothing may be
+/// tainted.
+Status checkTaintNoSource(const Function &F, const TaintResult &R) {
+  if (!F.params().empty())
+    return Status::success();
+  for (const auto &BB : F.blocks())
+    for (const auto &I : BB->instructions())
+      if (isa<ReadInst>(I.get()))
+        return Status::success();
+  Status Out;
+  for (const auto &BB : F.blocks())
+    for (const auto &I : BB->instructions())
+      for (unsigned Op = 0; Op != I->numOperands() && Out.ok(); ++Op)
+        if (I->operand(Op).isVar() &&
+            R.useValue(I.get(), Op).isTainted())
+          Out.addError("taint: operand " + std::to_string(Op) +
+                       " in block b" + std::to_string(BB->id()) +
+                       " is flagged tainted in a function with no taint "
+                       "source (no parameters, no read())");
+  return Out;
+}
+
+/// The oracle bundle for one analysis pass over one program. Builds its
+/// own manager so a stale cached DFG (e.g. after --inject-bug mutates an
+/// operand) can never leak in.
+Status checkSparseClientOracles(Function &F, PassId P, const FuzzOptions &FO,
+                                std::uint64_t OracleSeed) {
+  FunctionAnalysisManager AM(F);
+  const DepFlowGraph &G = AM.getResult<DFGAnalysis>();
+  const std::uint64_t MaxSteps =
+      FO.MaxInterpSteps ? FO.MaxInterpSteps : 50000;
+  RNG Rand(OracleSeed ^ 0x9e3779b97f4a7c15ull);
+
+  if (P == PassId::Range) {
+    RangeResult R;
+    Status S = diffSparseDense(F, G, runRangeAnalysis, "range", R);
+    if (!S.ok())
+      return S;
+    S = checkInterpExecutability(F, R, Rand, FO.OracleRuns, MaxSteps,
+                                 "range");
+    if (!S.ok())
+      return S;
+    S = checkRangeOutputs(F, R, Rand, FO.OracleRuns, MaxSteps);
+    if (!S.ok())
+      return S;
+    return checkRangeConstpropConsistency(F, G, R);
+  }
+  if (P == PassId::Taint) {
+    TaintResult R;
+    Status S = diffSparseDense(F, G, runTaintAnalysis, "taint", R);
+    if (!S.ok())
+      return S;
+    S = checkInterpExecutability(F, R, Rand, FO.OracleRuns, MaxSteps,
+                                 "taint");
+    if (!S.ok())
+      return S;
+    return checkTaintNoSource(F, R);
+  }
+  NullUseResult R;
+  Status S = diffSparseDense(F, G, runNullUseAnalysis, "nulluse", R);
+  if (!S.ok())
+    return S;
+  return checkInterpExecutability(F, R, Rand, FO.OracleRuns, MaxSteps,
+                                  "nulluse");
+}
+
+//===----------------------------------------------------------------------===//
 // The checked pipeline: clone, run pass, verify invariants, diff.
 //===----------------------------------------------------------------------===//
 
@@ -320,6 +546,12 @@ Status checkOnePass(const Function &Original, PassId P,
   Status Inv = verifyPassInvariants(*Clone, VO);
   if (!Inv.ok())
     return Inv;
+
+  if (P == PassId::Range || P == PassId::Taint || P == PassId::NullUse) {
+    Status SC = checkSparseClientOracles(*Clone, P, FO, OracleSeed);
+    if (!SC.ok())
+      return SC;
+  }
 
   OracleOptions OO;
   OO.Runs = FO.OracleRuns;
@@ -540,12 +772,13 @@ std::string reduce(const Function &Failing, PassId P, const FuzzOptions &FO,
 //===----------------------------------------------------------------------===//
 
 /// Builds a module of 2..5 mixed functions from \p ModuleSeed, runs the
-/// separate,constprop,pre pipeline serially and on a thread pool, and
-/// compares. The two runs use independently generated (bit-identical)
-/// modules, so neither can contaminate the other.
+/// separate,constprop,pre,range,taint,nulluse pipeline serially and on a
+/// thread pool, and compares. The two runs use independently generated
+/// (bit-identical) modules, so neither can contaminate the other.
 Status checkModulePipeline(std::uint64_t ModuleSeed, unsigned NumFuncs) {
   PassPipeline Pipe;
-  Status PS = PassPipeline::parse("separate,constprop,pre", Pipe);
+  Status PS =
+      PassPipeline::parse("separate,constprop,pre,range,taint,nulluse", Pipe);
   if (!PS.ok())
     return PS;
 
@@ -603,18 +836,25 @@ struct SweepCase {
 
 unsigned runFaultSweep(const FuzzOptions &FO) {
   PassPipeline Pipe;
-  if (!PassPipeline::parse("separate,constprop,pre", Pipe).ok())
+  if (!PassPipeline::parse("separate,constprop,pre,range,taint,nulluse",
+                           Pipe)
+           .ok())
     return 1;
 
   // One case per registered point, each through a path the pipeline must
   // survive: the counting allocator, the pass boundary (twice — first and
-  // a later occurrence), the analysis boundary, and the deadline. The
-  // budget-only case proves --max-task-bytes degrades without any fault.
+  // a later occurrence), the analysis boundary (both the shared DFG and a
+  // sparse-engine client result), and the deadline. The budget-only case
+  // proves --max-task-bytes degrades without any fault.
   std::vector<SweepCase> Cases = {
       {"alloc-fail@200", 0, 0, true},
       {"pass-fail:constprop", 0, 0, true},
       {"pass-fail:pre@2", 0, 0, true},
+      {"pass-fail:range", 0, 0, true},
+      {"pass-fail:taint", 0, 0, true},
+      {"pass-fail:nulluse", 0, 0, true},
       {"analysis-fail:dfg", 0, 0, true},
+      {"analysis-fail:nulluse", 0, 0, true},
       {"slow-pass:30", 20, 0, true},
       {"", 0, 20 * 1024, true},
   };

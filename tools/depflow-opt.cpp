@@ -7,13 +7,17 @@
 //
 //   --passes=P1,P2,...   run the given pass pipeline, in the given order
 //                        (separate, constprop, constprop-cfg, pre,
-//                        pre-busy, ssa, ssa-dfg). Empty pipelines and
-//                        unknown pass names are usage errors (exit 2).
+//                        pre-busy, range, taint, nulluse, ssa, ssa-dfg).
+//                        Empty pipelines and unknown pass names are usage
+//                        errors (exit 2).
 //   --constprop          legacy spelling: append constprop (likewise
 //   --constprop-cfg      for the other passes below; legacy flags apply
 //   --pre | --pre-busy   in canonical order after any --passes list)
 //   --ssa | --ssa-dfg
 //   --separate
+//   --range              report-only sparse-engine analysis passes:
+//   --taint              integer ranges, source/sink taint, and use-of-
+//   --nulluse            never-assigned detection over the DFG
 //   -j N | --jobs=N      process the module's functions on N worker
 //                        threads (default: hardware concurrency). Output
 //                        is byte-identical for every N: each function has
@@ -136,6 +140,7 @@ int usage() {
                "[--constprop|--constprop-cfg]\n"
                "                   [--predicates] [--pre|--pre-busy] "
                "[--ssa|--ssa-dfg] [--separate]\n"
+               "                   [--range] [--taint] [--nulluse]\n"
                "                   [--verify-each] [--strict] [--fuzz-safe] "
                "[--time-passes]\n"
                "                   [--print-stats] [--print-after-all] "
@@ -165,18 +170,32 @@ void help() {
       "Pipeline:\n"
       "  --passes=P1,P2,...  run the given passes in the given order\n"
       "                      (separate, constprop, constprop-cfg, pre,\n"
-      "                      pre-busy, ssa, ssa-dfg)\n"
-      "  --separate          legacy spelling: append the named pass in\n"
-      "  --constprop         canonical order after any --passes list\n"
-      "  --constprop-cfg     (constprop/constprop-cfg and pre/pre-busy and\n"
-      "  --pre               ssa/ssa-dfg are mutually exclusive pairs)\n"
-      "  --pre-busy\n"
-      "  --ssa\n"
-      "  --ssa-dfg\n"
-      "  --predicates        enable the x==c refinement during constprop\n"
+      "                      pre-busy, range, taint, nulluse, ssa,\n"
+      "                      ssa-dfg)\n"
       "  -j N, --jobs=N      process functions on N worker threads\n"
       "                      (default: hardware concurrency); output is\n"
       "                      byte-identical for every N\n"
+      "\n"
+      "Transformation passes (legacy spellings: append the named pass in\n"
+      "canonical order after any --passes list):\n"
+      "  --separate          separate computations from control statements\n"
+      "  --constprop         DFG conditional constant propagation + DCE\n"
+      "  --constprop-cfg     the same via the dense CFG algorithm\n"
+      "                      (mutually exclusive with --constprop)\n"
+      "  --pre               Morel-Renvoise partial redundancy elimination\n"
+      "  --pre-busy          busy-code-motion PRE (mutually exclusive\n"
+      "                      with --pre)\n"
+      "  --ssa               pruned SSA via Cytron placement\n"
+      "  --ssa-dfg           pruned SSA via the DFG route (mutually\n"
+      "                      exclusive with --ssa)\n"
+      "  --predicates        enable the x==c refinement during constprop\n"
+      "\n"
+      "Analysis passes (report-only sparse-engine clients; they leave the\n"
+      "IR untouched and publish their counter groups):\n"
+      "  --range             integer range analysis per variable use\n"
+      "  --taint             source/sink tainted-flow analysis (read() is\n"
+      "                      the source, ret operands are the sinks)\n"
+      "  --nulluse           use-of-never-assigned-value detection\n"
       "\n"
       "Checking:\n"
       "  --verify-each       run the full invariant checkers after every\n"
@@ -246,6 +265,7 @@ void help() {
 int parseArgs(int Argc, char **Argv, Options &O) {
   bool Separate = false, ConstProp = false, ConstPropCFG = false;
   bool PRE = false, PREBusy = false, SSA = false, SSADfg = false;
+  bool Range = false, Taint = false, NullUse = false;
   for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
     if (A.rfind("--passes=", 0) == 0 || A == "--passes") {
@@ -303,6 +323,12 @@ int parseArgs(int Argc, char **Argv, Options &O) {
       SSADfg = true;
     else if (A == "--separate")
       Separate = true;
+    else if (A == "--range")
+      Range = true;
+    else if (A == "--taint")
+      Taint = true;
+    else if (A == "--nulluse")
+      NullUse = true;
     else if (A == "--verify-each")
       O.VerifyEach = true;
     else if (A == "--strict")
@@ -432,6 +458,12 @@ int parseArgs(int Argc, char **Argv, Options &O) {
     O.Pipeline.append(PassId::PRE);
   else if (PREBusy)
     O.Pipeline.append(PassId::PREBusy);
+  if (Range)
+    O.Pipeline.append(PassId::Range);
+  if (Taint)
+    O.Pipeline.append(PassId::Taint);
+  if (NullUse)
+    O.Pipeline.append(PassId::NullUse);
   if (SSA)
     O.Pipeline.append(PassId::SSA);
   else if (SSADfg)
