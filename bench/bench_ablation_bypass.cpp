@@ -80,7 +80,7 @@ static void runConstProp(benchmark::State &State,
   DepFlowGraph G = DepFlowGraph::build(*F, E, Mode);
   for (auto _ : State) {
     ConstPropResult R = solveCP(*F, G);
-    benchmark::DoNotOptimize(R.UseValues.size());
+    benchmark::DoNotOptimize(R.size());
   }
   State.counters["dfg_edges"] = double(G.numEdges());
   State.counters["consts"] =

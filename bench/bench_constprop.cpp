@@ -25,6 +25,7 @@
 #include "workload/Generators.h"
 
 #include "obs/BenchMain.h"
+#include "obs/Metrics.h"
 
 #include <benchmark/benchmark.h>
 
@@ -76,7 +77,7 @@ static void BM_ConstProp_CFG(benchmark::State &State) {
   auto F = makeProgram(unsigned(State.range(0)), unsigned(State.range(1)));
   for (auto _ : State) {
     ConstPropResult R = solveCP(*F, nullptr, EvalMode::DenseCFG);
-    benchmark::DoNotOptimize(R.UseValues.size());
+    benchmark::DoNotOptimize(R.size());
   }
   State.counters["E"] = double(F->numEdges());
   State.counters["V"] = double(State.range(1));
@@ -89,7 +90,7 @@ static void BM_ConstProp_DFG(benchmark::State &State) {
   DepFlowGraph G = DepFlowGraph::build(*F);
   for (auto _ : State) {
     ConstPropResult R = solveCP(*F, &G, EvalMode::SparseDFG);
-    benchmark::DoNotOptimize(R.UseValues.size());
+    benchmark::DoNotOptimize(R.size());
   }
   State.counters["E"] = double(F->numEdges());
   State.counters["V"] = double(State.range(1));
@@ -102,7 +103,7 @@ static void BM_ConstProp_DefUse(benchmark::State &State) {
   ReachingDefs RD(*F);
   for (auto _ : State) {
     ConstPropResult R = defUseConstantPropagation(*F, RD);
-    benchmark::DoNotOptimize(R.UseValues.size());
+    benchmark::DoNotOptimize(R.size());
   }
   State.counters["consts"] =
       double(defUseConstantPropagation(*F, RD).numConstantVarUses());
@@ -115,7 +116,7 @@ static void BM_ConstProp_SCCP(benchmark::State &State) {
       applySSA(*SSAFn, cytronPhiPlacement(*SSAFn, /*Pruned=*/true));
   for (auto _ : State) {
     ConstPropResult R = sccp(*SSAFn, OrigOf);
-    benchmark::DoNotOptimize(R.UseValues.size());
+    benchmark::DoNotOptimize(R.size());
   }
   State.counters["consts"] = double(sccp(*SSAFn, OrigOf).numConstantVarUses());
 }
@@ -146,7 +147,13 @@ static void addCounterSweeps(obs::BenchReport &Report) {
     auto F = makeProgram(Stmts, Vars);
 
     resetStatistics();
+    // Per-solve allocation traffic for both engines — deterministic
+    // thread-local deltas around each solve, diffed exactly by the perf
+    // gate (the DFG engine's per-solve storage is bump-arena backed).
+    obs::AllocDelta CFGAlloc;
     ConstPropResult CFGRes = solveCP(*F, nullptr, EvalMode::DenseCFG);
+    double CFGAllocBytes = double(CFGAlloc.bytes());
+    double CFGAllocCount = double(CFGAlloc.count());
     double CFGSlots =
         double(statisticValue("constprop", "NumCPCFGSlotsPropagated"));
     double CFGPops =
@@ -157,7 +164,10 @@ static void addCounterSweeps(obs::BenchReport &Report) {
 
     DepFlowGraph G = DepFlowGraph::build(*F);
     resetStatistics();
+    obs::AllocDelta DFGAlloc;
     ConstPropResult DFGRes = solveCP(*F, &G, EvalMode::SparseDFG);
+    double DFGAllocBytes = double(DFGAlloc.bytes());
+    double DFGAllocCount = double(DFGAlloc.count());
     double Tokens = double(statisticValue("constprop", "NumCPDFGTokensSent"));
     double DFGPops =
         double(statisticValue("constprop", "NumCPDFGWorklistPops"));
@@ -177,6 +187,10 @@ static void addCounterSweeps(obs::BenchReport &Report) {
                 {"ctr_cp_dfg_lowerings",
                  double(statisticValue("constprop", "NumCPDFGLatticeLowerings"))},
                 {"ctr_cp_ratio", Ratio},
+                {"ctr_alloc_bytes_cfg", CFGAllocBytes},
+                {"ctr_alloc_count_cfg", CFGAllocCount},
+                {"ctr_alloc_bytes_dfg", DFGAllocBytes},
+                {"ctr_alloc_count_dfg", DFGAllocCount},
                 {"consts_cfg", double(CFGRes.numConstantVarUses())},
                 {"consts_dfg", double(DFGRes.numConstantVarUses())}},
                "count");

@@ -17,6 +17,7 @@
 #include "workload/Generators.h"
 
 #include "obs/BenchMain.h"
+#include "obs/Metrics.h"
 
 #include <benchmark/benchmark.h>
 
@@ -145,7 +146,13 @@ static void addCounterSweeps(obs::BenchReport &Report) {
     F->recomputePreds();
     CFGEdges E(*F);
     resetStatistics();
+    // Allocation footprint of the cycle-equivalence solve alone (the CDG
+    // build is measured by its own counters): deterministic thread-local
+    // deltas, diffed exactly by the perf gate.
+    obs::AllocDelta Alloc;
     CycleEquivalence CE = cycleEquivalenceClasses(*F, E);
+    double AllocBytes = double(Alloc.bytes());
+    double AllocCount = double(Alloc.count());
     FactoredCDG CDG = buildFactoredCDG(*F, E, CE);
     double Visits =
         double(statisticValue("cycle-equiv", "NumCEEdgesVisited"));
@@ -168,6 +175,10 @@ static void addCounterSweeps(obs::BenchReport &Report) {
                  double(statisticValue("cycle-equiv", "NumCECappingBrackets"))},
                 {"ctr_ce_max_bracket_list",
                  double(statisticValue("cycle-equiv", "MaxCEBracketList"))},
+                {"ctr_alloc_bytes", AllocBytes},
+                {"ctr_alloc_count", AllocCount},
+                {"ctr_arena_highwater",
+                 double(statisticValue("arena", "MaxArenaFootprint"))},
                 {"ctr_cdg_factored_entries", Entries},
                 {"ctr_cdg_pdom_queries",
                  double(statisticValue("cdg", "NumCDGPDomQueries"))}},

@@ -15,6 +15,7 @@
 #include "workload/Generators.h"
 
 #include "obs/BenchMain.h"
+#include "obs/Metrics.h"
 
 #include <benchmark/benchmark.h>
 
@@ -101,7 +102,15 @@ static void addCounterSweeps(obs::BenchReport &Report) {
     auto F = makeProgram(Stmts, Vars);
     CFGEdges E(*F);
     resetStatistics();
+    // Allocation footprint of one build, measured on the deterministic
+    // thread-local counters (operator new is hooked by dep_obs): exact
+    // and machine-independent, so the perf gate diffs it like any other
+    // ctr_* metric. The arena high-water gauge rides along once the
+    // graph's tables live in a BumpArena.
+    obs::AllocDelta Alloc;
     DepFlowGraph G = DepFlowGraph::build(*F, E);
+    double AllocBytes = double(Alloc.bytes());
+    double AllocCount = double(Alloc.count());
     double Base = double(statisticValue("dfg-build", "NumDFGBaseEdges"));
     double Budget = double(E.size()) * double(Vars + 1);
     Points.push_back({Budget, Base});
@@ -117,6 +126,10 @@ static void addCounterSweeps(obs::BenchReport &Report) {
                  double(statisticValue("dfg-build", "NumDFGDeadEdgesRemoved"))},
                 {"ctr_dfg_dead_nodes_removed",
                  double(statisticValue("dfg-build", "NumDFGDeadNodesRemoved"))},
+                {"ctr_alloc_bytes", AllocBytes},
+                {"ctr_alloc_count", AllocCount},
+                {"ctr_arena_highwater",
+                 double(statisticValue("arena", "MaxArenaFootprint"))},
                 {"edges_final", double(G.numEdges())}},
                "count");
   };

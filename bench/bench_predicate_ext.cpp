@@ -61,7 +61,7 @@ static void BM_Predicate_CFG_Plain(benchmark::State &State) {
   auto F = makePredicateChain(unsigned(State.range(0)));
   for (auto _ : State) {
     ConstPropResult R = solveCP(*F, nullptr, EvalMode::DenseCFG, false);
-    benchmark::DoNotOptimize(R.UseValues.size());
+    benchmark::DoNotOptimize(R.size());
   }
   State.counters["consts"] =
       double(solveCP(*F, nullptr, EvalMode::DenseCFG, false).numConstantVarUses());
@@ -70,7 +70,7 @@ static void BM_Predicate_CFG_Refined(benchmark::State &State) {
   auto F = makePredicateChain(unsigned(State.range(0)));
   for (auto _ : State) {
     ConstPropResult R = solveCP(*F, nullptr, EvalMode::DenseCFG, true);
-    benchmark::DoNotOptimize(R.UseValues.size());
+    benchmark::DoNotOptimize(R.size());
   }
   State.counters["consts"] =
       double(solveCP(*F, nullptr, EvalMode::DenseCFG, true).numConstantVarUses());
@@ -80,7 +80,7 @@ static void BM_Predicate_DFG_Refined(benchmark::State &State) {
   DepFlowGraph G = DepFlowGraph::build(*F);
   for (auto _ : State) {
     ConstPropResult R = solveCP(*F, &G, EvalMode::SparseDFG, true);
-    benchmark::DoNotOptimize(R.UseValues.size());
+    benchmark::DoNotOptimize(R.size());
   }
   State.counters["consts"] =
       double(solveCP(*F, &G, EvalMode::SparseDFG, true).numConstantVarUses());

@@ -59,7 +59,7 @@ static void BM_Range_DFG(benchmark::State &State) {
   for (auto _ : State) {
     RangeResult R =
         solve<RangeResult>(*F, &G, EvalMode::SparseDFG, runRangeAnalysis);
-    benchmark::DoNotOptimize(R.UseValues.size());
+    benchmark::DoNotOptimize(R.size());
   }
   State.counters["dfg_edges"] = double(G.numEdges());
 }
@@ -70,7 +70,7 @@ static void BM_Taint_DFG(benchmark::State &State) {
   for (auto _ : State) {
     TaintResult R =
         solve<TaintResult>(*F, &G, EvalMode::SparseDFG, runTaintAnalysis);
-    benchmark::DoNotOptimize(R.UseValues.size());
+    benchmark::DoNotOptimize(R.size());
   }
   State.counters["dfg_edges"] = double(G.numEdges());
 }
@@ -81,7 +81,7 @@ static void BM_NullUse_DFG(benchmark::State &State) {
   for (auto _ : State) {
     NullUseResult R = solve<NullUseResult>(*F, &G, EvalMode::SparseDFG,
                                            runNullUseAnalysis);
-    benchmark::DoNotOptimize(R.UseValues.size());
+    benchmark::DoNotOptimize(R.size());
   }
   State.counters["dfg_edges"] = double(G.numEdges());
 }

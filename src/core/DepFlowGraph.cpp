@@ -9,10 +9,10 @@
 
 #include "graph/Dominators.h"
 #include "structure/CycleEquivalence.h"
-#include "support/BitVector.h"
 #include "support/Statistic.h"
 
 #include <algorithm>
+#include <functional>
 
 using namespace depflow;
 
@@ -41,6 +41,18 @@ struct Source {
 
 } // namespace
 
+int DepFlowGraph::instrIndex(const Instruction *I) const {
+  const InstKey *First = InstIndex;
+  const InstKey *Last = InstIndex + NumInstrs;
+  const InstKey *It = std::lower_bound(
+      First, Last, I, [](const InstKey &K, const Instruction *P) {
+        return std::less<const Instruction *>()(K.I, P);
+      });
+  if (It == Last || It->I != I)
+    return -1;
+  return int(It->Idx);
+}
+
 /// Builds a DepFlowGraph; a friend of the class so it can fill the private
 /// tables directly.
 class depflow::DFGBuilder {
@@ -52,9 +64,12 @@ class depflow::DFGBuilder {
   unsigned NumVarsWithCtrl;
   const ProgramStructureTree *PST = nullptr;  // Borrowed (caller's cache)...
   std::unique_ptr<ProgramStructureTree> OwnedPST; // ...or built here.
-  std::vector<BitVector> RegionDefs; // per region, defs over all vars
+  std::vector<std::uint64_t> RegionDefs; // flat [region][word] def bitsets
+  std::size_t DefWords = 0;              // words per region
   std::vector<unsigned> RPO;         // block ids in reverse postorder
   std::vector<std::uint64_t> BypassPerRegion; // histogram accumulator
+  std::vector<Source> Dep;           // per CFG edge; reused across variables
+  std::vector<std::uint32_t> InstrBase; // block id -> first instr index
 
 public:
   DFGBuilder(Function &F, const CFGEdges &E, DepFlowGraph::BypassMode Mode,
@@ -65,13 +80,18 @@ public:
     assert(F.exit() && "DFG construction requires a verified function");
     G.ControlVar = F.numVars();
     NumVarsWithCtrl = F.numVars() + 1;
-    G.EntryOfVar.assign(NumVarsWithCtrl, -1);
-    G.SwitchAt.assign(F.numBlocks(), std::vector<int>(NumVarsWithCtrl, -1));
-    G.MergeAt.assign(F.numBlocks(), std::vector<int>(NumVarsWithCtrl, -1));
+    G.NumVarsWithCtrl = NumVarsWithCtrl;
+    G.NumBlocksAtBuild = F.numBlocks();
+    G.NumCFGEdges = E.size();
 
-    G.DepAt.assign(NumVarsWithCtrl,
-                   std::vector<std::pair<int, std::uint16_t>>(
-                       E.size(), {-1, 0}));
+    numberInstructions();
+    G.EntryOfVarTab = G.Pool.allocateFilled<std::int32_t>(NumVarsWithCtrl, -1);
+    G.SwitchTab = G.Pool.allocateFilled<std::int32_t>(
+        std::size_t(F.numBlocks()) * NumVarsWithCtrl, -1);
+    G.MergeTab = G.Pool.allocateFilled<std::int32_t>(
+        std::size_t(F.numBlocks()) * NumVarsWithCtrl, -1);
+    G.DepTab = G.Pool.allocateFilled<DepFlowGraph::DepSlot>(
+        std::size_t(NumVarsWithCtrl) * E.size(), {-1, 0});
 
     computeRPO();
     if (Mode == DepFlowGraph::BypassMode::SESE) {
@@ -84,6 +104,8 @@ public:
       BypassPerRegion.assign(PST->numRegions(), 0);
     }
 
+    reserveColumns();
+    Dep.resize(E.size());
     for (VarId V = 0; V != NumVarsWithCtrl; ++V)
       routeVariable(V);
 
@@ -95,13 +117,55 @@ public:
     G.BuildStats.NodesBeforePrune = G.numNodes();
     G.BuildStats.EdgesBeforePrune = G.numEdges();
     prune();
+    buildAdjacency();
     NumDFGDeadEdgesRemoved += G.BuildStats.EdgesBeforePrune - G.numEdges();
     NumDFGDeadNodesRemoved += G.BuildStats.NodesBeforePrune - G.numNodes();
     return std::move(G);
   }
 
 private:
+  /// Numbers instructions and blocks canonically (function order) and lays
+  /// out the per-instruction tables: def node, use-slot CSR (one slot per
+  /// operand plus one for the control use), and the sorted pointer index.
+  void numberInstructions() {
+    std::uint32_t NumInstrs = 0, NumSlots = 0;
+    for (const auto &BB : F.blocks())
+      for (const auto &I : BB->instructions()) {
+        ++NumInstrs;
+        NumSlots += I->numOperands() + 1;
+      }
+    G.NumInstrs = NumInstrs;
+    G.InstrByIdx = G.Pool.allocateArray<Instruction *>(NumInstrs);
+    G.BlockByIdx = G.Pool.allocateArray<BasicBlock *>(F.numBlocks());
+    G.InstIndex = G.Pool.allocateArray<DepFlowGraph::InstKey>(NumInstrs);
+    G.DefNodeOfInstr = G.Pool.allocateFilled<std::int32_t>(NumInstrs, -1);
+    G.UseOff = G.Pool.allocateArray<std::uint32_t>(NumInstrs + 1);
+    G.UseSlots = G.Pool.allocateFilled<std::int32_t>(NumSlots, -1);
+    InstrBase.assign(F.numBlocks(), 0);
+
+    std::uint32_t Idx = 0, Slot = 0;
+    for (const auto &BB : F.blocks()) {
+      G.BlockByIdx[BB->id()] = BB.get();
+      InstrBase[BB->id()] = Idx;
+      for (const auto &I : BB->instructions()) {
+        G.InstrByIdx[Idx] = I.get();
+        G.InstIndex[Idx] = {I.get(), Idx};
+        G.UseOff[Idx] = Slot;
+        Slot += I->numOperands() + 1;
+        ++Idx;
+      }
+    }
+    G.UseOff[NumInstrs] = Slot;
+    std::sort(G.InstIndex, G.InstIndex + NumInstrs,
+              [](const DepFlowGraph::InstKey &A,
+                 const DepFlowGraph::InstKey &B) {
+                return std::less<const Instruction *>()(A.I, B.I);
+              });
+  }
+
   void computeRPO() {
+    // Successor order is the out-edge order of E, so traversing edge ids
+    // avoids materializing successor vectors per block.
     std::vector<unsigned> Postorder;
     std::vector<bool> Seen(F.numBlocks(), false);
     std::vector<std::pair<BasicBlock *, unsigned>> Stack;
@@ -109,9 +173,9 @@ private:
     Seen[F.entry()->id()] = true;
     while (!Stack.empty()) {
       auto &[BB, Cursor] = Stack.back();
-      std::vector<BasicBlock *> Succs = BB->successors();
-      if (Cursor < Succs.size()) {
-        BasicBlock *Next = Succs[Cursor++];
+      const auto &Out = E.outEdges(BB);
+      if (Cursor < Out.size()) {
+        BasicBlock *Next = E.edge(Out[Cursor++]).To;
         if (!Seen[Next->id()]) {
           Seen[Next->id()] = true;
           Stack.push_back({Next, 0});
@@ -124,13 +188,59 @@ private:
     RPO.assign(Postorder.rbegin(), Postorder.rend());
   }
 
-  void computeRegionDefs() {
-    RegionDefs.assign(PST->numRegions(), BitVector(NumVarsWithCtrl));
+  /// Reserves every node/edge column at its exact pre-prune size: the base
+  /// routing is fully predictable (one entry per variable, one merge/switch
+  /// per join/branch per variable, one use per variable operand, one def
+  /// per assignment), so the columns never reallocate while routing.
+  void reserveColumns() {
+    std::uint32_t MergeBlocks = 0, SwitchBlocks = 0, MergeIndeg = 0,
+                  SwitchOut = 0;
     for (const auto &BB : F.blocks()) {
-      BitVector &Defs = RegionDefs[PST->regionOfBlock(BB->id())];
+      if (BB->numPredecessors() > 1) {
+        ++MergeBlocks;
+        MergeIndeg += std::uint32_t(E.inEdges(BB.get()).size());
+      }
+      if (BB->numSuccessors() > 1)
+        ++SwitchBlocks;
+      if (E.outEdges(BB.get()).size() > 1)
+        ++SwitchOut;
+    }
+    std::uint32_t VarUses = 0, CtrlUses = 0, Defs = 0;
+    for (const auto &BB : F.blocks())
+      for (const auto &I : BB->instructions()) {
+        bool HasVarOperand = false;
+        for (unsigned OpIdx = 0, N = I->numOperands(); OpIdx != N; ++OpIdx)
+          if (I->operand(OpIdx).isVar()) {
+            HasVarOperand = true;
+            ++VarUses;
+          }
+        if (!HasVarOperand && (isa<DefInst>(I.get()) || I->numOperands() > 0))
+          ++CtrlUses;
+        if (isa<DefInst>(I.get()))
+          ++Defs;
+      }
+    std::uint32_t Nodes =
+        NumVarsWithCtrl * (1 + MergeBlocks + SwitchBlocks) + VarUses +
+        CtrlUses + Defs;
+    std::uint32_t EdgeCount =
+        VarUses + CtrlUses + NumVarsWithCtrl * (SwitchOut + MergeIndeg);
+    G.NodeKinds.reserve(Nodes);
+    G.NodeVars.reserve(Nodes);
+    G.NodeInst.reserve(Nodes);
+    G.NodeOp.reserve(Nodes);
+    G.NodeBlock.reserve(Nodes);
+    G.Edges.reserve(EdgeCount);
+  }
+
+  void computeRegionDefs() {
+    DefWords = (NumVarsWithCtrl + 63) / 64;
+    RegionDefs.assign(PST->numRegions() * DefWords, 0);
+    for (const auto &BB : F.blocks()) {
+      std::uint64_t *Defs =
+          RegionDefs.data() + PST->regionOfBlock(BB->id()) * DefWords;
       for (const auto &I : BB->instructions())
         if (const auto *D = dyn_cast<DefInst>(I.get()))
-          Defs.set(D->def());
+          Defs[D->def() / 64] |= std::uint64_t(1) << (D->def() % 64);
     }
     // Aggregate defs inside-out (children before parents): child region ids
     // are always larger than the parent's only in discovery order, so walk
@@ -142,24 +252,26 @@ private:
       return PST->region(A).Depth > PST->region(B).Depth;
     });
     for (unsigned R : Order)
-      if (PST->region(R).Parent >= 0)
-        RegionDefs[unsigned(PST->region(R).Parent)] |= RegionDefs[R];
+      if (int P = PST->region(R).Parent; P >= 0)
+        for (std::size_t W = 0; W != DefWords; ++W)
+          RegionDefs[unsigned(P) * DefWords + W] |=
+              RegionDefs[R * DefWords + W];
   }
 
-  unsigned makeNode(DepFlowGraph::Node N) {
-    G.Nodes.push_back(N);
-    G.OutEdges.emplace_back();
-    G.InEdges.emplace_back();
-    return unsigned(G.Nodes.size() - 1);
+  unsigned makeNode(DepFlowGraph::NodeKind Kind, VarId V,
+                    std::int32_t InstIdx, std::uint32_t OpIdx,
+                    std::int32_t BlockId) {
+    G.NodeKinds.push_back(std::uint8_t(Kind));
+    G.NodeVars.push_back(V);
+    G.NodeInst.push_back(InstIdx);
+    G.NodeOp.push_back(OpIdx);
+    G.NodeBlock.push_back(BlockId);
+    return G.NodeKinds.size() - 1;
   }
 
   void addEdge(Source Src, unsigned Dst, VarId V, std::uint16_t DstPort = 0) {
     assert(Src.Node >= 0 && "dependence source must be resolved");
-    unsigned Id = unsigned(G.Edges.size());
-    G.Edges.push_back(
-        {unsigned(Src.Node), Dst, V, Src.Port, DstPort});
-    G.OutEdges[unsigned(Src.Node)].push_back(Id);
-    G.InEdges[Dst].push_back(Id);
+    G.Edges.push_back({unsigned(Src.Node), Dst, V, Src.Port, DstPort});
     ++NumDFGBaseEdges;
   }
 
@@ -168,25 +280,32 @@ private:
   /// every region is bypassable for it — its uses are still fed through
   /// the interior routing, which is what makes them control edges).
   bool regionBypassable(unsigned R, VarId V) const {
-    return !RegionDefs[R].test(V);
+    return !(RegionDefs[R * DefWords + V / 64] >> (V % 64) & 1);
+  }
+
+  int32_t &switchSlot(unsigned B, VarId V) {
+    return G.SwitchTab[std::size_t(B) * NumVarsWithCtrl + V];
+  }
+  int32_t &mergeSlot(unsigned B, VarId V) {
+    return G.MergeTab[std::size_t(B) * NumVarsWithCtrl + V];
   }
 
   void routeVariable(VarId V) {
-    std::vector<Source> Dep(E.size());
+    std::fill(Dep.begin(), Dep.end(), Source{});
 
-    unsigned EntryNode = makeNode({DepFlowGraph::NodeKind::Entry, V, nullptr,
-                                   0, F.entry()});
-    G.EntryOfVar[V] = int(EntryNode);
+    unsigned EntryNode = makeNode(DepFlowGraph::NodeKind::Entry, V, -1, 0,
+                                  std::int32_t(F.entry()->id()));
+    G.EntryOfVarTab[V] = int(EntryNode);
 
     // Pre-create merge and switch nodes (base level: at every join/branch).
     for (unsigned B : RPO) {
       BasicBlock *BB = F.block(B);
       if (BB->numPredecessors() > 1)
-        G.MergeAt[B][V] = int(
-            makeNode({DepFlowGraph::NodeKind::Merge, V, nullptr, 0, BB}));
+        mergeSlot(B, V) = std::int32_t(makeNode(
+            DepFlowGraph::NodeKind::Merge, V, -1, 0, std::int32_t(B)));
       if (BB->numSuccessors() > 1)
-        G.SwitchAt[B][V] = int(
-            makeNode({DepFlowGraph::NodeKind::Switch, V, nullptr, 0, BB}));
+        switchSlot(B, V) = std::int32_t(makeNode(
+            DepFlowGraph::NodeKind::Switch, V, -1, 0, std::int32_t(B)));
     }
 
     // Assign dep[] to an out-edge, applying the region-bypass redirect:
@@ -215,7 +334,7 @@ private:
       Source Cur;
       if (BB == F.entry()) {
         Cur = {int(EntryNode), 0};
-      } else if (int M = G.MergeAt[B][V]; M >= 0) {
+      } else if (int M = mergeSlot(B, V); M >= 0) {
         Cur = {M, 0};
       } else {
         const auto &In = E.inEdges(BB);
@@ -225,12 +344,12 @@ private:
       }
 
       // Instruction stream: taps for uses, then def updates.
+      std::uint32_t InstIdx = InstrBase[B];
       for (const auto &IPtr : BB->instructions()) {
         Instruction *I = IPtr.get();
         assert(!isa<PhiInst>(I) && "DFG construction runs on phi-free IR");
-        auto &UseSlots = G.UsesOf[I];
-        if (UseSlots.empty())
-          UseSlots.assign(I->numOperands() + 1, -1);
+        assert(G.InstrByIdx[InstIdx] == I && "canonical numbering in sync");
+        std::int32_t *Slots = G.UseSlots + G.UseOff[InstIdx];
         bool HasVarOperand = false;
         for (unsigned OpIdx = 0, N = I->numOperands(); OpIdx != N; ++OpIdx) {
           const Operand &Op = I->operand(OpIdx);
@@ -239,9 +358,10 @@ private:
           HasVarOperand = true;
           if (Op.var() != V)
             continue;
-          unsigned UseId = makeNode(
-              {DepFlowGraph::NodeKind::Use, V, I, OpIdx, BB});
-          UseSlots[OpIdx] = int(UseId);
+          unsigned UseId = makeNode(DepFlowGraph::NodeKind::Use, V,
+                                    std::int32_t(InstIdx), OpIdx,
+                                    std::int32_t(B));
+          Slots[OpIdx] = std::int32_t(UseId);
           addEdge(Cur, UseId, V);
         }
         // Control use: statements with no variable operands (Section 3.3).
@@ -249,23 +369,26 @@ private:
         // code reporting covers their operands uniformly.
         if (G.isControl(V) && !HasVarOperand &&
             (isa<DefInst>(I) || I->numOperands() > 0)) {
-          unsigned UseId = makeNode({DepFlowGraph::NodeKind::Use, V, I,
-                                     I->numOperands(), BB});
-          UseSlots[I->numOperands()] = int(UseId);
+          unsigned UseId = makeNode(DepFlowGraph::NodeKind::Use, V,
+                                    std::int32_t(InstIdx), I->numOperands(),
+                                    std::int32_t(B));
+          Slots[I->numOperands()] = std::int32_t(UseId);
           addEdge(Cur, UseId, V);
         }
         if (auto *D = dyn_cast<DefInst>(I); D && D->def() == V) {
-          unsigned DefId =
-              makeNode({DepFlowGraph::NodeKind::Def, V, I, 0, BB});
-          G.DefOf[I] = DefId;
+          unsigned DefId = makeNode(DepFlowGraph::NodeKind::Def, V,
+                                    std::int32_t(InstIdx), 0,
+                                    std::int32_t(B));
+          G.DefNodeOfInstr[InstIdx] = std::int32_t(DefId);
           Cur = {int(DefId), 0};
         }
+        ++InstIdx;
       }
 
       // Outgoing dependence.
       const auto &Out = E.outEdges(BB);
       if (Out.size() > 1) {
-        int S = G.SwitchAt[B][V];
+        int S = switchSlot(B, V);
         assert(S >= 0 && "switch node pre-created");
         addEdge(Cur, unsigned(S), V);
         for (unsigned SI = 0; SI != Out.size(); ++SI)
@@ -277,7 +400,7 @@ private:
 
     // Wire merges now that every dep slot (including back edges) is known.
     for (unsigned B : RPO) {
-      int M = G.MergeAt[B][V];
+      int M = mergeSlot(B, V);
       if (M < 0)
         continue;
       const auto &In = E.inEdges(F.block(B));
@@ -289,79 +412,139 @@ private:
 
     // Record which source's value crosses each CFG edge (projection hook).
     for (unsigned EId = 0; EId != E.size(); ++EId)
-      G.DepAt[V][EId] = {Dep[EId].Node, Dep[EId].Port};
+      G.DepTab[std::size_t(V) * E.size() + EId] = {Dep[EId].Node,
+                                                   Dep[EId].Port};
   }
 
   /// Dead edge removal: keep exactly the nodes that can reach a Use.
+  /// Compaction preserves ascending node/edge order, so the surviving ids
+  /// are a dense prefix-order renumbering — identical across builds.
   void prune() {
-    std::vector<bool> Alive(G.numNodes(), false);
-    std::vector<unsigned> Stack;
-    for (unsigned N = 0; N != G.numNodes(); ++N) {
-      if (G.Nodes[N].Kind == DepFlowGraph::NodeKind::Use) {
-        Alive[N] = true;
-        Stack.push_back(N);
+    const unsigned NN = G.numNodes();
+    const unsigned NE = G.numEdges();
+
+    // All traversal scratch comes from one throwaway arena: a temporary
+    // in-edge CSR (counting sort over edges — ascending per node), the
+    // alive bitset, and the DFS stack.
+    BumpArena Scratch(std::size_t(NN) * 12 + std::size_t(NE) * 4 + 256);
+    std::uint32_t *InCnt = Scratch.allocateFilled<std::uint32_t>(NN + 1, 0);
+    for (const DepFlowGraph::Edge &Ed : G.Edges)
+      ++InCnt[Ed.Dst + 1];
+    for (unsigned N = 0; N != NN; ++N)
+      InCnt[N + 1] += InCnt[N];
+    std::uint32_t *InTmp = Scratch.allocateArray<std::uint32_t>(NE);
+    std::uint32_t *Fill = Scratch.allocateArray<std::uint32_t>(NN);
+    for (unsigned N = 0; N != NN; ++N)
+      Fill[N] = InCnt[N];
+    for (unsigned Id = 0; Id != NE; ++Id)
+      InTmp[Fill[G.Edges[Id].Dst]++] = Id;
+
+    std::uint64_t *Alive =
+        Scratch.allocateFilled<std::uint64_t>((std::size_t(NN) + 63) / 64, 0);
+    auto IsAlive = [&](unsigned N) {
+      return (Alive[N >> 6] >> (N & 63)) & 1;
+    };
+    auto SetAlive = [&](unsigned N) {
+      Alive[N >> 6] |= std::uint64_t(1) << (N & 63);
+    };
+    std::uint32_t *Stack = Scratch.allocateArray<std::uint32_t>(NN);
+    std::uint32_t SP = 0;
+    for (unsigned N = 0; N != NN; ++N) {
+      if (DepFlowGraph::NodeKind(G.NodeKinds[N]) ==
+          DepFlowGraph::NodeKind::Use) {
+        SetAlive(N);
+        Stack[SP++] = N;
       }
     }
-    while (!Stack.empty()) {
-      unsigned N = Stack.back();
-      Stack.pop_back();
-      for (unsigned EId : G.InEdges[N]) {
-        unsigned Src = G.Edges[EId].Src;
-        if (!Alive[Src]) {
-          Alive[Src] = true;
-          Stack.push_back(Src);
+    while (SP) {
+      unsigned N = Stack[--SP];
+      for (std::uint32_t I = InCnt[N]; I != InCnt[N + 1]; ++I) {
+        unsigned Src = G.Edges[InTmp[I]].Src;
+        if (!IsAlive(Src)) {
+          SetAlive(Src);
+          Stack[SP++] = Src;
         }
       }
     }
 
-    // Compact nodes and edges.
-    std::vector<int> NewId(G.numNodes(), -1);
-    std::vector<DepFlowGraph::Node> NewNodes;
-    for (unsigned N = 0; N != G.numNodes(); ++N) {
-      if (Alive[N]) {
-        NewId[N] = int(NewNodes.size());
-        NewNodes.push_back(G.Nodes[N]);
-      }
-    }
-    std::vector<DepFlowGraph::Edge> NewEdges;
-    for (const DepFlowGraph::Edge &Ed : G.Edges)
-      if (Alive[Ed.Src] && Alive[Ed.Dst])
-        NewEdges.push_back({unsigned(NewId[Ed.Src]), unsigned(NewId[Ed.Dst]),
-                            Ed.Var, Ed.SrcPort, Ed.DstPort});
-
-    G.Nodes = std::move(NewNodes);
-    G.Edges = std::move(NewEdges);
-    G.OutEdges.assign(G.Nodes.size(), {});
-    G.InEdges.assign(G.Nodes.size(), {});
-    for (unsigned Id = 0; Id != G.numEdges(); ++Id) {
-      G.OutEdges[G.Edges[Id].Src].push_back(Id);
-      G.InEdges[G.Edges[Id].Dst].push_back(Id);
-    }
-
-    // Remap lookup tables.
-    for (int &N : G.EntryOfVar)
-      N = N >= 0 ? NewId[unsigned(N)] : -1;
-    for (auto It = G.DefOf.begin(); It != G.DefOf.end();) {
-      int Mapped = NewId[It->second];
-      if (Mapped < 0) {
-        It = G.DefOf.erase(It);
+    // Compact node columns and edges in place (ascending order).
+    std::int32_t *NewId = Scratch.allocateArray<std::int32_t>(NN);
+    std::uint32_t LiveN = 0;
+    for (unsigned N = 0; N != NN; ++N) {
+      if (IsAlive(N)) {
+        NewId[N] = std::int32_t(LiveN);
+        if (LiveN != N) {
+          G.NodeKinds[LiveN] = G.NodeKinds[N];
+          G.NodeVars[LiveN] = G.NodeVars[N];
+          G.NodeInst[LiveN] = G.NodeInst[N];
+          G.NodeOp[LiveN] = G.NodeOp[N];
+          G.NodeBlock[LiveN] = G.NodeBlock[N];
+        }
+        ++LiveN;
       } else {
-        It->second = unsigned(Mapped);
-        ++It;
+        NewId[N] = -1;
       }
     }
-    for (auto &[Inst, Slots] : G.UsesOf)
-      for (int &S : Slots)
-        S = S >= 0 ? NewId[unsigned(S)] : -1;
-    for (auto &PerBlock : G.SwitchAt)
-      for (int &N : PerBlock)
-        N = N >= 0 ? NewId[unsigned(N)] : -1;
-    for (auto &PerBlock : G.MergeAt)
-      for (int &N : PerBlock)
-        N = N >= 0 ? NewId[unsigned(N)] : -1;
-    for (auto &PerVar : G.DepAt)
-      for (auto &[N, Port] : PerVar)
-        N = N >= 0 ? NewId[unsigned(N)] : -1;
+    G.NodeKinds.resize(LiveN);
+    G.NodeVars.resize(LiveN);
+    G.NodeInst.resize(LiveN);
+    G.NodeOp.resize(LiveN);
+    G.NodeBlock.resize(LiveN);
+
+    std::uint32_t LiveE = 0;
+    for (unsigned Id = 0; Id != NE; ++Id) {
+      const DepFlowGraph::Edge &Ed = G.Edges[Id];
+      if (NewId[Ed.Src] >= 0 && NewId[Ed.Dst] >= 0)
+        G.Edges[LiveE++] = {unsigned(NewId[Ed.Src]), unsigned(NewId[Ed.Dst]),
+                            Ed.Var, Ed.SrcPort, Ed.DstPort};
+    }
+    G.Edges.resize(LiveE);
+
+    // Remap the flat lookup tables.
+    auto Remap = [&](std::int32_t &N) {
+      N = N >= 0 ? NewId[unsigned(N)] : -1;
+    };
+    for (unsigned V = 0; V != NumVarsWithCtrl; ++V)
+      Remap(G.EntryOfVarTab[V]);
+    for (std::uint32_t I = 0; I != G.NumInstrs; ++I)
+      Remap(G.DefNodeOfInstr[I]);
+    for (std::uint32_t S = 0, NS = G.UseOff[G.NumInstrs]; S != NS; ++S)
+      Remap(G.UseSlots[S]);
+    for (std::size_t I = 0,
+                     N = std::size_t(F.numBlocks()) * NumVarsWithCtrl;
+         I != N; ++I) {
+      Remap(G.SwitchTab[I]);
+      Remap(G.MergeTab[I]);
+    }
+    for (std::size_t I = 0,
+                     N = std::size_t(NumVarsWithCtrl) * E.size();
+         I != N; ++I)
+      Remap(G.DepTab[I].Node);
+  }
+
+  /// The final CSR adjacency over the compacted graph: per node, edge ids
+  /// ascending (creation order), matching the old per-node push order.
+  void buildAdjacency() {
+    const unsigned NN = G.numNodes();
+    const unsigned NE = G.numEdges();
+    G.OutOff = G.Pool.allocateFilled<std::uint32_t>(NN + 1, 0);
+    G.InOff = G.Pool.allocateFilled<std::uint32_t>(NN + 1, 0);
+    for (unsigned Id = 0; Id != NE; ++Id) {
+      ++G.OutOff[G.Edges[Id].Src + 1];
+      ++G.InOff[G.Edges[Id].Dst + 1];
+    }
+    for (unsigned N = 0; N != NN; ++N) {
+      G.OutOff[N + 1] += G.OutOff[N];
+      G.InOff[N + 1] += G.InOff[N];
+    }
+    G.OutIdx = G.Pool.allocateArray<std::uint32_t>(NE);
+    G.InIdx = G.Pool.allocateArray<std::uint32_t>(NE);
+    std::vector<std::uint32_t> OutFill(G.OutOff, G.OutOff + NN);
+    std::vector<std::uint32_t> InFill(G.InOff, G.InOff + NN);
+    for (unsigned Id = 0; Id != NE; ++Id) {
+      G.OutIdx[OutFill[G.Edges[Id].Src]++] = Id;
+      G.InIdx[InFill[G.Edges[Id].Dst]++] = Id;
+    }
   }
 };
 
@@ -386,21 +569,24 @@ DepFlowGraph DepFlowGraph::build(Function &F, BypassMode Mode) {
 std::vector<unsigned> DepFlowGraph::multiedge(unsigned NodeId,
                                               unsigned Port) const {
   std::vector<unsigned> Result;
-  for (unsigned EId : OutEdges[NodeId])
+  for (unsigned EId : outEdges(NodeId))
     if (Edges[EId].SrcPort == Port)
       Result.push_back(EId);
   return Result;
 }
 
 int DepFlowGraph::useNode(const Instruction *I, unsigned OpIdx) const {
-  auto It = UsesOf.find(I);
-  if (It == UsesOf.end() || OpIdx >= It->second.size())
+  int Idx = instrIndex(I);
+  if (Idx < 0)
     return -1;
-  return It->second[OpIdx];
+  std::uint32_t Width = UseOff[Idx + 1] - UseOff[Idx];
+  if (OpIdx >= Width)
+    return -1;
+  return UseSlots[UseOff[Idx] + OpIdx];
 }
 
 std::string DepFlowGraph::nodeLabel(const Function &F, unsigned NodeId) const {
-  const Node &N = Nodes[NodeId];
+  const Node N = node(NodeId);
   std::string Var =
       isControl(N.Var) ? std::string("ctrl") : F.varName(N.Var);
   switch (N.Kind) {

@@ -36,6 +36,18 @@
 /// A *multiedge* is one (node, output port) with all of its out-edges: the
 /// tail and heads vocabulary of Sections 4-5.
 ///
+/// Memory layout: the graph is struct-of-arrays over 32-bit indices. Node
+/// attributes live in parallel packed columns; adjacency is two CSR index
+/// ranges (`outEdges`/`inEdges` return spans, not vectors); every lookup
+/// table (entry/def/use/switch/merge/dep-at-edge) is a flat array carved
+/// from one `BumpArena`. Instructions are referred to by a canonical dense
+/// index (function block/instruction order) — `Node::Inst` is materialized
+/// from that index on access, and pointer-keyed queries binary-search a
+/// sorted side table instead of hashing. Because arena chunks are
+/// heap-stable, a moved `DepFlowGraph` keeps every internal pointer valid:
+/// cached analysis results can relocate the graph freely. The graph is
+/// move-only.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DEPFLOW_CORE_DEPFLOWGRAPH_H
@@ -44,9 +56,10 @@
 #include "ir/CFGEdges.h"
 #include "ir/Function.h"
 #include "structure/SESE.h"
+#include "support/Arena.h"
+#include "support/PackedVector.h"
 
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace depflow {
@@ -62,6 +75,9 @@ public:
   /// baseline that routes every variable through every block).
   enum class BypassMode { None, SESE };
 
+  /// A materialized node view: the storage is columnar, so `node()` gathers
+  /// one node's attributes by value. Callers that bind `const Node &` keep
+  /// working (lifetime extension); the view is 24 bytes either way.
   struct Node {
     NodeKind Kind;
     VarId Var = 0;              // May be the control variable.
@@ -84,27 +100,85 @@ public:
     unsigned BypassRedirects = 0;
   };
 
+  /// An immutable span of 32-bit edge ids inside the graph's CSR adjacency.
+  class EdgeRange {
+    const std::uint32_t *Ptr = nullptr;
+    std::uint32_t Len = 0;
+
+  public:
+    EdgeRange() = default;
+    EdgeRange(const std::uint32_t *P, std::uint32_t N) : Ptr(P), Len(N) {}
+    const std::uint32_t *begin() const { return Ptr; }
+    const std::uint32_t *end() const { return Ptr + Len; }
+    std::uint32_t operator[](std::uint32_t I) const { return Ptr[I]; }
+    std::uint32_t front() const { return Ptr[0]; }
+    std::uint32_t size() const { return Len; }
+    bool empty() const { return Len == 0; }
+  };
+
 private:
-  std::vector<Node> Nodes;
-  std::vector<Edge> Edges;
-  std::vector<std::vector<unsigned>> OutEdges; // per node, edge ids
-  std::vector<std::vector<unsigned>> InEdges;  // per node, edge ids
+  struct DepSlot {
+    std::int32_t Node;
+    std::uint16_t Port;
+  };
+  struct InstKey {
+    const Instruction *I;
+    std::uint32_t Idx;
+  };
+
+  /// Backs every flat table below; chunks are heap-stable, so moving the
+  /// graph never invalidates the raw pointers.
+  BumpArena Pool;
+
+  // Node columns (struct-of-arrays).
+  PackedVector<std::uint8_t> NodeKinds;
+  PackedVector<VarId> NodeVars;
+  PackedVector<std::int32_t> NodeInst;   // canonical instr index or -1
+  PackedVector<std::uint32_t> NodeOp;    // Use: operand index
+  PackedVector<std::int32_t> NodeBlock;  // block id or -1
+  PackedVector<Edge> Edges;
+
+  // CSR adjacency: edge ids of node N are OutIdx[OutOff[N]..OutOff[N+1])
+  // (ascending edge id — creation order), likewise for in-edges.
+  std::uint32_t *OutOff = nullptr;
+  std::uint32_t *OutIdx = nullptr;
+  std::uint32_t *InOff = nullptr;
+  std::uint32_t *InIdx = nullptr;
+
   unsigned ControlVar = 0;
   Stats BuildStats;
 
-  // Lookup tables.
-  std::vector<int> EntryOfVar;                       // var -> node or -1
-  std::unordered_map<const Instruction *, unsigned> DefOf;
-  std::unordered_map<const Instruction *, std::vector<int>> UsesOf;
-  std::vector<std::vector<int>> SwitchAt; // [block][var] -> node or -1
-  std::vector<std::vector<int>> MergeAt;  // [block][var] -> node or -1
-  // [var][cfg edge] -> (node, port) whose value crosses that edge; node is
-  // -1 when the variable is dead there (pruned source).
-  std::vector<std::vector<std::pair<int, std::uint16_t>>> DepAt;
+  // Canonical numbering (function block/instruction order).
+  std::uint32_t NumInstrs = 0;
+  std::uint32_t NumBlocksAtBuild = 0;
+  std::uint32_t NumCFGEdges = 0;
+  std::uint32_t NumVarsWithCtrl = 0;
+  Instruction **InstrByIdx = nullptr;   // [instr index] -> instruction
+  BasicBlock **BlockByIdx = nullptr;    // [block id] -> block
+  InstKey *InstIndex = nullptr;         // sorted by pointer, for lookups
+
+  // Lookup tables (all arena-resident, 32-bit entries, -1 == absent).
+  std::int32_t *EntryOfVarTab = nullptr;   // [var] -> node
+  std::int32_t *DefNodeOfInstr = nullptr;  // [instr index] -> node
+  std::uint32_t *UseOff = nullptr;         // [instr index] -> UseSlots base
+  std::int32_t *UseSlots = nullptr;        // per instr: numOperands()+1 slots
+  std::int32_t *SwitchTab = nullptr;       // [block*vars+var] -> node
+  std::int32_t *MergeTab = nullptr;        // [block*vars+var] -> node
+  DepSlot *DepTab = nullptr;               // [var*cfgEdges+edge] -> (node,port)
+
+  /// Canonical index of \p I, or -1 for instructions not in the numbered
+  /// function (binary search over InstIndex).
+  int instrIndex(const Instruction *I) const;
 
   friend class DFGBuilder;
 
 public:
+  DepFlowGraph() = default;
+  DepFlowGraph(DepFlowGraph &&) = default;
+  DepFlowGraph &operator=(DepFlowGraph &&) = default;
+  DepFlowGraph(const DepFlowGraph &) = delete;
+  DepFlowGraph &operator=(const DepFlowGraph &) = delete;
+
   /// Builds the DFG of \p F. Requires: F verifies and contains no phis.
   static DepFlowGraph build(Function &F, const CFGEdges &E,
                             BypassMode Mode = BypassMode::SESE);
@@ -118,15 +192,21 @@ public:
   static DepFlowGraph build(Function &F, const CFGEdges &E,
                             const ProgramStructureTree &PST);
 
-  unsigned numNodes() const { return unsigned(Nodes.size()); }
-  unsigned numEdges() const { return unsigned(Edges.size()); }
-  const Node &node(unsigned Id) const { return Nodes[Id]; }
-  const Edge &edge(unsigned Id) const { return Edges[Id]; }
-  const std::vector<unsigned> &outEdges(unsigned NodeId) const {
-    return OutEdges[NodeId];
+  unsigned numNodes() const { return NodeKinds.size(); }
+  unsigned numEdges() const { return Edges.size(); }
+  Node node(unsigned Id) const {
+    std::int32_t II = NodeInst[Id];
+    std::int32_t BI = NodeBlock[Id];
+    return {NodeKind(NodeKinds[Id]), NodeVars[Id],
+            II >= 0 ? InstrByIdx[II] : nullptr, NodeOp[Id],
+            BI >= 0 ? BlockByIdx[BI] : nullptr};
   }
-  const std::vector<unsigned> &inEdges(unsigned NodeId) const {
-    return InEdges[NodeId];
+  const Edge &edge(unsigned Id) const { return Edges[Id]; }
+  EdgeRange outEdges(unsigned NodeId) const {
+    return {OutIdx + OutOff[NodeId], OutOff[NodeId + 1] - OutOff[NodeId]};
+  }
+  EdgeRange inEdges(unsigned NodeId) const {
+    return {InIdx + InOff[NodeId], InOff[NodeId + 1] - InOff[NodeId]};
   }
 
   /// Out-edges of (node, port) — one multiedge (tail with its heads).
@@ -137,21 +217,21 @@ public:
   bool isControl(VarId V) const { return V == ControlVar; }
 
   /// Entry node of \p V, or -1 if pruned (variable never used).
-  int entryNode(VarId V) const { return EntryOfVar[V]; }
+  int entryNode(VarId V) const { return EntryOfVarTab[V]; }
   /// Def node of instruction \p I, or -1 if pruned.
   int defNode(const Instruction *I) const {
-    auto It = DefOf.find(I);
-    return It == DefOf.end() ? -1 : int(It->second);
+    int Idx = instrIndex(I);
+    return Idx < 0 ? -1 : DefNodeOfInstr[Idx];
   }
   /// Use node for operand \p OpIdx of \p I, or -1 (non-var operand or
   /// pruned). For statements with a control use, the control use is indexed
   /// at position numOperands().
   int useNode(const Instruction *I, unsigned OpIdx) const;
   int switchNode(const BasicBlock *BB, VarId V) const {
-    return SwitchAt[BB->id()][V];
+    return SwitchTab[BB->id() * NumVarsWithCtrl + V];
   }
   int mergeNode(const BasicBlock *BB, VarId V) const {
-    return MergeAt[BB->id()][V];
+    return MergeTab[BB->id() * NumVarsWithCtrl + V];
   }
 
   /// The dependence source (node, port) whose value for \p V crosses CFG
@@ -159,11 +239,14 @@ public:
   /// Section 5.1 projection hook: a dependence edge from that source spans
   /// the CFG edge.
   std::pair<int, unsigned> depAtEdge(unsigned EdgeId, VarId V) const {
-    const auto &P = DepAt[V][EdgeId];
-    return {P.first, unsigned(P.second)};
+    const DepSlot &P = DepTab[V * NumCFGEdges + EdgeId];
+    return {P.Node, unsigned(P.Port)};
   }
 
   const Stats &stats() const { return BuildStats; }
+
+  /// Bytes the graph's arena currently holds (tables + CSR).
+  std::uint64_t arenaBytesReserved() const { return Pool.bytesReserved(); }
 
   /// Renders the graph in GraphViz format (per-variable coloring).
   std::string toDot(const Function &F) const;

@@ -124,22 +124,18 @@ public:
       (Test->OnTrueSide ? OutTrue : OutFalse) = ConstVal::cst(Test->Value);
   }
 
-  std::vector<ConstVal> branchVector(const BasicBlock *BB,
-                                     const CondBrInst *Br,
-                                     const ConstVal &Cond,
-                                     const std::vector<ConstVal> &Vec,
-                                     bool TrueSide) const {
+  void refineBranchVector(const BasicBlock *BB, const CondBrInst *Br,
+                          const ConstVal &Cond, ConstVal *Vec,
+                          bool TrueSide) const {
     // `if (x == c)` pins x to c on the true side (`x != c` on the false
     // side) when x was still varying.
     if (!Refine || !Br->cond().isVar() || !Cond.isTop())
-      return Vec;
+      return;
     std::optional<PredicateTest> Test =
         predicateTest(BB, Br->cond().var());
     if (!Test || Test->OnTrueSide != TrueSide || !Vec[Test->Var].isTop())
-      return Vec;
-    std::vector<ConstVal> Copy = Vec;
-    Copy[Test->Var] = ConstVal::cst(Test->Value);
-    return Copy;
+      return;
+    Vec[Test->Var] = ConstVal::cst(Test->Value);
   }
 };
 
@@ -147,18 +143,22 @@ public:
 
 unsigned ConstPropResult::numConstantUses() const {
   unsigned N = 0;
-  for (const auto &[I, Vals] : UseValues)
-    for (const ConstVal &V : Vals)
-      N += V.isConst();
+  forEachInstruction([&](const Instruction *, const ConstVal *Vals,
+                         unsigned NumVals) {
+    for (unsigned Idx = 0; Idx != NumVals; ++Idx)
+      N += Vals[Idx].isConst();
+  });
   return N;
 }
 
 unsigned ConstPropResult::numConstantVarUses() const {
   unsigned N = 0;
-  for (const auto &[I, Vals] : UseValues)
-    for (unsigned Idx = 0; Idx != Vals.size(); ++Idx)
-      if (Idx < I->numOperands() && I->operand(Idx).isVar())
+  forEachInstruction([&](const Instruction *I, const ConstVal *Vals,
+                         unsigned NumVals) {
+    for (unsigned Idx = 0; Idx != NumVals; ++Idx)
+      if (I->operand(Idx).isVar())
         N += Vals[Idx].isConst();
+  });
   return N;
 }
 
@@ -229,16 +229,17 @@ ConstPropResult depflow::defUseConstantPropagation(Function &F,
 
   ConstPropResult R;
   R.ExecutableBlock.assign(F.numBlocks(), true);
+  R.allocate(F);
+  std::uint32_t Row = 0;
   for (const auto &BB : F.blocks()) {
     for (const auto &IPtr : BB->instructions()) {
       const Instruction *I = IPtr.get();
-      std::vector<ConstVal> Vals(I->numOperands(), ConstVal::bottom());
+      ConstVal *Vals = R.row(Row++);
       for (unsigned Idx = 0; Idx != I->numOperands(); ++Idx) {
         const Operand &Op = I->operand(Idx);
         Vals[Idx] =
             Op.isImm() ? ConstVal::cst(Op.imm()) : UseVal(I, Idx, Op.var());
       }
-      R.UseValues.emplace(I, std::move(Vals));
     }
   }
   return R;

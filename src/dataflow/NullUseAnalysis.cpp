@@ -73,31 +73,31 @@ public:
   void refineSwitch(const BasicBlock *, const CondBrInst *, const InitVal &,
                     const InitVal &, VarId, InitVal &, InitVal &) const {}
 
-  std::vector<InitVal> branchVector(const BasicBlock *, const CondBrInst *,
-                                    const InitVal &,
-                                    const std::vector<InitVal> &Vec,
-                                    bool) const {
-    return Vec;
-  }
+  void refineBranchVector(const BasicBlock *, const CondBrInst *,
+                          const InitVal &, InitVal *, bool) const {}
 };
 
 } // namespace
 
 unsigned NullUseResult::numMaybeUninitVarUses() const {
   unsigned N = 0;
-  for (const auto &[I, Vals] : UseValues)
-    for (unsigned Idx = 0; Idx != Vals.size(); ++Idx)
-      if (Idx < I->numOperands() && I->operand(Idx).isVar())
+  forEachInstruction([&](const Instruction *I, const InitVal *Vals,
+                         unsigned NumVals) {
+    for (unsigned Idx = 0; Idx != NumVals; ++Idx)
+      if (I->operand(Idx).isVar())
         N += Vals[Idx].mayBeUninit();
+  });
   return N;
 }
 
 unsigned NullUseResult::numDefinitelyInitVarUses() const {
   unsigned N = 0;
-  for (const auto &[I, Vals] : UseValues)
-    for (unsigned Idx = 0; Idx != Vals.size(); ++Idx)
-      if (Idx < I->numOperands() && I->operand(Idx).isVar())
+  forEachInstruction([&](const Instruction *I, const InitVal *Vals,
+                         unsigned NumVals) {
+    for (unsigned Idx = 0; Idx != NumVals; ++Idx)
+      if (I->operand(Idx).isVar())
         N += Vals[Idx].mayBeInit() && !Vals[Idx].mayBeUninit();
+  });
   return N;
 }
 

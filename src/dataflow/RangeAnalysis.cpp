@@ -81,30 +81,31 @@ public:
                     const IntervalVal &, const IntervalVal &, VarId,
                     IntervalVal &, IntervalVal &) const {}
 
-  std::vector<IntervalVal>
-  branchVector(const BasicBlock *, const CondBrInst *, const IntervalVal &,
-               const std::vector<IntervalVal> &Vec, bool) const {
-    return Vec;
-  }
+  void refineBranchVector(const BasicBlock *, const CondBrInst *,
+                          const IntervalVal &, IntervalVal *, bool) const {}
 };
 
 } // namespace
 
 unsigned RangeResult::numBoundedVarUses() const {
   unsigned N = 0;
-  for (const auto &[I, Vals] : UseValues)
-    for (unsigned Idx = 0; Idx != Vals.size(); ++Idx)
-      if (Idx < I->numOperands() && I->operand(Idx).isVar())
+  forEachInstruction([&](const Instruction *I, const IntervalVal *Vals,
+                         unsigned NumVals) {
+    for (unsigned Idx = 0; Idx != NumVals; ++Idx)
+      if (I->operand(Idx).isVar())
         N += Vals[Idx].isBounded();
+  });
   return N;
 }
 
 unsigned RangeResult::numPointVarUses() const {
   unsigned N = 0;
-  for (const auto &[I, Vals] : UseValues)
-    for (unsigned Idx = 0; Idx != Vals.size(); ++Idx)
-      if (Idx < I->numOperands() && I->operand(Idx).isVar())
+  forEachInstruction([&](const Instruction *I, const IntervalVal *Vals,
+                         unsigned NumVals) {
+    for (unsigned Idx = 0; Idx != NumVals; ++Idx)
+      if (I->operand(Idx).isVar())
         N += Vals[Idx].isPoint();
+  });
   return N;
 }
 

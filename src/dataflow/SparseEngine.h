@@ -43,11 +43,14 @@
 ///   void refineSwitch(const BasicBlock *, const CondBrInst *,
 ///                     const Value &Pred, const Value &In, VarId,
 ///                     Value &OutTrue, Value &OutFalse) const;
-///   std::vector<Value> branchVector(const BasicBlock *, const CondBrInst *,
-///                                   const Value &Cond,
-///                                   const std::vector<Value> &Vec,
-///                                   bool TrueSide) const;
+///   void refineBranchVector(const BasicBlock *, const CondBrInst *,
+///                           const Value &Cond, Value *Vec,
+///                           bool TrueSide) const;  // in-place, V slots
 /// \endcode
+///
+/// Lattice values are tokens: trivially-copyable scalars or small structs.
+/// The engines keep them in flat arrays carved from a per-solve bump
+/// arena, so a `Value` with a destructor or heap payload will not compile.
 ///
 /// Failure convention: engines return `Status` instead of asserting. A
 /// client whose transfer is not monotone over a finite-height lattice
@@ -67,12 +70,15 @@
 #include "core/DepFlowGraph.h"
 #include "ir/CFGEdges.h"
 #include "ir/Function.h"
+#include "support/Arena.h"
 #include "support/Error.h"
 #include "support/Statistic.h"
 #include "support/Worklist.h"
 
+#include <algorithm>
 #include <cstdint>
-#include <unordered_map>
+#include <functional>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -122,23 +128,120 @@ inline void bump(Statistic *S, std::uint64_t N) {
 } // namespace detail
 
 /// What every forward solve produces: one lattice value per instruction
-/// operand plus per-block executability. `ConstPropResult` and the new
-/// client results derive from instantiations of this.
+/// operand (non-var operands get their folded immediate; operands of dead
+/// instructions get ⊥) plus per-block executability. `ConstPropResult` and
+/// the other client results derive from instantiations of this.
+///
+/// Storage is struct-of-arrays over the canonical instruction order (the
+/// function's block/instruction walk): row R holds the values of
+/// instruction R at `Values[Offsets[R] .. Offsets[R+1])`, and pointer-keyed
+/// queries binary-search one sorted side index instead of hashing. Only
+/// `Instrs`/`Index` hold pointers — `Offsets`/`Values`/`ExecutableBlock`
+/// are pure positions, so `snapshot()` captures a result that outlives its
+/// function and `bindTo()` re-attaches it to any structurally identical
+/// function (e.g. a re-parsed clone). That relocatability is what lets
+/// cached analysis results move between pipeline stages by value.
 template <typename ValueT> struct DataflowResult {
   using Value = ValueT;
 
-  /// Per instruction, one lattice value per operand (non-var operands get
-  /// their folded immediate; operands of dead instructions get ⊥).
-  std::unordered_map<const Instruction *, std::vector<ValueT>> UseValues;
   /// Per block id: can the block execute?
   std::vector<bool> ExecutableBlock;
 
-  ValueT useValue(const Instruction *I, unsigned OpIdx) const {
-    auto It = UseValues.find(I);
-    if (It == UseValues.end() || OpIdx >= It->second.size())
-      return ValueT::bottom();
-    return It->second[OpIdx];
+  /// Lays out one row per instruction of \p F in canonical order, every
+  /// value ⊥, and binds the pointer index. Engines fill rows in the same
+  /// walk via `row()`.
+  void allocate(const Function &F) {
+    std::uint32_t NumInstrs = 0, NumSlots = 0;
+    for (const auto &BB : F.blocks())
+      for (const auto &I : BB->instructions()) {
+        ++NumInstrs;
+        NumSlots += I->numOperands();
+      }
+    Offsets.clear();
+    Offsets.reserve(NumInstrs + 1);
+    Offsets.push_back(0);
+    for (const auto &BB : F.blocks())
+      for (const auto &I : BB->instructions())
+        Offsets.push_back(Offsets.back() + I->numOperands());
+    Values.assign(NumSlots, ValueT::bottom());
+    bindTo(F);
   }
+
+  /// Number of instruction rows.
+  std::uint32_t size() const {
+    return Offsets.empty() ? 0 : std::uint32_t(Offsets.size() - 1);
+  }
+  /// Operand-value slots of row \p R (canonical instruction index).
+  ValueT *row(std::uint32_t R) { return Values.data() + Offsets[R]; }
+  const ValueT *row(std::uint32_t R) const {
+    return Values.data() + Offsets[R];
+  }
+  unsigned rowWidth(std::uint32_t R) const {
+    return Offsets[R + 1] - Offsets[R];
+  }
+
+  ValueT useValue(const Instruction *I, unsigned OpIdx) const {
+    auto It = std::lower_bound(
+        Index.begin(), Index.end(), I,
+        [](const InstRow &Row, const Instruction *P) {
+          return std::less<const Instruction *>()(Row.I, P);
+        });
+    if (It == Index.end() || It->I != I || OpIdx >= rowWidth(It->Row))
+      return ValueT::bottom();
+    return Values[Offsets[It->Row] + OpIdx];
+  }
+
+  /// Calls \p Fn(instruction, values, numValues) for every row in
+  /// canonical order.
+  template <typename Fn> void forEachInstruction(Fn &&F) const {
+    for (std::uint32_t R = 0, N = size(); R != N; ++R)
+      F(Instrs[R], row(R), rowWidth(R));
+  }
+
+  /// The position-based payload alone — no instruction pointers. The copy
+  /// stays valid after the source function is destroyed; `bindTo()` makes
+  /// it queryable again.
+  DataflowResult snapshot() const {
+    DataflowResult S;
+    S.ExecutableBlock = ExecutableBlock;
+    S.Offsets = Offsets;
+    S.Values = Values;
+    return S;
+  }
+
+  /// Re-binds the payload to \p F, whose canonical walk must match the one
+  /// the payload was produced from (same instruction count and operand
+  /// widths — asserted). Rebuilds `Instrs` and the sorted index.
+  void bindTo(const Function &F) {
+    Instrs.clear();
+    Instrs.reserve(size());
+    for (const auto &BB : F.blocks())
+      for (const auto &I : BB->instructions())
+        Instrs.push_back(I.get());
+    assert(Instrs.size() == size() &&
+           "result bound to a structurally different function");
+    Index.clear();
+    Index.reserve(Instrs.size());
+    for (std::uint32_t R = 0; R != Instrs.size(); ++R) {
+      assert(Instrs[R]->numOperands() == rowWidth(R) &&
+             "operand widths diverge from the bound function");
+      Index.push_back({Instrs[R], R});
+    }
+    std::sort(Index.begin(), Index.end(),
+              [](const InstRow &A, const InstRow &B) {
+                return std::less<const Instruction *>()(A.I, B.I);
+              });
+  }
+
+private:
+  struct InstRow {
+    const Instruction *I;
+    std::uint32_t Row;
+  };
+  std::vector<const Instruction *> Instrs; // [row] -> instruction
+  std::vector<std::uint32_t> Offsets;      // [row] -> first value slot
+  std::vector<ValueT> Values;              // flat operand values
+  std::vector<InstRow> Index;              // sorted by pointer
 };
 
 //===----------------------------------------------------------------------===//
@@ -148,11 +251,17 @@ template <typename ValueT> struct DataflowResult {
 template <typename Client> class SparseEngine {
 public:
   using Value = typename Client::Value;
+  static_assert(std::is_trivially_copyable_v<Value>,
+                "lattice values live in bump-arena arrays; a Value with a "
+                "destructor or heap payload cannot be a token");
 
   SparseEngine(Function &F, const DepFlowGraph &G, const Client &C,
                const SparseEngineCounters &Ctr = {})
-      : F(F), G(G), C(C), Ctr(Ctr), EdgeVal(G.numEdges(), Client::bottom()),
-        TokensPerEdge(G.numEdges(), 0), WL(G.numNodes()) {}
+      : F(F), G(G), C(C), Ctr(Ctr),
+        Pool(arenaBytes(G.numNodes(), G.numEdges())),
+        EdgeVal(Pool.allocateFilled<Value>(G.numEdges(), Client::bottom())),
+        TokensPerEdge(Pool.allocateFilled<std::uint64_t>(G.numEdges(), 0)),
+        WL(Pool, G.numNodes()) {}
 
   /// Runs the token worklist to its fixed point and extracts per-use
   /// values. Fails (without asserting) if the client exceeds the engine's
@@ -187,8 +296,8 @@ public:
       evalNode(WL.pop());
     }
     if (Ctr.TokensPerEdge)
-      for (std::uint64_t Tokens : TokensPerEdge)
-        Ctr.TokensPerEdge->sample(Tokens);
+      for (unsigned EId = 0, NE = G.numEdges(); EId != NE; ++EId)
+        Ctr.TokensPerEdge->sample(TokensPerEdge[EId]);
     return Status::success();
   }
 
@@ -260,14 +369,15 @@ public:
       }
     }
 
+    R.allocate(F);
+    std::uint32_t Row = 0;
     for (const auto &BB : F.blocks()) {
       bool Exec = R.ExecutableBlock[BB->id()];
       for (const auto &IPtr : BB->instructions()) {
         const Instruction *I = IPtr.get();
-        std::vector<Value> Vals(I->numOperands(), Client::bottom());
+        Value *Vals = R.row(Row++);
         for (unsigned Idx = 0; Idx != I->numOperands(); ++Idx)
           Vals[Idx] = operandValue(I, Idx, Exec);
-        R.UseValues.emplace(I, std::move(Vals));
       }
     }
     return R;
@@ -278,9 +388,18 @@ private:
   const DepFlowGraph &G;
   const Client &C;
   SparseEngineCounters Ctr;
-  std::vector<Value> EdgeVal;
-  std::vector<std::uint64_t> TokensPerEdge;
-  Worklist WL;
+  /// Every per-solve structure — edge values, token tallies, the worklist
+  /// ring and presence bits — comes from this exactly-sized arena, so one
+  /// solve costs one allocation instead of one per table.
+  BumpArena Pool;
+  Value *EdgeVal;
+  std::uint64_t *TokensPerEdge;
+  ArenaWorklist WL;
+
+  static std::size_t arenaBytes(std::size_t Nodes, std::size_t Edges) {
+    return Edges * (sizeof(Value) + 8) + Nodes * 4 + 8 * ((Nodes + 63) / 64) +
+           128;
+  }
 
   bool isBottom(const Value &V) const {
     return Client::equal(V, Client::bottom());
@@ -379,6 +498,9 @@ private:
 template <typename Client> class DenseEngine {
 public:
   using Value = typename Client::Value;
+  static_assert(std::is_trivially_copyable_v<Value>,
+                "lattice values live in bump-arena arrays; a Value with a "
+                "destructor or heap payload cannot be a token");
 
   DenseEngine(Function &F, const Client &C,
               const DenseEngineCounters &Ctr = {})
@@ -387,33 +509,42 @@ public:
   Status run(DataflowResult<Value> &Out) {
     F.recomputePreds();
     CFGEdges E(F);
-    unsigned NV = F.numVars();
+    const unsigned NV = F.numVars();
+    const unsigned NE = E.size();
 
-    std::vector<std::vector<Value>> EdgeVec(
-        E.size(), std::vector<Value>(NV, Client::bottom()));
-    std::vector<bool> EdgeExec(E.size(), false);
+    // One per-solve arena holds the E×V edge matrix and the three V-wide
+    // scratch vectors (entry, block-in, branch-refined) plus the block
+    // worklist — the dense fallback's token queues, flattened.
+    BumpArena Pool((std::size_t(NE) + 3) * NV * sizeof(Value) +
+                   F.numBlocks() * 4 + 8 * ((F.numBlocks() + 63) / 64) + 128);
+    Value *EdgeVec =
+        Pool.allocateFilled<Value>(std::size_t(NE) * NV, Client::bottom());
+    Value *EntryVec = Pool.allocateArray<Value>(NV);
+    Value *Vec = Pool.allocateArray<Value>(NV);   // in-vector of the block
+    Value *BrVec = Pool.allocateArray<Value>(NV); // branch-refined copy
+    std::vector<bool> EdgeExec(NE, false);
     std::vector<bool> BlockExec(F.numBlocks(), false);
 
-    std::vector<Value> EntryVec(NV, Client::bottom());
     for (unsigned V = 0; V != NV; ++V)
       EntryVec[V] = C.entryValue(V, /*IsControl=*/false);
 
-    auto InVector = [&](const BasicBlock *BB) {
-      if (BB == F.entry())
-        return EntryVec;
-      std::vector<Value> Vec(NV, Client::bottom());
+    auto InVector = [&](const BasicBlock *BB, Value *Dst) {
+      if (BB == F.entry()) {
+        std::copy(EntryVec, EntryVec + NV, Dst);
+        return;
+      }
+      std::fill(Dst, Dst + NV, Client::bottom());
       for (unsigned EId : E.inEdges(BB))
         if (EdgeExec[EId])
           for (unsigned V = 0; V != NV; ++V)
-            Vec[V] = C.meet(Vec[V], EdgeVec[EId][V]);
-      return Vec;
+            Dst[V] = C.meet(Dst[V], EdgeVec[std::size_t(EId) * NV + V]);
     };
 
     const std::uint64_t MaxPops =
-        64 + 512 * (std::uint64_t(E.size()) + F.numBlocks() + 1) * (NV + 1);
+        64 + 512 * (std::uint64_t(NE) + F.numBlocks() + 1) * (NV + 1);
     std::uint64_t Pops = 0;
 
-    Worklist WL(F.numBlocks());
+    ArenaWorklist WL(Pool, F.numBlocks());
     BlockExec[F.entry()->id()] = true;
     WL.push(F.entry()->id());
     detail::bump(Ctr.Pushes);
@@ -424,29 +555,30 @@ public:
                              "(non-monotone transfer function?)");
       BasicBlock *BB = F.block(WL.pop());
       detail::bump(Ctr.Pops);
-      std::vector<Value> Vec = InVector(BB);
+      InVector(BB, Vec);
       for (const auto &IPtr : BB->instructions())
         if (const auto *D = dyn_cast<DefInst>(IPtr.get()))
           Vec[D->def()] = C.transfer(
               *D, [&](const Operand &Op) { return Vec[Op.var()]; },
               /*Executable=*/true);
 
-      auto Propagate = [&](unsigned EId, const std::vector<Value> &V) {
+      auto Propagate = [&](unsigned EId, const Value *V) {
         // The whole V-wide vector crosses the edge even when one slot
         // moved — the work the paper's sparse representation eliminates.
         detail::bump(Ctr.Slots, NV);
+        Value *Slot = EdgeVec + std::size_t(EId) * NV;
         if (EdgeExec[EId]) {
           bool Same = true;
           for (unsigned Var = 0; Var != NV && Same; ++Var)
-            Same = Client::equal(EdgeVec[EId][Var], V[Var]);
+            Same = Client::equal(Slot[Var], V[Var]);
           if (Same)
             return;
         }
         for (unsigned Var = 0; Var != NV; ++Var)
-          if (!Client::equal(EdgeVec[EId][Var], V[Var]))
+          if (!Client::equal(Slot[Var], V[Var]))
             detail::bump(Ctr.Lowerings);
         EdgeExec[EId] = true;
-        EdgeVec[EId] = V;
+        std::copy(V, V + NV, Slot);
         BasicBlock *To = E.edge(EId).To;
         BlockExec[To->id()] = true;
         WL.push(To->id());
@@ -457,40 +589,42 @@ public:
       if (auto *Br = dyn_cast<CondBrInst>(Term)) {
         Value Cond = Br->cond().isImm() ? C.fromImmediate(Br->cond().imm())
                                         : Vec[Br->cond().var()];
-        if (C.mayBeTrue(Cond))
-          Propagate(E.outEdge(BB, 0),
-                    C.branchVector(BB, Br, Cond, Vec, /*TrueSide=*/true));
-        if (C.mayBeFalse(Cond))
-          Propagate(E.outEdge(BB, 1),
-                    C.branchVector(BB, Br, Cond, Vec, /*TrueSide=*/false));
+        if (C.mayBeTrue(Cond)) {
+          std::copy(Vec, Vec + NV, BrVec);
+          C.refineBranchVector(BB, Br, Cond, BrVec, /*TrueSide=*/true);
+          Propagate(E.outEdge(BB, 0), BrVec);
+        }
+        if (C.mayBeFalse(Cond)) {
+          std::copy(Vec, Vec + NV, BrVec);
+          C.refineBranchVector(BB, Br, Cond, BrVec, /*TrueSide=*/false);
+          Propagate(E.outEdge(BB, 1), BrVec);
+        }
       } else if (isa<JumpInst>(Term)) {
         Propagate(E.outEdge(BB, 0), Vec);
       }
     }
 
     // Extraction: replay each executable block to record per-use values.
-    Out.UseValues.clear();
     Out.ExecutableBlock = BlockExec;
+    Out.allocate(F);
+    std::uint32_t Row = 0;
     for (const auto &BB : F.blocks()) {
       bool Exec = BlockExec[BB->id()];
-      std::vector<Value> Vec;
       if (Exec)
-        Vec = InVector(BB.get());
+        InVector(BB.get(), Vec);
       for (const auto &IPtr : BB->instructions()) {
         const Instruction *I = IPtr.get();
-        std::vector<Value> Vals(I->numOperands(), Client::bottom());
-        if (Exec) {
-          for (unsigned Idx = 0; Idx != I->numOperands(); ++Idx) {
-            const Operand &Op = I->operand(Idx);
-            Vals[Idx] =
-                Op.isImm() ? C.fromImmediate(Op.imm()) : Vec[Op.var()];
-          }
-          if (const auto *D = dyn_cast<DefInst>(I))
-            Vec[D->def()] = C.transfer(
-                *D, [&](const Operand &Op) { return Vec[Op.var()]; },
-                /*Executable=*/true);
+        Value *Vals = Out.row(Row++);
+        if (!Exec)
+          continue; // Rows start out bottom-filled; nothing to record.
+        for (unsigned Idx = 0; Idx != I->numOperands(); ++Idx) {
+          const Operand &Op = I->operand(Idx);
+          Vals[Idx] = Op.isImm() ? C.fromImmediate(Op.imm()) : Vec[Op.var()];
         }
-        Out.UseValues.emplace(I, std::move(Vals));
+        if (const auto *D = dyn_cast<DefInst>(I))
+          Vec[D->def()] = C.transfer(
+              *D, [&](const Operand &Op) { return Vec[Op.var()]; },
+              /*Executable=*/true);
       }
     }
     return Status::success();

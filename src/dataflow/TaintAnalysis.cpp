@@ -76,33 +76,32 @@ public:
   void refineSwitch(const BasicBlock *, const CondBrInst *, const TaintVal &,
                     const TaintVal &, VarId, TaintVal &, TaintVal &) const {}
 
-  std::vector<TaintVal> branchVector(const BasicBlock *, const CondBrInst *,
-                                     const TaintVal &,
-                                     const std::vector<TaintVal> &Vec,
-                                     bool) const {
-    return Vec;
-  }
+  void refineBranchVector(const BasicBlock *, const CondBrInst *,
+                          const TaintVal &, TaintVal *, bool) const {}
 };
 
 } // namespace
 
 unsigned TaintResult::numTaintedVarUses() const {
   unsigned N = 0;
-  for (const auto &[I, Vals] : UseValues)
-    for (unsigned Idx = 0; Idx != Vals.size(); ++Idx)
-      if (Idx < I->numOperands() && I->operand(Idx).isVar())
+  forEachInstruction([&](const Instruction *I, const TaintVal *Vals,
+                         unsigned NumVals) {
+    for (unsigned Idx = 0; Idx != NumVals; ++Idx)
+      if (I->operand(Idx).isVar())
         N += Vals[Idx].isTainted();
+  });
   return N;
 }
 
 unsigned TaintResult::numTaintedSinkUses() const {
   unsigned N = 0;
-  for (const auto &[I, Vals] : UseValues) {
+  forEachInstruction([&](const Instruction *I, const TaintVal *Vals,
+                         unsigned NumVals) {
     if (!isa<RetInst>(I))
-      continue;
-    for (unsigned Idx = 0; Idx != Vals.size(); ++Idx)
+      return;
+    for (unsigned Idx = 0; Idx != NumVals; ++Idx)
       N += Vals[Idx].isTainted();
-  }
+  });
   return N;
 }
 

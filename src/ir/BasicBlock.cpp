@@ -119,3 +119,14 @@ std::vector<BasicBlock *> BasicBlock::successors() const {
     return {C->trueTarget(), C->falseTarget()};
   return {};
 }
+
+unsigned BasicBlock::numSuccessors() const {
+  Instruction *Term = terminator();
+  if (!Term)
+    return 0;
+  if (isa<JumpInst>(Term))
+    return 1;
+  if (isa<CondBrInst>(Term))
+    return 2;
+  return 0;
+}

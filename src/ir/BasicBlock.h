@@ -97,7 +97,9 @@ public:
   /// Successor blocks, derived from the terminator. Empty if no terminator
   /// or a ret.
   std::vector<BasicBlock *> successors() const;
-  unsigned numSuccessors() const { return unsigned(successors().size()); }
+  /// Successor count without materializing the vector (hot: the DFG
+  /// builder asks this per block per variable).
+  unsigned numSuccessors() const;
 
   const std::vector<BasicBlock *> &predecessors() const { return Preds; }
   unsigned numPredecessors() const { return unsigned(Preds.size()); }

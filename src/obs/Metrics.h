@@ -50,6 +50,24 @@ std::uint64_t processAllocationCount();
 /// The process's peak resident set size in bytes, or 0 when unavailable.
 std::uint64_t peakRSSBytes();
 
+/// Scoped allocation-delta probe: records this thread's cumulative
+/// allocation counters at construction, and reports the traffic since
+/// then. Because the counters are thread-local and deterministic for a
+/// fixed workload, `bytes()`/`count()` taken around a kernel invocation
+/// are exact, machine-independent measurements — the `ctr_alloc_*`
+/// metrics the bench counter sweeps feed into the perf gate.
+class AllocDelta {
+  std::uint64_t Bytes0;
+  std::uint64_t Count0;
+
+public:
+  AllocDelta()
+      : Bytes0(threadAllocatedBytes()), Count0(threadAllocationCount()) {}
+
+  std::uint64_t bytes() const { return threadAllocatedBytes() - Bytes0; }
+  std::uint64_t count() const { return threadAllocationCount() - Count0; }
+};
+
 } // namespace obs
 } // namespace depflow
 

@@ -9,6 +9,8 @@
 
 #include "support/Statistic.h"
 
+#include <type_traits>
+
 using namespace depflow;
 
 DEPFLOW_STATISTIC(NumAnalysesComputed, "analysis",
@@ -70,6 +72,14 @@ DepFlowGraph DFGAnalysis::run(Function &F, FunctionAnalysisManager &AM) {
   const ProgramStructureTree &PST = AM.getResult<PSTAnalysis>();
   return DepFlowGraph::build(F, E, PST);
 }
+
+// Dataflow results live in the analysis cache and move by value between
+// its slots; only their position-based payload may be copied around, and
+// the values themselves must be arena-compatible tokens.
+static_assert(std::is_trivially_copyable_v<RangeResult::Value> &&
+                  std::is_trivially_copyable_v<TaintResult::Value> &&
+                  std::is_trivially_copyable_v<NullUseResult::Value>,
+              "cached dataflow results require token-sized lattice values");
 
 RangeResult RangeAnalysis::run(Function &F, FunctionAnalysisManager &AM) {
   ++NumAnalysesComputed;

@@ -136,15 +136,17 @@ ConstPropResult depflow::sccp(Function &F, const std::vector<VarId> &OrigOf) {
 
   ConstPropResult R;
   R.ExecutableBlock = BlockExec;
+  R.allocate(F);
+  std::uint32_t Row = 0;
   for (const auto &BB : F.blocks()) {
     bool Exec = BlockExec[BB->id()];
     for (const auto &IPtr : BB->instructions()) {
       const Instruction *I = IPtr.get();
-      std::vector<ConstVal> Vals(I->numOperands(), ConstVal::bot());
-      if (Exec)
-        for (unsigned Idx = 0; Idx != I->numOperands(); ++Idx)
-          Vals[Idx] = OperandVal(I->operand(Idx));
-      R.UseValues.emplace(I, std::move(Vals));
+      ConstVal *Vals = R.row(Row++);
+      if (!Exec)
+        continue; // Rows start out ⊥-filled.
+      for (unsigned Idx = 0; Idx != I->numOperands(); ++Idx)
+        Vals[Idx] = OperandVal(I->operand(Idx));
     }
   }
   return R;

@@ -1,0 +1,31 @@
+//===- support/Arena.cpp - Arena statistics hooks -------------------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Arena.h"
+#include "support/Statistic.h"
+
+namespace depflow {
+
+DEPFLOW_STATISTIC(NumArenaBytesRequested, "arena",
+                  "Bytes requested from the heap for arena chunks");
+DEPFLOW_STATISTIC(NumArenaChunks, "arena", "Arena chunks allocated");
+DEPFLOW_STATISTIC(NumArenaResets, "arena", "Arena reset-and-reuse cycles");
+DEPFLOW_MAX_STATISTIC(MaxArenaFootprint, "arena",
+                      "Largest reserved footprint of any single arena");
+
+namespace detail {
+
+void arenaStatChunk(std::uint64_t ChunkBytes, std::uint64_t ArenaFootprint) {
+  NumArenaBytesRequested += ChunkBytes;
+  ++NumArenaChunks;
+  MaxArenaFootprint.update(ArenaFootprint);
+}
+
+void arenaStatReset() { ++NumArenaResets; }
+
+} // namespace detail
+} // namespace depflow

@@ -1,0 +1,165 @@
+//===- support/PackedVector.h - Compact trivially-copyable vector -*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal vector for trivially-copyable elements with 32-bit size and
+/// capacity. The hot kernels (DFG builder, cycle equivalence) keep many
+/// parallel columns of small scalars; `std::vector`'s 24-byte header and
+/// per-element destruction machinery are pure overhead there. A
+/// PackedVector is 16 bytes, grows by doubling through the counted global
+/// `operator new` (so `obs::AllocDelta` still sees its traffic), and
+/// copies with `memcpy`.
+///
+/// 32-bit sizes are a deliberate contract, not a shortcut: every graph in
+/// this codebase indexes nodes/edges/instructions with `int`/`unsigned`
+/// already, and halving the index width is where much of the
+/// struct-of-arrays memory win comes from. Growth past 2^32-1 elements
+/// asserts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_SUPPORT_PACKEDVECTOR_H
+#define DEPFLOW_SUPPORT_PACKEDVECTOR_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace depflow {
+
+template <typename T> class PackedVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "PackedVector holds trivially-copyable elements only");
+
+  T *Data = nullptr;
+  std::uint32_t Count = 0;
+  std::uint32_t Cap = 0;
+
+  void grow(std::uint32_t MinCap) {
+    std::uint32_t NewCap = Cap ? Cap * 2 : 8;
+    if (NewCap < MinCap)
+      NewCap = MinCap;
+    T *NewData = static_cast<T *>(::operator new(std::size_t(NewCap) *
+                                                 sizeof(T)));
+    if (Count)
+      std::memcpy(NewData, Data, std::size_t(Count) * sizeof(T));
+    ::operator delete(Data);
+    Data = NewData;
+    Cap = NewCap;
+  }
+
+public:
+  PackedVector() = default;
+  explicit PackedVector(std::uint32_t N, const T &Init = T()) {
+    assign(N, Init);
+  }
+
+  PackedVector(const PackedVector &O) {
+    if (O.Count) {
+      grow(O.Count);
+      std::memcpy(Data, O.Data, std::size_t(O.Count) * sizeof(T));
+      Count = O.Count;
+    }
+  }
+  PackedVector &operator=(const PackedVector &O) {
+    if (this != &O) {
+      Count = 0;
+      if (O.Count) {
+        if (Cap < O.Count)
+          grow(O.Count);
+        std::memcpy(Data, O.Data, std::size_t(O.Count) * sizeof(T));
+        Count = O.Count;
+      }
+    }
+    return *this;
+  }
+  PackedVector(PackedVector &&O) noexcept
+      : Data(O.Data), Count(O.Count), Cap(O.Cap) {
+    O.Data = nullptr;
+    O.Count = O.Cap = 0;
+  }
+  PackedVector &operator=(PackedVector &&O) noexcept {
+    if (this != &O) {
+      ::operator delete(Data);
+      Data = O.Data;
+      Count = O.Count;
+      Cap = O.Cap;
+      O.Data = nullptr;
+      O.Count = O.Cap = 0;
+    }
+    return *this;
+  }
+  ~PackedVector() { ::operator delete(Data); }
+
+  void push_back(const T &V) {
+    if (Count == Cap) {
+      assert(Cap != UINT32_MAX && "PackedVector overflow");
+      grow(Count + 1);
+    }
+    Data[Count++] = V;
+  }
+
+  void reserve(std::uint32_t N) {
+    if (N > Cap)
+      grow(N);
+  }
+
+  void resize(std::uint32_t N, const T &Init = T()) {
+    if (N > Cap)
+      grow(N);
+    for (std::uint32_t I = Count; I < N; ++I)
+      Data[I] = Init;
+    Count = N;
+  }
+
+  void assign(std::uint32_t N, const T &Init) {
+    Count = 0;
+    resize(N, Init);
+  }
+
+  void clear() { Count = 0; }
+  void pop_back() {
+    assert(Count && "pop_back on empty PackedVector");
+    --Count;
+  }
+
+  T &operator[](std::uint32_t I) {
+    assert(I < Count && "PackedVector index out of range");
+    return Data[I];
+  }
+  const T &operator[](std::uint32_t I) const {
+    assert(I < Count && "PackedVector index out of range");
+    return Data[I];
+  }
+
+  T &back() {
+    assert(Count);
+    return Data[Count - 1];
+  }
+  const T &back() const {
+    assert(Count);
+    return Data[Count - 1];
+  }
+
+  T *begin() { return Data; }
+  T *end() { return Data + Count; }
+  const T *begin() const { return Data; }
+  const T *end() const { return Data + Count; }
+  T *data() { return Data; }
+  const T *data() const { return Data; }
+
+  std::uint32_t size() const { return Count; }
+  std::uint32_t capacity() const { return Cap; }
+  bool empty() const { return Count == 0; }
+};
+
+} // namespace depflow
+
+#endif // DEPFLOW_SUPPORT_PACKEDVECTOR_H

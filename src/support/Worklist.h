@@ -15,8 +15,10 @@
 #ifndef DEPFLOW_SUPPORT_WORKLIST_H
 #define DEPFLOW_SUPPORT_WORKLIST_H
 
+#include "support/Arena.h"
 #include "support/BitVector.h"
 
+#include <cstdint>
 #include <deque>
 
 namespace depflow {
@@ -43,6 +45,53 @@ public:
     unsigned Id = Queue.front();
     Queue.pop_front();
     InQueue.reset(Id);
+    return Id;
+  }
+};
+
+/// The same FIFO-with-dedup contract as `Worklist`, but with all storage
+/// carved from a caller-owned `BumpArena`: a fixed ring of `UniverseSize`
+/// slots (dedup guarantees at most one pending entry per id, so the ring
+/// can never overflow) plus one presence bit per id. Per-solve engines use
+/// this so a whole solve costs a handful of chunk allocations instead of
+/// deque-page churn. Pop order is identical to `Worklist` for the same
+/// push sequence.
+class ArenaWorklist {
+  std::uint32_t *Ring;
+  std::uint64_t *InQueue;
+  std::uint32_t Capacity;
+  std::uint32_t Head = 0;
+  std::uint32_t Pending = 0;
+
+public:
+  ArenaWorklist(BumpArena &Pool, unsigned UniverseSize)
+      : Ring(Pool.allocateArray<std::uint32_t>(UniverseSize)),
+        InQueue(Pool.allocateFilled<std::uint64_t>((UniverseSize + 63) / 64,
+                                                   0)),
+        Capacity(UniverseSize) {}
+
+  bool empty() const { return Pending == 0; }
+  std::size_t size() const { return Pending; }
+
+  /// Enqueues \p Id unless it is already pending.
+  void push(unsigned Id) {
+    std::uint64_t &Word = InQueue[Id >> 6];
+    std::uint64_t Mask = std::uint64_t(1) << (Id & 63);
+    if (Word & Mask)
+      return;
+    Word |= Mask;
+    std::uint32_t Tail = Head + Pending;
+    Ring[Tail >= Capacity ? Tail - Capacity : Tail] = Id;
+    ++Pending;
+  }
+
+  unsigned pop() {
+    unsigned Id = Ring[Head];
+    ++Head;
+    if (Head == Capacity)
+      Head = 0;
+    --Pending;
+    InQueue[Id >> 6] &= ~(std::uint64_t(1) << (Id & 63));
     return Id;
   }
 };

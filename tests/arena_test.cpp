@@ -1,0 +1,238 @@
+//===- tests/arena_test.cpp - Arena and flat-storage tests ----------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+// The contracts the struct-of-arrays kernels stand on: BumpArena alignment
+// and growth across chunk boundaries, reset-and-reuse (with ASan poisoning
+// when compiled in), PackedVector's exact-reservation growth, ArenaWorklist
+// agreeing with the heap Worklist pop for pop, and a relocated
+// DataflowResult surviving a snapshot/bindTo round trip onto a re-parsed
+// function.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/ConstantPropagation.h"
+#include "ir/Printer.h"
+#include "ParseOrDie.h"
+#include "support/Arena.h"
+#include "support/PackedVector.h"
+#include "support/Worklist.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+using namespace depflow;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// BumpArena
+//===----------------------------------------------------------------------===//
+
+TEST(BumpArena, RespectsAlignment) {
+  BumpArena A(256);
+  // Interleave odd-sized byte requests with aligned ones so the bump
+  // pointer is repeatedly left misaligned.
+  for (unsigned I = 0; I != 64; ++I) {
+    (void)A.allocate(1 + (I % 3), 1);
+    for (std::size_t Align : {2, 4, 8, 16}) {
+      void *P = A.allocate(Align * 2, Align);
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(P) % Align, 0u)
+          << "align " << Align << " iteration " << I;
+    }
+  }
+}
+
+TEST(BumpArena, GrowsAcrossChunkBoundariesKeepingOldData) {
+  BumpArena A(64); // Tiny first chunk: every few arrays force a new one.
+  std::vector<std::uint32_t *> Arrays;
+  for (std::uint32_t I = 0; I != 200; ++I) {
+    std::uint32_t *P = A.allocateFilled<std::uint32_t>(17, I);
+    Arrays.push_back(P);
+  }
+  // Earlier arrays live in earlier chunks; every value must have survived
+  // the growth.
+  for (std::uint32_t I = 0; I != 200; ++I)
+    for (unsigned J = 0; J != 17; ++J)
+      ASSERT_EQ(Arrays[I][J], I);
+  EXPECT_GE(A.bytesAllocated(), 200u * 17u * sizeof(std::uint32_t));
+  EXPECT_GE(A.bytesReserved(), A.bytesAllocated());
+}
+
+TEST(BumpArena, OversizedRequestGetsItsOwnChunk) {
+  BumpArena A(64);
+  std::uint64_t *Big = A.allocateFilled<std::uint64_t>(4096, 7);
+  for (unsigned I = 0; I != 4096; ++I)
+    ASSERT_EQ(Big[I], 7u);
+}
+
+TEST(BumpArena, ResetRewindsAndReuses) {
+  BumpArena A(128);
+  for (unsigned I = 0; I != 50; ++I)
+    (void)A.allocateArray<std::uint64_t>(32);
+  std::uint64_t ReservedBefore = A.bytesReserved();
+  A.reset();
+  EXPECT_EQ(A.bytesAllocated(), 0u);
+  // Only the newest (largest) chunk survives a reset.
+  EXPECT_LE(A.bytesReserved(), ReservedBefore);
+  EXPECT_GT(A.bytesReserved(), 0u);
+  // The retained chunk serves the next generation without growing when the
+  // request fits.
+  std::uint64_t ReservedAfterReset = A.bytesReserved();
+  std::uint32_t *P = A.allocateFilled<std::uint32_t>(8, 3);
+  for (unsigned I = 0; I != 8; ++I)
+    ASSERT_EQ(P[I], 3u);
+  EXPECT_EQ(A.bytesReserved(), ReservedAfterReset);
+}
+
+TEST(BumpArena, ResetPoisonsRetainedChunkUnderASan) {
+  if (!BumpArena::poisoningActive())
+    GTEST_SKIP() << "manual ASan poisoning not compiled in";
+  BumpArena A(256);
+  char *P = A.allocateArray<char>(64);
+  EXPECT_FALSE(BumpArena::addressIsPoisoned(P));
+  A.reset();
+  // P now dangles into the retained-but-rewound chunk; ASan must consider
+  // it poisoned so a stale read faults instead of yielding old bytes.
+  EXPECT_TRUE(BumpArena::addressIsPoisoned(P));
+  char *Q = A.allocateArray<char>(16);
+  EXPECT_FALSE(BumpArena::addressIsPoisoned(Q));
+}
+
+TEST(BumpArena, MoveKeepsPointersValid) {
+  BumpArena A(128);
+  std::uint32_t *P = A.allocateFilled<std::uint32_t>(16, 42);
+  BumpArena B(std::move(A));
+  for (unsigned I = 0; I != 16; ++I)
+    ASSERT_EQ(P[I], 42u); // Chunks are heap-stable across the move.
+  std::uint32_t *Q = B.allocateFilled<std::uint32_t>(4, 9);
+  EXPECT_EQ(Q[0], 9u);
+}
+
+//===----------------------------------------------------------------------===//
+// PackedVector
+//===----------------------------------------------------------------------===//
+
+TEST(PackedVector, PushGrowCopySemantics) {
+  PackedVector<std::uint16_t> V;
+  EXPECT_TRUE(V.empty());
+  for (std::uint32_t I = 0; I != 1000; ++I)
+    V.push_back(std::uint16_t(I * 3));
+  ASSERT_EQ(V.size(), 1000u);
+  for (std::uint32_t I = 0; I != 1000; ++I)
+    ASSERT_EQ(V[I], std::uint16_t(I * 3));
+
+  PackedVector<std::uint16_t> C(V); // copy
+  PackedVector<std::uint16_t> M(std::move(V));
+  ASSERT_EQ(C.size(), 1000u);
+  ASSERT_EQ(M.size(), 1000u);
+  EXPECT_EQ(V.size(), 0u);
+  for (std::uint32_t I = 0; I != 1000; ++I) {
+    ASSERT_EQ(C[I], std::uint16_t(I * 3));
+    ASSERT_EQ(M[I], std::uint16_t(I * 3));
+  }
+}
+
+TEST(PackedVector, ReserveOnEmptyIsExact) {
+  // The hot kernels pre-size their columns exactly; a doubling reserve
+  // would show up directly in the alloc-bytes perf gate.
+  PackedVector<std::uint64_t> V;
+  V.reserve(12345);
+  EXPECT_EQ(V.capacity(), 12345u);
+  for (std::uint32_t I = 0; I != 12345; ++I)
+    V.push_back(I);
+  EXPECT_EQ(V.capacity(), 12345u); // No growth while within the reserve.
+}
+
+//===----------------------------------------------------------------------===//
+// ArenaWorklist
+//===----------------------------------------------------------------------===//
+
+TEST(ArenaWorklist, MatchesHeapWorklistPopForPop) {
+  const unsigned Universe = 300;
+  BumpArena Pool(8192);
+  ArenaWorklist AW(Pool, Universe);
+  Worklist HW(Universe);
+
+  std::mt19937 Rng(7);
+  std::uniform_int_distribution<unsigned> Id(0, Universe - 1);
+  for (unsigned Step = 0; Step != 5000; ++Step) {
+    if (Rng() % 3 != 0 || AW.empty()) {
+      unsigned N = Id(Rng);
+      AW.push(N);
+      HW.push(N);
+    } else {
+      ASSERT_EQ(AW.pop(), HW.pop());
+    }
+    ASSERT_EQ(AW.size(), HW.size());
+    ASSERT_EQ(AW.empty(), HW.empty());
+  }
+  while (!AW.empty())
+    ASSERT_EQ(AW.pop(), HW.pop());
+  EXPECT_TRUE(HW.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// DataflowResult relocation
+//===----------------------------------------------------------------------===//
+
+const char *kSnapshotSource = R"(func f(p) {
+entry:
+  x = 1
+  c = p == 4
+  if c goto then else join
+then:
+  y = x + 2
+  goto join
+join:
+  z = x + y
+  ret z
+})";
+
+TEST(DataflowResult, SnapshotRebindsToReparsedFunction) {
+  auto F1 = parseFunctionOrDie(kSnapshotSource);
+  ConstPropResult R1;
+  ASSERT_TRUE(runConstantPropagation(*F1, /*G=*/nullptr, EvalMode::DenseCFG,
+                                     R1, /*PredicateRefinement=*/true)
+                  .ok());
+
+  // Snapshot carries positions only — safe to keep after F1 dies.
+  ConstPropResult R2;
+  static_cast<DataflowResult<ConstVal> &>(R2) = R1.snapshot();
+
+  // Round-trip the function through the printer so the clone shares no
+  // instruction pointers with the original.
+  std::string Printed = printFunction(*F1);
+  auto F2 = parseFunctionOrDie(Printed);
+  F1.reset();
+
+  R2.bindTo(*F2);
+  ASSERT_EQ(R2.size(), [&] {
+    std::uint32_t N = 0;
+    for (const auto &BB : F2->blocks())
+      N += std::uint32_t(BB->size());
+    return N;
+  }());
+
+  // Every operand value answered through the rebuilt pointer index must
+  // match what a fresh solve of the clone computes.
+  ConstPropResult Fresh;
+  ASSERT_TRUE(runConstantPropagation(*F2, /*G=*/nullptr, EvalMode::DenseCFG,
+                                     Fresh, /*PredicateRefinement=*/true)
+                  .ok());
+  EXPECT_EQ(R2.ExecutableBlock, Fresh.ExecutableBlock);
+  for (const auto &BB : F2->blocks())
+    for (const auto &IPtr : BB->instructions()) {
+      const Instruction *I = IPtr.get();
+      for (unsigned Idx = 0; Idx != I->numOperands(); ++Idx)
+        EXPECT_TRUE(R2.useValue(I, Idx) == Fresh.useValue(I, Idx))
+            << "operand " << Idx << " in block " << BB->label();
+    }
+  EXPECT_EQ(R2.numConstantUses(), Fresh.numConstantUses());
+}
+
+} // namespace

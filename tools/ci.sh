@@ -179,6 +179,30 @@ if python3 "$ROOT/tools/bench_compare.py" "$ROOT/bench/baselines" \
 fi
 echo "ci: bench_compare self-check ok"
 
+# Same check aimed at the allocation counters specifically: the arena
+# work is graded by ctr_alloc_bytes/ctr_alloc_count, so a doctored
+# allocation figure in the DFG-construction baseline must trip the gate
+# exactly like any other counter.
+mkdir -p "$MODDIR/bench-alloc-tampered"
+cp "$ROOT"/bench/baselines/BENCH_*.json "$MODDIR/bench-alloc-tampered/"
+python3 - "$MODDIR/bench-alloc-tampered/BENCH_dfg_construction.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+tampered = 0
+for entry in doc["entries"]:
+    if "ctr_alloc_bytes" in entry["metrics"]:
+        entry["metrics"]["ctr_alloc_bytes"] //= 2
+        tampered += 1
+assert tampered, "no alloc counters found to tamper with"
+json.dump(doc, open(sys.argv[1], "w"))
+PY
+if python3 "$ROOT/tools/bench_compare.py" "$ROOT/bench/baselines" \
+    "$MODDIR/bench-alloc-tampered" --no-time >/dev/null; then
+  echo "ci: BENCH COMPARE FAILED TO CATCH a tampered alloc counter" >&2
+  exit 1
+fi
+echo "ci: alloc-counter self-check ok"
+
 # Same check aimed at the sparse-client baseline specifically: its claims
 # (one linearity fit per engine client) must also be tamper-evident, not
 # just its counters.
