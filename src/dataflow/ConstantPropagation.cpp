@@ -361,7 +361,9 @@ unsigned depflow::applyConstantsAndDCE(Function &F,
       for (unsigned Idx = 0; Idx != BB->size();) {
         const Instruction *I = BB->instructions()[Idx].get();
         const auto *D = dyn_cast<DefInst>(I);
-        if (D && !isa<ReadInst>(D) && !Used[D->def()]) {
+        // Reads and calls are observable (they consume the shared input
+        // stream), so DCE may never drop them even when the result is dead.
+        if (D && !isa<ReadInst>(D) && !isa<CallInst>(D) && !Used[D->def()]) {
           BB->removeInstruction(Idx);
           Changed = true;
         } else {

@@ -123,6 +123,7 @@ ConstVal evalDefinition(const DefInst &I, GetOperandFn GetOperand,
   case Instruction::Kind::Copy:
     return Val(cast<CopyInst>(&I)->src());
   case Instruction::Kind::Read:
+  case Instruction::Kind::Call: // Callee result is opaque intraprocedurally.
     return ConstVal::top();
   case Instruction::Kind::Unary: {
     ConstVal A = Val(cast<UnaryInst>(&I)->src());
@@ -231,6 +232,7 @@ IntervalVal evalRangeDefinition(const DefInst &I, GetOperandFn GetOperand,
   case Instruction::Kind::Copy:
     return Val(cast<CopyInst>(&I)->src());
   case Instruction::Kind::Read:
+  case Instruction::Kind::Call: // Callee result is opaque intraprocedurally.
     return IntervalVal::top();
   case Instruction::Kind::Unary: {
     IntervalVal A = Val(cast<UnaryInst>(&I)->src());
@@ -316,6 +318,7 @@ TaintVal evalTaintDefinition(const DefInst &I, GetOperandFn GetOperand,
   case Instruction::Kind::Copy:
     return Val(cast<CopyInst>(&I)->src());
   case Instruction::Kind::Read:
+  case Instruction::Kind::Call: // May observe read() inside the callee.
     return TaintVal::tainted(); // The IR's source of external input.
   case Instruction::Kind::Unary:
     return Val(cast<UnaryInst>(&I)->src());
@@ -398,6 +401,7 @@ InitVal evalInitDefinition(const DefInst &I, GetOperandFn GetOperand,
     return Val(cast<CopyInst>(&I)->src()).isBottom() ? InitVal::bottom()
                                                      : InitVal::init();
   case Instruction::Kind::Read:
+  case Instruction::Kind::Call: // Always yields a value (0 if no ret operand).
     return InitVal::init();
   case Instruction::Kind::Unary:
     return Val(cast<UnaryInst>(&I)->src()).isBottom() ? InitVal::bottom()

@@ -20,103 +20,199 @@ Status ExecResult::status() const {
   return Status::success();
 }
 
+namespace {
+
+/// State shared by every frame of one execution: the module (null when
+/// running a lone function), the input cursor, the fuel, and the result
+/// being filled in. Frames recurse through runFrame; a false return means
+/// execution stopped abnormally (trap or fuel) and the flags in R say why.
+struct Machine {
+  const Module *M = nullptr;
+  const std::vector<std::int64_t> *Inputs = nullptr;
+  std::size_t NextInput = 0;
+  std::uint64_t MaxSteps = DefaultInterpFuel;
+  unsigned MaxCallDepth = DefaultInterpCallDepth;
+  std::string WatchFunc;
+  unsigned WatchLine = 0;
+  ExecResult *R = nullptr;
+
+  std::int64_t readInput() {
+    return NextInput < Inputs->size() ? (*Inputs)[NextInput++] : 0;
+  }
+
+  bool watching(const Function &F, const Instruction &I) const {
+    return WatchLine != 0 && I.line() == WatchLine && F.name() == WatchFunc;
+  }
+
+  bool trap(std::string Reason) {
+    R->Trapped = true;
+    R->TrapReason = std::move(Reason);
+    return false;
+  }
+
+  /// Runs one frame of \p F with parameter values \p Args. On normal ret,
+  /// fills \p RetVals with the evaluated ret operands and returns true.
+  /// \p IsRoot frames own BlockCounts and the program Outputs.
+  bool runFrame(const Function &F, const std::vector<std::int64_t> &Args,
+                unsigned Depth, bool IsRoot,
+                std::vector<std::int64_t> &RetVals) {
+    std::vector<std::int64_t> Vals(F.numVars(), 0);
+    for (std::size_t P = 0; P != F.params().size(); ++P)
+      Vals[F.params()[P]] = P < Args.size() ? Args[P] : 0;
+
+    auto Eval = [&](const Operand &O) -> std::int64_t {
+      return O.isImm() ? O.imm() : Vals[O.var()];
+    };
+
+    const BasicBlock *Prev = nullptr;
+    const BasicBlock *BB = F.entry();
+    while (BB) {
+      if (IsRoot)
+        R->BlockCounts[BB->id()]++;
+      // Evaluate phis as a parallel copy based on the arriving edge.
+      std::vector<std::pair<VarId, std::int64_t>> PhiWrites;
+      for (const auto &IPtr : BB->instructions()) {
+        const auto *Phi = dyn_cast<PhiInst>(IPtr.get());
+        if (!Phi)
+          break;
+        bool Found = false;
+        for (unsigned K = 0, E = Phi->numIncoming(); K != E; ++K) {
+          if (Phi->incomingBlock(K) == Prev) {
+            PhiWrites.push_back({Phi->def(), Eval(Phi->incomingValue(K))});
+            Found = true;
+            break;
+          }
+        }
+        if (!Found)
+          return trap("phi in block '" + BB->label() +
+                      "' has no entry for the arriving edge");
+        ++R->Steps;
+      }
+      for (auto [V, Value] : PhiWrites)
+        Vals[V] = Value;
+
+      const BasicBlock *Next = nullptr;
+      for (const auto &IPtr : BB->instructions()) {
+        const Instruction &I = *IPtr;
+        if (isa<PhiInst>(&I))
+          continue;
+        if (R->Steps++ >= MaxSteps) {
+          R->FuelExhausted = true;
+          return false; // Fuel exhausted; Halted stays false.
+        }
+        switch (I.kind()) {
+        case Instruction::Kind::Copy:
+          Vals[cast<CopyInst>(&I)->def()] = Eval(cast<CopyInst>(&I)->src());
+          break;
+        case Instruction::Kind::Unary: {
+          const auto *U = cast<UnaryInst>(&I);
+          Vals[U->def()] = evalUnOp(U->op(), Eval(U->src()));
+          break;
+        }
+        case Instruction::Kind::Binary: {
+          const auto *B = cast<BinaryInst>(&I);
+          Vals[B->def()] = evalBinOp(B->op(), Eval(B->lhs()), Eval(B->rhs()));
+          ++R->ExprCounts[Expression{B->op(), B->lhs(), B->rhs()}];
+          break;
+        }
+        case Instruction::Kind::Read:
+          Vals[cast<ReadInst>(&I)->def()] = readInput();
+          break;
+        case Instruction::Kind::Call: {
+          const auto *C = cast<CallInst>(&I);
+          if (!M)
+            return trap("call to '" + C->callee() + "' outside a module");
+          const Function *Callee = M->lookup(C->callee());
+          if (!Callee)
+            return trap("call to unknown callee '" + C->callee() + "'");
+          if (Depth + 1 >= MaxCallDepth)
+            return trap("call depth limit (" +
+                        std::to_string(MaxCallDepth) + ") exceeded at '" +
+                        C->callee() + "'");
+          std::vector<std::int64_t> CallArgs;
+          CallArgs.reserve(C->numArgs());
+          for (const Operand &O : C->operands())
+            CallArgs.push_back(Eval(O));
+          std::vector<std::int64_t> CalleeRets;
+          if (!runFrame(*Callee, CallArgs, Depth + 1, false, CalleeRets))
+            return false;
+          Vals[C->def()] = CalleeRets.empty() ? 0 : CalleeRets[0];
+          break;
+        }
+        case Instruction::Kind::Phi:
+          depflow_unreachable("phis handled before the main loop");
+        case Instruction::Kind::Jump:
+          Next = cast<JumpInst>(&I)->target();
+          break;
+        case Instruction::Kind::CondBr: {
+          const auto *C = cast<CondBrInst>(&I);
+          if (watching(F, I))
+            R->WatchTrace.push_back(Eval(C->cond()));
+          Next = Eval(C->cond()) != 0 ? C->trueTarget() : C->falseTarget();
+          break;
+        }
+        case Instruction::Kind::Ret:
+          for (const Operand &O : I.operands())
+            RetVals.push_back(Eval(O));
+          if (watching(F, I))
+            for (std::int64_t V : RetVals)
+              R->WatchTrace.push_back(V);
+          if (IsRoot) {
+            R->Outputs = RetVals;
+            R->Halted = true;
+          }
+          return true;
+        }
+        if (const auto *D = dyn_cast<DefInst>(&I); D && watching(F, I))
+          R->WatchTrace.push_back(Vals[D->def()]);
+      }
+      if (!Next)
+        return trap("block '" + BB->label() + "' has no terminator");
+      Prev = BB;
+      BB = Next;
+    }
+    return trap("function '" + F.name() + "' has no entry block");
+  }
+};
+
+} // namespace
+
 ExecResult depflow::runFunction(const Function &F,
                                 const std::vector<std::int64_t> &Inputs,
                                 std::uint64_t MaxSteps) {
   ExecResult R;
   R.BlockCounts.assign(F.numBlocks(), 0);
-  std::vector<std::int64_t> Vals(F.numVars(), 0);
-  std::size_t NextInput = 0;
-  auto ReadInput = [&]() -> std::int64_t {
-    return NextInput < Inputs.size() ? Inputs[NextInput++] : 0;
-  };
-  for (VarId P : F.params())
-    Vals[P] = ReadInput();
+  Machine Mach;
+  Mach.Inputs = &Inputs;
+  Mach.MaxSteps = MaxSteps;
+  Mach.R = &R;
+  std::vector<std::int64_t> Args;
+  Args.reserve(F.params().size());
+  for (std::size_t P = 0; P != F.params().size(); ++P)
+    Args.push_back(Mach.readInput());
+  std::vector<std::int64_t> RetVals;
+  Mach.runFrame(F, Args, 0, true, RetVals);
+  return R;
+}
 
-  auto Eval = [&](const Operand &O) -> std::int64_t {
-    return O.isImm() ? O.imm() : Vals[O.var()];
-  };
-
-  const BasicBlock *Prev = nullptr;
-  const BasicBlock *BB = F.entry();
-  while (BB) {
-    R.BlockCounts[BB->id()]++;
-    // Evaluate phis as a parallel copy based on the arriving edge.
-    std::vector<std::pair<VarId, std::int64_t>> PhiWrites;
-    for (const auto &IPtr : BB->instructions()) {
-      const auto *Phi = dyn_cast<PhiInst>(IPtr.get());
-      if (!Phi)
-        break;
-      bool Found = false;
-      for (unsigned K = 0, E = Phi->numIncoming(); K != E; ++K) {
-        if (Phi->incomingBlock(K) == Prev) {
-          PhiWrites.push_back({Phi->def(), Eval(Phi->incomingValue(K))});
-          Found = true;
-          break;
-        }
-      }
-      if (!Found) {
-        R.Trapped = true;
-        R.TrapReason = "phi in block '" + BB->label() +
-                       "' has no entry for the arriving edge";
-        return R;
-      }
-      ++R.Steps;
-    }
-    for (auto [V, Value] : PhiWrites)
-      Vals[V] = Value;
-
-    const BasicBlock *Next = nullptr;
-    for (const auto &IPtr : BB->instructions()) {
-      const Instruction &I = *IPtr;
-      if (isa<PhiInst>(&I))
-        continue;
-      if (R.Steps++ >= MaxSteps) {
-        R.FuelExhausted = true;
-        return R; // Fuel exhausted; Halted stays false.
-      }
-      switch (I.kind()) {
-      case Instruction::Kind::Copy:
-        Vals[cast<CopyInst>(&I)->def()] = Eval(cast<CopyInst>(&I)->src());
-        break;
-      case Instruction::Kind::Unary: {
-        const auto *U = cast<UnaryInst>(&I);
-        Vals[U->def()] = evalUnOp(U->op(), Eval(U->src()));
-        break;
-      }
-      case Instruction::Kind::Binary: {
-        const auto *B = cast<BinaryInst>(&I);
-        Vals[B->def()] = evalBinOp(B->op(), Eval(B->lhs()), Eval(B->rhs()));
-        ++R.ExprCounts[Expression{B->op(), B->lhs(), B->rhs()}];
-        break;
-      }
-      case Instruction::Kind::Read:
-        Vals[cast<ReadInst>(&I)->def()] = ReadInput();
-        break;
-      case Instruction::Kind::Phi:
-        depflow_unreachable("phis handled before the main loop");
-      case Instruction::Kind::Jump:
-        Next = cast<JumpInst>(&I)->target();
-        break;
-      case Instruction::Kind::CondBr: {
-        const auto *C = cast<CondBrInst>(&I);
-        Next = Eval(C->cond()) != 0 ? C->trueTarget() : C->falseTarget();
-        break;
-      }
-      case Instruction::Kind::Ret:
-        for (const Operand &O : I.operands())
-          R.Outputs.push_back(Eval(O));
-        R.Halted = true;
-        return R;
-      }
-    }
-    if (!Next) {
-      R.Trapped = true;
-      R.TrapReason = "block '" + BB->label() + "' has no terminator";
-      return R;
-    }
-    Prev = BB;
-    BB = Next;
-  }
+ExecResult depflow::runModule(const Module &M, const Function &Entry,
+                              const std::vector<std::int64_t> &Inputs,
+                              const ModuleExecOptions &Opts) {
+  ExecResult R;
+  R.BlockCounts.assign(Entry.numBlocks(), 0);
+  Machine Mach;
+  Mach.M = &M;
+  Mach.Inputs = &Inputs;
+  Mach.MaxSteps = Opts.MaxSteps;
+  Mach.MaxCallDepth = Opts.MaxCallDepth;
+  Mach.WatchFunc = Opts.WatchFunc;
+  Mach.WatchLine = Opts.WatchLine;
+  Mach.R = &R;
+  std::vector<std::int64_t> Args;
+  Args.reserve(Entry.params().size());
+  for (std::size_t P = 0; P != Entry.params().size(); ++P)
+    Args.push_back(Mach.readInput());
+  std::vector<std::int64_t> RetVals;
+  Mach.runFrame(Entry, Args, 0, true, RetVals);
   return R;
 }

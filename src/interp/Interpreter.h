@@ -11,7 +11,13 @@
 ///   * parameters consume the first inputs, `read()` consumes the rest
 ///     (exhausted input reads as 0);
 ///   * phis in a block evaluate simultaneously using the predecessor;
-///   * division is total (x/0 == 0), matching evalBinOp.
+///   * division is total (x/0 == 0), matching evalBinOp;
+///   * `x = call f(a, b)` runs `f` in a fresh frame whose parameters are
+///     the evaluated arguments; `read()` inside the callee consumes the
+///     *same* input stream as the caller (one program, one stdin); the
+///     call's value is the callee's first ret operand (0 if none). Step
+///     fuel is shared across all frames, and call depth is capped so
+///     runaway recursion traps instead of overflowing the host stack.
 ///
 /// The interpreter counts dynamic evaluations of every binary expression,
 /// which is how the tests verify the paper's partial redundancy elimination
@@ -23,7 +29,7 @@
 #define DEPFLOW_INTERP_INTERPRETER_H
 
 #include "ir/Expression.h"
-#include "ir/Function.h"
+#include "ir/Module.h"
 #include "support/Error.h"
 
 #include <cstdint>
@@ -36,6 +42,11 @@ namespace depflow {
 /// the generators or tests produce, finite so the DiffOracle and fuzz
 /// loops can never hang on a non-terminating program.
 inline constexpr std::uint64_t DefaultInterpFuel = 1000000;
+
+/// Call-depth cap for module execution: deep enough for any generated
+/// call DAG, small enough that runaway recursion traps long before the
+/// host stack is at risk.
+inline constexpr unsigned DefaultInterpCallDepth = 256;
 
 struct ExecResult {
   /// Values of the ret operands, valid only when Halted.
@@ -51,10 +62,15 @@ struct ExecResult {
   bool Trapped = false;
   std::string TrapReason;
   std::uint64_t Steps = 0;
-  /// Dynamic evaluation count per syntactic binary expression.
+  /// Dynamic evaluation count per syntactic binary expression
+  /// (accumulated across every frame in a module run).
   std::map<Expression, std::uint64_t> ExprCounts;
-  /// Dynamic trip count per block id.
+  /// Dynamic trip count per block id (root frame only in a module run).
   std::vector<std::uint64_t> BlockCounts;
+  /// Values observed at the watch point (see ModuleExecOptions), in
+  /// execution order across all frames. This is the slicing oracle's
+  /// ground truth: a sliced module must reproduce it exactly.
+  std::vector<std::int64_t> WatchTrace;
 
   std::uint64_t countOf(const Expression &E) const {
     auto It = ExprCounts.find(E);
@@ -66,10 +82,32 @@ struct ExecResult {
   Status status() const;
 };
 
-/// Runs \p F on \p Inputs for at most \p MaxSteps instructions.
+/// Runs \p F on \p Inputs for at most \p MaxSteps instructions. \p F must
+/// be call-free (there is no module to resolve callees against); a call
+/// traps with "call outside a module".
 ExecResult runFunction(const Function &F,
                        const std::vector<std::int64_t> &Inputs,
                        std::uint64_t MaxSteps = DefaultInterpFuel);
+
+struct ModuleExecOptions {
+  std::uint64_t MaxSteps = DefaultInterpFuel;
+  unsigned MaxCallDepth = DefaultInterpCallDepth;
+  /// When WatchFunc is non-empty, every execution of an instruction at
+  /// source line WatchLine inside the function named WatchFunc appends to
+  /// ExecResult::WatchTrace: the assigned value for a definition, the
+  /// condition value for a conditional branch, each returned value for a
+  /// ret. This is how the slice differential oracle observes the
+  /// criterion without changing program semantics.
+  std::string WatchFunc;
+  unsigned WatchLine = 0;
+};
+
+/// Runs \p Entry (which must belong to \p M) on \p Inputs, resolving
+/// calls against \p M. Fuel and the input stream are shared across
+/// frames; BlockCounts cover the root frame only.
+ExecResult runModule(const Module &M, const Function &Entry,
+                     const std::vector<std::int64_t> &Inputs,
+                     const ModuleExecOptions &Opts = {});
 
 } // namespace depflow
 

@@ -81,6 +81,12 @@ ReadInst *BasicBlock::appendRead(VarId Def) {
   return static_cast<ReadInst *>(insert(std::make_unique<ReadInst>(Def)));
 }
 
+CallInst *BasicBlock::appendCall(VarId Def, std::string Callee,
+                                 std::vector<Operand> Args) {
+  return static_cast<CallInst *>(insert(
+      std::make_unique<CallInst>(Def, std::move(Callee), std::move(Args))));
+}
+
 PhiInst *BasicBlock::appendPhi(VarId Def) {
   auto Phi = std::make_unique<PhiInst>(Def);
   Phi->setParent(this);

@@ -88,6 +88,8 @@ public:
   UnaryInst *appendUnary(VarId Def, UnOp Op, Operand Src);
   BinaryInst *appendBinary(VarId Def, BinOp Op, Operand A, Operand B);
   ReadInst *appendRead(VarId Def);
+  CallInst *appendCall(VarId Def, std::string Callee,
+                       std::vector<Operand> Args);
   PhiInst *appendPhi(VarId Def); // Prepended before non-phi instructions.
   JumpInst *setJump(BasicBlock *Target);
   CondBrInst *setCondBr(Operand Cond, BasicBlock *TrueTarget,

@@ -12,7 +12,8 @@
 /// branches and join blocks (see ir/BasicBlock.h).
 ///
 /// Instructions:
-///   definitions:  x = op   | x = -op | x = a <binop> b | x = read() | phi
+///   definitions:  x = op   | x = -op | x = a <binop> b | x = read()
+///                 | x = call f(ops...) | phi
 ///   terminators:  goto B   | if c goto T else F        | ret ops...
 ///
 //===----------------------------------------------------------------------===//
@@ -24,6 +25,7 @@
 #include "support/Casting.h"
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace depflow {
@@ -69,6 +71,7 @@ public:
     Unary,
     Binary,
     Read,
+    Call,
     Phi,
     // Terminators.
     Jump,
@@ -79,6 +82,7 @@ public:
 private:
   Kind K;
   BasicBlock *Parent = nullptr;
+  unsigned Line = 0; // 1-based source line (0 = synthesized, no source).
 
 protected:
   std::vector<Operand> Ops;
@@ -96,6 +100,12 @@ public:
   Kind kind() const { return K; }
   BasicBlock *parent() const { return Parent; }
   void setParent(BasicBlock *BB) { Parent = BB; }
+
+  /// Source line the parser read this instruction from, or 0 when the
+  /// instruction was synthesized by a pass. Slicing criteria
+  /// (`--slice func:line`) resolve against this.
+  unsigned line() const { return Line; }
+  void setLine(unsigned L) { Line = L; }
 
   bool isTerminator() const { return K >= Kind::Jump; }
   bool isDefinition() const { return K <= Kind::Phi; }
@@ -182,6 +192,29 @@ class ReadInst : public DefInst {
 public:
   explicit ReadInst(VarId Def) : DefInst(Kind::Read, Def) {}
   static bool classof(const Instruction *I) { return I->kind() == Kind::Read; }
+};
+
+/// x = call f(a, b, ...) — invokes function `f` from the enclosing module
+/// with the listed arguments; the call's value is the callee's first
+/// returned operand (0 when the callee returns nothing, matching the IR's
+/// implicit-zero philosophy). The callee is referenced *by name*: a lone
+/// function can be parsed, printed, and cloned without its module, and
+/// resolution (callee exists, arity matches) is checked at module level.
+/// Calls also thread the shared input stream: a `read()` in the callee
+/// consumes the same stream as the caller, which is why the SDG models an
+/// io pseudo-state through call sites (docs/SDG.md).
+class CallInst : public DefInst {
+  std::string Callee;
+
+public:
+  CallInst(VarId Def, std::string Callee, std::vector<Operand> Args)
+      : DefInst(Kind::Call, Def), Callee(std::move(Callee)) {
+    Ops = std::move(Args);
+  }
+  const std::string &callee() const { return Callee; }
+  unsigned numArgs() const { return numOperands(); }
+  const Operand &arg(unsigned Idx) const { return operand(Idx); }
+  static bool classof(const Instruction *I) { return I->kind() == Kind::Call; }
 };
 
 /// SSA phi: x = phi(B1: v1, B2: v2, ...). Only present after an SSA

@@ -190,10 +190,41 @@ public:
         return {nullptr, Error, ErrorLine};
       }
     } while (cur().Kind != TokKind::End);
+    if (!resolveCalls(*M))
+      return {nullptr, Error, ErrorLine};
     return {std::move(M), "", 0};
   }
 
 private:
+  /// Callee references are by name and function-local parsing cannot see
+  /// the rest of the module, so resolution (callee exists, arity matches)
+  /// runs once after every function has been parsed. Single-function
+  /// parseFunction() intentionally skips this: a lone function with calls
+  /// round-trips through print->parse without its module.
+  bool resolveCalls(const Module &M) {
+    for (unsigned FI = 0, FE = M.numFunctions(); FI != FE; ++FI) {
+      const Function *F = M.function(FI);
+      for (const auto &BB : F->blocks())
+        for (const auto &I : BB->instructions()) {
+          const auto *C = dyn_cast<CallInst>(I.get());
+          if (!C)
+            continue;
+          const Function *Callee = M.lookup(C->callee());
+          if (!Callee)
+            return failAt(C->line(), "unknown callee '" + C->callee() +
+                                         "' in call from '" + F->name() +
+                                         "'");
+          if (Callee->params().size() != C->numArgs())
+            return failAt(C->line(),
+                          "arity mismatch in call to '" + C->callee() +
+                              "': " + std::to_string(C->numArgs()) +
+                              " argument(s) passed, callee takes " +
+                              std::to_string(Callee->params().size()));
+        }
+    }
+    return true;
+  }
+
   const Token &cur() const { return Toks[Pos]; }
   void advance() {
     if (Pos + 1 < Toks.size())
@@ -365,6 +396,9 @@ private:
     if (BB->terminator())
       return fail("instruction after terminator in block '" + BB->label() +
                   "'");
+    // Every instruction remembers the line its first token sits on;
+    // `--slice func:line` criteria resolve against this.
+    const unsigned InstLine = cur().Line;
     if (isIdent("goto")) {
       advance();
       std::string Label;
@@ -374,7 +408,7 @@ private:
       BasicBlock *Target = lookupBlock(Label);
       if (!Target)
         return failAt(LabelLine, "unknown label '" + Label + "'");
-      BB->setJump(Target);
+      BB->setJump(Target)->setLine(InstLine);
       return true;
     }
     if (isIdent("if")) {
@@ -401,7 +435,7 @@ private:
         return failAt(TrueLine, "unknown label '" + TrueLabel + "'");
       if (!E)
         return failAt(FalseLine, "unknown label '" + FalseLabel + "'");
-      BB->setCondBr(Cond, T, E);
+      BB->setCondBr(Cond, T, E)->setLine(InstLine);
       return true;
     }
     if (isIdent("ret")) {
@@ -424,7 +458,7 @@ private:
           break;
         }
       }
-      BB->setRet(std::move(Outputs));
+      BB->setRet(std::move(Outputs))->setLine(InstLine);
       return true;
     }
     // Definition: IDENT '=' ...
@@ -439,7 +473,34 @@ private:
       advance();
       if (!expectPunct("(") || !expectPunct(")"))
         return false;
-      BB->appendRead(Def);
+      BB->appendRead(Def)->setLine(InstLine);
+      return true;
+    }
+    if (isIdent("call")) {
+      advance();
+      std::string Callee;
+      if (!expectIdent(Callee))
+        return false;
+      if (!expectPunct("("))
+        return false;
+      std::vector<Operand> Args;
+      if (!isPunct(")")) {
+        while (true) {
+          Operand O;
+          if (!parseOperand(O))
+            return false;
+          Args.push_back(O);
+          if (isPunct(",")) {
+            advance();
+            continue;
+          }
+          break;
+        }
+      }
+      if (!expectPunct(")"))
+        return false;
+      BB->appendCall(Def, std::move(Callee), std::move(Args))
+          ->setLine(InstLine);
       return true;
     }
     if (isIdent("phi")) {
@@ -447,6 +508,7 @@ private:
       if (!expectPunct("("))
         return false;
       PhiInst *Phi = BB->appendPhi(Def);
+      Phi->setLine(InstLine);
       while (true) {
         std::string Label;
         unsigned LabelLine = cur().Line;
@@ -475,7 +537,7 @@ private:
       Operand Src;
       if (!parseOperand(Src))
         return false;
-      BB->appendUnary(Def, Op, Src);
+      BB->appendUnary(Def, Op, Src)->setLine(InstLine);
       return true;
     }
     Operand A;
@@ -486,10 +548,10 @@ private:
       Operand B;
       if (!parseOperand(B))
         return false;
-      BB->appendBinary(Def, *Op, A, B);
+      BB->appendBinary(Def, *Op, A, B)->setLine(InstLine);
       return true;
     }
-    BB->appendCopy(Def, A);
+    BB->appendCopy(Def, A)->setLine(InstLine);
     return true;
   }
 };

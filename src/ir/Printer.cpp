@@ -40,6 +40,16 @@ std::string depflow::printInstruction(const Function &F,
     const auto &R = *cast<ReadInst>(&I);
     return F.varName(R.def()) + " = read()";
   }
+  case Instruction::Kind::Call: {
+    const auto &C = *cast<CallInst>(&I);
+    std::string S = F.varName(C.def()) + " = call " + C.callee() + "(";
+    for (unsigned Idx = 0, E = C.numArgs(); Idx != E; ++Idx) {
+      if (Idx)
+        S += ", ";
+      S += printOperand(F, C.arg(Idx));
+    }
+    return S + ")";
+  }
   case Instruction::Kind::Phi: {
     const auto &P = *cast<PhiInst>(&I);
     std::string S = F.varName(P.def()) + " = phi(";

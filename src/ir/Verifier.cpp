@@ -211,3 +211,38 @@ std::vector<std::string> depflow::verifyDefUseHygiene(Function &F) {
   }
   return Warnings;
 }
+
+std::vector<std::string> depflow::verifyModuleCalls(const Module &M) {
+  std::vector<std::string> Errors;
+  for (unsigned FI = 0, FE = M.numFunctions(); FI != FE; ++FI) {
+    const Function *F = M.function(FI);
+    bool HasPhi = false;
+    std::vector<const CallInst *> Calls;
+    for (const auto &BB : F->blocks())
+      for (const auto &I : BB->instructions()) {
+        if (isa<PhiInst>(I.get()))
+          HasPhi = true;
+        else if (const auto *C = dyn_cast<CallInst>(I.get()))
+          Calls.push_back(C);
+      }
+    if (HasPhi && !Calls.empty())
+      Errors.push_back("function '" + F->name() +
+                       "' mixes call and phi instructions; calls are a "
+                       "base-IR construct and must be analyzed before SSA "
+                       "separation");
+    for (const CallInst *C : Calls) {
+      const Function *Callee = M.lookup(C->callee());
+      if (!Callee) {
+        Errors.push_back("function '" + F->name() + "' calls unknown callee '" +
+                         C->callee() + "'");
+        continue;
+      }
+      if (Callee->params().size() != C->numArgs())
+        Errors.push_back(
+            "function '" + F->name() + "' calls '" + C->callee() + "' with " +
+            std::to_string(C->numArgs()) + " argument(s), callee takes " +
+            std::to_string(Callee->params().size()));
+    }
+  }
+  return Errors;
+}

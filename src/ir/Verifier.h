@@ -21,7 +21,7 @@
 #ifndef DEPFLOW_IR_VERIFIER_H
 #define DEPFLOW_IR_VERIFIER_H
 
-#include "ir/Function.h"
+#include "ir/Module.h"
 
 #include <string>
 #include <vector>
@@ -47,6 +47,16 @@ bool isWellFormed(Function &F);
 /// Drivers print these as warnings by default and may escalate them to
 /// errors under a strict mode. Requires \p F to pass verifyFunction.
 std::vector<std::string> verifyDefUseHygiene(Function &F);
+
+/// Module-level call invariants (the parser enforces the same rules on
+/// textual input; this covers programmatically built or transformed
+/// modules):
+///   * every `call` names a function that exists in the module;
+///   * the argument count matches the callee's parameter count;
+///   * a function containing calls contains no phis — calls are a base-IR
+///     construct and interprocedural analysis (src/sdg) runs before SSA
+///     separation, so SSA-form functions must be call-free.
+std::vector<std::string> verifyModuleCalls(const Module &M);
 
 } // namespace depflow
 

@@ -1,0 +1,92 @@
+//===- sdg/Slicer.h - Interprocedural program slicing -----------*- C++ -*-===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interprocedural slicing over the system dependence graph, in the
+/// Horwitz-Reps-Binkley two-phase style. A criterion names a source
+/// position (`func:line`); the backward slice is every node the criterion
+/// transitively depends on, the forward slice every node that transitively
+/// depends on it. Each direction runs two graph traversals:
+///
+///   backward: phase 1 stays in the criterion's function and its callers
+///             (skips param-out edges; summary edges cross calls without
+///             descending), phase 2 descends into callees from everything
+///             phase 1 marked (skips param-in and call edges).
+///   forward:  the dual — phase 1 skips param-in/call, phase 2 skips
+///             param-out.
+///
+/// The backward slice is *executable*: `extractBackwardSlice` clones the
+/// module, keeps exactly the sliced instructions (plus every jump and
+/// ret), rewires each non-slice conditional branch to `goto` its block's
+/// immediate postdominator, and erases unreachable blocks. Because control
+/// dependences, io chains (read ordering), and call-transitive value flow
+/// are all closed over, the sliced program reproduces the criterion's
+/// value trace exactly — the property depflow-fuzz's slice oracle checks
+/// differentially (docs/SDG.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_SDG_SLICER_H
+#define DEPFLOW_SDG_SLICER_H
+
+#include "sdg/SystemDependenceGraph.h"
+#include "support/Error.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace depflow {
+
+enum class SliceDirection { Backward, Forward };
+
+/// A slicing criterion: every instruction of \p Func carrying source line
+/// \p Line (plus, for calls, the value the call site receives).
+struct SliceCriterion {
+  std::string Func;
+  unsigned Line = 0;
+};
+
+/// Parses "func:line" criterion syntax. Fails on malformed text (empty
+/// function name, missing ':', non-numeric or zero line) — the usage-error
+/// path (exit code 2 in depflow-opt).
+Status parseSliceCriterion(std::string_view Text, SliceCriterion &Out);
+
+/// Resolves \p C against the SDG: the Instr nodes of every instruction at
+/// (func, line) plus the actual-out node of every call site on that line.
+/// Fails when the function is unknown or no instruction carries the line —
+/// the rejected-input path (exit code 1 in depflow-opt).
+Status resolveCriterion(const SystemDependenceGraph &G,
+                        const SliceCriterion &C, std::vector<unsigned> &Out);
+
+/// Two-phase slice: per-node membership marks (size == G.numNodes()).
+std::vector<char> sliceSDG(const SystemDependenceGraph &G,
+                           const std::vector<unsigned> &Criterion,
+                           SliceDirection Dir);
+
+/// The (function index, source line) pairs the marked nodes cover, sorted,
+/// deduplicated, synthesized instructions (line 0) excluded. This is the
+/// report form both slice directions print.
+std::vector<std::pair<unsigned, unsigned>>
+sliceLines(const SystemDependenceGraph &G, const std::vector<char> &Marks);
+
+/// Clones \p M keeping only backward-slice instructions: marked
+/// definitions and conditional branches survive, jumps and rets always
+/// survive, every other conditional branch is rewired to `goto` the
+/// immediate postdominator of its block, and blocks unreachable from the
+/// entry are erased. Variable ids, block labels, and source lines are
+/// preserved, so a re-run of the sliced module under the same criterion
+/// watch reproduces the original value trace.
+std::unique_ptr<Module> extractBackwardSlice(const Module &M,
+                                             const SystemDependenceGraph &G,
+                                             const std::vector<char> &Marks);
+
+} // namespace depflow
+
+#endif // DEPFLOW_SDG_SLICER_H

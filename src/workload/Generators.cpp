@@ -422,3 +422,53 @@ std::unique_ptr<Module> depflow::generateModule(unsigned NumFuncs,
   }
   return M;
 }
+
+std::unique_ptr<Module> depflow::generateCallModule(unsigned NumFuncs,
+                                                    std::uint64_t Seed) {
+  assert(NumFuncs > 0 && "a call module needs at least the entry");
+  RNG Rand(Seed);
+  auto M = std::make_unique<Module>("cm" + std::to_string(Seed));
+  std::vector<Function *> Fns;
+  for (unsigned I = 0; I != NumFuncs; ++I) {
+    std::unique_ptr<Function> F = generateMixedProgram(Rand);
+    F->setName("f" + std::to_string(I));
+    // Callees take 0..2 parameters. Generated bodies define every variable
+    // before use, so a promoted variable would be dead on arrival; instead
+    // each parameter is a fresh variable mixed into an existing one at the
+    // end of the entry block, where it flows into the rest of the body.
+    if (I != 0 && F->numVars() != 0) {
+      unsigned NumParams = unsigned(Rand.nextBelow(3));
+      for (unsigned P = 0; P != NumParams; ++P) {
+        VarId PV = F->makeVar("p" + std::to_string(P));
+        F->addParam(PV);
+        VarId W = VarId(Rand.nextBelow(F->numVars() - 1 - P));
+        F->entry()->appendBinary(W, BinOp::Add, Operand::var(W),
+                                 Operand::var(PV));
+      }
+    }
+    Fns.push_back(F.get());
+    Status S = M->addFunction(std::move(F));
+    assert(S.ok() && "generated names are unique");
+    (void)S;
+  }
+  // Call sites: fi only ever calls fj with j > i, so the call graph is a
+  // DAG rooted at f0 — every run from f0 terminates whenever the bodies
+  // do, which keeps the slice oracle's halting filter cheap.
+  for (unsigned I = 0; I + 1 < NumFuncs; ++I) {
+    Function *F = Fns[I];
+    unsigned NumCalls = 1 + unsigned(Rand.nextBelow(3));
+    for (unsigned C = 0; C != NumCalls; ++C) {
+      Function *Callee =
+          Fns[I + 1 + unsigned(Rand.nextBelow(NumFuncs - I - 1))];
+      std::vector<Operand> Args;
+      for (std::size_t A = 0; A != Callee->params().size(); ++A)
+        Args.push_back(Rand.chance(1, 3)
+                           ? Operand::imm(Rand.nextInRange(-4, 9))
+                           : Operand::var(VarId(Rand.nextBelow(F->numVars()))));
+      VarId Def = VarId(Rand.nextBelow(F->numVars()));
+      BasicBlock *BB = F->block(unsigned(Rand.nextBelow(F->numBlocks())));
+      BB->appendCall(Def, Callee->name(), std::move(Args));
+    }
+  }
+  return M;
+}

@@ -102,6 +102,15 @@ const char *mixedFamilyName(unsigned Family);
 /// pipeline driver (depflow-opt -j, bench_parallel).
 std::unique_ptr<Module> generateModule(unsigned NumFuncs, std::uint64_t Seed);
 
+/// A module of \p NumFuncs mixed-family functions linked by call sites:
+/// fi calls only higher-indexed functions, so the call graph is a DAG
+/// rooted at f0 (the entry). Callees carry 0..2 parameters, each mixed
+/// into the body so argument values are live. The slicing differential
+/// oracle's workload: calls, parameters, returns, and a shared read()
+/// stream, with guaranteed termination whenever the bodies terminate.
+std::unique_ptr<Module> generateCallModule(unsigned NumFuncs,
+                                           std::uint64_t Seed);
+
 /// A random strongly connected directed multigraph as an edge list
 /// (a Hamiltonian-style random cycle plus \p ExtraEdges random edges),
 /// for direct tests of the cycle-equivalence algorithms.

@@ -274,6 +274,94 @@ out:
   EXPECT_EQ(R.Outputs[1], 1);
 }
 
+TEST(Interpreter, CallsShareOneInputStream) {
+  // main reads, the callee reads, main reads again: one stdin, consumed
+  // in frame execution order. The call's value is the callee's first ret
+  // operand.
+  const char *Src = R"(
+func main() {
+e:
+  a = read()
+  b = call twice()
+  c = read()
+  s = a + b
+  s = s + c
+  ret s
+}
+func twice() {
+e:
+  x = read()
+  y = x * 2
+  ret y
+}
+)";
+  ParseModuleResult R = parseModule(Src);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  ExecResult E = runModule(*R.M, *R.M->function(0), {10, 3, 100});
+  ASSERT_TRUE(E.Halted) << E.status().str();
+  ASSERT_EQ(E.Outputs.size(), 1u);
+  EXPECT_EQ(E.Outputs[0], 10 + 6 + 100);
+}
+
+TEST(Interpreter, CallDepthLimitTrapsInsteadOfOverflowing) {
+  const char *Src = R"(
+func main() {
+e:
+  x = call main()
+  ret x
+}
+)";
+  ParseModuleResult R = parseModule(Src);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  ModuleExecOptions EO;
+  EO.MaxCallDepth = 16;
+  ExecResult E = runModule(*R.M, *R.M->function(0), {}, EO);
+  EXPECT_FALSE(E.Halted);
+  ASSERT_TRUE(E.Trapped);
+  EXPECT_NE(E.TrapReason.find("call depth limit"), std::string::npos)
+      << E.TrapReason;
+}
+
+TEST(Interpreter, CallOutsideModuleTraps) {
+  // runFunction has no module to resolve against; a call must trap with a
+  // diagnostic, not crash.
+  const char *Src = "func f() {\ne:\n  x = call g()\n  ret x\n}\n";
+  ParseResult R = parseFunction(Src);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  ExecResult E = runFunction(*R.Fn, {});
+  ASSERT_TRUE(E.Trapped);
+  EXPECT_NE(E.TrapReason.find("outside a module"), std::string::npos)
+      << E.TrapReason;
+}
+
+TEST(Interpreter, WatchTraceObservesEveryFrame) {
+  // The watched line sits in a callee invoked twice; the trace records
+  // both executions, in order, with the assigned values.
+  const char *Src = R"(
+func main() {
+e:
+  a = call inc(4)
+  b = call inc(7)
+  s = a + b
+  ret s
+}
+func inc(p) {
+e:
+  q = p + 1
+  ret q
+}
+)";
+  ParseModuleResult R = parseModule(Src);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  ModuleExecOptions EO;
+  EO.WatchFunc = "inc";
+  EO.WatchLine = 11; // q = p + 1 (leading newline is line 1).
+  ExecResult E = runModule(*R.M, *R.M->function(0), {}, EO);
+  ASSERT_TRUE(E.Halted) << E.status().str();
+  EXPECT_EQ(E.Outputs[0], 13);
+  EXPECT_EQ(E.WatchTrace, (std::vector<std::int64_t>{5, 8}));
+}
+
 TEST(Generators, StructuredProgramsVerify) {
   for (std::uint64_t Seed = 0; Seed < 40; ++Seed) {
     GenOptions Opts;

@@ -159,6 +159,20 @@ const ModuleNegativeCase ModuleCases[] = {
      "unexpected character '$'", 7},
     {"empty module", "", "expected 'func'", 1},
     {"comment-only module", "# nothing here\n", "expected 'func'", 2},
+    // Call resolution runs after the whole module parses; diagnostics
+    // point at the call, not at end of input.
+    {"unknown callee",
+     "func f() {\nb:\n  x = call g()\n  ret x\n}\n",
+     "unknown callee 'g'", 3},
+    {"arity mismatch",
+     "func f() {\nb:\n  x = call g(1, 2)\n  ret x\n}\n"
+     "func g(p) {\nb:\n  ret p\n}\n",
+     "arity mismatch in call to 'g'", 3},
+    {"call missing callee name",
+     "func f() {\nb:\n  x = call 5()\n  ret x\n}\n",
+     "expected identifier", 3},
+    {"call truncated argument list",
+     "func f() {\nb:\n  x = call g(1,", "expected operand", 3},
 };
 
 TEST(ParserNegative, ModuleTableNeverCrashesAndReportsLines) {

@@ -1,0 +1,498 @@
+//===- tests/sdg_test.cpp - Call graph, SDG, and slicing tests ------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+// Covers the interprocedural layer: call-graph SCC condensation and level
+// schedule, SDG construction (parameter, return, and io plumbing), summary
+// edges over recursion, hand-computed forward/backward slices on a
+// three-function fixture, executable slice extraction with the
+// trace-equivalence oracle, and -j determinism of the sdg counter group.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "sdg/Slicer.h"
+#include "sdg/SystemDependenceGraph.h"
+#include "support/Statistic.h"
+#include "workload/Generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+
+using namespace depflow;
+
+namespace {
+
+std::unique_ptr<Module> parseModuleOrDie(std::string_view Source) {
+  ParseModuleResult R = parseModule(Source);
+  if (!R.ok()) {
+    std::fprintf(stderr, "parseModuleOrDie: %s\n%s", R.Error.c_str(),
+                 sourceExcerpt(Source, R.ErrorLine).c_str());
+    std::abort();
+  }
+  return std::move(R.M);
+}
+
+unsigned indexOf(const Module &M, const char *Name) {
+  for (unsigned I = 0; I != M.numFunctions(); ++I)
+    if (M.function(I)->name() == Name)
+      return I;
+  std::abort();
+}
+
+/// (function name, line) pairs of a slice, for hand-checked expectations.
+std::set<std::pair<std::string, unsigned>>
+namedSliceLines(const SystemDependenceGraph &G, const char *Func,
+                unsigned Line, SliceDirection Dir) {
+  SliceCriterion C;
+  C.Func = Func;
+  C.Line = Line;
+  std::vector<unsigned> Nodes;
+  Status S = resolveCriterion(G, C, Nodes);
+  EXPECT_TRUE(S.ok()) << S.str();
+  std::vector<char> Marks = sliceSDG(G, Nodes, Dir);
+  std::set<std::pair<std::string, unsigned>> Out;
+  for (auto [FI, L] : sliceLines(G, Marks))
+    Out.insert({G.module().function(FI)->name(), L});
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Call graph: SCC condensation and the level schedule.
+//===----------------------------------------------------------------------===//
+
+TEST(CallGraphTest, MutualRecursionCondensesToOneSCC) {
+  // a <-> b mutually recursive; c calls into the cycle; leaf is isolated.
+  auto M = parseModuleOrDie(R"(
+func a(n) {
+e:
+  x = call b(n)
+  ret x
+}
+func b(n) {
+e:
+  x = call a(n)
+  ret x
+}
+func c() {
+e:
+  x = call a(3)
+  ret x
+}
+func leaf() {
+e:
+  ret 1
+}
+)");
+  CallGraph CG = CallGraph::build(*M);
+  unsigned A = indexOf(*M, "a"), B = indexOf(*M, "b"), C = indexOf(*M, "c"),
+           L = indexOf(*M, "leaf");
+  EXPECT_EQ(CG.numSCCs(), 3u);
+  EXPECT_EQ(CG.sccOf(A), CG.sccOf(B));
+  EXPECT_NE(CG.sccOf(A), CG.sccOf(C));
+  EXPECT_NE(CG.sccOf(A), CG.sccOf(L));
+  EXPECT_TRUE(CG.isRecursive(CG.sccOf(A)));
+  EXPECT_FALSE(CG.isRecursive(CG.sccOf(C)));
+  EXPECT_FALSE(CG.isRecursive(CG.sccOf(L)));
+  // The cycle and the leaf call nothing outside themselves: level 0.
+  // c calls the cycle: one level above it.
+  EXPECT_EQ(CG.levelOf(CG.sccOf(A)), 0u);
+  EXPECT_EQ(CG.levelOf(CG.sccOf(L)), 0u);
+  EXPECT_EQ(CG.levelOf(CG.sccOf(C)), 1u);
+  EXPECT_EQ(CG.numLevels(), 2u);
+  // Bottom-up SCC ids: callees before callers.
+  EXPECT_LT(CG.sccOf(A), CG.sccOf(C));
+}
+
+TEST(CallGraphTest, SelfCallIsRecursive) {
+  auto M = parseModuleOrDie(R"(
+func r(n) {
+e:
+  t = n > 0
+  if t goto rec else out
+rec:
+  m = n - 1
+  x = call r(m)
+  goto out
+out:
+  ret x
+}
+)");
+  CallGraph CG = CallGraph::build(*M);
+  EXPECT_EQ(CG.numSCCs(), 1u);
+  EXPECT_TRUE(CG.isRecursive(0));
+  ASSERT_EQ(CG.sites().size(), 1u);
+  EXPECT_EQ(CG.sites()[0].Caller, 0u);
+  EXPECT_EQ(CG.sites()[0].Callee, 0u);
+}
+
+TEST(CallGraphTest, SitesInModuleOrder) {
+  auto M = parseModuleOrDie(R"(
+func top() {
+e:
+  x = call mid()
+  y = call bot()
+  ret y
+}
+func mid() {
+e:
+  x = call bot()
+  ret x
+}
+func bot() {
+e:
+  ret 7
+}
+)");
+  CallGraph CG = CallGraph::build(*M);
+  ASSERT_EQ(CG.sites().size(), 3u);
+  EXPECT_EQ(CG.sites()[0].Caller, indexOf(*M, "top"));
+  EXPECT_EQ(CG.sites()[0].Callee, indexOf(*M, "mid"));
+  EXPECT_EQ(CG.sites()[1].Caller, indexOf(*M, "top"));
+  EXPECT_EQ(CG.sites()[1].Callee, indexOf(*M, "bot"));
+  EXPECT_EQ(CG.sites()[2].Caller, indexOf(*M, "mid"));
+  EXPECT_EQ(CG.sites()[2].Callee, indexOf(*M, "bot"));
+  // Three levels: bot < mid < top.
+  EXPECT_EQ(CG.numLevels(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Hand-computed slices on a three-function fixture. Line numbers are the
+// parse lines of the raw string below (the leading newline is line 1).
+//===----------------------------------------------------------------------===//
+
+// 1  (blank)
+// 2  func main() {
+// 3  e:
+// 4    a = read()
+// 5    b = read()
+// 6    s = call add1(a)
+// 7    t = b * 2
+// 8    u = s + 1
+// 9    ret u
+// 10 }
+// 11 func add1(p) {
+// 12 e:
+// 13   q = p + 1
+// 14   ret q
+// 15 }
+// 16 func unused(z) {
+// 17 e:
+// 18   w = z * 3
+// 19   ret w
+// 20 }
+const char *FixtureSrc = R"(
+func main() {
+e:
+  a = read()
+  b = read()
+  s = call add1(a)
+  t = b * 2
+  u = s + 1
+  ret u
+}
+func add1(p) {
+e:
+  q = p + 1
+  ret q
+}
+func unused(z) {
+e:
+  w = z * 3
+  ret w
+}
+)";
+
+TEST(SliceTest, BackwardFromCallerDescendsIntoCallee) {
+  auto M = parseModuleOrDie(FixtureSrc);
+  SystemDependenceGraph G = SystemDependenceGraph::build(*M);
+  auto Lines = namedSliceLines(G, "main", 8, SliceDirection::Backward);
+  // u = s + 1 needs the call, its argument's read, and the callee body.
+  EXPECT_TRUE(Lines.count({"main", 4})); // a = read()
+  EXPECT_TRUE(Lines.count({"main", 6})); // s = call add1(a)
+  EXPECT_TRUE(Lines.count({"main", 8})); // the criterion
+  EXPECT_TRUE(Lines.count({"add1", 13})); // q = p + 1
+  // Irrelevant computation stays out: the second read feeds only t, and
+  // nothing reads io after the slice's last read.
+  EXPECT_FALSE(Lines.count({"main", 5})); // b = read()
+  EXPECT_FALSE(Lines.count({"main", 7})); // t = b * 2
+  // Uncalled functions contribute nothing.
+  for (const auto &[F, L] : Lines)
+    EXPECT_NE(F, "unused") << "line " << L;
+}
+
+TEST(SliceTest, BackwardFromCalleeAscendsToCallSites) {
+  auto M = parseModuleOrDie(FixtureSrc);
+  SystemDependenceGraph G = SystemDependenceGraph::build(*M);
+  auto Lines = namedSliceLines(G, "add1", 13, SliceDirection::Backward);
+  // q = p + 1 depends on the formal, hence on every call site's argument.
+  EXPECT_TRUE(Lines.count({"add1", 13}));
+  EXPECT_TRUE(Lines.count({"main", 6})); // the call site
+  EXPECT_TRUE(Lines.count({"main", 4})); // the argument's read
+  // But not on what the caller does with the result.
+  EXPECT_FALSE(Lines.count({"main", 8}));
+  EXPECT_FALSE(Lines.count({"main", 5}));
+  EXPECT_FALSE(Lines.count({"main", 7}));
+}
+
+TEST(SliceTest, ForwardFollowsValueThroughCallAndReturn) {
+  auto M = parseModuleOrDie(FixtureSrc);
+  SystemDependenceGraph G = SystemDependenceGraph::build(*M);
+  auto Lines = namedSliceLines(G, "main", 4, SliceDirection::Forward);
+  // a flows through the call into add1 and back out into u, then ret.
+  EXPECT_TRUE(Lines.count({"main", 4}));
+  EXPECT_TRUE(Lines.count({"main", 6}));
+  EXPECT_TRUE(Lines.count({"add1", 13}));
+  EXPECT_TRUE(Lines.count({"main", 8}));
+  EXPECT_TRUE(Lines.count({"main", 9})); // ret u
+  // The io chain also runs forward: the second read consumes the stream
+  // position this read advances.
+  EXPECT_TRUE(Lines.count({"main", 5}));
+}
+
+TEST(SliceTest, ForwardFromSecondReadStaysLocal) {
+  auto M = parseModuleOrDie(FixtureSrc);
+  SystemDependenceGraph G = SystemDependenceGraph::build(*M);
+  auto Lines = namedSliceLines(G, "main", 5, SliceDirection::Forward);
+  // b feeds only t; no read or may-read call follows, so the io chain
+  // ends here and the callee is never entered.
+  EXPECT_TRUE(Lines.count({"main", 5}));
+  EXPECT_TRUE(Lines.count({"main", 7}));
+  EXPECT_FALSE(Lines.count({"main", 8}));
+  EXPECT_FALSE(Lines.count({"main", 9}));
+  for (const auto &[F, L] : Lines)
+    EXPECT_EQ(F, "main") << F << ":" << L;
+}
+
+//===----------------------------------------------------------------------===//
+// Executable extraction: the io chain keeps read positions aligned, and
+// the extracted module reproduces the criterion's watch trace.
+//===----------------------------------------------------------------------===//
+
+TEST(SliceTest, ExtractionKeepsEarlierReadsForStreamPosition) {
+  // 1 blank / 2 func main() { / 3 e: / 4 x = read() / 5 y = read() ...
+  auto M = parseModuleOrDie(R"(
+func main() {
+e:
+  x = read()
+  y = read()
+  ret y
+}
+)");
+  SystemDependenceGraph G = SystemDependenceGraph::build(*M);
+  SliceCriterion C;
+  C.Func = "main";
+  C.Line = 5;
+  std::vector<unsigned> Nodes;
+  ASSERT_TRUE(resolveCriterion(G, C, Nodes).ok());
+  std::vector<char> Marks = sliceSDG(G, Nodes, SliceDirection::Backward);
+  std::unique_ptr<Module> Sliced = extractBackwardSlice(*M, G, Marks);
+
+  // x = read() computes nothing y needs — except the stream position.
+  // Dropping it would hand y the wrong input; the io chain must keep it.
+  const Function &SF = *Sliced->function(0);
+  bool KeptFirstRead = false;
+  for (const auto &BB : SF.blocks())
+    for (const auto &I : BB->instructions())
+      if (I->line() == 4)
+        KeptFirstRead = true;
+  EXPECT_TRUE(KeptFirstRead);
+
+  ModuleExecOptions EO;
+  EO.WatchFunc = "main";
+  EO.WatchLine = 5;
+  ExecResult Ref = runModule(*M, *M->function(0), {7, 9}, EO);
+  ExecResult Got = runModule(*Sliced, *Sliced->function(0), {7, 9}, EO);
+  ASSERT_TRUE(Ref.Halted);
+  ASSERT_TRUE(Got.Halted);
+  ASSERT_EQ(Ref.WatchTrace, (std::vector<std::int64_t>{9}));
+  EXPECT_EQ(Got.WatchTrace, Ref.WatchTrace);
+}
+
+TEST(SliceTest, ExtractedSliceDropsIndependentComputation) {
+  auto M = parseModuleOrDie(FixtureSrc);
+  SystemDependenceGraph G = SystemDependenceGraph::build(*M);
+  SliceCriterion C;
+  C.Func = "main";
+  C.Line = 8;
+  std::vector<unsigned> Nodes;
+  ASSERT_TRUE(resolveCriterion(G, C, Nodes).ok());
+  std::vector<char> Marks = sliceSDG(G, Nodes, SliceDirection::Backward);
+  std::unique_ptr<Module> Sliced = extractBackwardSlice(*M, G, Marks);
+
+  // Every function still verifies, and t = b * 2 (line 7) is gone.
+  for (const auto &F : Sliced->functions()) {
+    std::vector<std::string> Errs = verifyFunction(*F);
+    EXPECT_TRUE(Errs.empty()) << F->name() << ": " << Errs.front();
+    for (const auto &BB : F->blocks())
+      for (const auto &I : BB->instructions())
+        EXPECT_NE(I->line(), 7u);
+  }
+  // b = read() survives only if the io chain needs it — it does not here
+  // (no read follows the slice's last io use at line 4... the call reads
+  // nothing), so input 2 is never consumed and the trace still matches.
+  ModuleExecOptions EO;
+  EO.WatchFunc = "main";
+  EO.WatchLine = 8;
+  ExecResult Ref = runModule(*M, *M->function(0), {5, 11}, EO);
+  ExecResult Got = runModule(*Sliced, *Sliced->function(0), {5, 11}, EO);
+  ASSERT_TRUE(Ref.Halted);
+  ASSERT_TRUE(Got.Halted);
+  ASSERT_EQ(Ref.WatchTrace, (std::vector<std::int64_t>{7})); // add1(5)+1
+  EXPECT_EQ(Got.WatchTrace, Ref.WatchTrace);
+}
+
+TEST(SliceTest, BranchOutsideSliceIsRewiredPastItsRegion) {
+  // The branch on c guards only the dead assignment to d; slicing on x
+  // must drop the branch and still execute both reads' stream effects.
+  // 1 blank / 2 func / 3 e: / 4 c = read() / 5 x = 1 / 6 if c ... /
+  // 7 t: / 8 d = 2 / 9 goto join / 10 j: / 11 x = x + 3 / 12 ret x
+  auto M = parseModuleOrDie(R"(
+func main() {
+e:
+  c = read()
+  x = 1
+  if c goto t else j
+t:
+  d = 2
+  goto j
+j:
+  x = x + 3
+  ret x
+}
+)");
+  SystemDependenceGraph G = SystemDependenceGraph::build(*M);
+  SliceCriterion C;
+  C.Func = "main";
+  C.Line = 11;
+  std::vector<unsigned> Nodes;
+  ASSERT_TRUE(resolveCriterion(G, C, Nodes).ok());
+  std::vector<char> Marks = sliceSDG(G, Nodes, SliceDirection::Backward);
+  std::unique_ptr<Module> Sliced = extractBackwardSlice(*M, G, Marks);
+  Function &SF = *Sliced->function(0);
+  EXPECT_TRUE(verifyFunction(SF).empty());
+  // d = 2 (line 8) and the branch (line 6) are out; the function must
+  // still run and agree at the criterion on both branch outcomes.
+  for (const auto &BB : SF.blocks())
+    for (const auto &I : BB->instructions())
+      EXPECT_NE(I->line(), 8u);
+  for (std::int64_t In : {0, 1}) {
+    ModuleExecOptions EO;
+    EO.WatchFunc = "main";
+    EO.WatchLine = 11;
+    ExecResult Ref = runModule(*M, *M->function(0), {In}, EO);
+    ExecResult Got = runModule(*Sliced, *Sliced->function(0), {In}, EO);
+    ASSERT_TRUE(Ref.Halted && Got.Halted);
+    EXPECT_EQ(Got.WatchTrace, Ref.WatchTrace) << "input " << In;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Summary edges across recursion, and the counter group's -j determinism.
+//===----------------------------------------------------------------------===//
+
+TEST(SDGTest, RecursiveSummaryReachesFixpoint) {
+  auto M = parseModuleOrDie(R"(
+func main() {
+e:
+  x = read()
+  r = call fact(x)
+  ret r
+}
+func fact(n) {
+e:
+  t = n > 1
+  if t goto rec else base
+rec:
+  m = n - 1
+  s = call fact(m)
+  p = n * s
+  goto done
+base:
+  p = 1
+  goto done
+done:
+  ret p
+}
+)");
+  SystemDependenceGraph G = SystemDependenceGraph::build(*M);
+  // The self-call's argument must reach its result through a summary
+  // edge (n -> m -> recursive result -> p -> ret).
+  EXPECT_GT(G.stats().SummaryEdges, 0u);
+  // A recursive SCC needs at least two rounds: one to seed, one to
+  // observe the fixpoint.
+  EXPECT_GE(G.stats().SummaryRounds, 2u);
+
+  // End to end: the backward slice from main's result contains the whole
+  // recursive kernel and reproduces the interpreter's observations.
+  SliceCriterion C;
+  C.Func = "main";
+  C.Line = 5;
+  std::vector<unsigned> Nodes;
+  ASSERT_TRUE(resolveCriterion(G, C, Nodes).ok());
+  std::vector<char> Marks = sliceSDG(G, Nodes, SliceDirection::Backward);
+  std::unique_ptr<Module> Sliced = extractBackwardSlice(*M, G, Marks);
+  ModuleExecOptions EO;
+  EO.WatchFunc = "main";
+  EO.WatchLine = 5;
+  ExecResult Ref = runModule(*M, *M->function(0), {5}, EO);
+  ExecResult Got = runModule(*Sliced, *Sliced->function(0), {5}, EO);
+  ASSERT_TRUE(Ref.Halted && Got.Halted);
+  ASSERT_EQ(Ref.WatchTrace, (std::vector<std::int64_t>{120}));
+  EXPECT_EQ(Got.WatchTrace, Ref.WatchTrace);
+}
+
+TEST(SDGTest, CounterGroupIsIdenticalAcrossJobCounts) {
+  static const char *const Names[] = {
+      "NumSDGNodes",         "NumSDGEdges",      "NumSDGSummaryEdges",
+      "NumSDGCallSites",     "NumSDGSCCs",       "NumSDGLevels",
+      "NumSDGSummaryRounds", "MaxSDGSCCSize",    "MaxSDGLevelWidth",
+      "HistSDGSummaryPorts"};
+  auto Snapshot = [](unsigned Jobs) {
+    resetStatistics();
+    auto M = generateCallModule(12, 20260808);
+    SDGBuildOptions SO;
+    SO.Jobs = Jobs;
+    SystemDependenceGraph G = SystemDependenceGraph::build(*M, SO);
+    std::vector<std::uint64_t> Values;
+    for (const char *N : Names)
+      Values.push_back(statisticValue("sdg", N));
+    EXPECT_GT(G.numNodes(), 0u);
+    return Values;
+  };
+  std::vector<std::uint64_t> J1 = Snapshot(1);
+  std::vector<std::uint64_t> J8 = Snapshot(8);
+  for (std::size_t I = 0; I != J1.size(); ++I)
+    EXPECT_EQ(J1[I], J8[I]) << Names[I];
+  EXPECT_GT(J1[0], 0u); // The snapshot measured something.
+  resetStatistics();
+}
+
+TEST(SDGTest, GeneratedCallModulesVerifyAndBuild) {
+  for (std::uint64_t Seed : {1ull, 2ull, 3ull, 4ull}) {
+    auto M = generateCallModule(5, Seed);
+    for (const auto &F : M->functions()) {
+      std::vector<std::string> Errs = verifyFunction(*F);
+      EXPECT_TRUE(Errs.empty())
+          << "seed " << Seed << " " << F->name() << ": " << Errs.front();
+    }
+    EXPECT_TRUE(verifyModuleCalls(*M).empty()) << "seed " << Seed;
+    // The module round-trips through the printer and parser (the oracle's
+    // line-stamping path).
+    ParseModuleResult R = parseModule(printModule(*M));
+    ASSERT_TRUE(R.ok()) << R.Error;
+    SystemDependenceGraph G = SystemDependenceGraph::build(*R.M);
+    EXPECT_GT(G.numNodes(), 0u);
+  }
+}
+
+} // namespace

@@ -2,6 +2,7 @@
 """Compare two directories of BENCH_*.json files: the perf-regression gate.
 
 Usage: bench_compare.py BASELINE_DIR NEW_DIR [--time-tolerance R] [--no-time]
+                        [--subset]
 
 Both directories hold `BENCH_<name>.json` documents (schema
 "depflow-bench", emitted by the bench binaries when DEPFLOW_BENCH_JSON is
@@ -131,6 +132,11 @@ def main():
     parser.add_argument("--no-time", action="store_true",
                         help="ignore real_time/cpu_time entirely "
                              "(machine-independent mode, used by CI)")
+    parser.add_argument("--subset", action="store_true",
+                        help="only gate baseline reports that the new run "
+                             "regenerated; a baseline file absent from the "
+                             "new directory is skipped, not a regression "
+                             "(for smoke runs that rebuild a few benches)")
     args = parser.parse_args()
 
     base_reports = load_reports(args.baseline)
@@ -139,11 +145,16 @@ def main():
         sys.exit(f"error: no BENCH_*.json files in {args.baseline}")
 
     problems, notes = [], []
+    compared = 0
     for fname, base in sorted(base_reports.items()):
         new = new_reports.get(fname)
         if new is None:
-            problems.append(f"{fname}: missing from new run")
+            if args.subset:
+                notes.append(f"{fname}: not regenerated (skipped, --subset)")
+            else:
+                problems.append(f"{fname}: missing from new run")
             continue
+        compared += 1
         if new.get("schema_version") < base.get("schema_version"):
             problems.append(
                 f"{fname}: schema_version went backwards "
@@ -165,7 +176,10 @@ def main():
         print(f"bench_compare: {len(problems)} regression(s) against "
               f"{args.baseline}")
         return 1
-    print(f"bench_compare: {len(base_reports)} report(s) match {args.baseline}")
+    if args.subset and compared == 0:
+        sys.exit("error: --subset matched no baseline reports "
+                 "(nothing was gated)")
+    print(f"bench_compare: {compared} report(s) match {args.baseline}")
     return 0
 
 

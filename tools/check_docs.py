@@ -21,6 +21,13 @@ Two guarantees:
    ``--help`` (the script ships with the repo, so this check always
    runs; argparse's automatic ``-h``/``--help`` is exempt).
 
+4. **docs/SDG.md tracks the sdg counter group.** The counter names in
+   docs/SDG.md's counter table and the ``DEPFLOW_*STATISTIC(..., "sdg",
+   ...)`` definitions in ``src/sdg/*.cpp`` must be the same set, in both
+   directions — the perf gate and the ``--counters-json`` schema both
+   key on these names, so a silently renamed counter is a doc bug and a
+   baseline bug at once.
+
 Usage:
     python3 tools/check_docs.py [--root DIR] [--depflow-opt BIN]
 
@@ -152,6 +159,32 @@ def check_flag_drift(root, binary, errors):
                       f"--help does not mention it")
 
 
+SDG_STAT_RE = re.compile(
+    r'DEPFLOW_(?:MAX_|HIST_)?STATISTIC\(\s*(\w+)\s*,\s*"sdg"')
+SDG_DOC_COUNTER_RE = re.compile(r"`((?:Num|Max|Hist)SDG\w+)`")
+
+
+def check_sdg_counter_drift(root, errors):
+    doc = root / "docs" / "SDG.md"
+    if not doc.exists():
+        errors.append("docs/SDG.md: missing (the SDG reference)")
+        return
+    doc_names = set(SDG_DOC_COUNTER_RE.findall(doc.read_text()))
+    src_names = set()
+    for f in sorted((root / "src" / "sdg").glob("*.cpp")):
+        src_names |= set(SDG_STAT_RE.findall(f.read_text()))
+    if not src_names:
+        errors.append("src/sdg/: no sdg counter definitions found "
+                      "(check_docs' regex or the code moved)")
+        return
+    for name in sorted(src_names - doc_names):
+        errors.append(f"docs/SDG.md: sdg counter '{name}' is defined in "
+                      f"src/sdg/ but not documented")
+    for name in sorted(doc_names - src_names):
+        errors.append(f"docs/SDG.md: documents counter '{name}' but "
+                      f"src/sdg/ does not define it")
+
+
 def check_bench_compare_drift(root, errors):
     section = tools_md_section(root, "bench_compare.py")
     if section is None:
@@ -191,6 +224,7 @@ def main():
     errors = []
     check_links(args.root, errors)
     check_bench_compare_drift(args.root, errors)
+    check_sdg_counter_drift(args.root, errors)
     if args.depflow_opt is not None:
         check_flag_drift(args.root, str(args.depflow_opt), errors)
     else:

@@ -43,6 +43,14 @@ if ! "$BUILD/tools/depflow-fuzz" --iters 500 --seed "$FUZZ_SEED" -v; then
   exit 1
 fi
 
+# Slicing smoke: 200 generated call-DAG modules through the slice
+# differential oracle — every executable backward slice must reproduce the
+# interpreter's watch trace at the criterion — under the sanitizers.
+if ! "$BUILD/tools/depflow-fuzz" --slice-oracle --iters 200 --seed "$FUZZ_SEED"; then
+  echo "ci: SLICE ORACLE FAILED -- reproduce with: depflow-fuzz --slice-oracle --iters 200 --seed $FUZZ_SEED" >&2
+  exit 1
+fi
+
 # Pipeline smoke: the managed pass pipeline, with instrumentation on, over
 # every example program (exercises --time-passes / --print-stats output and
 # the analysis cache under ASan).
@@ -266,7 +274,18 @@ mkdir -p "$MODDIR/bench"
 DEPFLOW_BENCH_JSON="$MODDIR/bench" "$BUILD/bench/bench_pipeline" 6
 DEPFLOW_BENCH_JSON="$MODDIR/bench" DEPFLOW_BENCH_QUICK=1 \
     "$BUILD/bench/bench_parallel"
+# bench_sdg_build with no timed benchmarks selected runs only its
+# deterministic counter sweep: the sdg counter group over the call-DAG
+# ladder plus the nodes-linear-in-instructions claim, which must pass.
+DEPFLOW_BENCH_JSON="$MODDIR/bench" "$BUILD/bench/bench_sdg_build" \
+    --benchmark_filter='^$' > "$MODDIR/bench-sdg.log" 2>&1 || {
+  cat "$MODDIR/bench-sdg.log" >&2
+  echo "ci: bench_sdg_build counter sweep failed" >&2
+  exit 1
+}
 python3 "$ROOT/tools/bench_report.py" "$MODDIR/bench" --check
+python3 "$ROOT/tools/bench_compare.py" "$ROOT/bench/baselines" \
+    "$MODDIR/bench" --no-time --subset
 
 # Docs: links resolve and docs/TOOLS.md agrees with depflow-opt --help.
 python3 "$ROOT/tools/check_docs.py" --depflow-opt "$BUILD/tools/depflow-opt"

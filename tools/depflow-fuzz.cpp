@@ -71,6 +71,8 @@
 #include "pass/AnalysisManager.h"
 #include "pass/ModulePipeline.h"
 #include "pass/PassPipeline.h"
+#include "sdg/Slicer.h"
+#include "sdg/SystemDependenceGraph.h"
 #include "support/FaultInjection.h"
 #include "support/RNG.h"
 #include "support/Statistic.h"
@@ -103,6 +105,7 @@ struct FuzzOptions {
   std::uint64_t MaxInterpSteps = 0; // 0 = oracle default.
   bool FaultSweep = false;
   std::vector<std::string> SweepExtras; // --fault-sweep-extra specs.
+  bool SliceOracle = false;             // --slice-oracle mode.
 };
 
 int usage() {
@@ -112,7 +115,8 @@ int usage() {
                "                    [--no-modules] [--inject-bug]\n"
                "                    [--emit-module N] [--stats-json FILE]\n"
                "                    [--max-interp-steps N] [--fault-sweep]\n"
-               "                    [--fault-sweep-extra SPEC] [-v]\n");
+               "                    [--fault-sweep-extra SPEC]\n"
+               "                    [--slice-oracle] [-v]\n");
   return 2;
 }
 
@@ -161,6 +165,8 @@ bool parseArgs(int Argc, char **Argv, FuzzOptions &O) {
       O.MaxInterpSteps = N;
     } else if (A == "--fault-sweep")
       O.FaultSweep = true;
+    else if (A == "--slice-oracle")
+      O.SliceOracle = true;
     else if (A == "--fault-sweep-extra") {
       if (I + 1 >= Argc)
         return false;
@@ -504,14 +510,16 @@ Status checkRangeConstpropConsistency(Function &F, const DepFlowGraph &G,
   return Out;
 }
 
-/// taint: no parameters and no read() means no source, so nothing may be
-/// tainted.
+/// taint: no parameters, no read(), and no calls means no source, so
+/// nothing may be tainted. (A call result is a source: the callee may
+/// read(), and the intraprocedural lattice conservatively taints it —
+/// see dataflow/Lattice.h.)
 Status checkTaintNoSource(const Function &F, const TaintResult &R) {
   if (!F.params().empty())
     return Status::success();
   for (const auto &BB : F.blocks())
     for (const auto &I : BB->instructions())
-      if (isa<ReadInst>(I.get()))
+      if (isa<ReadInst>(I.get()) || isa<CallInst>(I.get()))
         return Status::success();
   Status Out;
   for (const auto &BB : F.blocks())
@@ -1053,6 +1061,151 @@ unsigned runFaultSweep(const FuzzOptions &FO) {
   return Violations;
 }
 
+//===----------------------------------------------------------------------===//
+// Slice differential oracle: a backward slice is *executable* and must
+// reproduce the interpreter's observations at the criterion exactly.
+// Each iteration generates a call-DAG module, watches one random
+// observable instruction, runs the module, extracts the backward slice
+// for that criterion, reruns it on the same inputs, and compares the two
+// watch traces value for value. This is the end-to-end soundness check
+// for the whole SDG stack: per-function PDGs, interprocedural edges,
+// summary edges, the two-phase traversal, and executable extraction.
+//===----------------------------------------------------------------------===//
+
+unsigned runSliceOracle(const FuzzOptions &FO) {
+  RNG Rand(FO.Seed);
+  unsigned Violations = 0, Checked = 0, SkippedNoHalt = 0;
+  unsigned NonEmptyTraces = 0; // Runs where the criterion executed at all.
+  const std::uint64_t MaxSteps =
+      FO.MaxInterpSteps ? FO.MaxInterpSteps : 200000;
+
+  for (unsigned Iter = 0; Iter != FO.Iters; ++Iter) {
+    std::uint64_t ModuleSeed = Rand.next();
+    unsigned NumFuncs = 2 + unsigned(Rand.nextBelow(4));
+
+    auto Violation = [&](const std::string &What, const Module &M,
+                         const std::string &Crit) {
+      ++Violations;
+      std::fprintf(stderr,
+                   "=== SLICE VIOLATION (iter %u, module seed %llu, seed "
+                   "%llu, criterion %s) ===\n%s\n--- module ---\n%s",
+                   Iter, (unsigned long long)ModuleSeed,
+                   (unsigned long long)FO.Seed, Crit.c_str(), What.c_str(),
+                   printModule(M).c_str());
+    };
+
+    // Round-trip through the printer so every instruction carries the
+    // source line a criterion names (generated IR is synthesized at
+    // line 0); the round-trip also fuzzes the call grammar end to end.
+    std::unique_ptr<Module> Gen = generateCallModule(NumFuncs, ModuleSeed);
+    ParseModuleResult PR = parseModule(printModule(*Gen));
+    if (!PR.ok()) {
+      Violation("generated call module failed to re-parse: " + PR.Error,
+                *Gen, "-");
+      continue;
+    }
+    Module &M = *PR.M;
+
+    // Criterion: a random instruction the watch point can observe (a
+    // definition, a conditional branch, or a ret).
+    unsigned FI = unsigned(Rand.nextBelow(M.numFunctions()));
+    const Function &CF = *M.function(FI);
+    std::vector<const Instruction *> Cands;
+    for (const auto &BB : CF.blocks())
+      for (const auto &I : BB->instructions())
+        if (I->line() && (I->isDefinition() || isa<CondBrInst>(I.get()) ||
+                          isa<RetInst>(I.get())))
+          Cands.push_back(I.get());
+    if (Cands.empty())
+      continue;
+    const Instruction *CI = Cands[Rand.nextBelow(Cands.size())];
+    const std::string CritText =
+        CF.name() + ":" + std::to_string(CI->line());
+
+    ModuleExecOptions EO;
+    EO.MaxSteps = MaxSteps;
+    EO.WatchFunc = CF.name();
+    EO.WatchLine = CI->line();
+    std::vector<std::int64_t> Inputs;
+    for (unsigned K = 0; K != 8; ++K)
+      Inputs.push_back(Rand.nextInRange(-8, 8));
+
+    ExecResult Ref = runModule(M, *M.function(0), Inputs, EO);
+    if (!Ref.Halted) {
+      ++SkippedNoHalt; // Non-terminating / fuel-bound run: no ground truth.
+      continue;
+    }
+    if (!Ref.WatchTrace.empty())
+      ++NonEmptyTraces;
+
+    SDGBuildOptions SO;
+    SO.Jobs = 1 + unsigned(Rand.nextBelow(4)); // Determinism rides along.
+    SystemDependenceGraph G = SystemDependenceGraph::build(M, SO);
+    SliceCriterion Crit;
+    Crit.Func = CF.name();
+    Crit.Line = CI->line();
+    std::vector<unsigned> Nodes;
+    Status RS = resolveCriterion(G, Crit, Nodes);
+    if (!RS.ok()) {
+      Violation("criterion failed to resolve: " + RS.str(), M, CritText);
+      continue;
+    }
+    std::vector<char> Marks = sliceSDG(G, Nodes, SliceDirection::Backward);
+    std::unique_ptr<Module> Sliced = extractBackwardSlice(M, G, Marks);
+
+    ++Checked;
+    std::string SliceErrs;
+    for (const auto &F : Sliced->functions())
+      for (const std::string &E : verifyFunction(*F))
+        SliceErrs += "  " + F->name() + ": " + E + "\n";
+    if (!SliceErrs.empty()) {
+      Violation("extracted slice fails the verifier:\n" + SliceErrs +
+                    "--- slice ---\n" + printModule(*Sliced),
+                M, CritText);
+      continue;
+    }
+
+    ExecResult Got = runModule(*Sliced, *Sliced->function(0), Inputs, EO);
+    if (!Got.Halted) {
+      Violation("sliced module did not halt (" + Got.status().str() +
+                    ") though the original did\n--- slice ---\n" +
+                    printModule(*Sliced),
+                M, CritText);
+      continue;
+    }
+    if (Got.WatchTrace != Ref.WatchTrace) {
+      auto TraceStr = [](const std::vector<std::int64_t> &T) {
+        std::string S = "[";
+        for (std::size_t I = 0; I != T.size(); ++I) {
+          if (I)
+            S += ' ';
+          S += std::to_string((long long)T[I]);
+        }
+        return S + "]";
+      };
+      Violation("watch trace diverges at the criterion:\n  original " +
+                    TraceStr(Ref.WatchTrace) + "\n  sliced   " +
+                    TraceStr(Got.WatchTrace) + "\n--- slice ---\n" +
+                    printModule(*Sliced),
+                M, CritText);
+      continue;
+    }
+
+    if (FO.Verbose && (Iter + 1) % 100 == 0)
+      std::fprintf(stderr,
+                   "depflow-fuzz: slice-oracle %u/%u iterations, "
+                   "%u violations\n",
+                   Iter + 1, FO.Iters, Violations);
+  }
+
+  std::fprintf(stderr,
+               "depflow-fuzz: slice-oracle: %u module(s), %u checked "
+               "(%u with a non-empty trace), %u skipped (no halt), "
+               "%u violation(s)\n",
+               FO.Iters, Checked, NonEmptyTraces, SkippedNoHalt, Violations);
+  return Violations;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -1068,6 +1221,9 @@ int main(int Argc, char **Argv) {
 
   if (FO.FaultSweep)
     return runFaultSweep(FO) ? 1 : 0;
+
+  if (FO.SliceOracle)
+    return runSliceOracle(FO) ? 1 : 0;
 
   RNG Rand(FO.Seed);
   unsigned Violations = 0, Generated = 0, MutantsSkipped = 0;

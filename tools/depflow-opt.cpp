@@ -38,6 +38,13 @@
 //   --dot-dfg            print the dependence flow graph in GraphViz form
 //   --dot-cfg            print the CFG in GraphViz form
 //   --regions            print cycle-equivalence classes and the PST
+//   --slice func:line    print the executable backward slice of the module
+//                        for the given criterion (interprocedural, over the
+//                        system dependence graph; see docs/SDG.md)
+//   --slice-forward func:line
+//                        print the func:line pairs in the forward slice
+//   --callgraph-dot      print the module call graph in GraphViz form
+//                        (SCCs clustered, condensation levels labeled)
 //   --run v1,v2,...      interpret each function with the given inputs and
 //                        print its outputs
 //   --trace-json FILE    write a Chrome trace-event JSON timeline (pass,
@@ -69,8 +76,10 @@
 // order. Diagnostics are prefixed with the offending function's name.
 //
 // Exit codes: 0 success; 1 the input was rejected (parse error, verifier
-// error, hygiene error under --strict, or a trapping/non-halting --run);
-// 2 usage error (including bad pipelines); 3 internal invariant violation
+// error, hygiene error under --strict, an unresolvable slice criterion, a
+// module that cannot be sliced, or a trapping/non-halting --run);
+// 2 usage error (including bad pipelines and malformed slice criterion
+// syntax); 3 internal invariant violation
 // (a pass broke the IR or an analysis disagreed with its reference —
 // always a depflow bug); 4 degraded (--keep-going with at least one
 // failed function; originals preserved in the output).
@@ -87,18 +96,21 @@
 #include "pass/Analyses.h"
 #include "pass/ModulePipeline.h"
 #include "pass/PassPipeline.h"
+#include "sdg/Slicer.h"
 #include "structure/SESE.h"
 #include "support/FaultInjection.h"
 #include "support/Statistic.h"
 #include "verify/PassVerifier.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -120,6 +132,11 @@ struct Options {
   bool DotDFG = false;
   bool DotCFG = false;
   bool Regions = false;
+  bool CallGraphDot = false;
+  bool HasSliceBwd = false;
+  bool HasSliceFwd = false;
+  SliceCriterion SliceBwd;
+  SliceCriterion SliceFwd;
   bool Run = false;
   bool Help = false;
   bool KeepGoing = false;
@@ -145,7 +162,9 @@ int usage() {
                "[--time-passes]\n"
                "                   [--print-stats] [--print-after-all] "
                "[--dot-after-all] [--dot-dfg]\n"
-               "                   [--dot-cfg] [--regions] [--run v1,v2,...] "
+               "                   [--dot-cfg] [--regions] [--slice func:line] "
+               "[--slice-forward func:line]\n"
+               "                   [--callgraph-dot] [--run v1,v2,...] "
                "[--trace-json FILE]\n"
                "                   [--stats-json FILE] [--counters-json FILE] "
                "[--fault-inject=SPEC]\n"
@@ -228,6 +247,19 @@ void help() {
       "                      the module\n"
       "  --regions           print cycle-equivalence classes and the PST\n"
       "\n"
+      "Slicing (interprocedural, over the system dependence graph; the\n"
+      "module must be phi-free — slice before --ssa; see docs/SDG.md):\n"
+      "  --slice func:line   print the executable backward slice for the\n"
+      "                      criterion: every instruction the value at\n"
+      "                      func:line transitively depends on, as a\n"
+      "                      runnable module reproducing that value trace\n"
+      "  --slice-forward func:line\n"
+      "                      print the func:line pairs that transitively\n"
+      "                      depend on the criterion, one per line\n"
+      "  --callgraph-dot     print the module call graph in GraphViz form\n"
+      "                      (recursive SCCs clustered, condensation\n"
+      "                      levels labeled)\n"
+      "\n"
       "Execution:\n"
       "  --run v1,v2,...     interpret each function with the given inputs\n"
       "                      and print its outputs\n"
@@ -254,7 +286,9 @@ void help() {
       "  --help, -h          print this reference and exit 0\n"
       "\n"
       "Exit codes: 0 success; 1 input rejected (parse/verifier/strict\n"
-      "hygiene error, trapping or non-halting --run); 2 usage error;\n"
+      "hygiene error, unresolvable slice criterion, module not sliceable,\n"
+      "trapping or non-halting --run); 2 usage error (including malformed\n"
+      "slice criterion syntax);\n"
       "3 internal invariant violation (always a depflow bug); 4 degraded\n"
       "(--keep-going with at least one failed function).\n");
 }
@@ -349,9 +383,37 @@ int parseArgs(int Argc, char **Argv, Options &O) {
       O.DotCFG = true;
     else if (A == "--regions")
       O.Regions = true;
-    else if (A == "--run") {
+    else if (A == "--callgraph-dot")
+      O.CallGraphDot = true;
+    else if (A.rfind("--slice-forward", 0) == 0 || A == "--slice" ||
+             A.rfind("--slice=", 0) == 0) {
+      bool Fwd = A.rfind("--slice-forward", 0) == 0;
+      const char *Flag = Fwd ? "--slice-forward" : "--slice";
+      std::string Text;
+      if (A == Flag) {
+        if (I + 1 >= Argc) {
+          std::fprintf(stderr, "error: %s requires a func:line criterion\n",
+                       Flag);
+          return 2;
+        }
+        Text = Argv[++I];
+      } else if (A.rfind(std::string(Flag) + "=", 0) == 0) {
+        Text = A.substr(std::strlen(Flag) + 1);
+      } else {
+        return usage();
+      }
+      SliceCriterion &C = Fwd ? O.SliceFwd : O.SliceBwd;
+      Status S = parseSliceCriterion(Text, C);
+      if (!S.ok()) {
+        std::fprintf(stderr, "error: %s\n", S.str().c_str());
+        return 2;
+      }
+      (Fwd ? O.HasSliceFwd : O.HasSliceBwd) = true;
+    } else if (A == "--run") {
       O.Run = true;
-      if (I + 1 < Argc && Argv[I + 1][0] != '-') {
+      // A leading '-' is a flag unless it spells a negative input value.
+      if (I + 1 < Argc &&
+          (Argv[I + 1][0] != '-' || std::isdigit((unsigned char)Argv[I + 1][1]))) {
         std::stringstream SS(Argv[++I]);
         std::string Tok;
         while (std::getline(SS, Tok, ','))
@@ -681,7 +743,71 @@ int main(int Argc, char **Argv) {
       std::printf("%s", G.toDot(*F).c_str());
     }
 
-  if (!O.Regions && !O.DotCFG && !O.DotDFG && !O.FuzzSafe)
+  // Interprocedural inspection: the call graph and SDG-based slicing.
+  // These consume the post-pipeline module; the SDG needs resolved calls
+  // (guaranteed by the module parser) and phi-free functions.
+  const bool SDGMode = O.HasSliceBwd || O.HasSliceFwd || O.CallGraphDot;
+  if (SDGMode) {
+    std::vector<std::string> CallErrs = verifyModuleCalls(M);
+    for (const std::string &Err : CallErrs)
+      std::fprintf(stderr, "slice error: %s\n", Err.c_str());
+    if (!CallErrs.empty())
+      return 1;
+    if (O.CallGraphDot) {
+      CallGraph CG = CallGraph::build(M);
+      if (!O.FuzzSafe)
+        std::printf("%s", CG.toDot().c_str());
+    }
+    if (O.HasSliceBwd || O.HasSliceFwd) {
+      for (const auto &F : M.functions())
+        for (const auto &BB : F->blocks())
+          for (const auto &I : BB->instructions())
+            if (isa<PhiInst>(I.get())) {
+              std::fprintf(stderr,
+                           "slice error: function '%s' contains phi "
+                           "instructions; slice before --ssa\n",
+                           F->name().c_str());
+              return 1;
+            }
+      SDGBuildOptions SO;
+      SO.Jobs = O.Jobs;
+      std::optional<SystemDependenceGraph> GOpt;
+      try {
+        GOpt.emplace(SystemDependenceGraph::build(M, SO));
+      } catch (const FaultInjectedError &E) {
+        std::fprintf(stderr, "slice error: SDG construction failed: %s\n",
+                     E.what());
+        return 3;
+      }
+      SystemDependenceGraph &G = *GOpt;
+      if (O.HasSliceFwd) {
+        std::vector<unsigned> Crit;
+        Status S = resolveCriterion(G, O.SliceFwd, Crit);
+        if (!S.ok()) {
+          std::fprintf(stderr, "slice error: %s\n", S.str().c_str());
+          return 1;
+        }
+        std::vector<char> Marks = sliceSDG(G, Crit, SliceDirection::Forward);
+        if (!O.FuzzSafe)
+          for (auto [FI, Line] : sliceLines(G, Marks))
+            std::printf("%s:%u\n", M.function(FI)->name().c_str(), Line);
+      }
+      if (O.HasSliceBwd) {
+        std::vector<unsigned> Crit;
+        Status S = resolveCriterion(G, O.SliceBwd, Crit);
+        if (!S.ok()) {
+          std::fprintf(stderr, "slice error: %s\n", S.str().c_str());
+          return 1;
+        }
+        std::vector<char> Marks = sliceSDG(G, Crit, SliceDirection::Backward);
+        std::unique_ptr<Module> Sliced = extractBackwardSlice(M, G, Marks);
+        if (!O.FuzzSafe)
+          std::printf("%s", printModule(*Sliced).c_str());
+      }
+    }
+  }
+
+  if (!O.Regions && !O.DotCFG && !O.DotDFG && !SDGMode && !O.FuzzSafe)
     std::printf("%s", printModule(M).c_str());
 
   if (O.TimePasses)
@@ -733,7 +859,9 @@ int main(int Argc, char **Argv) {
   if (O.Run) {
     const bool Prefix = M.numFunctions() > 1;
     for (const auto &F : M.functions()) {
-      ExecResult Res = runFunction(*F, O.Inputs);
+      // Resolve calls against the whole module: each function is an
+      // entry point, sharing the input stream with its callees.
+      ExecResult Res = runModule(M, *F, O.Inputs);
       if (Res.Trapped) {
         std::fprintf(stderr, "run: %s: trapped: %s\n", F->name().c_str(),
                      Res.TrapReason.c_str());
