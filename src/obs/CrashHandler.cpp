@@ -7,6 +7,7 @@
 
 #include "obs/CrashHandler.h"
 
+#include "obs/EventLog.h"
 #include "support/FaultInjection.h"
 
 #include <atomic>
@@ -60,6 +61,12 @@ void crashHandler(int Sig) {
       writeStr(" (no function task in flight)");
     }
     writeStr("; flushing observability output\n");
+    // The event journal's tail first, on the write(2)-safe path: the lines
+    // were serialized at commit time, so this works even when the heap or
+    // stdio is the thing that broke. The stdio flush hook below is the
+    // riskier second act.
+    if (obs::EventLogger::global().enabled())
+      obs::EventLogger::global().crashWriteTail(2);
     if (FlushHook) {
       try {
         FlushHook();

@@ -9,10 +9,13 @@
 /// A last-resort signal handler (SIGSEGV / SIGABRT / SIGBUS) that turns
 /// every crash into a reproducer: it prints the in-flight function name
 /// (from the pipeline's TaskScope, a thread-local read that is
-/// async-signal-safe), runs a best-effort flush hook so a partially
-/// written --trace-json / --stats-json document still lands on disk, then
-/// restores the default disposition and re-raises so the process dies
-/// with the original signal.
+/// async-signal-safe), dumps the structured event journal's tail to
+/// stderr on the write(2)-safe path (obs/EventLog.h — the lines were
+/// serialized at commit time, so no allocation happens here), runs a
+/// best-effort flush hook so a partially written --trace-json /
+/// --stats-json / --log-json document still lands on disk, then restores
+/// the default disposition and re-raises so the process dies with the
+/// original signal.
 ///
 /// The flush hook is *not* async-signal-safe — it writes files through
 /// stdio. That is a deliberate trade: the process is dying anyway, and a

@@ -1,0 +1,270 @@
+//===- obs/EventLog.cpp - Structured JSON-Lines event journal -------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/EventLog.h"
+
+#include "obs/Json.h"
+#include "obs/Trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unistd.h>
+
+using namespace depflow;
+using namespace depflow::obs;
+
+const char *depflow::obs::logLevelName(LogLevel L) {
+  switch (L) {
+  case LogLevel::Debug:
+    return "debug";
+  case LogLevel::Info:
+    return "info";
+  case LogLevel::Warn:
+    return "warn";
+  case LogLevel::Error:
+    return "error";
+  }
+  return "info";
+}
+
+EventLogger &EventLogger::global() {
+  static EventLogger L; // Meyers singleton: safe across static-init order.
+  return L;
+}
+
+EventLogger::ThreadBuffer &EventLogger::localBuffer() {
+  // Same arrangement as TraceRecorder::localBuffer: the shared_ptr in the
+  // registry keeps a buffer alive past its thread's exit, so worker-thread
+  // journal lines survive to the flush.
+  static thread_local std::shared_ptr<ThreadBuffer> Local;
+  if (!Local) {
+    Local = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> G(RegistryLock);
+    Local->Tid = NextTid++;
+    Buffers.push_back(Local);
+  }
+  return *Local;
+}
+
+std::uint32_t EventLogger::currentThreadTid() { return localBuffer().Tid; }
+
+void EventLogger::record(double TsUs, std::string Line) {
+  ThreadBuffer &B = localBuffer();
+  std::size_t Cap = capacityPerThread();
+  std::lock_guard<std::mutex> G(B.Lock);
+  if (B.Ring.size() < Cap && B.Count == B.Ring.size() && B.Head == 0) {
+    // Growth phase: the ring has never wrapped, append in place.
+    B.Ring.push_back({TsUs, std::move(Line)});
+    ++B.Count;
+    return;
+  }
+  if (B.Count < B.Ring.size()) {
+    B.Ring[(B.Head + B.Count) % B.Ring.size()] = {TsUs, std::move(Line)};
+    ++B.Count;
+    return;
+  }
+  // Full: overwrite the oldest entry and advance the head (drop-oldest).
+  B.Ring[B.Head] = {TsUs, std::move(Line)};
+  B.Head = (B.Head + 1) % B.Ring.size();
+  Dropped.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<std::string> EventLogger::snapshot() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> Bufs;
+  {
+    std::lock_guard<std::mutex> G(RegistryLock);
+    Bufs = Buffers;
+  }
+  std::vector<Stored> All;
+  for (const auto &B : Bufs) {
+    std::lock_guard<std::mutex> G(B->Lock);
+    for (std::size_t I = 0; I != B->Count; ++I)
+      All.push_back(B->Ring[(B->Head + I) % B->Ring.size()]);
+  }
+  std::stable_sort(All.begin(), All.end(),
+                   [](const Stored &A, const Stored &B) {
+                     return A.TsUs < B.TsUs;
+                   });
+  std::vector<std::string> Out;
+  Out.reserve(All.size());
+  for (Stored &S : All)
+    Out.push_back(std::move(S.Line));
+  return Out;
+}
+
+std::string EventLogger::toJsonLines() const {
+  std::vector<std::string> Lines = snapshot();
+  std::string Out;
+  for (const std::string &L : Lines) {
+    Out += L;
+    Out += '\n';
+  }
+  // Trailing meta line: totals, so consumers can tell a truncated journal
+  // from a complete one. Hand-assembled so ts_us carries the same %.3f
+  // formatting as every event line.
+  char Meta[160];
+  std::snprintf(Meta, sizeof(Meta),
+                "{\"ts_us\":%.3f,\"tid\":0,\"level\":\"info\",\"cat\":\"log\","
+                "\"event\":\"journal-end\",\"events\":%llu,\"dropped\":%llu}",
+                TraceRecorder::global().nowUs(),
+                (unsigned long long)Lines.size(),
+                (unsigned long long)droppedEvents());
+  Out += Meta;
+  Out += '\n';
+  return Out;
+}
+
+Status EventLogger::writeJsonLines(const std::string &Path) const {
+  std::string S = toJsonLines();
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return Status::error("cannot open event-log output file '" + Path + "'");
+  std::size_t Written = std::fwrite(S.data(), 1, S.size(), F);
+  bool CloseOk = std::fclose(F) == 0;
+  if (Written != S.size() || !CloseOk)
+    return Status::error("failed writing event-log output file '" + Path +
+                         "'");
+  return Status::success();
+}
+
+void EventLogger::crashWriteTail(int Fd, std::size_t MaxPerThread) const {
+  // Async-signal path: no locks, no allocation, raw write(2) of bytes that
+  // were serialized at commit time. A concurrently-running writer can tear
+  // a line; the process is dying, so a mostly-correct tail wins.
+  auto WriteStr = [Fd](const char *S, std::size_t N) {
+    while (N) {
+      ssize_t W = ::write(Fd, S, N);
+      if (W <= 0)
+        return;
+      S += W;
+      N -= std::size_t(W);
+    }
+  };
+  auto WriteLit = [&WriteStr](const char *S) {
+    std::size_t N = 0;
+    while (S[N])
+      ++N;
+    WriteStr(S, N);
+  };
+  WriteLit("=== depflow event journal tail ===\n");
+  // Walk the registry vector without the lock: registration only appends,
+  // and crashes racing a brand-new thread's registration are acceptable
+  // losses on this path.
+  std::size_t NumBufs = Buffers.size();
+  for (std::size_t BI = 0; BI != NumBufs; ++BI) {
+    const ThreadBuffer *B = Buffers[BI].get();
+    if (!B || B->Count == 0)
+      continue;
+    std::size_t N = B->Count < MaxPerThread ? B->Count : MaxPerThread;
+    std::size_t RingSize = B->Ring.size();
+    if (RingSize == 0)
+      continue;
+    for (std::size_t I = B->Count - N; I != B->Count; ++I) {
+      const Stored &S = B->Ring[(B->Head + I) % RingSize];
+      WriteStr(S.Line.data(), S.Line.size());
+      WriteLit("\n");
+    }
+  }
+  WriteLit("=== end event journal tail ===\n");
+}
+
+void EventLogger::reset() {
+  std::lock_guard<std::mutex> G(RegistryLock);
+  for (const auto &B : Buffers) {
+    std::lock_guard<std::mutex> BG(B->Lock);
+    B->Ring.clear();
+    B->Head = 0;
+    B->Count = 0;
+  }
+  Dropped.store(0, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// LogEvent
+//===----------------------------------------------------------------------===//
+
+LogEvent::LogEvent(LogLevel Level, std::string_view Category,
+                   std::string_view Event)
+    : Armed(EventLogger::global().enabled() &&
+            Level >= EventLogger::global().minLevel()) {
+  if (!Armed)
+    return;
+  EventLogger &L = EventLogger::global();
+  TsUs = TraceRecorder::global().nowUs();
+  // The object stays open across field() calls and the destructor closes
+  // it, so the line is built member-by-member with hand-placed commas.
+  Line += "{\"ts_us\":";
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.3f", TsUs);
+  Line += Buf;
+  Line += ",\"tid\":";
+  Line += std::to_string(L.currentThreadTid());
+  Line += ",\"level\":\"";
+  Line += logLevelName(Level);
+  Line += "\",\"cat\":\"";
+  Line += jsonEscape(Category);
+  Line += "\",\"event\":\"";
+  Line += jsonEscape(Event);
+  Line += '"';
+}
+
+void LogEvent::appendKey(std::string_view Key) {
+  Line += ",\"";
+  Line += jsonEscape(Key);
+  Line += "\":";
+}
+
+LogEvent &LogEvent::field(std::string_view Key, std::string_view Value) {
+  if (!Armed)
+    return *this;
+  appendKey(Key);
+  Line += '"';
+  Line += jsonEscape(Value);
+  Line += '"';
+  return *this;
+}
+
+LogEvent &LogEvent::field(std::string_view Key, std::uint64_t Value) {
+  if (!Armed)
+    return *this;
+  appendKey(Key);
+  Line += std::to_string(Value);
+  return *this;
+}
+
+LogEvent &LogEvent::field(std::string_view Key, std::int64_t Value) {
+  if (!Armed)
+    return *this;
+  appendKey(Key);
+  Line += std::to_string(Value);
+  return *this;
+}
+
+LogEvent &LogEvent::field(std::string_view Key, double Value) {
+  if (!Armed)
+    return *this;
+  appendKey(Key);
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.3f", Value);
+  Line += Buf;
+  return *this;
+}
+
+LogEvent &LogEvent::field(std::string_view Key, bool Value) {
+  if (!Armed)
+    return *this;
+  appendKey(Key);
+  Line += Value ? "true" : "false";
+  return *this;
+}
+
+LogEvent::~LogEvent() {
+  if (!Armed)
+    return;
+  Line += '}';
+  EventLogger::global().record(TsUs, std::move(Line));
+}

@@ -1,0 +1,138 @@
+//===- obs/Sched.h - Scheduler telemetry and critical-path report -*- C++ -*-=//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scheduler observability for the repo's two parallel engines: the
+/// ModulePipeline function-task pool and the SDG level-parallel build.
+/// Both schedules are *level-structured* — tasks within a level are
+/// mutually independent (function tasks trivially; SDG SCC tasks by the
+/// condensation order) and a barrier separates consecutive levels. That
+/// structure is what makes the analysis here exact rather than heuristic:
+///
+///   * **Critical path** = Σ over levels of the most expensive task in the
+///     level. Because every level ends with a barrier, the wall-clock of a
+///     run can never beat this sum, so `wall >= critical path` is an
+///     invariant the tests assert, not a modeling assumption.
+///   * **Achievable speedup** = total work / critical path — the
+///     dependence-theoretic bound implied by the paper's representations.
+///     Measured speedup = total work / wall; the bound dominates it by the
+///     same barrier argument.
+///   * **Per-worker utilization** = busy / wall, where busy sums the
+///     worker's task spans. One worker's spans are disjoint, so
+///     utilization <= 1 per worker.
+///
+/// Two independent consumers:
+///
+///   * `SchedRecorder` (+`analyzeSchedRun`/`renderSchedReport`): wall-time
+///     records behind `--sched-report` and the depflow-stats `sched`
+///     section. Timestamps share the trace recorder's epoch.
+///   * The **deterministic `sched` counter group** (`noteSched*`): derived
+///     from schedule *structure* only (task counts, level widths, level
+///     depths — never clocks or worker ids), so the counters are
+///     byte-identical at any `-j N` and safe for the perf gate and the
+///     fuzzer's determinism contract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEPFLOW_OBS_SCHED_H
+#define DEPFLOW_OBS_SCHED_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace depflow {
+namespace obs {
+
+/// One scheduled task's record. Timestamps are microseconds on the trace
+/// recorder's epoch; `Worker` is the pool slot that executed the task
+/// (0 for a serial run).
+struct SchedTask {
+  std::string Name;
+  unsigned Level = 0;
+  unsigned Worker = 0;
+  double EnqueueUs = 0; // When the task became ready (its level opened).
+  double StartUs = 0;   // When a worker began executing it.
+  double EndUs = 0;     // When its results were committed.
+  bool Failed = false;
+};
+
+/// One parallel run: a level-structured task DAG executed on `Jobs`
+/// workers between `BeginUs` and `EndUs`.
+struct SchedRun {
+  std::string Name; // "module-pipeline" or "sdg-build".
+  unsigned Jobs = 1;
+  unsigned NumLevels = 1;
+  unsigned MaxReady = 0; // Widest level = max simultaneously-ready tasks.
+  double BeginUs = 0;
+  double EndUs = 0;
+  std::vector<SchedTask> Tasks;
+};
+
+struct SchedWorkerStat {
+  double BusyUs = 0;
+  unsigned Tasks = 0;
+};
+
+/// The derived quantities `--sched-report` prints; see the file comment
+/// for the definitions and the invariants relating them.
+struct SchedRunReport {
+  double WallUs = 0;
+  double WorkUs = 0;
+  double CriticalPathUs = 0;
+  double AchievableSpeedup = 1; // WorkUs / CriticalPathUs.
+  double MeasuredSpeedup = 1;   // WorkUs / WallUs.
+  unsigned FailedTasks = 0;
+  std::vector<SchedWorkerStat> Workers; // Indexed by worker id, size Jobs.
+};
+
+/// Computes the report quantities for one recorded run.
+SchedRunReport analyzeSchedRun(const SchedRun &R);
+
+/// Wall-time run records behind `--sched-report`. Disabled by default;
+/// drivers opt in, the instrumented engines record one `SchedRun` per
+/// parallel execution.
+class SchedRecorder {
+public:
+  SchedRecorder(const SchedRecorder &) = delete;
+  SchedRecorder &operator=(const SchedRecorder &) = delete;
+
+  static SchedRecorder &global();
+
+  void setEnabled(bool On);
+  bool enabled() const;
+
+  /// Appends one completed run (thread-safe; engines call it after their
+  /// workers join).
+  void record(SchedRun R);
+
+  std::vector<SchedRun> snapshot() const;
+
+  /// Drops every recorded run.
+  void reset();
+
+private:
+  SchedRecorder() = default;
+  struct Impl;
+  Impl &impl() const;
+};
+
+/// Renders the human-readable `--sched-report` text for \p Runs.
+std::string renderSchedReport(const std::vector<SchedRun> &Runs);
+
+/// Deterministic "sched" counter group (see the file comment). Engines
+/// call these unconditionally — structure-only inputs keep the counters
+/// byte-identical for any `-j`.
+void noteSchedRun();
+void noteSchedLevel(unsigned Width);
+void noteSchedTask(unsigned Level);
+void noteSchedTaskFailed();
+
+} // namespace obs
+} // namespace depflow
+
+#endif // DEPFLOW_OBS_SCHED_H

@@ -9,6 +9,7 @@
 
 #include "obs/Json.h"
 #include "obs/Metrics.h"
+#include "obs/Sched.h"
 
 #include <cstdio>
 
@@ -128,6 +129,44 @@ std::string depflow::obs::renderStatsJson(const StatsReport &R) {
     W.endArray();
   }
   W.endObject();
+
+  if (R.IncludeSched) {
+    W.key("sched");
+    W.beginObject();
+    W.key("runs");
+    W.beginArray();
+    for (const SchedRun &Run : SchedRecorder::global().snapshot()) {
+      SchedRunReport Rep = analyzeSchedRun(Run);
+      W.beginObject();
+      W.keyValue("name", Run.Name);
+      W.keyValue("jobs", Run.Jobs);
+      W.keyValue("levels", Run.NumLevels);
+      W.keyValue("tasks", std::uint64_t(Run.Tasks.size()));
+      W.keyValue("max_ready", Run.MaxReady);
+      W.keyValue("failed_tasks", Rep.FailedTasks);
+      W.keyValue("wall_us", Rep.WallUs);
+      W.keyValue("work_us", Rep.WorkUs);
+      W.keyValue("critical_path_us", Rep.CriticalPathUs);
+      W.keyValue("achievable_speedup", Rep.AchievableSpeedup);
+      W.keyValue("measured_speedup", Rep.MeasuredSpeedup);
+      W.key("workers");
+      W.beginArray();
+      for (std::size_t WI = 0; WI != Rep.Workers.size(); ++WI) {
+        W.beginObject();
+        W.keyValue("worker", std::uint64_t(WI));
+        W.keyValue("busy_us", Rep.Workers[WI].BusyUs);
+        W.keyValue("tasks", Rep.Workers[WI].Tasks);
+        W.keyValue("utilization", Rep.WallUs > 0
+                                      ? Rep.Workers[WI].BusyUs / Rep.WallUs
+                                      : 0.0);
+        W.endObject();
+      }
+      W.endArray();
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+  }
 
   W.key("process");
   W.beginObject();

@@ -30,6 +30,11 @@
 ///     "counters":  {"version": 1, "entries": [{"group", "name",
 ///                   "description", "kind", "value", (histograms also:
 ///                   "count", "max", "buckets")}, ...]},
+///     "sched":    {"runs": [{"name": "module-pipeline", "jobs", "levels",
+///                  "tasks", "max_ready", "failed_tasks", "wall_us",
+///                  "work_us", "critical_path_us", "achievable_speedup",
+///                  "measured_speedup", "workers": [{"worker", "busy_us",
+///                  "tasks", "utilization"}, ...]}, ...]},   (opt-in)
 ///     "process":  {"peak_rss_bytes": .., "allocated_bytes": ..,
 ///                  "allocations": ..}
 ///   }
@@ -110,6 +115,10 @@ struct StatsReport {
   /// Captured by render/write via statisticsSnapshot() — the
   /// support/Statistic.h globals.
   bool IncludeStatistics = true;
+  /// Emit the `sched` section from the obs/Sched.h recorder snapshot (one
+  /// entry per recorded parallel run, with the derived critical-path /
+  /// utilization / speedup numbers). Additive — no schema_version bump.
+  bool IncludeSched = false;
 };
 
 /// Renders \p R (plus the current statistics snapshot and process metrics)

@@ -128,6 +128,15 @@ struct FunctionPipelineResult {
   /// reported per function by --time-passes and the stats JSON).
   double TaskSeconds = 0;
   std::uint64_t TaskAllocBytes = 0;
+
+  /// Scheduler telemetry (obs/Sched.h): the pool slot that executed the
+  /// task and its enqueue/start/commit stamps, microseconds on the trace
+  /// recorder's epoch. Wall-time measurements — explicitly outside the
+  /// deterministic-output contract (unlike the "sched" counter group).
+  unsigned Worker = 0;
+  double EnqueueUs = 0;
+  double StartUs = 0;
+  double EndUs = 0;
 };
 
 class ModulePipelineResult {

@@ -1,0 +1,302 @@
+//===- tests/sched_test.cpp - Scheduler telemetry tests -------------------===//
+//
+// Part of the depflow project: a reproduction of "Dependence-Based Program
+// Analysis" (Johnson & Pingali, PLDI 1993).
+//
+// The scheduler-observability contract (obs/Sched.h + obs/EventLog.h):
+// hand-checked critical-path / utilization math on a synthetic run, the
+// report invariants on real recorded runs (wall >= critical path,
+// utilization <= 1, achievable >= measured speedup), byte-identical
+// `sched` counter groups at -j 1 vs -j 8 for both parallel drivers, and
+// the event journal's ring/drop/ordering semantics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/EventLog.h"
+#include "obs/Sched.h"
+
+#include "pass/ModulePipeline.h"
+#include "pass/PassPipeline.h"
+#include "sdg/SystemDependenceGraph.h"
+#include "support/Statistic.h"
+#include "workload/Generators.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace depflow;
+using namespace depflow::obs;
+
+//===----------------------------------------------------------------------===//
+// analyzeSchedRun ground truth
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+SchedTask makeTask(const char *Name, unsigned Level, unsigned Worker,
+                   double Enqueue, double Start, double End) {
+  SchedTask T;
+  T.Name = Name;
+  T.Level = Level;
+  T.Worker = Worker;
+  T.EnqueueUs = Enqueue;
+  T.StartUs = Start;
+  T.EndUs = End;
+  return T;
+}
+
+} // namespace
+
+TEST(SchedAnalysis, CriticalPathHandChecked) {
+  // Mirrors tests/fixtures/sched_trace_golden.json's module-pipeline run:
+  // one level of three tasks on two workers, integer microseconds.
+  SchedRun Run;
+  Run.Name = "module-pipeline";
+  Run.Jobs = 2;
+  Run.NumLevels = 1;
+  Run.MaxReady = 3;
+  Run.BeginUs = 0;
+  Run.EndUs = 70;
+  Run.Tasks = {makeTask("func:a", 0, 0, 0, 10, 40),
+               makeTask("func:b", 0, 1, 0, 10, 60),
+               makeTask("func:c", 0, 0, 0, 50, 70)};
+
+  SchedRunReport R = analyzeSchedRun(Run);
+  EXPECT_DOUBLE_EQ(R.WallUs, 70.0);
+  EXPECT_DOUBLE_EQ(R.WorkUs, 100.0);
+  EXPECT_DOUBLE_EQ(R.CriticalPathUs, 50.0); // Slowest task of the level.
+  EXPECT_DOUBLE_EQ(R.MeasuredSpeedup, 100.0 / 70.0);
+  EXPECT_DOUBLE_EQ(R.AchievableSpeedup, 2.0);
+  EXPECT_EQ(R.FailedTasks, 0u);
+  ASSERT_EQ(R.Workers.size(), 2u);
+  EXPECT_DOUBLE_EQ(R.Workers[0].BusyUs, 50.0);
+  EXPECT_EQ(R.Workers[0].Tasks, 2u);
+  EXPECT_DOUBLE_EQ(R.Workers[1].BusyUs, 50.0);
+  EXPECT_EQ(R.Workers[1].Tasks, 1u);
+}
+
+TEST(SchedAnalysis, MultiLevelCriticalPathSumsLevelMaxima) {
+  // Two levels: CP = max(level 0) + max(level 1) = 20 + 5.
+  SchedRun Run;
+  Run.Name = "sdg-build";
+  Run.Jobs = 2;
+  Run.NumLevels = 2;
+  Run.MaxReady = 2;
+  Run.BeginUs = 100;
+  Run.EndUs = 127;
+  Run.Tasks = {makeTask("pdg:a", 0, 0, 100, 100, 110),
+               makeTask("pdg:b", 0, 1, 100, 100, 120),
+               makeTask("scc:0", 1, 0, 120, 122, 127)};
+  SchedRunReport R = analyzeSchedRun(Run);
+  EXPECT_DOUBLE_EQ(R.WallUs, 27.0);
+  EXPECT_DOUBLE_EQ(R.WorkUs, 35.0);
+  EXPECT_DOUBLE_EQ(R.CriticalPathUs, 25.0);
+  EXPECT_DOUBLE_EQ(R.AchievableSpeedup, 35.0 / 25.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Report invariants on real recorded runs
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Wall/busy clocks carry scheduler noise; the invariants themselves are
+/// exact, the epsilon only absorbs the double arithmetic.
+void expectRunInvariants(const SchedRun &Run) {
+  SchedRunReport R = analyzeSchedRun(Run);
+  const double Eps = 1e-6;
+  EXPECT_GE(R.WallUs + Eps, R.CriticalPathUs) << Run.Name;
+  EXPECT_GE(R.AchievableSpeedup + Eps, R.MeasuredSpeedup) << Run.Name;
+  for (std::size_t W = 0; W != R.Workers.size(); ++W)
+    EXPECT_LE(R.Workers[W].BusyUs, R.WallUs + Eps)
+        << Run.Name << " worker " << W;
+}
+
+} // namespace
+
+TEST(SchedRecorder, PipelineRunSatisfiesInvariants) {
+  SchedRecorder::global().reset();
+  SchedRecorder::global().setEnabled(true);
+  std::unique_ptr<Module> M = generateModule(16, 20260808);
+  PassPipeline Pipe;
+  ASSERT_TRUE(PassPipeline::parse("separate,constprop,pre", Pipe).ok());
+  ModulePipelineOptions MPO;
+  MPO.Jobs = 4;
+  ModulePipelineResult PR = runPipelineOnModule(*M, Pipe, MPO);
+  EXPECT_TRUE(PR.ok()) << PR.combinedStatus().str();
+
+  std::vector<SchedRun> Runs = SchedRecorder::global().snapshot();
+  SchedRecorder::global().setEnabled(false);
+  ASSERT_EQ(Runs.size(), 1u);
+  EXPECT_EQ(Runs[0].Name, "module-pipeline");
+  EXPECT_EQ(Runs[0].Jobs, 4u);
+  EXPECT_EQ(Runs[0].NumLevels, 1u);
+  EXPECT_EQ(Runs[0].Tasks.size(), 16u);
+  EXPECT_EQ(Runs[0].MaxReady, 16u);
+  expectRunInvariants(Runs[0]);
+  // The report renderer names the run and both speedup figures.
+  std::string Report = renderSchedReport(Runs);
+  EXPECT_NE(Report.find("run module-pipeline"), std::string::npos);
+  EXPECT_NE(Report.find("critical-path"), std::string::npos);
+  EXPECT_NE(Report.find("achievable"), std::string::npos);
+}
+
+TEST(SchedRecorder, SdgBuildRunSatisfiesInvariants) {
+  SchedRecorder::global().reset();
+  SchedRecorder::global().setEnabled(true);
+  std::unique_ptr<Module> M = generateCallModule(12, 20260808);
+  SDGBuildOptions SO;
+  SO.Jobs = 4;
+  SystemDependenceGraph G = SystemDependenceGraph::build(*M, SO);
+  (void)G;
+
+  std::vector<SchedRun> Runs = SchedRecorder::global().snapshot();
+  SchedRecorder::global().setEnabled(false);
+  ASSERT_EQ(Runs.size(), 1u);
+  EXPECT_EQ(Runs[0].Name, "sdg-build");
+  EXPECT_EQ(Runs[0].Jobs, 4u);
+  // Level 0 (per-function PDG tasks) plus one level per condensation
+  // level; every function contributes a PDG task and every SCC a task.
+  EXPECT_GE(Runs[0].NumLevels, 2u);
+  EXPECT_GE(Runs[0].Tasks.size(), 12u + 1u);
+  EXPECT_GE(Runs[0].MaxReady, 12u);
+  expectRunInvariants(Runs[0]);
+}
+
+//===----------------------------------------------------------------------===//
+// Deterministic `sched` counters: byte-identical at any -j
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Renders the sched counter group as one string so "byte-identical" is
+/// literal: names, values, histogram buckets, in registry order.
+std::string schedCountersString() {
+  std::ostringstream OS;
+  for (const StatisticSnapshot &Row : statisticsSnapshot()) {
+    if (Row.Group != "sched")
+      continue;
+    OS << Row.Name << "=" << Row.Value << " count=" << Row.Count
+       << " max=" << Row.Max << " buckets=[";
+    for (std::uint64_t B : Row.Buckets)
+      OS << B << ",";
+    OS << "]\n";
+  }
+  return OS.str();
+}
+
+std::string runBothDriversAndSnapshotSched(unsigned Jobs) {
+  resetStatistics();
+  std::unique_ptr<Module> M = generateModule(24, 20260807);
+  PassPipeline Pipe;
+  EXPECT_TRUE(PassPipeline::parse("separate,constprop,pre", Pipe).ok());
+  ModulePipelineOptions MPO;
+  MPO.Jobs = Jobs;
+  ModulePipelineResult PR = runPipelineOnModule(*M, Pipe, MPO);
+  EXPECT_TRUE(PR.ok()) << PR.combinedStatus().str();
+
+  std::unique_ptr<Module> CM = generateCallModule(12, 20260807);
+  SDGBuildOptions SO;
+  SO.Jobs = Jobs;
+  SystemDependenceGraph G = SystemDependenceGraph::build(*CM, SO);
+  (void)G;
+  return schedCountersString();
+}
+
+} // namespace
+
+TEST(SchedCounters, ByteIdenticalAcrossJobs) {
+  // The sched counters are bumped serially from the task-DAG structure
+  // alone (task counts, level widths, dependency depths) — never from
+  // clocks or worker identity — so any -j must produce the same bytes.
+  std::string J1 = runBothDriversAndSnapshotSched(1);
+  std::string J8 = runBothDriversAndSnapshotSched(8);
+  EXPECT_FALSE(J1.empty());
+  EXPECT_NE(J1.find("NumSchedRuns"), std::string::npos);
+  EXPECT_EQ(J1, J8);
+}
+
+TEST(SchedCounters, CountStructureNotScheduling) {
+  resetStatistics();
+  std::unique_ptr<Module> M = generateModule(8, 1);
+  PassPipeline Pipe;
+  ASSERT_TRUE(PassPipeline::parse("separate,constprop", Pipe).ok());
+  ModulePipelineOptions MPO;
+  MPO.Jobs = 3;
+  ModulePipelineResult PR = runPipelineOnModule(*M, Pipe, MPO);
+  ASSERT_TRUE(PR.ok()) << PR.combinedStatus().str();
+  EXPECT_EQ(statisticValue("sched", "NumSchedRuns"), 1u);
+  EXPECT_EQ(statisticValue("sched", "NumSchedLevels"), 1u);
+  EXPECT_EQ(statisticValue("sched", "NumSchedTasks"), 8u);
+  EXPECT_EQ(statisticValue("sched", "MaxSchedReadyWidth"), 8u);
+  EXPECT_EQ(statisticValue("sched", "NumSchedTasksFailed"), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Event journal semantics
+//===----------------------------------------------------------------------===//
+
+TEST(EventLog, RecordsStructuredLinesInTimestampOrder) {
+  EventLogger &L = EventLogger::global();
+  L.reset();
+  L.setEnabled(true);
+  L.setMinLevel(LogLevel::Debug);
+  LogEvent(LogLevel::Info, "test", "second").field("k", 2u);
+  LogEvent(LogLevel::Debug, "test", "third").field("k", std::string("v"));
+  std::vector<std::string> Lines = L.snapshot();
+  L.setEnabled(false);
+  ASSERT_EQ(Lines.size(), 2u);
+  EXPECT_NE(Lines[0].find("\"event\":\"second\""), std::string::npos);
+  EXPECT_NE(Lines[0].find("\"k\":2"), std::string::npos);
+  EXPECT_NE(Lines[1].find("\"level\":\"debug\""), std::string::npos);
+  EXPECT_NE(Lines[1].find("\"k\":\"v\""), std::string::npos);
+  // Every line is one self-contained JSON object.
+  for (const std::string &Line : Lines) {
+    EXPECT_EQ(Line.front(), '{');
+    EXPECT_EQ(Line.back(), '}');
+  }
+}
+
+TEST(EventLog, MinLevelFiltersAndDisabledDropsEverything) {
+  EventLogger &L = EventLogger::global();
+  L.reset();
+  L.setEnabled(true);
+  L.setMinLevel(LogLevel::Warn);
+  LogEvent(LogLevel::Info, "test", "filtered");
+  LogEvent(LogLevel::Error, "test", "kept");
+  EXPECT_EQ(L.snapshot().size(), 1u);
+  L.setEnabled(false);
+  LogEvent(LogLevel::Error, "test", "ignored");
+  EXPECT_EQ(L.snapshot().size(), 1u);
+  L.setMinLevel(LogLevel::Debug);
+}
+
+TEST(EventLog, BoundedRingDropsOldestAndCounts) {
+  EventLogger &L = EventLogger::global();
+  L.reset();
+  L.setCapacityPerThread(4);
+  L.setEnabled(true);
+  for (unsigned I = 0; I != 10; ++I)
+    LogEvent(LogLevel::Info, "test", "e").field("i", I);
+  std::vector<std::string> Lines = L.snapshot();
+  L.setEnabled(false);
+  L.setCapacityPerThread(4096);
+  ASSERT_EQ(Lines.size(), 4u);
+  EXPECT_EQ(L.droppedEvents(), 6u);
+  // The survivors are the newest four, still in order.
+  EXPECT_NE(Lines[0].find("\"i\":6"), std::string::npos);
+  EXPECT_NE(Lines[3].find("\"i\":9"), std::string::npos);
+}
+
+TEST(EventLog, JournalEndMetaLineCarriesTotals) {
+  EventLogger &L = EventLogger::global();
+  L.reset();
+  L.setEnabled(true);
+  LogEvent(LogLevel::Info, "test", "only");
+  std::string Doc = L.toJsonLines();
+  L.setEnabled(false);
+  EXPECT_NE(Doc.find("\"event\":\"journal-end\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"events\":1"), std::string::npos);
+  EXPECT_NE(Doc.find("\"dropped\":0"), std::string::npos);
+}

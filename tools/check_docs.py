@@ -21,7 +21,12 @@ Two guarantees:
    ``--help`` (the script ships with the repo, so this check always
    runs; argparse's automatic ``-h``/``--help`` is exempt).
 
-4. **docs/SDG.md tracks the sdg counter group.** The counter names in
+4. **docs/TOOLS.md tracks trace_analyze.py.** The same two-way drift
+   check between the ``## trace_analyze.py`` section and the script's
+   ``--help`` (stdlib-only script shipped with the repo, so this check
+   always runs too).
+
+5. **docs/SDG.md tracks the sdg counter group.** The counter names in
    docs/SDG.md's counter table and the ``DEPFLOW_*STATISTIC(..., "sdg",
    ...)`` definitions in ``src/sdg/*.cpp`` must be the same set, in both
    directions — the perf gate and the ``--counters-json`` schema both
@@ -211,6 +216,32 @@ def check_bench_compare_drift(root, errors):
                       f"bench_compare.py --help does not mention it")
 
 
+def check_trace_analyze_drift(root, errors):
+    section = tools_md_section(root, "trace_analyze.py")
+    if section is None:
+        errors.append("docs/TOOLS.md: no '## trace_analyze.py' section found")
+        return
+    script = root / "tools" / "trace_analyze.py"
+    try:
+        proc = subprocess.run([sys.executable, str(script), "--help"],
+                              capture_output=True, text=True, timeout=30)
+    except OSError as e:
+        errors.append(f"cannot run {script} --help: {e}")
+        return
+    if proc.returncode != 0:
+        errors.append(f"{script} --help exited {proc.returncode}")
+        return
+    auto_help = {"-h", "--help"}
+    doc_flags = flags_in(section) - auto_help
+    help_flags = flags_in(proc.stdout) - auto_help
+    for flag in sorted(help_flags - doc_flags):
+        errors.append(f"docs/TOOLS.md: flag '{flag}' is in trace_analyze.py "
+                      f"--help but not documented")
+    for flag in sorted(doc_flags - help_flags):
+        errors.append(f"docs/TOOLS.md: documents '{flag}' but "
+                      f"trace_analyze.py --help does not mention it")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--root", type=Path,
@@ -224,6 +255,7 @@ def main():
     errors = []
     check_links(args.root, errors)
     check_bench_compare_drift(args.root, errors)
+    check_trace_analyze_drift(args.root, errors)
     check_sdg_counter_drift(args.root, errors)
     if args.depflow_opt is not None:
         check_flag_drift(args.root, str(args.depflow_opt), errors)

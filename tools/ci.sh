@@ -9,9 +9,12 @@
 # that drives the instrumented pass manager over the checked-in example
 # programs, a module smoke that checks -j 8 output against -j 1 on a
 # fuzz-generated module, an observability smoke (--trace-json /
-# --stats-json documents must validate), a quick-mode run of the two
-# pipeline benchmarks with BENCH_*.json schema validation, and the docs
-# consistency checks. Any verifier violation, oracle mismatch, sanitizer
+# --stats-json documents must validate), a scheduler/event-log smoke
+# (--sched-report prints, --log-json journals the run's task lifecycle —
+# including a task-failed line on a fault-injected --keep-going run —
+# and trace_analyze.py's offline invariant check passes), a quick-mode
+# run of the two pipeline benchmarks with BENCH_*.json schema
+# validation, and the docs consistency checks. Any verifier violation, oracle mismatch, sanitizer
 # report, or test failure fails CI.
 #
 # This script is the single source of truth for "what CI runs": the
@@ -94,6 +97,58 @@ assert stats["passes"], stats
 print("ci: trace/stats JSON ok "
       f"({len(trace['traceEvents'])} events, {len(stats['passes'])} passes)")
 PY
+
+# Scheduler/event-log smoke: --sched-report must print the derived
+# report, --log-json must leave a well-formed journal carrying the run's
+# task lifecycle in timestamp order, and the recorded trace must pass
+# trace_analyze.py's offline invariant check — all under the sanitizers.
+"$BUILD/tools/depflow-opt" --passes=separate,constprop,pre -j 8 \
+    --sched-report --log-json "$MODDIR/journal.jsonl" \
+    --trace-json "$MODDIR/sched-trace.json" \
+    "$MODDIR/module.df" >/dev/null 2> "$MODDIR/sched-report.txt"
+grep -q 'scheduler report' "$MODDIR/sched-report.txt"
+grep -q 'critical-path' "$MODDIR/sched-report.txt"
+python3 "$ROOT/tools/trace_analyze.py" "$MODDIR/sched-trace.json" --check \
+    > /dev/null
+python3 - "$MODDIR/journal.jsonl" <<'PY'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1])]
+assert lines, "empty journal"
+end = lines[-1]
+assert (end["cat"], end["event"]) == ("log", "journal-end"), end
+assert end["events"] == len(lines) - 1 and end["dropped"] == 0, end
+events = {(e["cat"], e["event"]) for e in lines[:-1]}
+for needed in [("sched", "run-start"), ("sched", "task-start"),
+               ("sched", "run-end")]:
+    assert needed in events, (needed, sorted(events))
+ts = [e["ts_us"] for e in lines[:-1]]
+assert ts == sorted(ts), "journal lines out of timestamp order"
+print(f"ci: event journal ok ({len(lines) - 1} events)")
+PY
+
+# A fault-injected --keep-going run must journal its failures: at least
+# one warn-level task-failed line carrying a real TaskFailureKind (the
+# per-fault-point exactness contract is the fault sweep's job).
+RC=0
+"$BUILD/tools/depflow-opt" --passes=separate,constprop,pre --keep-going \
+    --fault-inject=pass-fail:constprop --log-json "$MODDIR/fail.jsonl" \
+    "$MODDIR/module.df" >/dev/null 2>&1 || RC=$?
+if [ "$RC" -ne 4 ]; then
+  echo "ci: sched smoke fault run exited $RC, expected 4 (degraded)" >&2
+  exit 1
+fi
+python3 - "$MODDIR/fail.jsonl" <<'PY'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1])]
+failed = [e for e in lines if e.get("event") == "task-failed"]
+assert failed, "no task-failed event in the journal of a degraded run"
+kinds = {"pass-error", "fault-injected", "deadline-exceeded",
+         "memory-budget", "out-of-memory"}
+for e in failed:
+    assert e["level"] == "warn" and e["kind"] in kinds, e
+print(f"ci: degraded-run journal ok ({len(failed)} task-failed)")
+PY
+echo "ci: scheduler/event-log smoke ok"
 
 # Counters smoke: --counters-json (standalone document) and the fuzzer's
 # --stats-json must emit valid documents whose counter entries carry the

@@ -66,6 +66,7 @@
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
+#include "obs/EventLog.h"
 #include "obs/StatsJson.h"
 #include "pass/Analyses.h"
 #include "pass/AnalysisManager.h"
@@ -998,7 +999,16 @@ unsigned runFaultSweep(const FuzzOptions &FO) {
       Opts.KeepGoing = true;
       Opts.MaxPassMillis = C.MaxPassMillis;
       Opts.MaxTaskBytes = C.MaxTaskBytes;
+      // Record the structured event journal for this case alone: the
+      // degradation contract extends to observability — every failed
+      // function task must leave exactly one task-failed event whose
+      // `kind` matches the task's TaskFailureKind classification.
+      obs::EventLogger &Journal = obs::EventLogger::global();
+      Journal.reset();
+      Journal.setEnabled(true);
       ModulePipelineResult PR = runPipelineOnModule(*M, Pipe, Opts);
+      Journal.setEnabled(false);
+      std::vector<std::string> JournalLines = Journal.snapshot();
       bool Fired = faultPointFired();
       clearFaultInjection();
       ++CaseRuns;
@@ -1027,6 +1037,41 @@ unsigned runFaultSweep(const FuzzOptions &FO) {
           Violation(Label, "failed function '" + FR.Name +
                                "' restored text differs from its original");
         }
+      }
+
+      // Journal cross-check: one task-failed event per failed function,
+      // classified identically to the pipeline result, and none for
+      // successful functions.
+      unsigned FailedEvents = 0;
+      for (const std::string &L : JournalLines)
+        if (L.find("\"event\":\"task-failed\"") != std::string::npos)
+          ++FailedEvents;
+      if (FailedEvents != PR.numFailed())
+        Violation(Label, "journal recorded " + std::to_string(FailedEvents) +
+                             " task-failed event(s) but " +
+                             std::to_string(PR.numFailed()) +
+                             " function task(s) failed");
+      for (unsigned I = 0; I != NumFuncs; ++I) {
+        const FunctionPipelineResult &FR = PR.Functions[I];
+        if (FR.S.ok())
+          continue;
+        const std::string Needle = "\"event\":\"task-failed\",\"run\":"
+                                   "\"module-pipeline\",\"task\":\"" +
+                                   FR.Name + "\"";
+        const std::string KindField =
+            std::string("\"kind\":\"") + taskFailureKindName(FR.FailKind) +
+            "\"";
+        unsigned Matches = 0;
+        for (const std::string &L : JournalLines)
+          if (L.find(Needle) != std::string::npos &&
+              L.find(KindField) != std::string::npos)
+            ++Matches;
+        if (Matches != 1)
+          Violation(Label, "failed function '" + FR.Name + "' has " +
+                               std::to_string(Matches) +
+                               " matching task-failed journal event(s) "
+                               "(expected exactly 1 with " +
+                               KindField + ")");
       }
     }
 

@@ -51,6 +51,13 @@
 //                        analysis, and function-task spans, one track per
 //                        worker thread) loadable in chrome://tracing or
 //                        Perfetto
+//   --log-json FILE      write the structured event journal (JSON Lines;
+//                        scheduler and task lifecycle events, one object
+//                        per line; tail also dumped by the crash handler)
+//   --sched-report       print the scheduler report on stderr: per
+//                        parallel run, the critical path through the task
+//                        DAG, achievable vs measured speedup, and
+//                        per-worker utilization
 //   --stats-json FILE    write the machine-readable statistics report
 //                        (schema "depflow-stats": pass timings and
 //                        allocation, analysis hit/miss counters, global
@@ -91,6 +98,8 @@
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
 #include "obs/CrashHandler.h"
+#include "obs/EventLog.h"
+#include "obs/Sched.h"
 #include "obs/StatsJson.h"
 #include "obs/Trace.h"
 #include "pass/Analyses.h"
@@ -148,6 +157,8 @@ struct Options {
   std::string TraceJson;    // --trace-json destination; empty = disabled.
   std::string StatsJson;    // --stats-json destination; empty = disabled.
   std::string CountersJson; // --counters-json destination; empty = disabled.
+  std::string LogJson;      // --log-json destination; empty = disabled.
+  bool SchedReport = false;
   std::string File;
 };
 
@@ -167,7 +178,8 @@ int usage() {
                "                   [--callgraph-dot] [--run v1,v2,...] "
                "[--trace-json FILE]\n"
                "                   [--stats-json FILE] [--counters-json FILE] "
-               "[--fault-inject=SPEC]\n"
+               "[--log-json FILE]\n"
+               "                   [--sched-report] [--fault-inject=SPEC]\n"
                "                   [--max-pass-millis N] [--max-task-bytes N] "
                "[--keep-going]\n"
                "                   [--debug-crash] [--help] [file]\n");
@@ -235,6 +247,15 @@ void help() {
       "  --counters-json FILE  write only the algorithm counter registry\n"
       "                      (versioned schema \"depflow-counters\":\n"
       "                      counters, max gauges, histograms + buckets)\n"
+      "  --log-json FILE     write the structured event journal (JSON\n"
+      "                      Lines: one object per line, scheduler and\n"
+      "                      task lifecycle events with shared-epoch\n"
+      "                      timestamps; the crash handler dumps its tail\n"
+      "                      to stderr on a fatal signal)\n"
+      "  --sched-report      print the scheduler report on stderr: per\n"
+      "                      parallel run, critical path through the task\n"
+      "                      DAG, achievable vs measured speedup, and\n"
+      "                      per-worker busy time / utilization\n"
       "\n"
       "Inspection:\n"
       "  --print-after-all   dump the IR after every pass (stderr;\n"
@@ -461,6 +482,22 @@ int parseArgs(int Argc, char **Argv, Options &O) {
         std::fprintf(stderr, "error: --counters-json requires a file\n");
         return 2;
       }
+    } else if (A.rfind("--log-json=", 0) == 0 || A == "--log-json") {
+      if (A == "--log-json") {
+        if (I + 1 >= Argc) {
+          std::fprintf(stderr, "error: --log-json requires a file\n");
+          return 2;
+        }
+        O.LogJson = Argv[++I];
+      } else {
+        O.LogJson = A.substr(std::strlen("--log-json="));
+      }
+      if (O.LogJson.empty()) {
+        std::fprintf(stderr, "error: --log-json requires a file\n");
+        return 2;
+      }
+    } else if (A == "--sched-report") {
+      O.SchedReport = true;
     } else if (A.rfind("--fault-inject=", 0) == 0 || A == "--fault-inject") {
       if (A == "--fault-inject") {
         if (I + 1 >= Argc) {
@@ -584,6 +621,8 @@ int main(int Argc, char **Argv) {
   obs::setCrashFlushHook([&O]() {
     if (!O.TraceJson.empty())
       obs::TraceRecorder::global().writeChromeJson(O.TraceJson);
+    if (!O.LogJson.empty())
+      obs::EventLogger::global().writeJsonLines(O.LogJson);
     if (!O.StatsJson.empty()) {
       obs::StatsReport SR;
       SR.Tool = "depflow-opt";
@@ -610,12 +649,31 @@ int main(int Argc, char **Argv) {
     obs::TraceRecorder::global().setEnabled(true);
     obs::TraceRecorder::global().setCurrentThreadName("main");
   }
+  if (!O.LogJson.empty())
+    obs::EventLogger::global().setEnabled(true);
+  // The scheduler recorder feeds both the stderr report and the stats
+  // document's `sched` section; the deterministic sched *counters* bump
+  // unconditionally (they are structure-only and cost nothing).
+  if (O.SchedReport || !O.StatsJson.empty())
+    obs::SchedRecorder::global().setEnabled(true);
   // Written wherever the run ends (including the internal-error exits): a
   // truncated run's timeline is exactly when the trace is wanted.
   auto WriteTrace = [&]() -> int {
     if (O.TraceJson.empty())
       return 0;
     Status S = obs::TraceRecorder::global().writeChromeJson(O.TraceJson);
+    if (!S.ok()) {
+      std::fprintf(stderr, "error: %s\n", S.str().c_str());
+      return 1;
+    }
+    return 0;
+  };
+  // Same contract for the event journal: every exit path that writes the
+  // trace writes the journal, so a failed run's events still land.
+  auto WriteLog = [&]() -> int {
+    if (O.LogJson.empty())
+      return 0;
+    Status S = obs::EventLogger::global().writeJsonLines(O.LogJson);
     if (!S.ok()) {
       std::fprintf(stderr, "error: %s\n", S.str().c_str());
       return 1;
@@ -713,11 +771,13 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "internal error: %s\n",
                    PR.combinedStatus().str().c_str());
       WriteTrace();
+      WriteLog();
       return 3;
     }
   }
   if (Verifier.exitCode()) {
     WriteTrace();
+    WriteLog();
     return Verifier.exitCode();
   }
 
@@ -814,8 +874,15 @@ int main(int Argc, char **Argv) {
     PR.printReport(stderr);
   if (O.PrintStats)
     printStatistics(stderr);
+  if (O.SchedReport)
+    std::fprintf(
+        stderr, "%s",
+        obs::renderSchedReport(obs::SchedRecorder::global().snapshot())
+            .c_str());
 
   if (int Code = WriteTrace())
+    return Code;
+  if (int Code = WriteLog())
     return Code;
   if (!O.StatsJson.empty()) {
     obs::StatsReport SR;
@@ -823,6 +890,7 @@ int main(int Argc, char **Argv) {
     SR.Pipeline = O.Pipeline.str();
     SR.Functions = M.numFunctions();
     SR.Jobs = O.Jobs ? O.Jobs : defaultModulePipelineJobs();
+    SR.IncludeSched = true;
     for (const PassInstrumentation::Record &Rec : PR.aggregatePassRecords())
       SR.Passes.push_back({Rec.Pass, Rec.Seconds, Rec.AnalysisHits,
                            Rec.AnalysisMisses, Rec.AllocBytes});
